@@ -1,0 +1,75 @@
+//! Ablation A1 — paper §1.1 claim: the AC-injection method "significantly
+//! speeds up the simulation compared to time-domain analysis and broadens the
+//! range of frequency coverage".
+//!
+//! This bench compares, on the same circuit, the cost of the stability-plot
+//! scan of a node against the cost of the transient "node pulsing" baseline
+//! that would be needed to characterize the same loop, and prints the
+//! wall-clock ratio.
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench ablation_ac_vs_transient`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_bench::{bench_options, nominal_opamp};
+use loopscope_circuits::two_stage_buffer;
+use loopscope_core::baseline::transient_overshoot;
+use loopscope_core::StabilityAnalyzer;
+use std::time::Instant;
+
+fn print_comparison() {
+    let (circuit, nodes) = two_stage_buffer(&nominal_opamp());
+    let analyzer =
+        StabilityAnalyzer::new(circuit.clone(), bench_options()).expect("operating point");
+
+    let t0 = Instant::now();
+    let ac_result = analyzer.single_node(nodes.output).expect("AC scan");
+    let ac_time = t0.elapsed();
+
+    // The transient baseline has to resolve the ~3 MHz ringing (ns steps) for
+    // several microseconds to see it settle — the cost the paper's method avoids.
+    let t1 = Instant::now();
+    let tran_result = transient_overshoot(&circuit, nodes.output, 2.0e-9, 8.0e-6)
+        .expect("transient baseline");
+    let tran_time = t1.elapsed();
+
+    println!("\n=== Ablation A1: AC stability scan vs transient node pulsing ===");
+    println!(
+        "  AC stability plot    : {:>8.1} ms  (ζ = {:.3})",
+        ac_time.as_secs_f64() * 1.0e3,
+        ac_result.estimate.map(|e| e.damping_ratio).unwrap_or(f64::NAN)
+    );
+    println!(
+        "  transient overshoot  : {:>8.1} ms  (ζ = {:.3})",
+        tran_time.as_secs_f64() * 1.0e3,
+        tran_result.equivalent_damping
+    );
+    println!(
+        "  speed-up             : {:.1}×  (frequency coverage: {:.0e}–{:.0e} Hz in one run)\n",
+        tran_time.as_secs_f64() / ac_time.as_secs_f64(),
+        bench_options().f_start,
+        bench_options().f_stop
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let (circuit, nodes) = two_stage_buffer(&nominal_opamp());
+    let analyzer =
+        StabilityAnalyzer::new(circuit.clone(), bench_options()).expect("operating point");
+    let mut group = c.benchmark_group("ablation_ac_vs_transient");
+    group.sample_size(10);
+    group.bench_function("ac_stability_scan", |b| {
+        b.iter(|| std::hint::black_box(analyzer.single_node(nodes.output).unwrap()))
+    });
+    group.bench_function("transient_node_pulsing", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                transient_overshoot(&circuit, nodes.output, 2.0e-9, 8.0e-6).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation A2 — paper §2 claim: the double differentiation and normalization
+//! of the stability plot "filters out the effects of the real poles and
+//! zeros, while responding to the complex poles and zeros".
+//!
+//! The bench scans an RC ladder (real poles only) and a series RLC divider
+//! with known ζ, and prints the deepest stability-plot value seen on each —
+//! the ladder must stay above the ζ = 1 threshold while the RLC reads −1/ζ².
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench ablation_real_pole_rejection`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_circuits::blocks::{rc_ladder, series_rlc, series_rlc_damping};
+use loopscope_core::{StabilityAnalyzer, StabilityOptions};
+
+fn options() -> StabilityOptions {
+    StabilityOptions {
+        f_start: 1.0e2,
+        f_stop: 1.0e8,
+        points_per_decade: 100,
+        ..Default::default()
+    }
+}
+
+fn print_comparison() {
+    println!("\n=== Ablation A2: real-pole rejection vs complex-pole response ===");
+
+    let (ladder, nodes) = rc_ladder(6, 1.0e3, 1.0e-9);
+    let analyzer = StabilityAnalyzer::new(ladder, options()).expect("ladder OP");
+    let mut deepest: f64 = 0.0;
+    for node in &nodes {
+        let r = analyzer.single_node(*node).expect("scan");
+        let min = r.plot.values().iter().cloned().fold(f64::INFINITY, f64::min);
+        deepest = deepest.min(min);
+    }
+    println!("  6-section RC ladder (real poles only): deepest plot value {deepest:.3}  → no loop reported");
+
+    let l: f64 = 1.0e-3;
+    let cap: f64 = 1.0e-9;
+    println!("  series RLC dividers (complex poles, peak must equal −1/ζ²):");
+    for zeta_target in [0.1f64, 0.2, 0.3, 0.5] {
+        let r = 2.0 * zeta_target * (l / cap).sqrt();
+        let (circuit, out) = series_rlc(r, l, cap);
+        let zeta = series_rlc_damping(r, l, cap);
+        let analyzer = StabilityAnalyzer::new(circuit, options()).expect("RLC OP");
+        let result = analyzer.single_node(out).expect("scan");
+        let peak = result.peak.map(|p| p.y).unwrap_or(f64::NAN);
+        println!(
+            "    ζ = {:.2}: expected {:>8.2}, measured {:>8.2}",
+            zeta,
+            -1.0 / (zeta * zeta),
+            peak
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_comparison();
+    let (ladder, nodes) = rc_ladder(6, 1.0e3, 1.0e-9);
+    let ladder_analyzer = StabilityAnalyzer::new(ladder, options()).expect("ladder OP");
+    let first = nodes[0];
+    let (rlc, out) = series_rlc(400.0, 1.0e-3, 1.0e-9);
+    let rlc_analyzer = StabilityAnalyzer::new(rlc, options()).expect("RLC OP");
+
+    let mut group = c.benchmark_group("ablation_real_pole_rejection");
+    group.sample_size(10);
+    group.bench_function("rc_ladder_node_scan", |b| {
+        b.iter(|| std::hint::black_box(ladder_analyzer.single_node(first).unwrap()))
+    });
+    group.bench_function("series_rlc_node_scan", |b| {
+        b.iter(|| std::hint::black_box(rlc_analyzer.single_node(out).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

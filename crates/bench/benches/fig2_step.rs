@@ -1,0 +1,45 @@
+//! Experiment F2 — paper Fig. 2: transient step response of the buffer
+//! showing ~50–55 % overshoot (the traditional time-domain baseline).
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench fig2_step`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_bench::nominal_opamp;
+use loopscope_circuits::two_stage_buffer;
+use loopscope_core::baseline::transient_overshoot;
+
+const DT: f64 = 2.0e-9;
+const T_STOP: f64 = 8.0e-6;
+
+fn print_fig2() {
+    let (circuit, nodes) = two_stage_buffer(&nominal_opamp());
+    let result = transient_overshoot(&circuit, nodes.output, DT, T_STOP)
+        .expect("transient baseline runs");
+    println!("\n=== Fig. 2: closed-loop step response (traditional baseline) ===");
+    println!("  step                 : 10 mV at the non-inverting input");
+    println!("  measured overshoot   : {:.1} %", result.percent_overshoot);
+    println!("  equivalent ζ         : {:.3}", result.equivalent_damping);
+    println!(
+        "  settled output       : {:.4} V → {:.4} V",
+        result.initial_value, result.final_value
+    );
+    println!("  paper reference      : ~50–55 % overshoot for the nominal compensation\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2();
+    let (circuit, nodes) = two_stage_buffer(&nominal_opamp());
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("transient_overshoot_baseline", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                transient_overshoot(&circuit, nodes.output, DT, T_STOP).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment F3 — paper Fig. 3: open-loop gain/phase plot of the op-amp with
+//! the main loop broken, showing ~20° of phase margin and locating the 0 dB
+//! crossover and −180° phase crossing (the traditional AC baseline).
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench fig3_bode`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_bench::{fmt_freq, nominal_opamp};
+use loopscope_circuits::opamp::two_stage_open_loop;
+use loopscope_core::baseline::open_loop_margins;
+use loopscope_math::FrequencyGrid;
+
+fn grid() -> FrequencyGrid {
+    FrequencyGrid::log_decade(1.0, 100.0e6, 40)
+}
+
+fn print_fig3() {
+    let (circuit, nodes) = two_stage_open_loop(&nominal_opamp());
+    let margins = open_loop_margins(&circuit, nodes.output, &grid()).expect("bode baseline runs");
+    println!("\n=== Fig. 3: open-loop gain/phase margins (loop broken by hand) ===");
+    match margins.gain_crossover_hz {
+        Some(fc) => println!("  0 dB gain crossover  : {}", fmt_freq(fc)),
+        None => println!("  0 dB gain crossover  : (none in sweep)"),
+    }
+    match margins.phase_margin_deg {
+        Some(pm) => println!("  phase margin         : {pm:.1}°"),
+        None => println!("  phase margin         : (undefined)"),
+    }
+    match margins.phase_crossover_hz {
+        Some(fp) => println!("  −180° phase crossing : {}", fmt_freq(fp)),
+        None => println!("  −180° phase crossing : (none in sweep)"),
+    }
+    match margins.gain_margin_db {
+        Some(gm) => println!("  gain margin          : {gm:.1} dB"),
+        None => println!("  gain margin          : (undefined)"),
+    }
+    println!("  paper reference      : ≈20° phase margin, 0 dB at 2.4 MHz, −180° at 3.5 MHz\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig3();
+    let (circuit, nodes) = two_stage_open_loop(&nominal_opamp());
+    let g = grid();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("open_loop_bode_baseline", |b| {
+        b.iter(|| std::hint::black_box(open_loop_margins(&circuit, nodes.output, &g).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

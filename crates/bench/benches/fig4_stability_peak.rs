@@ -1,0 +1,53 @@
+//! Experiment F4 — paper Fig. 4: the stability plot at the buffer output,
+//! whose negative peak (≈ −29 at ≈ 3.2 MHz in the paper) gives the loop's
+//! damping ratio and estimated phase margin without breaking the loop.
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench fig4_stability_peak`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_bench::{fmt_freq, opamp_analyzer};
+
+fn print_fig4() {
+    let (analyzer, nodes) = opamp_analyzer();
+    let result = analyzer.single_node(nodes.output).expect("single-node run succeeds");
+    println!("\n=== Fig. 4: stability plot at the output node (loop left closed) ===");
+    match (result.peak, result.estimate) {
+        (Some(peak), Some(est)) => {
+            println!("  stability peak       : {:.1}", peak.y);
+            println!("  natural frequency    : {}", fmt_freq(est.natural_freq_hz));
+            println!("  damping ratio ζ      : {:.3}", est.damping_ratio);
+            println!("  estimated PM         : {:.1}° (exact 2nd-order {:.1}°)",
+                est.phase_margin_deg, est.phase_margin_exact_deg);
+            println!("  equivalent overshoot : {:.0} %", est.percent_overshoot);
+        }
+        _ => println!("  no peak detected — circuit unexpectedly well damped"),
+    }
+    println!("  paper reference      : peak ≈ −29 at ≈ 3.2 MHz ⇒ ζ ≈ 0.19, PM slightly below 20°\n");
+
+    // A short excerpt of the plot around the peak, the data behind the figure.
+    if let Some(peak) = result.peak {
+        println!("  plot excerpt (around the peak):");
+        let freqs = result.plot.freqs();
+        let values = result.plot.values();
+        let lo = peak.index.saturating_sub(5);
+        let hi = (peak.index + 6).min(freqs.len());
+        for i in lo..hi {
+            println!("    {:>12.4e} Hz   P = {:>9.3}", freqs[i], values[i]);
+        }
+        println!();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig4();
+    let (analyzer, nodes) = opamp_analyzer();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("single_node_stability_plot", |b| {
+        b.iter(|| std::hint::black_box(analyzer.single_node(nodes.output).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment T1 — paper Table 1: key performance characteristics of a
+//! second-order system (damping ratio vs overshoot, phase margin, peak
+//! magnitude and performance index).
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_core::table1;
+
+fn print_table1() {
+    println!("\n=== Table 1: second-order system characteristics ===");
+    println!(
+        "{:>5} {:>18} {:>18} {:>16} {:>18}",
+        "ζ", "overshoot [%]", "phase margin [°]", "max magnitude", "performance index"
+    );
+    for row in table1() {
+        println!(
+            "{:>5.1} {:>18.1} {:>18.1} {:>16.2} {:>18.1}",
+            row.zeta,
+            row.percent_overshoot,
+            row.phase_margin_deg,
+            row.max_magnitude,
+            row.performance_index
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    c.bench_function("table1_generation", |b| {
+        b.iter(|| std::hint::black_box(table1()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

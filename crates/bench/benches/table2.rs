@@ -1,0 +1,44 @@
+//! Experiment T2 — paper Table 2: stability-plot peak values for all circuit
+//! nodes of the op-amp + bias circuit, grouped by loop natural frequency.
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_bench::{bench_options, nominal_bias, nominal_opamp};
+use loopscope_circuits::opamp_with_bias;
+use loopscope_core::StabilityAnalyzer;
+
+fn analyzer() -> StabilityAnalyzer {
+    let (circuit, _, _) = opamp_with_bias(&nominal_opamp(), &nominal_bias());
+    StabilityAnalyzer::new(circuit, bench_options()).expect("operating point converges")
+}
+
+fn print_table2(analyzer: &StabilityAnalyzer) {
+    let report = analyzer.all_nodes().expect("all-nodes scan succeeds");
+    println!("\n=== Table 2: all-nodes stability report (op-amp buffer + zero-TC bias) ===");
+    println!("{}", report.to_text());
+    println!("detected loops (sorted by natural frequency):");
+    for group in report.loops() {
+        println!(
+            "  loop at {:>10.3e} Hz: {} node(s), worst performance index {:.2}",
+            group.natural_freq_hz,
+            group.members.len(),
+            group.worst_performance_index
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let analyzer = analyzer();
+    print_table2(&analyzer);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("all_nodes_scan", |b| {
+        b.iter(|| std::hint::black_box(analyzer.all_nodes().unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

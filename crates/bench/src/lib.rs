@@ -1,0 +1,81 @@
+//! Shared helpers for the `loopscope` benchmark/reproduction harness.
+//!
+//! Every table and figure of the paper's evaluation has a corresponding
+//! Criterion bench target in `benches/` (see DESIGN.md §5 for the index).
+//! Each bench first *prints* the regenerated table/series — so that
+//! `cargo bench` doubles as the reproduction script — and then measures the
+//! runtime of the underlying analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use loopscope_circuits::{BiasParams, OpAmpParams};
+use loopscope_core::{StabilityAnalyzer, StabilityOptions};
+
+/// The sweep options used by all benches: the paper sweeps "a broad frequency
+/// range"; 1 kHz – 1 GHz at 100 points/decade covers both the MHz main loop
+/// and the tens-of-MHz local loops with enough resolution for the second
+/// derivative.
+pub fn bench_options() -> StabilityOptions {
+    StabilityOptions {
+        f_start: 1.0e3,
+        f_stop: 1.0e9,
+        points_per_decade: 100,
+        ..Default::default()
+    }
+}
+
+/// Nominal op-amp parameters (the paper's under-compensated buffer).
+pub fn nominal_opamp() -> OpAmpParams {
+    OpAmpParams::default()
+}
+
+/// Nominal bias-cell parameters (uncompensated local loop).
+pub fn nominal_bias() -> BiasParams {
+    BiasParams::default()
+}
+
+/// Builds a ready-to-use analyzer for the nominal op-amp buffer.
+///
+/// # Panics
+///
+/// Panics if the operating point fails to converge — that would invalidate
+/// every benchmark, so failing loudly is the right behaviour here.
+pub fn opamp_analyzer() -> (StabilityAnalyzer, loopscope_circuits::OpAmpNodes) {
+    let (circuit, nodes) = loopscope_circuits::two_stage_buffer(&nominal_opamp());
+    let analyzer = StabilityAnalyzer::new(circuit, bench_options())
+        .expect("nominal op-amp must have an operating point");
+    (analyzer, nodes)
+}
+
+/// Formats a frequency in engineering units for table printouts.
+pub fn fmt_freq(hz: f64) -> String {
+    if hz >= 1.0e6 {
+        format!("{:.2} MHz", hz / 1.0e6)
+    } else if hz >= 1.0e3 {
+        format!("{:.2} kHz", hz / 1.0e3)
+    } else {
+        format!("{hz:.2} Hz")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_are_consistent() {
+        assert_eq!(fmt_freq(3.16e6), "3.16 MHz");
+        assert_eq!(fmt_freq(50.0e3), "50.00 kHz");
+        assert_eq!(fmt_freq(12.0), "12.00 Hz");
+        let opts = bench_options();
+        assert!(opts.f_stop > opts.f_start);
+    }
+
+    #[test]
+    fn opamp_analyzer_builds() {
+        let (analyzer, nodes) = opamp_analyzer();
+        assert!(analyzer.circuit().node_count() > 3);
+        assert_eq!(analyzer.circuit().node_name(nodes.output), "out");
+    }
+}

@@ -1,0 +1,218 @@
+//! Small reference blocks with exactly known pole/zero structure.
+//!
+//! These circuits back the ablation studies (real-pole rejection, known-ζ
+//! validation) and provide additional realistic scenarios — source followers
+//! and current mirrors are exactly the "local loops that otherwise go
+//! undetected" the paper's introduction motivates.
+
+use loopscope_netlist::{Circuit, MosfetModel, MosfetPolarity, NodeId, SourceSpec};
+
+/// Builds an `n`-section RC ladder driven from an ideal source.
+///
+/// All of its poles are real, so a stability scan must report **no**
+/// significant negative peaks anywhere — this is the paper's claim that the
+/// double differentiation of the stability plot "filters out the effects of
+/// the real poles and zeros".
+///
+/// Returns the circuit and the ladder nodes in order from the source.
+///
+/// # Panics
+///
+/// Panics if `sections == 0`.
+pub fn rc_ladder(sections: usize, r_ohms: f64, c_farads: f64) -> (Circuit, Vec<NodeId>) {
+    assert!(sections > 0, "need at least one RC section");
+    let mut c = Circuit::new(format!("{sections}-section RC ladder"));
+    let input = c.node("in");
+    c.add_vsource("Vin", input, Circuit::GROUND, SourceSpec::dc(1.0));
+    let mut prev = input;
+    let mut nodes = Vec::with_capacity(sections);
+    for k in 1..=sections {
+        let n = c.node(&format!("n{k}"));
+        c.add_resistor(&format!("R{k}"), prev, n, r_ohms);
+        c.add_capacitor(&format!("C{k}"), n, Circuit::GROUND, c_farads);
+        nodes.push(n);
+        prev = n;
+    }
+    (c, nodes)
+}
+
+/// Builds a series RLC divider (output across the capacitor): the canonical
+/// second-order low-pass with
+///
+/// * natural frequency `f_n = 1/(2π√(LC))` and
+/// * damping ratio `ζ = (R/2)·√(C/L)`.
+///
+/// The exact ζ makes this the quantitative ground truth for the stability
+/// plot: its peak must read `−1/ζ²` at `f_n`.
+///
+/// Returns the circuit and the output node.
+pub fn series_rlc(r_ohms: f64, l_henries: f64, c_farads: f64) -> (Circuit, NodeId) {
+    let mut c = Circuit::new("series RLC divider");
+    let input = c.node("in");
+    let mid = c.node("mid");
+    let out = c.node("out");
+    c.add_vsource("Vin", input, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+    c.add_resistor("R1", input, mid, r_ohms);
+    c.add_inductor("L1", mid, out, l_henries);
+    c.add_capacitor("C1", out, Circuit::GROUND, c_farads);
+    (c, out)
+}
+
+/// Damping ratio of the [`series_rlc`] divider for the given element values.
+pub fn series_rlc_damping(r_ohms: f64, l_henries: f64, c_farads: f64) -> f64 {
+    0.5 * r_ohms * (c_farads / l_henries).sqrt()
+}
+
+/// Natural frequency (hertz) of the [`series_rlc`] divider.
+pub fn series_rlc_natural_freq(l_henries: f64, c_farads: f64) -> f64 {
+    1.0 / (2.0 * std::f64::consts::PI * (l_henries * c_farads).sqrt())
+}
+
+/// Builds an NMOS source follower driving a capacitive load through its own
+/// output impedance, fed from a source with series resistance and inductive
+/// wiring — a classic local-ringing scenario in the paper's list of circuits
+/// (emitter/source followers) that black-box analysis misses.
+///
+/// Returns the circuit and the follower output node.
+pub fn source_follower(cload_farads: f64, l_wire_henries: f64) -> (Circuit, NodeId) {
+    let mut c = Circuit::new("source follower with capacitive load");
+    let vdd = c.node("vdd");
+    let sig = c.node("sig");
+    let gate = c.node("gate");
+    let out = c.node("out");
+
+    c.add_vsource("VDD", vdd, Circuit::GROUND, SourceSpec::dc(3.3));
+    c.add_vsource("Vsig", sig, Circuit::GROUND, SourceSpec::dc(2.0));
+    c.add_resistor("Rsig", sig, gate, 1.0e3);
+    if l_wire_henries > 0.0 {
+        let mid = c.node("lw");
+        c.add_inductor("Lwire", gate, mid, l_wire_henries);
+        c.add_mosfet(
+            "M1",
+            vdd,
+            mid,
+            out,
+            MosfetPolarity::Nmos,
+            100.0e-6,
+            1.0e-6,
+            follower_model(),
+        );
+    } else {
+        c.add_mosfet(
+            "M1",
+            vdd,
+            gate,
+            out,
+            MosfetPolarity::Nmos,
+            100.0e-6,
+            1.0e-6,
+            follower_model(),
+        );
+    }
+    c.add_isource("Ibias", out, Circuit::GROUND, SourceSpec::dc(200.0e-6));
+    c.add_capacitor("Cload", out, Circuit::GROUND, cload_farads);
+    (c, out)
+}
+
+fn follower_model() -> MosfetModel {
+    MosfetModel {
+        vto: 0.7,
+        kp: 120.0e-6,
+        lambda: 0.02,
+        cgs: 0.6e-12,
+        cgd: 0.1e-12,
+        cdb: 0.05e-12,
+    }
+}
+
+/// Builds an NMOS current mirror whose output drives a capacitive load; the
+/// mirror's diode-connected input node and the output node form another local
+/// structure the "All Nodes" scan should classify as well damped (no complex
+/// pole peak beyond the threshold) unless wiring inductance is added.
+///
+/// Returns the circuit, the mirror input (diode) node and the output node.
+pub fn current_mirror(cload_farads: f64) -> (Circuit, NodeId, NodeId) {
+    let mut c = Circuit::new("NMOS current mirror");
+    let vdd = c.node("vdd");
+    let diode = c.node("diode");
+    let out = c.node("out");
+
+    let nmos = MosfetModel {
+        vto: 0.7,
+        kp: 100.0e-6,
+        lambda: 0.03,
+        cgs: 0.2e-12,
+        cgd: 0.05e-12,
+        cdb: 0.05e-12,
+    };
+
+    c.add_vsource("VDD", vdd, Circuit::GROUND, SourceSpec::dc(3.3));
+    c.add_isource("Iref", diode, Circuit::GROUND, SourceSpec::dc(100.0e-6));
+    c.add_resistor("Rref", vdd, diode, 15.0e3);
+    c.add_mosfet("M1", diode, diode, Circuit::GROUND, MosfetPolarity::Nmos, 20.0e-6, 1.0e-6, nmos);
+    c.add_mosfet("M2", out, diode, Circuit::GROUND, MosfetPolarity::Nmos, 40.0e-6, 1.0e-6, nmos);
+    c.add_resistor("Rload", vdd, out, 10.0e3);
+    c.add_capacitor("Cload", out, Circuit::GROUND, cload_farads);
+    (c, diode, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_spice::dc::solve_dc;
+
+    #[test]
+    fn rc_ladder_structure() {
+        let (c, nodes) = rc_ladder(5, 1.0e3, 1.0e-9);
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(c.elements().len(), 1 + 2 * 5);
+        c.validate().unwrap();
+        let op = solve_dc(&c).unwrap();
+        // No DC drop through the ladder (capacitors block any current).
+        for n in nodes {
+            assert!((op.voltage(n) - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one RC section")]
+    fn rc_ladder_rejects_zero_sections() {
+        rc_ladder(0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn series_rlc_parameters() {
+        // 1 mH, 1 nF → fn ≈ 159 kHz; R = 2ζ√(L/C) = 400 Ω gives ζ = 0.2.
+        let l = 1.0e-3;
+        let cap = 1.0e-9;
+        assert!((series_rlc_damping(400.0, l, cap) - 0.2).abs() < 1e-12);
+        assert!((series_rlc_natural_freq(l, cap) - 159.155e3).abs() / 159.155e3 < 1e-3);
+        let (c, out) = series_rlc(400.0, l, cap);
+        c.validate().unwrap();
+        let op = solve_dc(&c).unwrap();
+        assert!(op.voltage(out).abs() < 1e-6);
+    }
+
+    #[test]
+    fn source_follower_bias() {
+        let (c, out) = source_follower(10.0e-12, 0.0);
+        let op = solve_dc(&c).unwrap();
+        let vo = op.voltage(out);
+        // Output sits roughly a Vgs below the 2 V input.
+        assert!(vo > 0.7 && vo < 1.6, "vout = {vo}");
+        let (c2, out2) = source_follower(10.0e-12, 50.0e-9);
+        let op2 = solve_dc(&c2).unwrap();
+        assert!((op2.voltage(out2) - vo).abs() < 0.05);
+    }
+
+    #[test]
+    fn current_mirror_copies_current() {
+        let (c, diode, out) = current_mirror(1.0e-12);
+        let op = solve_dc(&c).unwrap();
+        let vd = op.voltage(diode);
+        assert!(vd > 0.8 && vd < 1.6, "vdiode = {vd}");
+        // Output current ≈ 2× reference (W ratio) → drop across 10 kΩ load.
+        let vout = op.voltage(out);
+        assert!(vout < 3.3 && vout > 0.1, "vout = {vout}");
+    }
+}

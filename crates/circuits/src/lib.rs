@@ -1,0 +1,28 @@
+//! Example circuit library for the `loopscope` evaluation.
+//!
+//! The paper's experiments revolve around two circuits:
+//!
+//! * a "simple 2 MHz op-amp connected as a buffer" (Fig. 1) whose main loop
+//!   has roughly 20° of phase margin with nominal `rzero`, `cload` and `C1`
+//!   compensation values — reproduced here both as a behavioural two-stage
+//!   macromodel ([`opamp`]) and as a transistor-level CMOS two-stage
+//!   amplifier ([`opamp::mos_two_stage_buffer`]);
+//! * a "zero-TC bias circuit" (Fig. 5) containing a *local* feedback loop in
+//!   the tens of MHz that goes undetected by black-box analysis
+//!   ([`bias::zero_tc_bias`]).
+//!
+//! Additional small blocks ([`blocks`]) — RC ladders, RLC resonators, source
+//! followers and current mirrors — are used by the ablation studies and by
+//! tests that need circuits with exactly known pole locations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bias;
+pub mod blocks;
+pub mod opamp;
+
+pub use bias::{zero_tc_bias, BiasNodes, BiasParams};
+pub use opamp::{
+    mos_two_stage_buffer, opamp_with_bias, two_stage_buffer, OpAmpNodes, OpAmpParams,
+};

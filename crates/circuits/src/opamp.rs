@@ -1,0 +1,347 @@
+//! The paper's "simple 2 MHz op-amp connected as a buffer" (Fig. 1).
+//!
+//! Two flavours are provided:
+//!
+//! * [`two_stage_buffer`] — a behavioural two-stage macromodel
+//!   (transconductor → Miller-compensated gain stage → capacitive load)
+//!   whose GBW and phase margin follow directly from the element values.
+//!   With the default parameters the unity-gain buffer has roughly 2 MHz of
+//!   gain-bandwidth and about 20° of phase margin, matching the paper's
+//!   nominal `rzero` / `cload` / `C1` setting.
+//! * [`mos_two_stage_buffer`] — a transistor-level CMOS two-stage Miller
+//!   op-amp biased from ideal current sources, used to exercise the nonlinear
+//!   operating-point and small-signal machinery end to end.
+//!
+//! Both are connected in unity feedback (output tied to the inverting input),
+//! so the main loop is closed exactly as in the paper and must be analysed
+//! without breaking it.
+
+use crate::bias::{zero_tc_bias, BiasParams};
+use loopscope_netlist::{Circuit, MosfetModel, MosfetPolarity, NodeId, SourceSpec};
+
+/// Parameters of the behavioural two-stage op-amp buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpAmpParams {
+    /// First-stage transconductance in siemens.
+    pub gm1: f64,
+    /// First-stage output resistance in ohms.
+    pub r1: f64,
+    /// Parasitic capacitance at the first-stage output in farads.
+    pub c1_parasitic: f64,
+    /// Second-stage transconductance in siemens.
+    pub gm2: f64,
+    /// Second-stage output resistance in ohms.
+    pub r2: f64,
+    /// Miller compensation capacitor `C1` in farads (paper knob).
+    pub c1: f64,
+    /// Series zero-setting resistor `rzero` in ohms (paper knob).
+    pub rzero: f64,
+    /// Output load capacitance `cload` in farads (paper knob).
+    pub cload: f64,
+    /// DC input common-mode voltage in volts.
+    pub input_dc: f64,
+}
+
+impl Default for OpAmpParams {
+    fn default() -> Self {
+        // Tuned so that the nominal unity-gain buffer mirrors the paper's
+        // example: unity-gain crossover in the low-MHz range, a stability-plot
+        // peak of roughly −29 near 3.2 MHz (ζ ≈ 0.19), about 20° of phase
+        // margin and ~55 % step overshoot. The second pole gm2/(2π·cload) is
+        // deliberately placed low (under-compensated), exactly the situation
+        // the paper diagnoses.
+        Self {
+            gm1: 130.0e-6,
+            r1: 10.0e6,
+            c1_parasitic: 90.0e-15,
+            gm2: 2.0e-3,
+            r2: 100.0e3,
+            c1: 2.3e-12,
+            rzero: 200.0,
+            cload: 250.0e-12,
+            input_dc: 1.5,
+        }
+    }
+}
+
+/// Node handles of the op-amp buffer circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpAmpNodes {
+    /// Non-inverting input node (driven by the source).
+    pub input: NodeId,
+    /// First-stage (high-impedance) internal node.
+    pub stage1: NodeId,
+    /// Output node (also the inverting input through the unity feedback).
+    pub output: NodeId,
+    /// Internal node between `rzero` and the Miller capacitor.
+    pub comp: NodeId,
+}
+
+/// Builds the behavioural two-stage op-amp connected as a unity-gain buffer.
+///
+/// The input source carries both a DC level and a small step (for transient
+/// overshoot measurements); its AC magnitude is zero so that stability probes
+/// injected by the analysis tool are the only AC stimulus.
+///
+/// ```
+/// use loopscope_circuits::{two_stage_buffer, OpAmpParams};
+/// let (circuit, nodes) = two_stage_buffer(&OpAmpParams::default());
+/// assert!(circuit.elements().len() >= 8);
+/// assert!(circuit.find_node("out") == Some(nodes.output));
+/// ```
+pub fn two_stage_buffer(params: &OpAmpParams) -> (Circuit, OpAmpNodes) {
+    let mut c = Circuit::new("two-stage op-amp buffer (2 MHz)");
+    let input = c.node("in");
+    let stage1 = c.node("stage1");
+    let output = c.node("out");
+    let comp = c.node("comp");
+
+    // Input step source: 10 mV step used by the transient-overshoot baseline.
+    c.add_vsource(
+        "Vin",
+        input,
+        Circuit::GROUND,
+        SourceSpec::step(params.input_dc, params.input_dc + 10.0e-3, 1.0e-6),
+    );
+
+    // Stage 1: differential pair macromodel. The differential input is
+    // (v_in − v_out) because the buffer ties the inverting input to the
+    // output. The stage is inverting (current is pulled out of the stage-1
+    // node for a positive differential input), and so is stage 2, making the
+    // overall forward path non-inverting and the feedback negative.
+    c.add_vccs("Ggm1", stage1, Circuit::GROUND, input, output, params.gm1);
+    c.add_resistor("R1", stage1, Circuit::GROUND, params.r1);
+    c.add_capacitor("Cpar1", stage1, Circuit::GROUND, params.c1_parasitic);
+
+    // Stage 2: inverting transconductor loaded by r2 ∥ cload.
+    c.add_vccs("Ggm2", output, Circuit::GROUND, stage1, Circuit::GROUND, params.gm2);
+    c.add_resistor("R2", output, Circuit::GROUND, params.r2);
+    c.add_capacitor("Cload", output, Circuit::GROUND, params.cload);
+
+    // Miller compensation: C1 in series with rzero from stage 1 to the output.
+    c.add_resistor("Rzero", stage1, comp, params.rzero.max(1.0e-3));
+    c.add_capacitor("C1", comp, output, params.c1);
+
+    (
+        c,
+        OpAmpNodes {
+            input,
+            stage1,
+            output,
+            comp,
+        },
+    )
+}
+
+/// Builds the same two-stage amplifier with the main loop **broken** for the
+/// traditional open-loop Bode analysis of the paper's Fig. 3: the inverting
+/// input is driven by an AC source instead of the output, while the DC
+/// operating point is preserved by biasing both inputs at the same level.
+///
+/// Returns the circuit and the node whose response is the open-loop gain.
+pub fn two_stage_open_loop(params: &OpAmpParams) -> (Circuit, OpAmpNodes) {
+    let mut c = Circuit::new("two-stage op-amp, loop broken for Bode analysis");
+    let input = c.node("in");
+    let fb = c.node("fb");
+    let stage1 = c.node("stage1");
+    let output = c.node("out");
+    let comp = c.node("comp");
+
+    // The AC perturbation enters through the non-inverting input so that the
+    // measured output is the open-loop gain A(s) with zero low-frequency
+    // phase; the feedback node is held at the same DC level but carries no
+    // AC signal (the loop is broken for small signals).
+    c.add_vsource(
+        "Vin",
+        input,
+        Circuit::GROUND,
+        SourceSpec::dc_ac(params.input_dc, 1.0, 0.0),
+    );
+    c.add_vsource("Vfb", fb, Circuit::GROUND, SourceSpec::dc(params.input_dc));
+
+    c.add_vccs("Ggm1", stage1, Circuit::GROUND, input, fb, params.gm1);
+    c.add_resistor("R1", stage1, Circuit::GROUND, params.r1);
+    c.add_capacitor("Cpar1", stage1, Circuit::GROUND, params.c1_parasitic);
+
+    c.add_vccs("Ggm2", output, Circuit::GROUND, stage1, Circuit::GROUND, params.gm2);
+    c.add_resistor("R2", output, Circuit::GROUND, params.r2);
+    c.add_capacitor("Cload", output, Circuit::GROUND, params.cload);
+
+    c.add_resistor("Rzero", stage1, comp, params.rzero.max(1.0e-3));
+    c.add_capacitor("C1", comp, output, params.c1);
+
+    (
+        c,
+        OpAmpNodes {
+            input,
+            stage1,
+            output,
+            comp,
+        },
+    )
+}
+
+/// Node handles of the transistor-level CMOS op-amp buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MosOpAmpNodes {
+    /// Non-inverting input.
+    pub input: NodeId,
+    /// Output node (tied back to the inverting gate).
+    pub output: NodeId,
+    /// First-stage output (drain of the input pair / mirror).
+    pub stage1: NodeId,
+    /// Tail node of the differential pair.
+    pub tail: NodeId,
+    /// Positive supply node.
+    pub vdd: NodeId,
+}
+
+/// Builds a transistor-level CMOS two-stage Miller op-amp in unity feedback.
+///
+/// The bias currents come from ideal current sources so that the circuit
+/// isolates the *amplifier* loops; combine with [`zero_tc_bias`] through
+/// [`opamp_with_bias`] to add realistic bias-circuit loops.
+pub fn mos_two_stage_buffer(params: &OpAmpParams) -> (Circuit, MosOpAmpNodes) {
+    let mut c = Circuit::new("CMOS two-stage op-amp buffer");
+    let vdd = c.node("vdd");
+    let input = c.node("in");
+    let output = c.node("out");
+    let stage1 = c.node("stage1");
+    let mirror = c.node("mirror");
+    let tail = c.node("tail");
+
+    let nmos = MosfetModel {
+        vto: 0.7,
+        kp: 100.0e-6,
+        lambda: 0.04,
+        cgs: 50.0e-15,
+        cgd: 10.0e-15,
+        cdb: 20.0e-15,
+    };
+    let pmos = MosfetModel {
+        vto: -0.7,
+        kp: 40.0e-6,
+        lambda: 0.05,
+        cgs: 60.0e-15,
+        cgd: 12.0e-15,
+        cdb: 25.0e-15,
+    };
+
+    c.add_vsource("VDD", vdd, Circuit::GROUND, SourceSpec::dc(3.3));
+    c.add_vsource(
+        "Vin",
+        input,
+        Circuit::GROUND,
+        SourceSpec::step(1.5, 1.51, 1.0e-6),
+    );
+
+    // Tail current source of the input pair (20 µA pulled from the tail node).
+    c.add_isource("Itail", tail, Circuit::GROUND, SourceSpec::dc(20.0e-6));
+
+    // NMOS differential pair. The mirror-side gate (M1) is the inverting
+    // input and is tied to the output; the stage-1-side gate (M2) is the
+    // non-inverting input driven by the source.
+    c.add_mosfet("M1", mirror, output, tail, MosfetPolarity::Nmos, 40.0e-6, 2.0e-6, nmos);
+    c.add_mosfet("M2", stage1, input, tail, MosfetPolarity::Nmos, 40.0e-6, 2.0e-6, nmos);
+
+    // PMOS mirror load.
+    c.add_mosfet("M3", mirror, mirror, vdd, MosfetPolarity::Pmos, 80.0e-6, 2.0e-6, pmos);
+    c.add_mosfet("M4", stage1, mirror, vdd, MosfetPolarity::Pmos, 80.0e-6, 2.0e-6, pmos);
+
+    // Second stage: PMOS common-source device driven from stage1, loaded by an
+    // ideal 200 µA sink.
+    c.add_mosfet("M6", output, stage1, vdd, MosfetPolarity::Pmos, 400.0e-6, 1.0e-6, pmos);
+    c.add_isource("Ibias2", output, Circuit::GROUND, SourceSpec::dc(200.0e-6));
+
+    // Compensation and load — the paper's three knobs.
+    let comp = c.node("comp");
+    c.add_resistor("Rzero", stage1, comp, params.rzero.max(1.0e-3));
+    c.add_capacitor("C1", comp, output, params.c1);
+    c.add_capacitor("Cload", output, Circuit::GROUND, params.cload);
+
+    (
+        c,
+        MosOpAmpNodes {
+            input,
+            output,
+            stage1,
+            tail,
+            vdd,
+        },
+    )
+}
+
+/// Combines the behavioural op-amp buffer with the zero-TC bias cell in one
+/// netlist so that an "All Nodes" stability scan sees both the ~MHz main loop
+/// and the tens-of-MHz local bias loop — the situation of the paper's Table 2.
+///
+/// Returns the circuit, the op-amp nodes and the bias-cell nodes.
+pub fn opamp_with_bias(
+    opamp: &OpAmpParams,
+    bias: &BiasParams,
+) -> (Circuit, OpAmpNodes, crate::bias::BiasNodes) {
+    let (mut c, nodes) = two_stage_buffer(opamp);
+    let bias_nodes = crate::bias::add_zero_tc_bias(&mut c, bias);
+    (c, nodes, bias_nodes)
+}
+
+/// Convenience wrapper returning the standalone bias circuit (paper Fig. 5).
+pub fn bias_only(params: &BiasParams) -> (Circuit, crate::bias::BiasNodes) {
+    zero_tc_bias(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_spice::ac::AcAnalysis;
+    use loopscope_spice::dc::solve_dc;
+    use loopscope_spice::measure::{bode_margins, unwrap_phase_deg};
+    use loopscope_math::FrequencyGrid;
+
+    #[test]
+    fn buffer_dc_follows_input() {
+        let (c, nodes) = two_stage_buffer(&OpAmpParams::default());
+        let op = solve_dc(&c).unwrap();
+        // High loop gain forces the output to track the 1.5 V input closely.
+        assert!((op.voltage(nodes.output) - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn open_loop_gain_and_crossover() {
+        let params = OpAmpParams::default();
+        let (c, nodes) = two_stage_open_loop(&params);
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(1.0, 100.0e6, 30);
+        let sweep = ac.sweep(&grid).unwrap();
+        let gain_db = sweep.magnitude_db(nodes.output);
+        // DC open-loop gain = gm1·r1·gm2·r2 = 0.5·10⁶ = 100 dB.
+        assert!(gain_db[0] > 95.0, "dc gain {} dB", gain_db[0]);
+        let phase = unwrap_phase_deg(&sweep.phase_deg(nodes.output));
+        let margins = bode_margins(grid.freqs(), &gain_db, &phase);
+        let fc = margins.gain_crossover_hz.unwrap();
+        assert!(fc > 1.0e6 && fc < 4.0e6, "crossover {fc}");
+        let pm = margins.phase_margin_deg.unwrap();
+        assert!(pm > 5.0 && pm < 45.0, "phase margin {pm}");
+    }
+
+    #[test]
+    fn mos_opamp_bias_point_is_sane() {
+        let (c, nodes) = mos_two_stage_buffer(&OpAmpParams::default());
+        let op = solve_dc(&c).unwrap();
+        let vout = op.voltage(nodes.output);
+        // The buffer output should sit within the rails, near the input level.
+        assert!(vout > 0.5 && vout < 3.0, "vout = {vout}");
+        let vtail = op.voltage(nodes.tail);
+        assert!(vtail > 0.2 && vtail < 1.4, "vtail = {vtail}");
+    }
+
+    #[test]
+    fn combined_circuit_validates() {
+        let (c, _, _) = opamp_with_bias(&OpAmpParams::default(), &BiasParams::default());
+        c.validate().unwrap();
+        assert!(c.node_count() > 8);
+        let op = solve_dc(&c).unwrap();
+        assert!(op.iterations() >= 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Traditional "black-box" stability baselines the paper compares against:
+//!
+//! * **transient step overshoot** (paper Fig. 2) — apply a small step to the
+//!   closed-loop circuit, measure the percent overshoot of the response and
+//!   map it back to an equivalent damping ratio;
+//! * **open-loop Bode gain/phase margins** (paper Fig. 3) — break the loop,
+//!   sweep the open-loop gain and read the crossover frequencies and margins.
+//!
+//! Both require either long simulations or circuit surgery (breaking the
+//! loop), which is exactly the pain point the stability-plot method avoids;
+//! they are retained here as the reference the new method is validated
+//! against in the benchmark harness.
+
+use crate::error::StabilityError;
+use loopscope_math::FrequencyGrid;
+use loopscope_netlist::{Circuit, NodeId};
+use loopscope_spice::ac::AcAnalysis;
+use loopscope_spice::dc::solve_dc;
+use loopscope_spice::measure::{bode_margins, overshoot_percent, settled_value, unwrap_phase_deg};
+use loopscope_spice::tran::{TransientAnalysis, TransientOptions};
+
+pub use loopscope_spice::measure::BodeMargins;
+
+/// Result of the transient-overshoot baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OvershootResult {
+    /// Measured percent overshoot of the step response.
+    pub percent_overshoot: f64,
+    /// Equivalent second-order damping ratio implied by the overshoot.
+    pub equivalent_damping: f64,
+    /// Initial (pre-step) settled value of the node, volts.
+    pub initial_value: f64,
+    /// Final settled value of the node, volts.
+    pub final_value: f64,
+}
+
+/// Runs the transient step-response baseline on `node`.
+///
+/// The circuit must already contain a step stimulus (see
+/// [`loopscope_netlist::SourceSpec::step`]); the function simulates
+/// `t_stop` seconds with step `dt`, measures the overshoot at `node` relative
+/// to its initial and settled values, and converts it to an equivalent
+/// damping ratio via the standard second-order relation.
+///
+/// # Errors
+///
+/// Returns [`StabilityError::Spice`] when the operating point or transient
+/// simulation fails.
+pub fn transient_overshoot(
+    circuit: &Circuit,
+    node: NodeId,
+    dt: f64,
+    t_stop: f64,
+) -> Result<OvershootResult, StabilityError> {
+    let op = solve_dc(circuit)?;
+    let tran = TransientAnalysis::new(circuit, TransientOptions::new(dt, t_stop))?;
+    let result = tran.run(&op)?;
+    let wave = result.waveform(node);
+    let initial = wave.first().copied().unwrap_or(0.0);
+    let final_value = settled_value(&wave, 0.05);
+    let percent = overshoot_percent(&wave, initial, final_value);
+    Ok(OvershootResult {
+        percent_overshoot: percent,
+        equivalent_damping: damping_from_overshoot(percent),
+        initial_value: initial,
+        final_value,
+    })
+}
+
+/// Converts a percent overshoot into the equivalent second-order damping
+/// ratio (the inverse of the overshoot column of the paper's Table 1).
+///
+/// Returns 1.0 for non-positive overshoot and 0.0 for overshoot ≥ 100 %.
+///
+/// ```
+/// let zeta = loopscope_core::baseline::damping_from_overshoot(52.7);
+/// assert!((zeta - 0.2).abs() < 0.005);
+/// ```
+pub fn damping_from_overshoot(percent: f64) -> f64 {
+    if percent <= 0.0 {
+        return 1.0;
+    }
+    if percent >= 100.0 {
+        return 0.0;
+    }
+    let ln_os = (percent / 100.0).ln();
+    let denom = (std::f64::consts::PI * std::f64::consts::PI + ln_os * ln_os).sqrt();
+    -ln_os / denom
+}
+
+/// Runs the open-loop Bode baseline: sweeps the circuit's own AC sources and
+/// extracts gain/phase margins from the response at `output`.
+///
+/// The circuit must already have its loop broken and an AC source applied
+/// (e.g. [`loopscope_circuits::opamp::two_stage_open_loop`]); this mirrors
+/// the manual effort the traditional flow requires.
+///
+/// # Errors
+///
+/// Returns [`StabilityError::Spice`] when the operating point or the AC sweep
+/// fails.
+pub fn open_loop_margins(
+    circuit: &Circuit,
+    output: NodeId,
+    grid: &FrequencyGrid,
+) -> Result<BodeMargins, StabilityError> {
+    let op = solve_dc(circuit)?;
+    let ac = AcAnalysis::new(circuit, &op)?;
+    let sweep = ac.sweep(grid)?;
+    let gain_db = sweep.magnitude_db(output);
+    let phase = unwrap_phase_deg(&sweep.phase_deg(output));
+    Ok(bode_margins(grid.freqs(), &gain_db, &phase))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_circuits::blocks::{series_rlc, series_rlc_damping};
+    use loopscope_circuits::opamp::{two_stage_open_loop, OpAmpParams};
+
+    #[test]
+    fn damping_overshoot_roundtrip() {
+        for zeta in [0.1, 0.2, 0.45, 0.7] {
+            let sys = loopscope_math::SecondOrder::from_damping(zeta, 1.0);
+            let back = damping_from_overshoot(sys.percent_overshoot());
+            assert!((back - zeta).abs() < 1e-6, "zeta {zeta} → {back}");
+        }
+        assert_eq!(damping_from_overshoot(0.0), 1.0);
+        assert_eq!(damping_from_overshoot(150.0), 0.0);
+    }
+
+    #[test]
+    fn rlc_step_overshoot_matches_theory() {
+        // ζ = 0.25 → 44.4 % overshoot.
+        let l: f64 = 1.0e-3;
+        let cap: f64 = 1.0e-9;
+        let r = 2.0 * 0.25 * (l / cap).sqrt();
+        let (circuit, out) = series_rlc(r, l, cap);
+        let zeta = series_rlc_damping(r, l, cap);
+        let expected = loopscope_math::SecondOrder::from_damping(zeta, 1.0).percent_overshoot();
+        let result = transient_overshoot(&circuit, out, 20.0e-9, 60.0e-6).unwrap();
+        assert!(
+            (result.percent_overshoot - expected).abs() < 2.5,
+            "overshoot {} vs {expected}",
+            result.percent_overshoot
+        );
+        assert!((result.equivalent_damping - zeta).abs() < 0.03);
+        assert!((result.final_value - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn open_loop_margins_of_opamp() {
+        let (circuit, nodes) = two_stage_open_loop(&OpAmpParams::default());
+        let grid = FrequencyGrid::log_decade(1.0, 100.0e6, 30);
+        let margins = open_loop_margins(&circuit, nodes.output, &grid).unwrap();
+        let fc = margins.gain_crossover_hz.expect("gain crossover exists");
+        assert!(fc > 1.0e6 && fc < 4.0e6, "crossover {fc}");
+        let pm = margins.phase_margin_deg.expect("phase margin exists");
+        assert!(pm > 5.0 && pm < 45.0, "phase margin {pm}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the stability analysis tool.
+
+use loopscope_netlist::NetlistError;
+use loopscope_spice::SpiceError;
+use std::fmt;
+
+/// Errors produced by the stability analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StabilityError {
+    /// The underlying circuit simulation failed.
+    Spice(SpiceError),
+    /// The circuit description itself is invalid.
+    Netlist(NetlistError),
+    /// The analysis was asked about a node that does not exist (or is ground).
+    UnknownNode(String),
+    /// The sweep options are inconsistent.
+    InvalidOptions(String),
+}
+
+impl fmt::Display for StabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StabilityError::Spice(e) => write!(f, "simulation failed: {e}"),
+            StabilityError::Netlist(e) => write!(f, "invalid circuit: {e}"),
+            StabilityError::UnknownNode(name) => write!(f, "unknown or unusable node `{name}`"),
+            StabilityError::InvalidOptions(reason) => {
+                write!(f, "invalid stability-analysis options: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StabilityError::Spice(e) => Some(e),
+            StabilityError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for StabilityError {
+    fn from(e: SpiceError) -> Self {
+        StabilityError::Spice(e)
+    }
+}
+
+impl From<NetlistError> for StabilityError {
+    fn from(e: NetlistError) -> Self {
+        StabilityError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = StabilityError::UnknownNode("x7".into());
+        assert!(e.to_string().contains("x7"));
+        assert!(e.source().is_none());
+
+        let s: StabilityError = SpiceError::InvalidOptions("dt".into()).into();
+        assert!(matches!(s, StabilityError::Spice(_)));
+        assert!(s.source().is_some());
+
+        let n: StabilityError = NetlistError::InvalidCircuit("no ground".into()).into();
+        assert!(n.to_string().contains("no ground"));
+
+        assert!(StabilityError::InvalidOptions("bad sweep".into())
+            .to_string()
+            .contains("bad sweep"));
+    }
+}

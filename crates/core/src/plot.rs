@@ -1,0 +1,250 @@
+//! The stability plot (paper Eq. 1.3) and its peak analysis.
+
+use loopscope_math::diff::log_log_curvature;
+use loopscope_math::peaks::{dominant_minimum, local_maxima, local_minima, Peak};
+
+/// A computed stability plot: the node's AC magnitude response and the
+/// normalized second derivative `P(ω) = d²ln|T|/d(lnω)²` evaluated on the
+/// same frequency grid.
+///
+/// Negative peaks mark complex pole pairs (potentially under-damped loops);
+/// positive peaks mark complex zeros, which do not directly threaten
+/// stability (paper §2, footnote 2) but are reported for completeness.
+///
+/// ```
+/// use loopscope_core::StabilityPlot;
+/// use loopscope_math::{logspace, SecondOrder};
+///
+/// // Magnitude response of an ideal second-order system with ζ = 0.25.
+/// let sys = SecondOrder::from_damping(0.25, 1.0e6);
+/// let freqs = logspace(1.0e3, 1.0e9, 1801);
+/// let mags: Vec<f64> = freqs.iter().map(|&f| sys.magnitude(f)).collect();
+/// let plot = StabilityPlot::from_magnitude(freqs, mags);
+/// let peak = plot.dominant_peak(-1.0).unwrap();
+/// // Peak depth −1/ζ² = −16 at the natural frequency.
+/// assert!((peak.y - (-16.0)).abs() < 0.3);
+/// assert!((peak.x - 1.0e6).abs() / 1.0e6 < 0.03);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityPlot {
+    freqs: Vec<f64>,
+    magnitude: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl StabilityPlot {
+    /// Computes the stability plot from a sampled magnitude response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series differ in length, contain fewer than three
+    /// samples, or contain non-positive frequencies/magnitudes (a physical
+    /// driving-point response to a nonzero probe is strictly positive).
+    pub fn from_magnitude(freqs: Vec<f64>, magnitude: Vec<f64>) -> Self {
+        assert_eq!(
+            freqs.len(),
+            magnitude.len(),
+            "frequency and magnitude series must match"
+        );
+        assert!(freqs.len() >= 3, "need at least three sweep points");
+        let values = log_log_curvature(&freqs, &magnitude);
+        Self {
+            freqs,
+            magnitude,
+            values,
+        }
+    }
+
+    /// The frequency grid in hertz.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// The underlying magnitude response `|T(jω)|`.
+    pub fn magnitude(&self) -> &[f64] {
+        &self.magnitude
+    }
+
+    /// The stability-plot values `P(ω)`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Returns `true` if the plot holds no samples (never the case for a
+    /// successfully constructed plot).
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// The dominant (deepest) negative peak below `threshold`, classified as
+    /// interior, end-of-range or plain min/max — the quantity reported per
+    /// node by the original tool.
+    pub fn dominant_peak(&self, threshold: f64) -> Option<Peak> {
+        dominant_minimum(&self.freqs, &self.values, threshold)
+    }
+
+    /// All interior negative peaks below `threshold` (one per detected
+    /// complex pole pair), ordered by frequency.
+    pub fn negative_peaks(&self, threshold: f64) -> Vec<Peak> {
+        local_minima(&self.freqs, &self.values, threshold)
+    }
+
+    /// All interior positive peaks above `-threshold` (complex zeros),
+    /// ordered by frequency.
+    pub fn positive_peaks(&self, threshold: f64) -> Vec<Peak> {
+        local_maxima(&self.freqs, &self.values, -threshold)
+    }
+
+    /// Renders the plot as simple tab-separated text (`freq\tmagnitude\tP`),
+    /// convenient for piping into external plotting tools.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("freq_hz\tmagnitude\tstability\n");
+        for i in 0..self.freqs.len() {
+            out.push_str(&format!(
+                "{:.6e}\t{:.6e}\t{:.6e}\n",
+                self.freqs[i], self.magnitude[i], self.values[i]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_math::peaks::PeakKind;
+    use loopscope_math::poly::RationalTf;
+    use loopscope_math::{logspace, Complex64, SecondOrder};
+
+    fn second_order_plot(zeta: f64, fn_hz: f64) -> StabilityPlot {
+        let sys = SecondOrder::from_damping(zeta, fn_hz);
+        let freqs = logspace(fn_hz / 1.0e3, fn_hz * 1.0e3, 2401);
+        let mags: Vec<f64> = freqs.iter().map(|&f| sys.magnitude(f)).collect();
+        StabilityPlot::from_magnitude(freqs, mags)
+    }
+
+    #[test]
+    fn peak_depth_equals_performance_index() {
+        for zeta in [0.1, 0.2, 0.3, 0.5] {
+            let plot = second_order_plot(zeta, 3.2e6);
+            let peak = plot.dominant_peak(-1.0).unwrap();
+            let expected = -1.0 / (zeta * zeta);
+            assert!(
+                (peak.y - expected).abs() < 0.02 * expected.abs(),
+                "zeta {zeta}: peak {} expected {expected}",
+                peak.y
+            );
+            assert_eq!(peak.kind, PeakKind::Interior);
+            assert!((peak.x - 3.2e6).abs() / 3.2e6 < 0.03);
+        }
+    }
+
+    #[test]
+    fn real_poles_produce_no_peaks() {
+        // Three real poles, well separated: the plot must stay above the
+        // ζ = 1 threshold (−1) everywhere except transition curvature, and
+        // produce no interior peak below the default threshold.
+        let tf = RationalTf::from_poles_zeros(
+            1.0e3,
+            &[
+                Complex64::new(-2.0 * std::f64::consts::PI * 1.0e3, 0.0),
+                Complex64::new(-2.0 * std::f64::consts::PI * 1.0e5, 0.0),
+                Complex64::new(-2.0 * std::f64::consts::PI * 1.0e7, 0.0),
+            ],
+            &[],
+        );
+        let freqs = logspace(1.0, 1.0e9, 1801);
+        let mags = tf.magnitude_series(&freqs);
+        let plot = StabilityPlot::from_magnitude(freqs, mags);
+        assert!(plot.negative_peaks(-1.0).is_empty());
+        // A single real pole contributes at most −0.5 of curvature.
+        let min = plot.values().iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min > -0.9, "min curvature {min}");
+    }
+
+    #[test]
+    fn complex_zero_produces_positive_peak() {
+        // A notch (complex zero pair) ahead of a real pole.
+        let wz = 2.0 * std::f64::consts::PI * 1.0e5;
+        let zeta_z = 0.2;
+        let tf = RationalTf::new_with_gain(
+            1.0,
+            vec![
+                Complex64::new(-2.0 * std::f64::consts::PI * 1.0e7, 0.0),
+                Complex64::new(-2.0 * std::f64::consts::PI * 1.0e7, 0.0),
+            ],
+            vec![
+                Complex64::new(-zeta_z * wz, wz * (1.0 - zeta_z * zeta_z).sqrt()),
+                Complex64::new(-zeta_z * wz, -wz * (1.0 - zeta_z * zeta_z).sqrt()),
+            ],
+        );
+        let freqs = logspace(1.0e2, 1.0e9, 2401);
+        let mags = tf.magnitude_series(&freqs);
+        let plot = StabilityPlot::from_magnitude(freqs, mags);
+        let pos = plot.positive_peaks(1.0);
+        assert!(!pos.is_empty());
+        let tallest = pos
+            .iter()
+            .max_by(|a, b| a.y.partial_cmp(&b.y).unwrap())
+            .unwrap();
+        assert!((tallest.x - 1.0e5).abs() / 1.0e5 < 0.05);
+        // Positive peak height mirrors the pole relation: +1/ζ².
+        assert!((tallest.y - 25.0).abs() < 1.0, "peak {}", tallest.y);
+        // The zero's negative side lobes are far shallower than its positive
+        // peak, so it is never mistaken for an under-damped pole of similar
+        // severity.
+        let deepest_negative = plot
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(deepest_negative.abs() < 0.5 * tallest.y);
+    }
+
+    #[test]
+    fn two_separated_loops_both_detected() {
+        // Product of two second-order responses at 3.2 MHz (ζ=0.2) and 50 MHz
+        // (ζ=0.45) — the paper's main loop plus a local bias loop.
+        let a = SecondOrder::from_damping(0.2, 3.2e6);
+        let b = SecondOrder::from_damping(0.45, 50.0e6);
+        let freqs = logspace(1.0e4, 1.0e10, 3001);
+        let mags: Vec<f64> = freqs
+            .iter()
+            .map(|&f| a.magnitude(f) * b.magnitude(f))
+            .collect();
+        let plot = StabilityPlot::from_magnitude(freqs, mags);
+        let peaks = plot.negative_peaks(-1.0);
+        assert_eq!(peaks.len(), 2, "peaks: {peaks:?}");
+        assert!((peaks[0].x - 3.2e6).abs() / 3.2e6 < 0.05);
+        assert!((peaks[0].y + 25.0).abs() < 1.5);
+        assert!((peaks[1].x - 50.0e6).abs() / 50.0e6 < 0.05);
+        assert!((peaks[1].y + 1.0 / (0.45 * 0.45)).abs() < 0.5);
+    }
+
+    #[test]
+    fn tsv_rendering() {
+        let plot = second_order_plot(0.5, 1.0e6);
+        let tsv = plot.to_tsv();
+        assert!(tsv.starts_with("freq_hz\tmagnitude\tstability\n"));
+        assert_eq!(tsv.lines().count(), plot.len() + 1);
+    }
+
+    #[test]
+    fn accessors_consistent() {
+        let plot = second_order_plot(0.3, 2.0e6);
+        assert_eq!(plot.freqs().len(), plot.values().len());
+        assert_eq!(plot.magnitude().len(), plot.len());
+        assert!(!plot.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn rejects_tiny_series() {
+        StabilityPlot::from_magnitude(vec![1.0, 2.0], vec![1.0, 1.0]);
+    }
+}

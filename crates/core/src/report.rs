@@ -1,0 +1,277 @@
+//! The "All Nodes" report: loop grouping, text rendering and schematic
+//! annotation (paper Table 2 and Fig. 5).
+
+use crate::result::NodeStabilityResult;
+use loopscope_math::peaks::PeakKind;
+
+/// A group of nodes whose stability peaks share (within tolerance) the same
+/// natural frequency — i.e. nodes that belong to the same feedback loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopGroup {
+    /// Representative natural frequency of the loop in hertz (mean of the
+    /// member peaks).
+    pub natural_freq_hz: f64,
+    /// Indices into [`AllNodesReport::entries`] of the member nodes.
+    pub members: Vec<usize>,
+    /// The deepest performance index among the members (most pessimistic
+    /// estimate of the loop's damping).
+    pub worst_performance_index: f64,
+}
+
+/// Result of an "All Nodes" stability scan.
+#[derive(Debug, Clone)]
+pub struct AllNodesReport {
+    entries: Vec<NodeStabilityResult>,
+    groups: Vec<LoopGroup>,
+}
+
+impl AllNodesReport {
+    /// Builds the report: clusters the per-node peaks into loops whose natural
+    /// frequencies agree within `group_tolerance` (relative).
+    pub fn new(entries: Vec<NodeStabilityResult>, group_tolerance: f64) -> Self {
+        // Collect (entry index, natural frequency, performance index) for
+        // nodes with a usable (non-min/max) peak.
+        let mut peaked: Vec<(usize, f64, f64)> = entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let p = e.peak?;
+                if p.kind == PeakKind::MinMax {
+                    None
+                } else {
+                    Some((i, p.x, p.y))
+                }
+            })
+            .collect();
+        peaked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite frequencies"));
+
+        let mut groups: Vec<LoopGroup> = Vec::new();
+        for (idx, freq, perf) in peaked {
+            match groups.last_mut() {
+                Some(group)
+                    if (freq - group.natural_freq_hz).abs()
+                        <= group_tolerance * group.natural_freq_hz =>
+                {
+                    let n = group.members.len() as f64;
+                    group.natural_freq_hz = (group.natural_freq_hz * n + freq) / (n + 1.0);
+                    group.worst_performance_index = group.worst_performance_index.min(perf);
+                    group.members.push(idx);
+                }
+                _ => groups.push(LoopGroup {
+                    natural_freq_hz: freq,
+                    members: vec![idx],
+                    worst_performance_index: perf,
+                }),
+            }
+        }
+
+        Self { entries, groups }
+    }
+
+    /// All per-node results, in circuit node order.
+    pub fn entries(&self) -> &[NodeStabilityResult] {
+        &self.entries
+    }
+
+    /// The detected loops, sorted by ascending natural frequency.
+    pub fn loops(&self) -> &[LoopGroup] {
+        &self.groups
+    }
+
+    /// The node with the deepest (most negative) stability peak — the
+    /// circuit's most oscillation-prone spot.
+    pub fn worst(&self) -> Option<&NodeStabilityResult> {
+        self.entries
+            .iter()
+            .filter(|e| e.peak.is_some() && !e.is_special_case())
+            .min_by(|a, b| {
+                a.peak
+                    .unwrap()
+                    .y
+                    .partial_cmp(&b.peak.unwrap().y)
+                    .expect("finite peaks")
+            })
+    }
+
+    /// Schematic-annotation data: `(node name, stability peak, natural
+    /// frequency in hertz)` for every node with a detected peak — the values
+    /// the original tool back-annotates onto the schematic (paper Fig. 5).
+    pub fn annotations(&self) -> Vec<(String, f64, f64)> {
+        self.entries
+            .iter()
+            .filter_map(|e| {
+                let peak = e.stability_peak()?;
+                let freq = e.natural_freq_hz()?;
+                if e.is_special_case() && e.estimate.is_none() {
+                    return None;
+                }
+                Some((e.node_name.clone(), peak, freq))
+            })
+            .collect()
+    }
+
+    /// Renders the report as text in the style of the paper's Table 2: nodes
+    /// grouped by loop, sorted by natural frequency, with special-case
+    /// notices (end-of-range, min/max) appended.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Stability Plot peak values for all circuit nodes, grouped by loop\n");
+        out.push_str("natural frequency (paper Table 2 format)\n");
+        out.push_str(&format!("{:<16} {:>16} {:>20}\n", "Node", "Stability Peak", "Natural Frequency, Hz"));
+
+        for group in &self.groups {
+            out.push_str(&format!(
+                "-- Loop at {} --\n",
+                format_frequency(group.natural_freq_hz)
+            ));
+            for &idx in &group.members {
+                let e = &self.entries[idx];
+                let peak = e.stability_peak().unwrap_or(f64::NAN);
+                let freq = e.natural_freq_hz().unwrap_or(f64::NAN);
+                out.push_str(&format!(
+                    "{:<16} {:>16.6} {:>20.3e}\n",
+                    e.node_name, peak, freq
+                ));
+            }
+        }
+
+        let quiet: Vec<&NodeStabilityResult> = self
+            .entries
+            .iter()
+            .filter(|e| e.peak.is_none() || e.peak.map(|p| p.kind) == Some(PeakKind::MinMax))
+            .collect();
+        if !quiet.is_empty() {
+            out.push_str("-- Nodes with no detected complex pole (well damped or min/max) --\n");
+            for e in quiet {
+                out.push_str(&format!("{:<16} (no loop detected)\n", e.node_name));
+            }
+        }
+
+        let special: Vec<&NodeStabilityResult> = self
+            .entries
+            .iter()
+            .filter(|e| e.peak.map(|p| p.kind) == Some(PeakKind::EndOfRange))
+            .collect();
+        if !special.is_empty() {
+            out.push_str("-- Notices --\n");
+            for e in special {
+                out.push_str(&format!(
+                    "{:<16} end-of-range peak: the loop's natural frequency may lie outside the swept range\n",
+                    e.node_name
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn format_frequency(freq_hz: f64) -> String {
+    if freq_hz >= 1.0e9 {
+        format!("{:.1} GHz", freq_hz / 1.0e9)
+    } else if freq_hz >= 1.0e6 {
+        format!("{:.1} MHz", freq_hz / 1.0e6)
+    } else if freq_hz >= 1.0e3 {
+        format!("{:.1} kHz", freq_hz / 1.0e3)
+    } else {
+        format!("{freq_hz:.1} Hz")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::StabilityPlot;
+    use loopscope_math::{logspace, SecondOrder};
+    use loopscope_netlist::NodeId;
+
+    fn entry(name: &str, idx: usize, zeta: f64, fn_hz: f64) -> NodeStabilityResult {
+        let sys = SecondOrder::from_damping(zeta, fn_hz);
+        let freqs = logspace(1.0e3, 1.0e9, 1801);
+        let mags: Vec<f64> = freqs.iter().map(|&f| sys.magnitude(f)).collect();
+        let plot = StabilityPlot::from_magnitude(freqs, mags);
+        NodeStabilityResult::from_plot(NodeId::from_index(idx), name, plot, -1.0)
+    }
+
+    fn quiet_entry(name: &str, idx: usize) -> NodeStabilityResult {
+        // A single real pole: no loop signature.
+        let freqs = logspace(1.0e3, 1.0e9, 1801);
+        let mags: Vec<f64> = freqs.iter().map(|&f| 1.0 / (1.0 + f / 1.0e5)).collect();
+        let plot = StabilityPlot::from_magnitude(freqs, mags);
+        NodeStabilityResult::from_plot(NodeId::from_index(idx), name, plot, -1.0)
+    }
+
+    fn sample_report() -> AllNodesReport {
+        let entries = vec![
+            entry("Output", 1, 0.2, 3.16e6),
+            entry("net052", 2, 0.2, 3.2e6),
+            entry("net136", 3, 0.21, 3.1e6),
+            entry("net81", 4, 0.42, 4.79e7),
+            entry("net056", 5, 0.45, 4.8e7),
+            quiet_entry("vdd", 6),
+        ];
+        AllNodesReport::new(entries, 0.2)
+    }
+
+    #[test]
+    fn groups_by_natural_frequency() {
+        let report = sample_report();
+        assert_eq!(report.loops().len(), 2);
+        let low = &report.loops()[0];
+        let high = &report.loops()[1];
+        assert!(low.natural_freq_hz < high.natural_freq_hz);
+        assert_eq!(low.members.len(), 3);
+        assert_eq!(high.members.len(), 2);
+        // The low-frequency loop is the least damped.
+        assert!(low.worst_performance_index < high.worst_performance_index);
+    }
+
+    #[test]
+    fn worst_node_is_main_loop_member() {
+        let report = sample_report();
+        let worst = report.worst().unwrap();
+        assert!(["Output", "net052", "net136"].contains(&worst.node_name.as_str()));
+    }
+
+    #[test]
+    fn text_report_structure() {
+        let report = sample_report();
+        let text = report.to_text();
+        assert!(text.contains("Loop at 3.2 MHz") || text.contains("Loop at 3.1 MHz"));
+        assert!(text.contains("Loop at 47.") || text.contains("Loop at 48."));
+        assert!(text.contains("Output"));
+        assert!(text.contains("no loop detected"));
+        // Sorted: the MHz loop section appears before the 47 MHz one.
+        let pos_main = text.find("Output").unwrap();
+        let pos_local = text.find("net81").unwrap();
+        assert!(pos_main < pos_local);
+    }
+
+    #[test]
+    fn annotations_cover_peaked_nodes() {
+        let report = sample_report();
+        let ann = report.annotations();
+        assert_eq!(ann.len(), 5);
+        let (name, peak, freq) = &ann[0];
+        assert_eq!(name, "Output");
+        assert!((*peak - 25.0).abs() < 1.0);
+        assert!((*freq - 3.16e6).abs() / 3.16e6 < 0.05);
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = AllNodesReport::new(Vec::new(), 0.2);
+        assert!(report.loops().is_empty());
+        assert!(report.worst().is_none());
+        assert!(report.annotations().is_empty());
+        assert!(report.to_text().contains("Stability Plot"));
+    }
+
+    #[test]
+    fn frequency_formatting() {
+        assert_eq!(format_frequency(3.2e6), "3.2 MHz");
+        assert_eq!(format_frequency(47.9e6), "47.9 MHz");
+        assert_eq!(format_frequency(1.5e3), "1.5 kHz");
+        assert_eq!(format_frequency(2.0e9), "2.0 GHz");
+        assert_eq!(format_frequency(12.0), "12.0 Hz");
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-node analysis results and loop estimates.
+
+use crate::plot::StabilityPlot;
+use loopscope_math::peaks::{Peak, PeakKind};
+use loopscope_math::SecondOrder;
+use loopscope_netlist::NodeId;
+
+/// Second-order loop characteristics recovered from a stability-plot peak —
+/// the per-loop quantities of the paper's Table 1 mapped through Eq. 1.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopEstimate {
+    /// The performance index `P(ω_n)` (the negative peak value).
+    pub performance_index: f64,
+    /// The loop's natural frequency in hertz (peak location).
+    pub natural_freq_hz: f64,
+    /// Damping ratio `ζ = √(−1/P)`.
+    pub damping_ratio: f64,
+    /// Estimated phase margin in degrees (`≈ 100·ζ`, as tabulated by the paper).
+    pub phase_margin_deg: f64,
+    /// Exact second-order phase margin in degrees.
+    pub phase_margin_exact_deg: f64,
+    /// Equivalent transient step overshoot in percent.
+    pub percent_overshoot: f64,
+    /// Maximum closed-loop magnitude `M_p`.
+    pub max_magnitude: f64,
+}
+
+impl LoopEstimate {
+    /// Builds the estimate from a (negative) stability-plot peak.
+    ///
+    /// Returns `None` when the peak value is not negative — no complex pole
+    /// pair, hence nothing to estimate.
+    pub fn from_peak(peak: &Peak) -> Option<Self> {
+        let sys = SecondOrder::from_performance_index(peak.y, peak.x.max(f64::MIN_POSITIVE))?;
+        Some(Self {
+            performance_index: peak.y,
+            natural_freq_hz: peak.x,
+            damping_ratio: sys.damping_ratio(),
+            phase_margin_deg: sys.phase_margin_approx_deg(),
+            phase_margin_exact_deg: sys.phase_margin_deg(),
+            percent_overshoot: sys.percent_overshoot(),
+            max_magnitude: sys.max_magnitude(),
+        })
+    }
+}
+
+/// The complete stability result for one circuit node.
+#[derive(Debug, Clone)]
+pub struct NodeStabilityResult {
+    /// The analysed node.
+    pub node: NodeId,
+    /// Human-readable node (net) name from the schematic/netlist.
+    pub node_name: String,
+    /// The stability plot computed at this node.
+    pub plot: StabilityPlot,
+    /// The dominant negative peak, if any point of the plot fell below the
+    /// detection threshold.
+    pub peak: Option<Peak>,
+    /// Second-order loop characteristics derived from the peak (absent when
+    /// no usable negative peak was found).
+    pub estimate: Option<LoopEstimate>,
+}
+
+impl NodeStabilityResult {
+    /// Builds a result from a plot by extracting the dominant peak and the
+    /// derived loop estimate.
+    pub fn from_plot(
+        node: NodeId,
+        node_name: impl Into<String>,
+        plot: StabilityPlot,
+        threshold: f64,
+    ) -> Self {
+        let peak = plot.dominant_peak(threshold);
+        let estimate = peak
+            .filter(|p| p.kind != PeakKind::MinMax)
+            .and_then(|p| LoopEstimate::from_peak(&p));
+        Self {
+            node,
+            node_name: node_name.into(),
+            plot,
+            peak,
+            estimate,
+        }
+    }
+
+    /// The stability-peak magnitude reported by the original tool: the
+    /// absolute value of the dominant negative peak (e.g. `28.88` for the
+    /// paper's output node), or `None` when no peak was found.
+    pub fn stability_peak(&self) -> Option<f64> {
+        self.peak.map(|p| -p.y)
+    }
+
+    /// The natural frequency (hertz) of the dominant loop seen from this node.
+    pub fn natural_freq_hz(&self) -> Option<f64> {
+        self.peak.map(|p| p.x)
+    }
+
+    /// Whether the peak is one of the "special cases" the tool flags:
+    /// end-of-range or plain min/max.
+    pub fn is_special_case(&self) -> bool {
+        matches!(
+            self.peak.map(|p| p.kind),
+            Some(PeakKind::EndOfRange) | Some(PeakKind::MinMax)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_math::{logspace, SecondOrder};
+
+    fn make_plot(zeta: f64, fn_hz: f64) -> StabilityPlot {
+        let sys = SecondOrder::from_damping(zeta, fn_hz);
+        let freqs = logspace(fn_hz / 1.0e3, fn_hz * 1.0e3, 1801);
+        let mags: Vec<f64> = freqs.iter().map(|&f| sys.magnitude(f)).collect();
+        StabilityPlot::from_magnitude(freqs, mags)
+    }
+
+    #[test]
+    fn estimate_recovers_damping_and_margin() {
+        let plot = make_plot(0.2, 3.16e6);
+        let result = NodeStabilityResult::from_plot(NodeId::from_index(1), "Output", plot, -1.0);
+        let est = result.estimate.unwrap();
+        assert!((est.damping_ratio - 0.2).abs() < 0.005);
+        assert!((est.phase_margin_deg - 20.0).abs() < 0.6);
+        assert!((est.percent_overshoot - 52.7).abs() < 1.5);
+        assert!((est.natural_freq_hz - 3.16e6).abs() / 3.16e6 < 0.03);
+        assert!(est.max_magnitude > 2.0);
+        assert!((result.stability_peak().unwrap() - 25.0).abs() < 1.0);
+        assert!(!result.is_special_case());
+    }
+
+    #[test]
+    fn paper_fig4_example_numbers() {
+        // The paper reads a peak of −28.9 at 3.16 MHz and quotes "slightly
+        // below 20 degrees" of phase margin and ~53 % overshoot.
+        let peak = Peak {
+            index: 0,
+            x: 3.16e6,
+            y: -28.9,
+            kind: PeakKind::Interior,
+        };
+        let est = LoopEstimate::from_peak(&peak).unwrap();
+        assert!(est.phase_margin_deg < 20.0 && est.phase_margin_deg > 15.0);
+        assert!(est.percent_overshoot > 50.0 && est.percent_overshoot < 60.0);
+        assert!((est.damping_ratio - 0.186).abs() < 0.003);
+    }
+
+    #[test]
+    fn positive_peak_yields_no_estimate() {
+        let peak = Peak {
+            index: 0,
+            x: 1.0e6,
+            y: 4.0,
+            kind: PeakKind::Interior,
+        };
+        assert!(LoopEstimate::from_peak(&peak).is_none());
+    }
+
+    #[test]
+    fn well_damped_node_has_no_estimate() {
+        // ζ = 0.9: the peak is above the default −1 threshold → no peak at all.
+        let plot = make_plot(0.9, 1.0e6);
+        let result = NodeStabilityResult::from_plot(NodeId::from_index(2), "n2", plot, -1.0);
+        assert!(result.peak.is_none() || result.estimate.is_some());
+        // With the more permissive threshold the peak appears and the damping
+        // is recovered.
+        let plot = make_plot(0.9, 1.0e6);
+        let result = NodeStabilityResult::from_plot(NodeId::from_index(2), "n2", plot, -0.5);
+        if let Some(est) = result.estimate {
+            assert!((est.damping_ratio - 0.9).abs() < 0.05);
+        }
+    }
+}

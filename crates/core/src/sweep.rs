@@ -1,0 +1,178 @@
+//! Corner and parameter sweeps (paper §4.2 "features in development").
+//!
+//! The original tool lists "in-tool corners setup" and "in-tool sweeps (TEMP
+//! etc.)" as features under development: run the same stability analysis over
+//! a set of circuit variants — process corners, temperatures, component
+//! spreads — and report how the loop characteristics move. This module
+//! implements that workflow on top of [`StabilityAnalyzer`]: the caller
+//! supplies labelled circuit variants (each already reflecting its corner:
+//! scaled model parameters, retuned component values, …) and gets back one
+//! [`SweepPoint`] per variant plus worst-case helpers.
+
+use crate::analysis::{StabilityAnalyzer, StabilityOptions};
+use crate::error::StabilityError;
+use crate::result::LoopEstimate;
+use loopscope_netlist::Circuit;
+
+/// The outcome of one sweep/corner point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Caller-supplied label of the variant (e.g. `"T=125C"`, `"cload=1nF"`).
+    pub label: String,
+    /// The probed node's loop estimate, or `None` when the node shows no
+    /// under-damped loop at this corner.
+    pub estimate: Option<LoopEstimate>,
+}
+
+/// Results of a corner/parameter sweep of a single node.
+#[derive(Debug, Clone)]
+pub struct NodeSweep {
+    /// Name of the probed node.
+    pub node_name: String,
+    /// One entry per analysed variant, in input order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl NodeSweep {
+    /// The corner with the least-damped loop (lowest damping ratio), if any
+    /// corner shows a loop at all.
+    pub fn worst_case(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.estimate.is_some())
+            .min_by(|a, b| {
+                let za = a.estimate.expect("filtered").damping_ratio;
+                let zb = b.estimate.expect("filtered").damping_ratio;
+                za.partial_cmp(&zb).expect("finite damping")
+            })
+    }
+
+    /// Returns `true` when every corner meets the given minimum phase margin
+    /// (corners with no detected loop trivially pass).
+    pub fn meets_phase_margin(&self, min_margin_deg: f64) -> bool {
+        self.points.iter().all(|p| {
+            p.estimate
+                .map_or(true, |e| e.phase_margin_exact_deg >= min_margin_deg)
+        })
+    }
+
+    /// Renders the sweep as a small text table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "corner sweep of node `{}`\n{:<20} {:>12} {:>14} {:>10} {:>12}\n",
+            self.node_name, "corner", "peak", "fn [Hz]", "ζ", "PM [deg]"
+        );
+        for p in &self.points {
+            match p.estimate {
+                Some(e) => out.push_str(&format!(
+                    "{:<20} {:>12.2} {:>14.4e} {:>10.3} {:>12.1}\n",
+                    p.label,
+                    e.performance_index,
+                    e.natural_freq_hz,
+                    e.damping_ratio,
+                    e.phase_margin_exact_deg
+                )),
+                None => out.push_str(&format!("{:<20} {:>12}\n", p.label, "(no loop)")),
+            }
+        }
+        out
+    }
+}
+
+/// Runs the single-node stability analysis on every labelled circuit variant.
+///
+/// Each variant is analysed independently (its own operating point, its own
+/// sweep), exactly as the original tool re-runs the simulation per corner.
+///
+/// # Errors
+///
+/// Returns the first [`StabilityError`] encountered; a corner whose circuit
+/// fails to converge aborts the sweep so the failure is not silently dropped.
+pub fn sweep_node<I>(
+    variants: I,
+    node_name: &str,
+    options: StabilityOptions,
+) -> Result<NodeSweep, StabilityError>
+where
+    I: IntoIterator<Item = (String, Circuit)>,
+{
+    let mut points = Vec::new();
+    for (label, circuit) in variants {
+        let analyzer = StabilityAnalyzer::new(circuit, options)?;
+        let result = analyzer.single_node_by_name(node_name)?;
+        points.push(SweepPoint {
+            label,
+            estimate: result.estimate,
+        });
+    }
+    Ok(NodeSweep {
+        node_name: node_name.to_string(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_circuits::{two_stage_buffer, OpAmpParams};
+
+    fn options() -> StabilityOptions {
+        StabilityOptions {
+            f_start: 1.0e3,
+            f_stop: 1.0e8,
+            points_per_decade: 60,
+            ..Default::default()
+        }
+    }
+
+    fn variants() -> Vec<(String, loopscope_netlist::Circuit)> {
+        // A load-capacitance sweep: heavier loads push the output pole down
+        // and reduce the phase margin.
+        [100.0e-12, 250.0e-12, 600.0e-12]
+            .into_iter()
+            .map(|cload| {
+                let params = OpAmpParams {
+                    cload,
+                    ..Default::default()
+                };
+                let (circuit, _) = two_stage_buffer(&params);
+                (format!("cload={:.0}pF", cload * 1.0e12), circuit)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cload_sweep_orders_damping() {
+        let sweep = sweep_node(variants(), "out", options()).unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        let zetas: Vec<f64> = sweep
+            .points
+            .iter()
+            .map(|p| p.estimate.map(|e| e.damping_ratio).unwrap_or(1.0))
+            .collect();
+        // Heavier load ⇒ less damping.
+        assert!(zetas[0] > zetas[1] && zetas[1] > zetas[2], "zetas {zetas:?}");
+        let worst = sweep.worst_case().unwrap();
+        assert_eq!(worst.label, "cload=600pF");
+        assert!(!sweep.meets_phase_margin(60.0));
+        assert!(sweep.meets_phase_margin(1.0));
+        let text = sweep.to_text();
+        assert!(text.contains("cload=100pF"));
+        assert!(text.contains("out"));
+    }
+
+    #[test]
+    fn sweep_propagates_failures() {
+        // An invalid circuit (floating node) must abort the sweep.
+        let mut bad = loopscope_netlist::Circuit::new("bad");
+        let a = bad.node("a");
+        let b = bad.node("b");
+        bad.add_resistor("R1", a, b, 1.0);
+        let result = sweep_node(
+            vec![("broken".to_string(), bad)],
+            "a",
+            options(),
+        );
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! Dense matrices with partial-pivot LU factorization.
+//!
+//! The SPICE engine in `loopscope-spice` uses the sparse solver from
+//! `loopscope-sparse` for circuit matrices, but a dense solver remains useful
+//! for small systems, for reference solutions in tests, and as a fallback.
+//! Both a real ([`DMatrix`]) and a complex ([`CMatrix`]) variant are provided.
+
+use crate::complex::Complex64;
+use std::fmt;
+
+/// Error produced when LU factorization fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is structurally or numerically singular; the field is the
+    /// pivot column where elimination broke down.
+    Singular(usize),
+    /// Dimension mismatch between the matrix and a right-hand side.
+    DimensionMismatch {
+        /// Number of rows expected by the matrix.
+        expected: usize,
+        /// Length of the supplied right-hand side.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LuError::Singular(col) => write!(f, "matrix is singular at pivot column {col}"),
+            LuError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// A dense, row-major real matrix.
+///
+/// ```
+/// use loopscope_math::DMatrix;
+/// let mut a = DMatrix::zeros(2, 2);
+/// a[(0, 0)] = 2.0; a[(0, 1)] = 1.0;
+/// a[(1, 0)] = 1.0; a[(1, 1)] = 3.0;
+/// let x = a.solve(&[5.0, 10.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// # Ok::<(), loopscope_math::LuError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "inconsistent row length");
+            for (j, v) in row.iter().enumerate() {
+                m[(i, j)] = *v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Solves `A·x = b` by partial-pivot Gaussian elimination on a copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError::Singular`] when a pivot is (near) zero and
+    /// [`LuError::DimensionMismatch`] when `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LuError> {
+        if b.len() != self.rows {
+            return Err(LuError::DimensionMismatch {
+                expected: self.rows,
+                got: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LuError::Singular(col));
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= a[i * n + j] * x[j];
+            }
+            x[i] = acc / a[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// A dense, row-major complex matrix with an LU solver.
+///
+/// ```
+/// use loopscope_math::{CMatrix, Complex64};
+/// let mut a = CMatrix::zeros(1, 1);
+/// a[(0, 0)] = Complex64::new(0.0, 2.0);
+/// let x = a.solve(&[Complex64::new(2.0, 0.0)])?;
+/// assert!((x[0] - Complex64::new(0.0, -1.0)).abs() < 1e-12);
+/// # Ok::<(), loopscope_math::LuError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![Complex64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for j in 0..self.cols {
+                acc += self[(i, j)] * x[j];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Solves `A·x = b` by partial-pivot Gaussian elimination on a copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LuError::Singular`] when a pivot is (near) zero and
+    /// [`LuError::DimensionMismatch`] when `b.len() != self.rows()`.
+    pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LuError> {
+        if b.len() != self.rows {
+            return Err(LuError::DimensionMismatch {
+                expected: self.rows,
+                got: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LuError::Singular(col));
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == Complex64::ZERO {
+                    continue;
+                }
+                for j in col..n {
+                    let update = factor * a[col * n + j];
+                    a[r * n + j] -= update;
+                }
+                let update = factor * x[col];
+                x[r] -= update;
+            }
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= a[i * n + j] * x[j];
+            }
+            x[i] = acc / a[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_solve_identity() {
+        let a = DMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn real_solve_requires_pivoting() {
+        // First pivot is zero without row swaps.
+        let a = DMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_solve_3x3() {
+        let a = DMatrix::from_rows(&[
+            vec![4.0, -2.0, 1.0],
+            vec![-2.0, 4.0, -2.0],
+            vec![1.0, -2.0, 4.0],
+        ]);
+        let x_true = vec![1.0, 2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(LuError::Singular(_))));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = DMatrix::identity(3);
+        assert!(matches!(
+            a.solve(&[1.0]),
+            Err(LuError::DimensionMismatch { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn complex_solve_roundtrip() {
+        let n = 5;
+        let mut a = CMatrix::zeros(n, n);
+        // Diagonally dominant complex matrix.
+        for i in 0..n {
+            for j in 0..n {
+                let v = Complex64::new((i as f64 - j as f64).sin(), (i * j) as f64 * 0.1);
+                a[(i, j)] = v;
+            }
+            a[(i, i)] = Complex64::new(10.0 + i as f64, 5.0);
+        }
+        let x_true: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn complex_identity() {
+        let a = CMatrix::identity(3);
+        let b = vec![
+            Complex64::new(1.0, 1.0),
+            Complex64::new(-2.0, 0.5),
+            Complex64::ZERO,
+        ];
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn lu_error_display() {
+        assert_eq!(
+            LuError::Singular(3).to_string(),
+            "matrix is singular at pivot column 3"
+        );
+        assert_eq!(
+            LuError::DimensionMismatch { expected: 2, got: 1 }.to_string(),
+            "dimension mismatch: expected 2, got 1"
+        );
+    }
+}

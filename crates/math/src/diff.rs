@@ -1,0 +1,213 @@
+//! Numerical differentiation on (possibly non-uniform) grids.
+//!
+//! The stability plot of Milev & Burt (Eq. 1.3) is a doubly normalized second
+//! derivative of the magnitude response with respect to frequency; written in
+//! logarithmic coordinates it is exactly
+//!
+//! `P(ω) = d² ln|T| / d(ln ω)²`
+//!
+//! i.e. the curvature of the Bode magnitude plot. This module provides the
+//! non-uniform-grid gradient used to evaluate that expression on the
+//! logarithmically spaced AC sweeps produced by the simulator.
+
+/// Computes the derivative `dy/dx` on a strictly increasing, possibly
+/// non-uniform grid using second-order accurate finite differences.
+///
+/// Interior points use the three-point non-uniform central difference;
+/// endpoints use one-sided three-point formulas, falling back to two-point
+/// differences when fewer than three samples are available.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`, if fewer than two samples are provided, or
+/// if `x` is not strictly increasing.
+///
+/// ```
+/// use loopscope_math::diff::gradient;
+/// let x: Vec<f64> = (0..50).map(|i| 0.1 * i as f64).collect();
+/// let y: Vec<f64> = x.iter().map(|&x| x * x).collect();
+/// let dy = gradient(&x, &y);
+/// // d(x²)/dx = 2x, exact for a quadratic with 2nd-order differences.
+/// for (xi, di) in x.iter().zip(&dy) {
+///     assert!((di - 2.0 * xi).abs() < 1e-9);
+/// }
+/// ```
+pub fn gradient(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "x and y must have the same length");
+    let n = x.len();
+    assert!(n >= 2, "need at least two samples to differentiate");
+    for w in x.windows(2) {
+        assert!(w[1] > w[0], "grid must be strictly increasing");
+    }
+
+    let mut d = vec![0.0; n];
+    if n == 2 {
+        let slope = (y[1] - y[0]) / (x[1] - x[0]);
+        d[0] = slope;
+        d[1] = slope;
+        return d;
+    }
+
+    // Interior: non-uniform central difference.
+    for i in 1..n - 1 {
+        let h1 = x[i] - x[i - 1];
+        let h2 = x[i + 1] - x[i];
+        d[i] = (h1 * h1 * y[i + 1] - h2 * h2 * y[i - 1] + (h2 * h2 - h1 * h1) * y[i])
+            / (h1 * h2 * (h1 + h2));
+    }
+
+    // Forward one-sided three-point at the left edge.
+    {
+        let h1 = x[1] - x[0];
+        let h2 = x[2] - x[1];
+        d[0] = -(2.0 * h1 + h2) / (h1 * (h1 + h2)) * y[0]
+            + (h1 + h2) / (h1 * h2) * y[1]
+            - h1 / (h2 * (h1 + h2)) * y[2];
+    }
+    // Backward one-sided three-point at the right edge.
+    {
+        let h1 = x[n - 2] - x[n - 3];
+        let h2 = x[n - 1] - x[n - 2];
+        d[n - 1] = h2 / (h1 * (h1 + h2)) * y[n - 3]
+            - (h1 + h2) / (h1 * h2) * y[n - 2]
+            + (h1 + 2.0 * h2) / (h2 * (h1 + h2)) * y[n - 1];
+    }
+    d
+}
+
+/// Computes `dy/d(ln x)` on a positive, strictly increasing grid.
+///
+/// This is the first normalized derivative used by the stability plot.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`gradient`], or if any `x` is not
+/// positive.
+pub fn log_gradient(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert!(
+        x.iter().all(|&v| v > 0.0),
+        "logarithmic gradient requires positive abscissae"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    gradient(&lx, y)
+}
+
+/// Computes the log-log curvature `d²(ln y)/d(ln x)²`.
+///
+/// This is exactly the stability-plot function of Eq. 1.3 when `y = |T(jω)|`
+/// and `x = ω`: for a second-order dominant pole pair the result has a
+/// negative peak of `−1/ζ²` at the natural frequency.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`gradient`], or if any `x` or `y`
+/// sample is not positive (the magnitude of a nodal response is positive for
+/// any physical circuit with nonzero stimulus).
+///
+/// ```
+/// use loopscope_math::{diff::log_log_curvature, logspace};
+/// // |T| for a 2nd-order system with ζ = 0.5, ωn = 1.
+/// let w = logspace(0.01, 100.0, 4001);
+/// let mag: Vec<f64> = w
+///     .iter()
+///     .map(|&w| 1.0 / (((1.0 - w * w).powi(2) + (2.0 * 0.5 * w).powi(2)).sqrt()))
+///     .collect();
+/// let p = log_log_curvature(&w, &mag);
+/// let min = p.iter().cloned().fold(f64::INFINITY, f64::min);
+/// // Performance index −1/ζ² = −4.
+/// assert!((min - (-4.0)).abs() < 0.05);
+/// ```
+pub fn log_log_curvature(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert!(
+        y.iter().all(|&v| v > 0.0),
+        "log-log curvature requires positive ordinate samples"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let first = gradient(&lx, &ly);
+    gradient(&lx, &first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logspace;
+
+    #[test]
+    fn gradient_of_linear_is_constant() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 0.3 + 1.0).collect();
+        let y: Vec<f64> = x.iter().map(|&x| 3.0 * x - 7.0).collect();
+        for d in gradient(&x, &y) {
+            assert!((d - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_two_points() {
+        let d = gradient(&[0.0, 2.0], &[1.0, 5.0]);
+        assert_eq!(d, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_nonuniform_quadratic_exact() {
+        // Quadratics are differentiated exactly by the 3-point formulas even
+        // on a non-uniform grid.
+        let x = vec![0.0, 0.1, 0.35, 0.7, 1.5, 2.0];
+        let y: Vec<f64> = x.iter().map(|&x| 2.0 * x * x - x + 1.0).collect();
+        let d = gradient(&x, &y);
+        for (xi, di) in x.iter().zip(&d) {
+            assert!((di - (4.0 * xi - 1.0)).abs() < 1e-12, "x={xi} d={di}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn gradient_rejects_unsorted() {
+        gradient(&[0.0, 1.0, 0.5], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn log_gradient_of_power_law() {
+        // y = x^k  ⇒ dy/dlnx = k·x^k
+        let x = logspace(1.0, 1e4, 2001);
+        let k = -2.0;
+        let y: Vec<f64> = x.iter().map(|&x| x.powf(k)).collect();
+        let d = log_gradient(&x, &y);
+        for (yi, di) in y.iter().zip(&d) {
+            assert!((di - k * yi).abs() < 1e-4 * yi.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn curvature_of_power_law_is_zero() {
+        // A pure power law is a straight line on a log-log plot: curvature 0.
+        // This is the paper's claim that real poles/zeros far from resonance
+        // are filtered out by the double differentiation.
+        let x = logspace(1e2, 1e8, 1201);
+        let y: Vec<f64> = x.iter().map(|&x| 3.0e4 / x).collect();
+        let p = log_log_curvature(&x, &y);
+        for v in &p {
+            assert!(v.abs() < 1e-6, "curvature {v} should vanish");
+        }
+    }
+
+    #[test]
+    fn curvature_peak_matches_performance_index() {
+        for zeta in [0.1, 0.2, 0.3, 0.5, 0.7] {
+            let w = logspace(0.001, 1000.0, 6001);
+            let mag: Vec<f64> = w
+                .iter()
+                .map(|&w| {
+                    1.0 / (((1.0 - w * w).powi(2) + (2.0 * zeta * w).powi(2)).sqrt())
+                })
+                .collect();
+            let p = log_log_curvature(&w, &mag);
+            let min = p.iter().cloned().fold(f64::INFINITY, f64::min);
+            let expected = -1.0 / (zeta * zeta);
+            assert!(
+                (min - expected).abs() < 0.02 * expected.abs(),
+                "zeta={zeta}: min={min} expected={expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Frequency grids.
+//!
+//! AC analysis and the stability plot are evaluated over a broad frequency
+//! range (the paper sweeps from audio frequencies to beyond 100 MHz), so a
+//! logarithmically spaced grid is the natural choice. [`FrequencyGrid`]
+//! couples a sweep specification with its realized sample points.
+
+use crate::Hertz;
+
+/// Returns `n` linearly spaced points between `start` and `stop` inclusive.
+///
+/// Returns an empty vector for `n == 0` and `[start]` for `n == 1`.
+///
+/// ```
+/// let v = loopscope_math::linspace(0.0, 1.0, 5);
+/// assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (stop - start) / (n - 1) as f64;
+            (0..n).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+/// Returns `n` logarithmically spaced points between `start` and `stop`
+/// inclusive (both must be positive).
+///
+/// # Panics
+///
+/// Panics if `start <= 0`, `stop <= 0`.
+///
+/// ```
+/// let v = loopscope_math::logspace(1.0, 100.0, 3);
+/// assert!((v[1] - 10.0).abs() < 1e-9);
+/// ```
+pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > 0.0, "logspace requires positive bounds");
+    linspace(start.log10(), stop.log10(), n)
+        .into_iter()
+        .map(|e| 10f64.powf(e))
+        .collect()
+}
+
+/// Sweep specification for an AC analysis, mirroring SPICE `.ac` syntax.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SweepKind {
+    /// Logarithmic sweep with the given number of points per decade.
+    Decade {
+        /// Number of frequency points per decade.
+        points_per_decade: usize,
+    },
+    /// Linear sweep with the given total number of points.
+    Linear {
+        /// Total number of frequency points.
+        points: usize,
+    },
+}
+
+/// A frequency grid: sweep bounds plus realized sample points in hertz.
+///
+/// ```
+/// use loopscope_math::FrequencyGrid;
+/// let grid = FrequencyGrid::log_decade(1e3, 1e9, 20);
+/// assert!(grid.len() > 100);
+/// assert!((grid.freqs()[0] - 1e3).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyGrid {
+    start: Hertz,
+    stop: Hertz,
+    kind: SweepKind,
+    freqs: Vec<Hertz>,
+}
+
+impl FrequencyGrid {
+    /// Creates a logarithmic grid with `points_per_decade` points per decade
+    /// between `start` and `stop` hertz (inclusive endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start <= 0`, `stop <= start` or `points_per_decade == 0`.
+    pub fn log_decade(start: Hertz, stop: Hertz, points_per_decade: usize) -> Self {
+        assert!(start > 0.0, "start frequency must be positive");
+        assert!(stop > start, "stop frequency must exceed start frequency");
+        assert!(points_per_decade > 0, "need at least one point per decade");
+        let decades = (stop / start).log10();
+        let n = ((decades * points_per_decade as f64).ceil() as usize).max(1) + 1;
+        Self {
+            start,
+            stop,
+            kind: SweepKind::Decade { points_per_decade },
+            freqs: logspace(start, stop, n),
+        }
+    }
+
+    /// Creates a linear grid with `points` samples between `start` and `stop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop <= start` or `points < 2`.
+    pub fn linear(start: Hertz, stop: Hertz, points: usize) -> Self {
+        assert!(stop > start, "stop frequency must exceed start frequency");
+        assert!(points >= 2, "need at least two points");
+        Self {
+            start,
+            stop,
+            kind: SweepKind::Linear { points },
+            freqs: linspace(start, stop, points),
+        }
+    }
+
+    /// Start frequency in hertz.
+    pub fn start(&self) -> Hertz {
+        self.start
+    }
+
+    /// Stop frequency in hertz.
+    pub fn stop(&self) -> Hertz {
+        self.stop
+    }
+
+    /// The sweep kind used to construct this grid.
+    pub fn kind(&self) -> SweepKind {
+        self.kind
+    }
+
+    /// The realized frequency samples in hertz, ascending.
+    pub fn freqs(&self) -> &[Hertz] {
+        &self.freqs
+    }
+
+    /// Number of frequency samples.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Returns `true` when the grid holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Iterates over the frequency samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Hertz> {
+        self.freqs.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FrequencyGrid {
+    type Item = &'a Hertz;
+    type IntoIter = std::slice::Iter<'a, Hertz>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.freqs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(-1.0, 1.0, 11);
+        assert_eq!(v.len(), 11);
+        assert!((v[0] + 1.0).abs() < 1e-15);
+        assert!((v[10] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linspace_degenerate() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(2.0, 5.0, 1), vec![2.0]);
+    }
+
+    #[test]
+    fn logspace_is_monotone_and_bounded() {
+        let v = logspace(1e3, 1e9, 61);
+        assert_eq!(v.len(), 61);
+        assert!((v[0] - 1e3).abs() / 1e3 < 1e-12);
+        assert!((v[60] - 1e9).abs() / 1e9 < 1e-12);
+        for w in v.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bounds")]
+    fn logspace_rejects_nonpositive() {
+        logspace(0.0, 10.0, 3);
+    }
+
+    #[test]
+    fn decade_grid_density() {
+        let grid = FrequencyGrid::log_decade(1e3, 1e6, 10);
+        // 3 decades at 10 points/decade → 31 points.
+        assert_eq!(grid.len(), 31);
+        assert_eq!(grid.kind(), SweepKind::Decade { points_per_decade: 10 });
+    }
+
+    #[test]
+    fn linear_grid() {
+        let grid = FrequencyGrid::linear(0.5, 10.5, 11);
+        assert_eq!(grid.len(), 11);
+        assert!((grid.freqs()[5] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_iteration() {
+        let grid = FrequencyGrid::log_decade(1.0, 10.0, 4);
+        let collected: Vec<f64> = grid.iter().copied().collect();
+        assert_eq!(collected, grid.freqs());
+        let by_ref: Vec<f64> = (&grid).into_iter().copied().collect();
+        assert_eq!(by_ref, collected);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop frequency must exceed")]
+    fn decade_grid_rejects_inverted_bounds() {
+        FrequencyGrid::log_decade(1e6, 1e3, 10);
+    }
+}

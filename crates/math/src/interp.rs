@@ -1,0 +1,166 @@
+//! Interpolation helpers.
+//!
+//! Used to refine peak locations on sampled stability plots and to locate
+//! gain/phase crossover frequencies on Bode plots (the traditional baseline
+//! the paper compares against).
+
+/// Linearly interpolates `y` at `x` on a strictly increasing grid `xs`.
+///
+/// Values outside the grid are clamped to the end samples.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length or are empty.
+///
+/// ```
+/// use loopscope_math::interp::lerp_at;
+/// let v = lerp_at(&[0.0, 1.0, 2.0], &[0.0, 10.0, 20.0], 1.5);
+/// assert!((v - 15.0).abs() < 1e-12);
+/// ```
+pub fn lerp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must match in length");
+    assert!(!xs.is_empty(), "cannot interpolate an empty series");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let idx = match xs.binary_search_by(|v| v.partial_cmp(&x).expect("non-finite abscissa")) {
+        Ok(i) => return ys[i],
+        Err(i) => i,
+    };
+    let (x0, x1) = (xs[idx - 1], xs[idx]);
+    let (y0, y1) = (ys[idx - 1], ys[idx]);
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// Finds the abscissa where the series `ys` crosses `target`, scanning from
+/// the left, and refines the location by linear interpolation between the
+/// bracketing samples. Returns `None` when no crossing exists.
+///
+/// This is used, for example, to find the 0 dB gain crossover and the −180°
+/// phase crossing of an open-loop Bode plot.
+///
+/// ```
+/// use loopscope_math::interp::first_crossing;
+/// let x = vec![0.0, 1.0, 2.0, 3.0];
+/// let y = vec![3.0, 2.0, 0.5, -1.0];
+/// let c = first_crossing(&x, &y, 1.0).unwrap();
+/// assert!((c - 1.6666666).abs() < 1e-6);
+/// ```
+pub fn first_crossing(xs: &[f64], ys: &[f64], target: f64) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must match in length");
+    for i in 1..xs.len() {
+        let (a, b) = (ys[i - 1] - target, ys[i] - target);
+        if a == 0.0 {
+            return Some(xs[i - 1]);
+        }
+        if a * b < 0.0 {
+            let frac = a / (a - b);
+            return Some(xs[i - 1] + frac * (xs[i] - xs[i - 1]));
+        }
+    }
+    if let Some(&last) = ys.last() {
+        if last == target {
+            return xs.last().copied();
+        }
+    }
+    None
+}
+
+/// Refines the location and value of an extremum by fitting a parabola
+/// through the sample at `idx` and its two neighbours.
+///
+/// `xs` is expected to be (locally) smooth; for logarithmic frequency grids
+/// pass the logarithm of the frequency to preserve symmetry. Returns
+/// `(x_refined, y_refined)`. Falls back to the raw sample when `idx` is at
+/// either end of the series or the curvature vanishes.
+///
+/// ```
+/// use loopscope_math::interp::parabolic_refine;
+/// // Samples of y = -(x-1.05)^2 around x=1; true peak at 1.05.
+/// let xs = [0.9, 1.0, 1.1];
+/// let ys: Vec<f64> = xs.iter().map(|&x| -(x - 1.05f64).powi(2)).collect();
+/// let (x, y) = parabolic_refine(&xs, &ys, 1);
+/// assert!((x - 1.05).abs() < 1e-12);
+/// assert!(y.abs() < 1e-12);
+/// ```
+pub fn parabolic_refine(xs: &[f64], ys: &[f64], idx: usize) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must match in length");
+    if idx == 0 || idx + 1 >= xs.len() {
+        return (xs[idx], ys[idx]);
+    }
+    let (x0, x1, x2) = (xs[idx - 1], xs[idx], xs[idx + 1]);
+    let (y0, y1, y2) = (ys[idx - 1], ys[idx], ys[idx + 1]);
+    // Fit y = a·x² + b·x + c through the three points via Lagrange form.
+    let denom0 = (x0 - x1) * (x0 - x2);
+    let denom1 = (x1 - x0) * (x1 - x2);
+    let denom2 = (x2 - x0) * (x2 - x1);
+    let a = y0 / denom0 + y1 / denom1 + y2 / denom2;
+    if a.abs() < 1e-300 {
+        return (x1, y1);
+    }
+    let b = -y0 * (x1 + x2) / denom0 - y1 * (x0 + x2) / denom1 - y2 * (x0 + x1) / denom2;
+    let c = y0 * x1 * x2 / denom0 + y1 * x0 * x2 / denom1 + y2 * x0 * x1 / denom2;
+    let xv = -b / (2.0 * a);
+    // Keep the refinement inside the bracketing interval.
+    if xv < x0 || xv > x2 {
+        return (x1, y1);
+    }
+    (xv, a * xv * xv + b * xv + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        let ys = [10.0, 20.0];
+        assert_eq!(lerp_at(&xs, &ys, 0.0), 10.0);
+        assert_eq!(lerp_at(&xs, &ys, 5.0), 20.0);
+    }
+
+    #[test]
+    fn lerp_hits_grid_points() {
+        let xs = [1.0, 2.0, 4.0];
+        let ys = [1.0, 4.0, 16.0];
+        assert_eq!(lerp_at(&xs, &ys, 2.0), 4.0);
+        assert!((lerp_at(&xs, &ys, 3.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_none_when_monotone_away() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert!(first_crossing(&xs, &ys, 0.0).is_none());
+    }
+
+    #[test]
+    fn crossing_at_exact_sample() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [2.0, 1.0, 0.0];
+        let c = first_crossing(&xs, &ys, 1.0).unwrap();
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn parabolic_refine_at_edges_is_identity() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [5.0, 4.0, 3.0];
+        assert_eq!(parabolic_refine(&xs, &ys, 0), (0.0, 5.0));
+        assert_eq!(parabolic_refine(&xs, &ys, 2), (2.0, 3.0));
+    }
+
+    #[test]
+    fn parabolic_refine_recovers_vertex_on_nonuniform_grid() {
+        let xs = [0.5, 1.0, 2.5];
+        let f = |x: f64| 3.0 - 2.0 * (x - 1.3).powi(2);
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        let (x, y) = parabolic_refine(&xs, &ys, 1);
+        assert!((x - 1.3).abs() < 1e-12);
+        assert!((y - 3.0).abs() < 1e-12);
+    }
+}

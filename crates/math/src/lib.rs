@@ -1,0 +1,114 @@
+//! Numerical foundations for the `loopscope` AC-stability analysis toolkit.
+//!
+//! This crate provides the low-level mathematics used throughout the
+//! workspace and deliberately avoids any external numerical dependencies:
+//!
+//! * [`Complex64`] — complex arithmetic for AC (frequency-domain) analysis.
+//! * [`DMatrix`] / [`CMatrix`] — small dense matrices with partial-pivot LU
+//!   solvers, used by tests and by the dense fallback paths of the simulator.
+//! * [`grid`] — linear and logarithmic frequency grids.
+//! * [`diff`] — numerical differentiation on non-uniform grids (the stability
+//!   plot of Milev & Burt is a doubly normalized second derivative of the
+//!   magnitude response, evaluated on a logarithmic frequency grid).
+//! * [`second_order`] — the analytic second-order-system relations that map a
+//!   damping ratio to percent overshoot, phase margin, resonant peak and the
+//!   paper's *performance index* `P(ω_n) = −1/ζ²` (paper Table 1 / Eq. 1.4).
+//! * [`peaks`] — peak detection and classification used to locate loop natural
+//!   frequencies on a stability plot.
+//! * [`interp`] — interpolation helpers.
+//! * [`poly`] — polynomial and rational (pole/zero) transfer-function
+//!   evaluation used to build synthetic reference responses in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use loopscope_math::second_order::SecondOrder;
+//!
+//! // A damping ratio of 0.2 corresponds to the paper's main-loop example:
+//! let sys = SecondOrder::from_damping(0.2, 1.0);
+//! assert!((sys.performance_index() - (-25.0)).abs() < 1e-9);
+//! assert!((sys.percent_overshoot() - 52.66).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod dense;
+pub mod diff;
+pub mod grid;
+pub mod interp;
+pub mod peaks;
+pub mod poly;
+pub mod second_order;
+
+pub use complex::Complex64;
+pub use dense::{CMatrix, DMatrix, LuError};
+pub use grid::{linspace, logspace, FrequencyGrid};
+pub use second_order::SecondOrder;
+
+/// Convenience alias for angular frequency in radians per second.
+pub type RadPerSec = f64;
+
+/// Convenience alias for frequency in hertz.
+pub type Hertz = f64;
+
+/// Two times pi, used to convert between Hz and rad/s.
+pub const TWO_PI: f64 = 2.0 * std::f64::consts::PI;
+
+/// Converts a frequency in hertz to angular frequency in radians per second.
+///
+/// ```
+/// let w = loopscope_math::hz_to_rad(1.0);
+/// assert!((w - 6.283185307179586).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn hz_to_rad(f: Hertz) -> RadPerSec {
+    TWO_PI * f
+}
+
+/// Converts an angular frequency in radians per second to hertz.
+///
+/// ```
+/// let f = loopscope_math::rad_to_hz(std::f64::consts::PI * 2.0);
+/// assert!((f - 1.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn rad_to_hz(w: RadPerSec) -> Hertz {
+    w / TWO_PI
+}
+
+/// Returns `true` when two floating point numbers agree to a relative
+/// tolerance `rel`, with an absolute floor `abs` used near zero.
+///
+/// ```
+/// assert!(loopscope_math::approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-12));
+/// assert!(!loopscope_math::approx_eq(1.0, 1.1, 1e-3, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= abs {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= rel * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hz_rad_roundtrip() {
+        for f in [1.0, 10.0, 2.0e6, 3.16e6, 5.0e7] {
+            assert!(approx_eq(rad_to_hz(hz_to_rad(f)), f, 1e-12, 0.0));
+        }
+    }
+
+    #[test]
+    fn approx_eq_absolute_floor() {
+        assert!(approx_eq(0.0, 1e-15, 1e-9, 1e-12));
+        assert!(!approx_eq(0.0, 1e-3, 1e-9, 1e-12));
+    }
+}

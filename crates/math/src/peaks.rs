@@ -1,0 +1,253 @@
+//! Peak detection and classification on sampled series.
+//!
+//! The "All Nodes" run mode of the original tool reports, for every circuit
+//! node, the most negative peak of the stability plot together with the
+//! frequency at which it occurs. It also flags two special cases that the
+//! paper mentions explicitly (§4.1 "Stability Peak's Special Cases
+//! Identification"): peaks that sit at the end of the swept frequency range
+//! ("end-of-range") and plots whose extremum is a plain minimum/maximum of a
+//! monotone curve rather than a genuine interior resonance ("min/max" type).
+
+use crate::interp::parabolic_refine;
+
+/// How a detected extremum relates to the sampled frequency range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeakKind {
+    /// A genuine interior local extremum, bracketed by samples on both sides.
+    Interior,
+    /// The extremum sits at the first or last sample of the sweep; the true
+    /// resonance may lie outside the analysed frequency range.
+    EndOfRange,
+    /// The series is monotone over the sweep; the reported value is simply the
+    /// global minimum/maximum and does not indicate a resonance.
+    MinMax,
+}
+
+impl std::fmt::Display for PeakKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeakKind::Interior => write!(f, "interior"),
+            PeakKind::EndOfRange => write!(f, "end-of-range"),
+            PeakKind::MinMax => write!(f, "min/max"),
+        }
+    }
+}
+
+/// A detected extremum of a sampled series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Index of the raw sample closest to the extremum.
+    pub index: usize,
+    /// Abscissa (e.g. frequency in hertz) of the refined extremum.
+    pub x: f64,
+    /// Ordinate (e.g. stability-plot value) of the refined extremum.
+    pub y: f64,
+    /// Classification of the extremum.
+    pub kind: PeakKind,
+}
+
+/// Finds all interior local minima of `ys`, refined by parabolic
+/// interpolation in `log10(x)` (appropriate for logarithmically swept data).
+///
+/// Only minima whose value is below `threshold` are reported; the stability
+/// plot of a complex pole is a *negative* peak, so a threshold of `-1.0`
+/// (corresponding to ζ = 1) rejects curvature noise from well-damped or real
+/// roots.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length or `xs` contains non-positive
+/// values.
+pub fn local_minima(xs: &[f64], ys: &[f64], threshold: f64) -> Vec<Peak> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must match in length");
+    assert!(xs.iter().all(|&x| x > 0.0), "abscissae must be positive");
+    let n = ys.len();
+    let mut peaks = Vec::new();
+    if n < 3 {
+        return peaks;
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.log10()).collect();
+    for i in 1..n - 1 {
+        if ys[i] < ys[i - 1] && ys[i] <= ys[i + 1] && ys[i] < threshold {
+            let (lx_ref, y_ref) = parabolic_refine(&lx, ys, i);
+            peaks.push(Peak {
+                index: i,
+                x: 10f64.powf(lx_ref),
+                y: y_ref,
+                kind: PeakKind::Interior,
+            });
+        }
+    }
+    peaks
+}
+
+/// Finds all interior local maxima of `ys` above `threshold`, refined by
+/// parabolic interpolation in `log10(x)`.
+///
+/// Positive peaks of the stability plot correspond to complex *zeros*
+/// (paper §2, footnote 2); they do not directly impair stability but are
+/// reported for completeness.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`local_minima`].
+pub fn local_maxima(xs: &[f64], ys: &[f64], threshold: f64) -> Vec<Peak> {
+    let negated: Vec<f64> = ys.iter().map(|v| -v).collect();
+    local_minima(xs, &negated, -threshold)
+        .into_iter()
+        .map(|p| Peak { y: -p.y, ..p })
+        .collect()
+}
+
+/// Finds the dominant (most negative) stability peak of a series, classifying
+/// end-of-range and monotone ("min/max") special cases.
+///
+/// * If an interior local minimum below `threshold` exists, the deepest one is
+///   returned with kind [`PeakKind::Interior`].
+/// * Otherwise, if the global minimum sits at either end of the sweep and is
+///   below `threshold`, it is returned with kind [`PeakKind::EndOfRange`].
+/// * Otherwise the global minimum is returned with kind [`PeakKind::MinMax`];
+///   callers typically treat such nodes as "no complex pole detected".
+///
+/// Returns `None` for series with fewer than three samples.
+///
+/// ```
+/// use loopscope_math::peaks::{dominant_minimum, PeakKind};
+/// use loopscope_math::logspace;
+/// let x = logspace(0.01, 100.0, 2001);
+/// // Synthetic stability plot: a dip of −25 at x ≈ 1.
+/// let y: Vec<f64> = x.iter().map(|&x| {
+///     let l = x.ln();
+///     -25.0 * (-l * l / 0.02).exp()
+/// }).collect();
+/// let p = dominant_minimum(&x, &y, -1.0).unwrap();
+/// assert_eq!(p.kind, PeakKind::Interior);
+/// assert!((p.x - 1.0).abs() < 0.05);
+/// assert!((p.y + 25.0).abs() < 0.5);
+/// ```
+pub fn dominant_minimum(xs: &[f64], ys: &[f64], threshold: f64) -> Option<Peak> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must match in length");
+    if ys.len() < 3 {
+        return None;
+    }
+    let interior = local_minima(xs, ys, threshold);
+    if let Some(best) = interior
+        .into_iter()
+        .min_by(|a, b| a.y.partial_cmp(&b.y).expect("non-finite peak value"))
+    {
+        return Some(best);
+    }
+    // No interior peak: inspect the global minimum.
+    let (idx, &val) = ys
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("non-finite sample"))?;
+    let kind = if (idx == 0 || idx == ys.len() - 1) && val < threshold {
+        PeakKind::EndOfRange
+    } else {
+        PeakKind::MinMax
+    };
+    Some(Peak {
+        index: idx,
+        x: xs[idx],
+        y: val,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logspace;
+
+    fn dip(xs: &[f64], center: f64, depth: f64, width: f64) -> Vec<f64> {
+        xs.iter()
+            .map(|&x| {
+                let l = (x / center).ln();
+                -depth * (-l * l / width).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_single_interior_minimum() {
+        let xs = logspace(1e3, 1e9, 1201);
+        let ys = dip(&xs, 3.2e6, 29.0, 0.05);
+        let peaks = local_minima(&xs, &ys, -1.0);
+        assert_eq!(peaks.len(), 1);
+        let p = peaks[0];
+        assert!((p.x - 3.2e6).abs() / 3.2e6 < 0.02);
+        assert!((p.y + 29.0).abs() < 0.3);
+        assert_eq!(p.kind, PeakKind::Interior);
+    }
+
+    #[test]
+    fn finds_multiple_minima() {
+        let xs = logspace(1e3, 1e9, 2401);
+        let a = dip(&xs, 3.2e6, 29.0, 0.05);
+        let b = dip(&xs, 5.0e7, 5.0, 0.05);
+        let ys: Vec<f64> = a.iter().zip(&b).map(|(u, v)| u + v).collect();
+        let peaks = local_minima(&xs, &ys, -1.0);
+        assert_eq!(peaks.len(), 2);
+        assert!(peaks.iter().any(|p| (p.x - 3.2e6).abs() / 3.2e6 < 0.05));
+        assert!(peaks.iter().any(|p| (p.x - 5.0e7).abs() / 5.0e7 < 0.05));
+    }
+
+    #[test]
+    fn threshold_rejects_shallow_dips() {
+        let xs = logspace(1e3, 1e9, 1201);
+        let ys = dip(&xs, 1e6, 0.5, 0.05);
+        assert!(local_minima(&xs, &ys, -1.0).is_empty());
+        assert_eq!(local_minima(&xs, &ys, -0.1).len(), 1);
+    }
+
+    #[test]
+    fn maxima_mirror_minima() {
+        let xs = logspace(1e3, 1e9, 1201);
+        let ys: Vec<f64> = dip(&xs, 1e6, 10.0, 0.05).iter().map(|v| -v).collect();
+        let peaks = local_maxima(&xs, &ys, 1.0);
+        assert_eq!(peaks.len(), 1);
+        assert!((peaks[0].y - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn dominant_picks_deepest() {
+        let xs = logspace(1e3, 1e9, 2401);
+        let a = dip(&xs, 3.2e6, 29.0, 0.05);
+        let b = dip(&xs, 5.0e7, 5.0, 0.05);
+        let ys: Vec<f64> = a.iter().zip(&b).map(|(u, v)| u + v).collect();
+        let p = dominant_minimum(&xs, &ys, -1.0).unwrap();
+        assert!((p.x - 3.2e6).abs() / 3.2e6 < 0.05);
+    }
+
+    #[test]
+    fn end_of_range_detected() {
+        let xs = logspace(1e3, 1e6, 601);
+        // Monotone decreasing toward the right edge, dipping below threshold.
+        let ys: Vec<f64> = xs.iter().map(|&x| -(x / 1e6) * 20.0).collect();
+        let p = dominant_minimum(&xs, &ys, -1.0).unwrap();
+        assert_eq!(p.kind, PeakKind::EndOfRange);
+        assert_eq!(p.index, xs.len() - 1);
+    }
+
+    #[test]
+    fn minmax_when_flat() {
+        let xs = logspace(1e3, 1e6, 601);
+        let ys: Vec<f64> = xs.iter().map(|&x| -1e-3 * (x / 1e6)).collect();
+        let p = dominant_minimum(&xs, &ys, -1.0).unwrap();
+        assert_eq!(p.kind, PeakKind::MinMax);
+    }
+
+    #[test]
+    fn too_short_series() {
+        assert!(dominant_minimum(&[1.0, 2.0], &[0.0, -5.0], -1.0).is_none());
+        assert!(local_minima(&[1.0, 2.0], &[0.0, -5.0], -1.0).is_empty());
+    }
+
+    #[test]
+    fn peak_kind_display() {
+        assert_eq!(PeakKind::Interior.to_string(), "interior");
+        assert_eq!(PeakKind::EndOfRange.to_string(), "end-of-range");
+        assert_eq!(PeakKind::MinMax.to_string(), "min/max");
+    }
+}

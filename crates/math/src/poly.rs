@@ -1,0 +1,287 @@
+//! Polynomials and rational (pole/zero) transfer functions.
+//!
+//! These are used to build *synthetic* frequency responses with exactly known
+//! pole/zero locations — the ground truth against which the stability-plot
+//! post-processing is validated — and to model ideal blocks in example
+//! circuits and ablation studies.
+
+use crate::complex::Complex64;
+
+/// A polynomial with real coefficients, stored lowest-degree first.
+///
+/// ```
+/// use loopscope_math::poly::Polynomial;
+/// use loopscope_math::Complex64;
+/// // p(s) = 1 + 2s + s²
+/// let p = Polynomial::new(vec![1.0, 2.0, 1.0]);
+/// let v = p.eval(Complex64::new(0.0, 1.0)); // s = j
+/// assert!((v - Complex64::new(0.0, 2.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients ordered lowest degree first.
+    /// Trailing zero coefficients are trimmed; the zero polynomial keeps a
+    /// single zero coefficient.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Self { coeffs }
+    }
+
+    /// The coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the polynomial at a complex point using Horner's rule.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * s + c;
+        }
+        acc
+    }
+
+    /// Evaluates the polynomial at a real point.
+    pub fn eval_real(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Builds the monic polynomial whose roots are the given complex values.
+    /// Roots must come in conjugate pairs (or be real) for the result to have
+    /// real coefficients; the imaginary residue is dropped.
+    pub fn from_roots(roots: &[Complex64]) -> Self {
+        let mut acc = vec![Complex64::ONE];
+        for &r in roots {
+            let mut next = vec![Complex64::ZERO; acc.len() + 1];
+            for (i, &c) in acc.iter().enumerate() {
+                next[i] -= c * r;
+                next[i + 1] += c;
+            }
+            acc = next;
+        }
+        Self::new(acc.into_iter().map(|c| c.re).collect())
+    }
+}
+
+/// A rational transfer function described by gain, zeros and poles:
+/// `H(s) = k · Π(s − z_i) / Π(s − p_j)`.
+///
+/// ```
+/// use loopscope_math::poly::RationalTf;
+/// use loopscope_math::Complex64;
+/// // A single real pole at −1 rad/s with unity DC gain.
+/// let h = RationalTf::from_poles_zeros(1.0, &[Complex64::new(-1.0, 0.0)], &[]);
+/// let mag_dc = h.magnitude_at_radians(0.0);
+/// assert!((mag_dc - 1.0).abs() < 1e-12);
+/// let mag_corner = h.magnitude_at_radians(1.0);
+/// assert!((mag_corner - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RationalTf {
+    gain: f64,
+    zeros: Vec<Complex64>,
+    poles: Vec<Complex64>,
+}
+
+impl RationalTf {
+    /// Creates a transfer function from a DC gain, pole list and zero list.
+    ///
+    /// The `dc_gain` is the value of `|H(0)|` (assuming no poles or zeros at
+    /// the origin); the internal scale factor is adjusted accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pole or zero lies exactly at the origin (use
+    /// [`RationalTf::new_with_gain`] for integrators/differentiators).
+    pub fn from_poles_zeros(dc_gain: f64, poles: &[Complex64], zeros: &[Complex64]) -> Self {
+        assert!(
+            poles.iter().chain(zeros.iter()).all(|c| c.abs() > 0.0),
+            "poles/zeros at the origin are not supported by from_poles_zeros"
+        );
+        let mut k = dc_gain;
+        for p in poles {
+            k *= p.abs();
+        }
+        for z in zeros {
+            k /= z.abs();
+        }
+        // Sign bookkeeping: H(0) = k · Π(−z)/Π(−p); we computed magnitude only,
+        // fix the sign so that H(0).re matches dc_gain's sign.
+        let mut tf = Self {
+            gain: k,
+            zeros: zeros.to_vec(),
+            poles: poles.to_vec(),
+        };
+        let h0 = tf.eval(Complex64::ZERO).re;
+        if (h0 < 0.0) != (dc_gain < 0.0) && h0 != 0.0 {
+            tf.gain = -tf.gain;
+        }
+        tf
+    }
+
+    /// Creates a transfer function directly from the multiplicative gain `k`,
+    /// poles and zeros (no DC normalization).
+    pub fn new_with_gain(gain: f64, poles: Vec<Complex64>, zeros: Vec<Complex64>) -> Self {
+        Self { gain, zeros, poles }
+    }
+
+    /// Creates the canonical second-order low-pass
+    /// `ω_n² / (s² + 2ζω_n s + ω_n²)` from a damping ratio and natural
+    /// frequency in hertz.
+    pub fn second_order_lowpass(zeta: f64, natural_freq_hz: f64) -> Self {
+        let wn = crate::hz_to_rad(natural_freq_hz);
+        let (p1, p2) = if zeta < 1.0 {
+            let re = -zeta * wn;
+            let im = wn * (1.0 - zeta * zeta).sqrt();
+            (Complex64::new(re, im), Complex64::new(re, -im))
+        } else {
+            let a = -wn * (zeta - (zeta * zeta - 1.0).sqrt());
+            let b = -wn * (zeta + (zeta * zeta - 1.0).sqrt());
+            (Complex64::new(a, 0.0), Complex64::new(b, 0.0))
+        };
+        Self::new_with_gain(wn * wn, vec![p1, p2], Vec::new())
+    }
+
+    /// The multiplicative gain `k`.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The zeros of the transfer function.
+    pub fn zeros(&self) -> &[Complex64] {
+        &self.zeros
+    }
+
+    /// The poles of the transfer function.
+    pub fn poles(&self) -> &[Complex64] {
+        &self.poles
+    }
+
+    /// Evaluates `H(s)` at an arbitrary complex frequency.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        let mut num = Complex64::from_real(self.gain);
+        for &z in &self.zeros {
+            num *= s - z;
+        }
+        let mut den = Complex64::ONE;
+        for &p in &self.poles {
+            den *= s - p;
+        }
+        num / den
+    }
+
+    /// Evaluates `H(jω)` for `ω` in radians per second.
+    pub fn eval_at_radians(&self, w: f64) -> Complex64 {
+        self.eval(Complex64::new(0.0, w))
+    }
+
+    /// Magnitude `|H(jω)|` for `ω` in radians per second.
+    pub fn magnitude_at_radians(&self, w: f64) -> f64 {
+        self.eval_at_radians(w).abs()
+    }
+
+    /// Magnitude `|H(j2πf)|` for `f` in hertz.
+    pub fn magnitude_at_hz(&self, f: f64) -> f64 {
+        self.magnitude_at_radians(crate::hz_to_rad(f))
+    }
+
+    /// Samples the magnitude response on a frequency grid given in hertz.
+    pub fn magnitude_series(&self, freqs_hz: &[f64]) -> Vec<f64> {
+        freqs_hz.iter().map(|&f| self.magnitude_at_hz(f)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_trims_and_degree() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        assert_eq!(p.degree(), 1);
+        let z = Polynomial::new(vec![]);
+        assert_eq!(z.coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn polynomial_eval_matches_real() {
+        let p = Polynomial::new(vec![-3.0, 0.0, 2.0]); // 2x² − 3
+        assert_eq!(p.eval_real(2.0), 5.0);
+        let v = p.eval(Complex64::from_real(2.0));
+        assert!((v.re - 5.0).abs() < 1e-12 && v.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_roots_builds_expected_quadratic() {
+        // Roots −1 ± 2j → s² + 2s + 5.
+        let roots = [Complex64::new(-1.0, 2.0), Complex64::new(-1.0, -2.0)];
+        let p = Polynomial::from_roots(&roots);
+        assert_eq!(p.degree(), 2);
+        let c = p.coeffs();
+        assert!((c[0] - 5.0).abs() < 1e-12);
+        assert!((c[1] - 2.0).abs() < 1e-12);
+        assert!((c[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_order_lowpass_matches_analytic_magnitude() {
+        let zeta = 0.3;
+        let fn_hz = 1.0e6;
+        let tf = RationalTf::second_order_lowpass(zeta, fn_hz);
+        let sys = crate::SecondOrder::from_damping(zeta, fn_hz);
+        for f in [1e3, 1e5, 5e5, 1e6, 2e6, 1e7] {
+            let a = tf.magnitude_at_hz(f);
+            let b = sys.magnitude(f);
+            assert!((a - b).abs() < 1e-9 * b.max(1.0), "f={f}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dc_gain_normalization() {
+        let poles = [Complex64::new(-100.0, 0.0), Complex64::new(-1e5, 0.0)];
+        let zeros = [Complex64::new(-1e4, 0.0)];
+        let tf = RationalTf::from_poles_zeros(42.0, &poles, &zeros);
+        assert!((tf.eval(Complex64::ZERO).abs() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overdamped_lowpass_has_real_poles() {
+        let tf = RationalTf::second_order_lowpass(2.0, 1.0e3);
+        assert!(tf.poles().iter().all(|p| p.im == 0.0 && p.re < 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn from_poles_zeros_rejects_origin() {
+        RationalTf::from_poles_zeros(1.0, &[Complex64::ZERO], &[]);
+    }
+
+    #[test]
+    fn magnitude_series_matches_pointwise() {
+        let tf = RationalTf::second_order_lowpass(0.5, 2.0e6);
+        let freqs = crate::logspace(1e3, 1e8, 51);
+        let series = tf.magnitude_series(&freqs);
+        for (f, m) in freqs.iter().zip(&series) {
+            assert_eq!(*m, tf.magnitude_at_hz(*f));
+        }
+    }
+}

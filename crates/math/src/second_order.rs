@@ -1,0 +1,412 @@
+//! Second-order (dominant-root) system theory.
+//!
+//! The methodology assumes that near an oscillation-prone frequency the
+//! circuit response is adequately described by the canonical second-order
+//! transfer function (paper Eq. 1.1):
+//!
+//! `T(s) = 1 / (s² + 2ζ·s + 1)`  (normalized to ω_n = 1)
+//!
+//! All of the quantities in the paper's Table 1 — percent overshoot, phase
+//! margin, maximum closed-loop magnitude and the *performance index*
+//! `P(ω_n) = −1/ζ²` — are analytic functions of the damping ratio ζ and are
+//! implemented here.
+
+use crate::complex::Complex64;
+
+/// A canonical second-order system described by damping ratio and natural
+/// frequency.
+///
+/// ```
+/// use loopscope_math::SecondOrder;
+/// let sys = SecondOrder::from_damping(0.5, 2.0e6);
+/// assert!((sys.percent_overshoot() - 16.3).abs() < 0.1);
+/// assert!((sys.performance_index() + 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondOrder {
+    zeta: f64,
+    natural_freq_hz: f64,
+}
+
+impl SecondOrder {
+    /// Creates a system from a damping ratio `zeta >= 0` and natural frequency
+    /// in hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zeta` is negative or not finite, or if the natural frequency
+    /// is not positive.
+    pub fn from_damping(zeta: f64, natural_freq_hz: f64) -> Self {
+        assert!(zeta.is_finite() && zeta >= 0.0, "damping ratio must be >= 0");
+        assert!(
+            natural_freq_hz.is_finite() && natural_freq_hz > 0.0,
+            "natural frequency must be positive"
+        );
+        Self { zeta, natural_freq_hz }
+    }
+
+    /// Recovers a system from a measured stability-plot peak (performance
+    /// index, a negative number) and the frequency at which it occurred.
+    ///
+    /// Implements the inverse of Eq. 1.4: `ζ = sqrt(−1/P)`.
+    ///
+    /// Returns `None` when the index is not negative (no complex pole pair).
+    ///
+    /// ```
+    /// use loopscope_math::SecondOrder;
+    /// let sys = SecondOrder::from_performance_index(-25.0, 3.16e6).unwrap();
+    /// assert!((sys.damping_ratio() - 0.2).abs() < 1e-12);
+    /// ```
+    pub fn from_performance_index(index: f64, natural_freq_hz: f64) -> Option<Self> {
+        if !(index.is_finite() && index < 0.0) {
+            return None;
+        }
+        let zeta = (-1.0 / index).sqrt();
+        Some(Self::from_damping(zeta, natural_freq_hz))
+    }
+
+    /// The damping ratio ζ.
+    pub fn damping_ratio(&self) -> f64 {
+        self.zeta
+    }
+
+    /// The natural (undamped) frequency in hertz.
+    pub fn natural_freq_hz(&self) -> f64 {
+        self.natural_freq_hz
+    }
+
+    /// The damped oscillation frequency `ω_d = ω_n·sqrt(1−ζ²)` in hertz, or
+    /// zero for over-damped systems.
+    pub fn damped_freq_hz(&self) -> f64 {
+        if self.zeta >= 1.0 {
+            0.0
+        } else {
+            self.natural_freq_hz * (1.0 - self.zeta * self.zeta).sqrt()
+        }
+    }
+
+    /// The paper's performance index `P(ω_n) = −1/ζ²` (Eq. 1.4).
+    ///
+    /// Returns negative infinity for ζ = 0 (an undamped, oscillating loop).
+    pub fn performance_index(&self) -> f64 {
+        if self.zeta == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            -1.0 / (self.zeta * self.zeta)
+        }
+    }
+
+    /// Percent overshoot of the unit-step response,
+    /// `100·exp(−πζ/√(1−ζ²))` for under-damped systems and 0 otherwise.
+    pub fn percent_overshoot(&self) -> f64 {
+        if self.zeta >= 1.0 {
+            0.0
+        } else if self.zeta == 0.0 {
+            100.0
+        } else {
+            100.0 * (-std::f64::consts::PI * self.zeta / (1.0 - self.zeta * self.zeta).sqrt()).exp()
+        }
+    }
+
+    /// Exact phase margin in degrees of the unity-feedback loop whose closed
+    /// loop is this second-order system:
+    ///
+    /// `PM = atan( 2ζ / sqrt( sqrt(1+4ζ⁴) − 2ζ² ) )`
+    pub fn phase_margin_deg(&self) -> f64 {
+        if self.zeta == 0.0 {
+            return 0.0;
+        }
+        let z2 = self.zeta * self.zeta;
+        let inner = ((1.0 + 4.0 * z2 * z2).sqrt() - 2.0 * z2).sqrt();
+        (2.0 * self.zeta / inner).atan().to_degrees()
+    }
+
+    /// The linearized rule-of-thumb phase margin `PM ≈ 100·ζ` degrees used by
+    /// the paper's Table 1 (valid for ζ ≲ 0.7).
+    pub fn phase_margin_approx_deg(&self) -> f64 {
+        100.0 * self.zeta
+    }
+
+    /// Maximum closed-loop magnitude `M_p = 1/(2ζ√(1−ζ²))` for ζ < 1/√2,
+    /// and 1 otherwise (no resonant peaking).
+    pub fn max_magnitude(&self) -> f64 {
+        if self.zeta == 0.0 {
+            f64::INFINITY
+        } else if self.zeta < std::f64::consts::FRAC_1_SQRT_2 {
+            1.0 / (2.0 * self.zeta * (1.0 - self.zeta * self.zeta).sqrt())
+        } else {
+            1.0
+        }
+    }
+
+    /// The frequency (hertz) of the resonant magnitude peak
+    /// `ω_r = ω_n·sqrt(1−2ζ²)`, or `None` when the response has no peak
+    /// (ζ ≥ 1/√2).
+    pub fn resonant_freq_hz(&self) -> Option<f64> {
+        if self.zeta < std::f64::consts::FRAC_1_SQRT_2 {
+            Some(self.natural_freq_hz * (1.0 - 2.0 * self.zeta * self.zeta).sqrt())
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates the normalized transfer function `T(jω)` at a frequency given
+    /// in hertz (the DC gain is 1).
+    pub fn response(&self, freq_hz: f64) -> Complex64 {
+        let wn = crate::hz_to_rad(self.natural_freq_hz);
+        let w = crate::hz_to_rad(freq_hz);
+        let s = Complex64::new(0.0, w / wn);
+        (s * s + s * (2.0 * self.zeta) + 1.0).recip()
+    }
+
+    /// Magnitude of the normalized transfer function at `freq_hz`.
+    pub fn magnitude(&self, freq_hz: f64) -> f64 {
+        self.response(freq_hz).abs()
+    }
+
+    /// Unit-step response value at time `t` seconds (unit DC gain).
+    ///
+    /// Covers the under-damped, critically damped and over-damped cases.
+    pub fn step_response(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let wn = crate::hz_to_rad(self.natural_freq_hz);
+        let z = self.zeta;
+        if z < 1.0 {
+            let wd = wn * (1.0 - z * z).sqrt();
+            let phi = z.acos();
+            1.0 - ((-z * wn * t).exp() / (1.0 - z * z).sqrt()) * (wd * t + phi).sin()
+        } else if (z - 1.0).abs() < 1e-12 {
+            1.0 - (1.0 + wn * t) * (-wn * t).exp()
+        } else {
+            let s1 = -wn * (z - (z * z - 1.0).sqrt());
+            let s2 = -wn * (z + (z * z - 1.0).sqrt());
+            1.0 + (s2 * (s1 * t).exp() - s1 * (s2 * t).exp()) / (s1 - s2)
+        }
+    }
+}
+
+/// One row of the paper's Table 1: key performance characteristics of a
+/// second-order system (or its dominant root) for a given damping ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Damping ratio ζ.
+    pub zeta: f64,
+    /// Percent overshoot of the step response.
+    pub percent_overshoot: f64,
+    /// Phase margin in degrees (approximate, `100·ζ`, as used by the paper).
+    pub phase_margin_deg: f64,
+    /// Exact phase margin in degrees.
+    pub phase_margin_exact_deg: f64,
+    /// Maximum closed-loop magnitude `M_p` (infinite for ζ = 0).
+    pub max_magnitude: f64,
+    /// Performance index `−1/ζ²` (negative infinity for ζ = 0).
+    pub performance_index: f64,
+}
+
+/// Generates the paper's Table 1 for the standard set of damping ratios
+/// `ζ = 1.0, 0.9, …, 0.0`.
+///
+/// ```
+/// let table = loopscope_math::second_order::table1();
+/// assert_eq!(table.len(), 11);
+/// // ζ = 0.5 row: 16 % overshoot, 50°, Mp 1.15, index −4.
+/// let row = table.iter().find(|r| (r.zeta - 0.5).abs() < 1e-12).unwrap();
+/// assert!((row.percent_overshoot - 16.3).abs() < 0.1);
+/// assert!((row.performance_index + 4.0).abs() < 1e-12);
+/// ```
+pub fn table1() -> Vec<Table1Row> {
+    (0..=10)
+        .rev()
+        .map(|i| {
+            let zeta = i as f64 / 10.0;
+            let sys = SecondOrder::from_damping(zeta, 1.0);
+            Table1Row {
+                zeta,
+                percent_overshoot: sys.percent_overshoot(),
+                phase_margin_deg: sys.phase_margin_approx_deg(),
+                phase_margin_exact_deg: sys.phase_margin_deg(),
+                max_magnitude: sys.max_magnitude(),
+                performance_index: sys.performance_index(),
+            }
+        })
+        .collect()
+}
+
+/// Estimates the damping ratio from a measured (negative) stability-plot peak
+/// value, i.e. the inverse of the performance index relation.
+///
+/// Returns `None` when `peak` is not strictly negative.
+///
+/// ```
+/// let zeta = loopscope_math::second_order::damping_from_peak(-28.9).unwrap();
+/// assert!((zeta - 0.186).abs() < 0.001);
+/// ```
+pub fn damping_from_peak(peak: f64) -> Option<f64> {
+    if peak.is_finite() && peak < 0.0 {
+        Some((-1.0 / peak).sqrt())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_index_matches_eq_1_4() {
+        for zeta in [0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
+            let sys = SecondOrder::from_damping(zeta, 1.0e6);
+            assert!((sys.performance_index() + 1.0 / (zeta * zeta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overshoot_matches_paper_table1() {
+        // Paper Table 1 (rounded to integer percent).
+        let expected = [
+            (1.0, 0.0),
+            (0.9, 0.0),
+            (0.8, 2.0),
+            (0.7, 5.0),
+            (0.6, 10.0),
+            (0.5, 16.0),
+            (0.4, 25.0),
+            (0.3, 37.0),
+            (0.2, 53.0),
+            (0.1, 73.0),
+            (0.0, 100.0),
+        ];
+        for (zeta, pct) in expected {
+            let sys = SecondOrder::from_damping(zeta, 1.0);
+            assert!(
+                (sys.percent_overshoot() - pct).abs() < 1.6,
+                "zeta={zeta}: got {} expected {pct}",
+                sys.percent_overshoot()
+            );
+        }
+    }
+
+    #[test]
+    fn max_magnitude_matches_paper_table1() {
+        let expected = [(0.7, 1.01), (0.6, 1.04), (0.5, 1.15), (0.4, 1.4), (0.3, 1.8), (0.2, 2.6), (0.1, 5.0)];
+        for (zeta, mp) in expected {
+            let sys = SecondOrder::from_damping(zeta, 1.0);
+            assert!(
+                (sys.max_magnitude() - mp).abs() < 0.07 * mp,
+                "zeta={zeta}: got {} expected {mp}",
+                sys.max_magnitude()
+            );
+        }
+    }
+
+    #[test]
+    fn phase_margin_monotone_in_damping() {
+        let mut last = -1.0;
+        for i in 0..=9 {
+            let zeta = i as f64 / 10.0;
+            let pm = SecondOrder::from_damping(zeta, 1.0).phase_margin_deg();
+            assert!(pm >= last);
+            last = pm;
+        }
+    }
+
+    #[test]
+    fn phase_margin_exact_near_approx_for_small_zeta() {
+        for zeta in [0.1, 0.2, 0.3] {
+            let sys = SecondOrder::from_damping(zeta, 1.0);
+            let diff = (sys.phase_margin_deg() - sys.phase_margin_approx_deg()).abs();
+            assert!(diff < 4.0, "zeta={zeta}: exact {} vs approx {}", sys.phase_margin_deg(), sys.phase_margin_approx_deg());
+        }
+    }
+
+    #[test]
+    fn from_performance_index_roundtrip() {
+        for zeta in [0.05, 0.2, 0.45, 0.9] {
+            let sys = SecondOrder::from_damping(zeta, 7.0e5);
+            let back = SecondOrder::from_performance_index(sys.performance_index(), 7.0e5).unwrap();
+            assert!((back.damping_ratio() - zeta).abs() < 1e-12);
+        }
+        assert!(SecondOrder::from_performance_index(1.0, 1.0).is_none());
+        assert!(SecondOrder::from_performance_index(0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn magnitude_peak_location_and_height() {
+        let sys = SecondOrder::from_damping(0.25, 1.0e6);
+        let wr = sys.resonant_freq_hz().unwrap();
+        let mp = sys.max_magnitude();
+        // The magnitude at the resonant frequency equals Mp...
+        assert!((sys.magnitude(wr) - mp).abs() < 1e-9);
+        // ... and is larger than slightly off-peak values.
+        assert!(sys.magnitude(wr * 1.05) < mp);
+        assert!(sys.magnitude(wr * 0.95) < mp);
+    }
+
+    #[test]
+    fn no_resonance_for_high_damping() {
+        assert!(SecondOrder::from_damping(0.8, 1.0).resonant_freq_hz().is_none());
+        assert_eq!(SecondOrder::from_damping(0.8, 1.0).max_magnitude(), 1.0);
+    }
+
+    #[test]
+    fn step_response_overshoot_consistent() {
+        // Numerically locate the first maximum of the analytic step response
+        // and compare with the analytic percent overshoot.
+        for zeta in [0.2, 0.4, 0.6] {
+            let sys = SecondOrder::from_damping(zeta, 1.0);
+            let mut peak: f64 = 0.0;
+            let mut t = 0.0;
+            while t < 5.0 {
+                peak = peak.max(sys.step_response(t));
+                t += 1e-4;
+            }
+            let overshoot = (peak - 1.0) * 100.0;
+            assert!(
+                (overshoot - sys.percent_overshoot()).abs() < 0.5,
+                "zeta={zeta}: step {overshoot} vs analytic {}",
+                sys.percent_overshoot()
+            );
+        }
+    }
+
+    #[test]
+    fn step_response_settles_to_one() {
+        for zeta in [0.3, 1.0, 2.0] {
+            let sys = SecondOrder::from_damping(zeta, 1.0);
+            let v = sys.step_response(50.0);
+            assert!((v - 1.0).abs() < 1e-6, "zeta={zeta}: {v}");
+        }
+    }
+
+    #[test]
+    fn dc_gain_is_unity() {
+        let sys = SecondOrder::from_damping(0.5, 1.0e3);
+        assert!((sys.magnitude(1e-3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table1_structure() {
+        let t = table1();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t[0].zeta, 1.0);
+        assert_eq!(t[10].zeta, 0.0);
+        assert_eq!(t[10].performance_index, f64::NEG_INFINITY);
+        assert_eq!(t[10].max_magnitude, f64::INFINITY);
+        // Performance index is monotone decreasing as damping decreases.
+        for w in t.windows(2) {
+            assert!(w[1].performance_index <= w[0].performance_index);
+        }
+    }
+
+    #[test]
+    fn damping_from_peak_examples() {
+        // Paper Fig. 4: a peak of −28.9 corresponds to ζ slightly below 0.2.
+        let z = damping_from_peak(-28.9).unwrap();
+        assert!(z > 0.17 && z < 0.2);
+        assert!(damping_from_peak(5.0).is_none());
+        assert!(damping_from_peak(f64::NAN).is_none());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the numerical foundations.
+
+use loopscope_math::diff::{gradient, log_log_curvature};
+use loopscope_math::peaks::{dominant_minimum, PeakKind};
+use loopscope_math::second_order::damping_from_peak;
+use loopscope_math::{logspace, SecondOrder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's core relation: for any under-damped second-order system the
+    /// stability plot computed from its magnitude response has a minimum of
+    /// −1/ζ² at the natural frequency, and inverting the peak recovers ζ.
+    #[test]
+    fn stability_peak_recovers_damping(
+        zeta in 0.05f64..0.8,
+        fn_exp in 3.0f64..8.0,
+    ) {
+        let fn_hz = 10f64.powf(fn_exp);
+        let sys = SecondOrder::from_damping(zeta, fn_hz);
+        let freqs = logspace(fn_hz / 1.0e3, fn_hz * 1.0e3, 2401);
+        let mags: Vec<f64> = freqs.iter().map(|&f| sys.magnitude(f)).collect();
+        let plot = log_log_curvature(&freqs, &mags);
+        let peak = dominant_minimum(&freqs, &plot, -0.5).expect("peak exists");
+        prop_assert_eq!(peak.kind, PeakKind::Interior);
+        let recovered = damping_from_peak(peak.y).expect("negative peak");
+        prop_assert!((recovered - zeta).abs() < 0.03 * zeta.max(0.2),
+            "zeta {} recovered {}", zeta, recovered);
+        prop_assert!((peak.x - fn_hz).abs() / fn_hz < 0.05);
+    }
+
+    /// Overshoot, resonant peaking and the performance index are all monotone
+    /// in the damping ratio.
+    #[test]
+    fn second_order_monotonicity(z1 in 0.02f64..0.95, z2 in 0.02f64..0.95) {
+        let (lo, hi) = if z1 < z2 { (z1, z2) } else { (z2, z1) };
+        prop_assume!(hi - lo > 1e-3);
+        let a = SecondOrder::from_damping(lo, 1.0e6);
+        let b = SecondOrder::from_damping(hi, 1.0e6);
+        prop_assert!(a.percent_overshoot() >= b.percent_overshoot());
+        prop_assert!(a.max_magnitude() >= b.max_magnitude());
+        prop_assert!(a.performance_index() <= b.performance_index());
+        prop_assert!(a.phase_margin_deg() <= b.phase_margin_deg());
+    }
+
+    /// The step response always settles to 1 and its overshoot matches the
+    /// analytic percent-overshoot expression.
+    #[test]
+    fn step_response_consistency(zeta in 0.1f64..1.5) {
+        let sys = SecondOrder::from_damping(zeta, 1.0);
+        let settle = sys.step_response(80.0);
+        prop_assert!((settle - 1.0).abs() < 1e-4);
+        let mut peak: f64 = 0.0;
+        let mut t = 0.0;
+        while t < 10.0 {
+            peak = peak.max(sys.step_response(t));
+            t += 2.0e-3;
+        }
+        let overshoot = (peak - 1.0).max(0.0) * 100.0;
+        prop_assert!((overshoot - sys.percent_overshoot()).abs() < 1.0,
+            "zeta {}: {} vs {}", zeta, overshoot, sys.percent_overshoot());
+    }
+
+    /// Differentiating any quadratic on any (sorted, distinct) grid is exact.
+    #[test]
+    fn gradient_exact_for_quadratics(
+        mut xs in prop::collection::vec(-100.0f64..100.0, 4..40),
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        c in -3.0f64..3.0,
+    ) {
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        xs.dedup_by(|p, q| (*p - *q).abs() < 1e-6);
+        prop_assume!(xs.len() >= 3);
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x * x + b * x + c).collect();
+        let d = gradient(&xs, &ys);
+        for (x, dv) in xs.iter().zip(&d) {
+            prop_assert!((dv - (2.0 * a * x + b)).abs() < 1e-6 * (1.0 + dv.abs()));
+        }
+    }
+
+    /// A pure power law (straight line in log-log coordinates) has zero
+    /// curvature — the "real poles leave no signature" property in its ideal
+    /// asymptotic form.
+    #[test]
+    fn power_law_has_zero_curvature(k in -3.0f64..3.0, scale in 0.1f64..1.0e6) {
+        let freqs = logspace(1.0, 1.0e6, 601);
+        let mags: Vec<f64> = freqs.iter().map(|&f| scale * f.powf(k)).collect();
+        let curv = log_log_curvature(&freqs, &mags);
+        for v in curv {
+            prop_assert!(v.abs() < 1e-5, "curvature {} for exponent {}", v, k);
+        }
+    }
+}

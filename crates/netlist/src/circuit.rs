@@ -1,0 +1,656 @@
+//! The circuit container: node interning plus an element list.
+
+use crate::element::{
+    Bjt, BjtPolarity, Capacitor, Cccs, Ccvs, Diode, Element, Inductor, Isource, Mosfet,
+    MosfetPolarity, Resistor, Vccs, Vcvs, Vsource,
+};
+use crate::error::NetlistError;
+use crate::models::{BjtModel, DiodeModel, MosfetModel};
+use crate::source::SourceSpec;
+use std::collections::HashMap;
+
+/// Identifier of a circuit node (net).
+///
+/// Node 0 is always the ground/reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// The raw index of the node (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a node identifier from a raw index previously obtained
+    /// from [`NodeId::index`]. Index 0 is the ground node.
+    ///
+    /// This is intended for analysis code that stores results in flat arrays
+    /// indexed by node; passing an index that does not belong to the circuit
+    /// the identifier is later used with will cause lookups to panic there.
+    pub fn from_index(idx: usize) -> NodeId {
+        NodeId(idx)
+    }
+
+    /// Returns `true` when this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A complete circuit: named nodes and an ordered list of elements.
+///
+/// Nodes are interned by name; node `"0"` / `"gnd"` is the ground node.
+/// Elements are added through the `add_*` methods which validate values and
+/// reject duplicate names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    title: String,
+    node_names: Vec<String>,
+    node_index: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    element_index: HashMap<String, usize>,
+}
+
+impl Circuit {
+    /// The ground (reference) node, always present.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        let mut node_index = HashMap::new();
+        node_index.insert("0".to_string(), NodeId::GROUND);
+        Self {
+            title: title.into(),
+            node_names: vec!["0".to_string()],
+            node_index,
+            elements: Vec::new(),
+            element_index: HashMap::new(),
+        }
+    }
+
+    /// The circuit title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    ///
+    /// The names `"0"`, `"gnd"` and `"GND"` all refer to the ground node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        let key = Self::canonical_node_name(name);
+        if let Some(&id) = self.node_index.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(key.clone());
+        self.node_index.insert(key, id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_index
+            .get(&Self::canonical_node_name(name))
+            .copied()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// All non-ground nodes, in creation order.
+    pub fn signal_nodes(&self) -> Vec<NodeId> {
+        (1..self.node_names.len()).map(NodeId).collect()
+    }
+
+    /// The ordered list of elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Looks up an element by instance name.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.element_index.get(name).map(|&i| &self.elements[i])
+    }
+
+    /// Mutable access to an element by instance name (used, for example, to
+    /// zero AC stimuli or retune a compensation component between runs).
+    pub fn element_mut(&mut self, name: &str) -> Option<&mut Element> {
+        let idx = *self.element_index.get(name)?;
+        Some(&mut self.elements[idx])
+    }
+
+    fn canonical_node_name(name: &str) -> String {
+        let lower = name.to_ascii_lowercase();
+        if lower == "gnd" || lower == "0" {
+            "0".to_string()
+        } else {
+            name.to_string()
+        }
+    }
+
+    fn insert(&mut self, element: Element) -> Result<(), NetlistError> {
+        let name = element.name().to_string();
+        if self.element_index.contains_key(&name) {
+            return Err(NetlistError::DuplicateElement(name));
+        }
+        self.element_index.insert(name, self.elements.len());
+        self.elements.push(element);
+        Ok(())
+    }
+
+    /// Adds a resistor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is not positive and finite, or if the name is
+    /// a duplicate. Use [`try_add`](Self::try_add) for fallible insertion.
+    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistor {name}: resistance must be positive and finite"
+        );
+        self.insert(Element::Resistor(Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            ohms,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a capacitor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacitance is negative or the name is a duplicate.
+    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> &mut Self {
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitor {name}: capacitance must be non-negative and finite"
+        );
+        self.insert(Element::Capacitor(Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            farads,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds an inductor between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inductance is not positive or the name is a duplicate.
+    pub fn add_inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) -> &mut Self {
+        assert!(
+            henries.is_finite() && henries > 0.0,
+            "inductor {name}: inductance must be positive and finite"
+        );
+        self.insert(Element::Inductor(Inductor {
+            name: name.to_string(),
+            a,
+            b,
+            henries,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds an independent voltage source from `plus` to `minus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn add_vsource(&mut self, name: &str, plus: NodeId, minus: NodeId, spec: SourceSpec) -> &mut Self {
+        self.insert(Element::Vsource(Vsource {
+            name: name.to_string(),
+            plus,
+            minus,
+            spec,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds an independent current source (current flows from `plus` to
+    /// `minus` through the source).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn add_isource(&mut self, name: &str, plus: NodeId, minus: NodeId, spec: SourceSpec) -> &mut Self {
+        self.insert(Element::Isource(Isource {
+            name: name.to_string(),
+            plus,
+            minus,
+            spec,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a voltage-controlled voltage source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn add_vcvs(
+        &mut self,
+        name: &str,
+        out_plus: NodeId,
+        out_minus: NodeId,
+        ctrl_plus: NodeId,
+        ctrl_minus: NodeId,
+        gain: f64,
+    ) -> &mut Self {
+        self.insert(Element::Vcvs(Vcvs {
+            name: name.to_string(),
+            out_plus,
+            out_minus,
+            ctrl_plus,
+            ctrl_minus,
+            gain,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a voltage-controlled current source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn add_vccs(
+        &mut self,
+        name: &str,
+        out_plus: NodeId,
+        out_minus: NodeId,
+        ctrl_plus: NodeId,
+        ctrl_minus: NodeId,
+        gm: f64,
+    ) -> &mut Self {
+        self.insert(Element::Vccs(Vccs {
+            name: name.to_string(),
+            out_plus,
+            out_minus,
+            ctrl_plus,
+            ctrl_minus,
+            gm,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a current-controlled current source whose controlling current is
+    /// the current through the voltage source `ctrl_vsource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn add_cccs(
+        &mut self,
+        name: &str,
+        out_plus: NodeId,
+        out_minus: NodeId,
+        ctrl_vsource: &str,
+        gain: f64,
+    ) -> &mut Self {
+        self.insert(Element::Cccs(Cccs {
+            name: name.to_string(),
+            out_plus,
+            out_minus,
+            ctrl_vsource: ctrl_vsource.to_string(),
+            gain,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a current-controlled voltage source whose controlling current is
+    /// the current through the voltage source `ctrl_vsource`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn add_ccvs(
+        &mut self,
+        name: &str,
+        out_plus: NodeId,
+        out_minus: NodeId,
+        ctrl_vsource: &str,
+        rm: f64,
+    ) -> &mut Self {
+        self.insert(Element::Ccvs(Ccvs {
+            name: name.to_string(),
+            out_plus,
+            out_minus,
+            ctrl_vsource: ctrl_vsource.to_string(),
+            rm,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a junction diode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or invalid model.
+    pub fn add_diode(&mut self, name: &str, anode: NodeId, cathode: NodeId, model: DiodeModel) -> &mut Self {
+        model.validate(name).expect("invalid diode model");
+        self.insert(Element::Diode(Diode {
+            name: name.to_string(),
+            anode,
+            cathode,
+            model,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a bipolar transistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or invalid model.
+    pub fn add_bjt(
+        &mut self,
+        name: &str,
+        collector: NodeId,
+        base: NodeId,
+        emitter: NodeId,
+        polarity: BjtPolarity,
+        model: BjtModel,
+    ) -> &mut Self {
+        model.validate(name).expect("invalid BJT model");
+        self.insert(Element::Bjt(Bjt {
+            name: name.to_string(),
+            collector,
+            base,
+            emitter,
+            polarity,
+            model,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name, invalid model, or non-positive geometry.
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        polarity: MosfetPolarity,
+        width: f64,
+        length: f64,
+        model: MosfetModel,
+    ) -> &mut Self {
+        model.validate(name).expect("invalid MOSFET model");
+        assert!(
+            width > 0.0 && length > 0.0,
+            "mosfet {name}: width and length must be positive"
+        );
+        self.insert(Element::Mosfet(Mosfet {
+            name: name.to_string(),
+            drain,
+            gate,
+            source,
+            polarity,
+            width,
+            length,
+            model,
+        }))
+        .expect("duplicate element name");
+        self
+    }
+
+    /// Fallible element insertion, used by the netlist parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateElement`] when an element of the same
+    /// name already exists.
+    pub fn try_add(&mut self, element: Element) -> Result<(), NetlistError> {
+        self.insert(element)
+    }
+
+    /// Zeroes the AC stimulus of every independent source, mirroring the
+    /// original tool's "auto-zero all AC sources/stimuli in design prior to
+    /// running the analysis" feature. Returns the number of sources changed.
+    pub fn zero_ac_sources(&mut self) -> usize {
+        let mut changed = 0;
+        for el in &mut self.elements {
+            match el {
+                Element::Vsource(v) if v.spec.ac_mag != 0.0 => {
+                    v.spec = v.spec.without_ac();
+                    changed += 1;
+                }
+                Element::Isource(i) if i.spec.ac_mag != 0.0 => {
+                    i.spec = i.spec.without_ac();
+                    changed += 1;
+                }
+                _ => {}
+            }
+        }
+        changed
+    }
+
+    /// Performs structural sanity checks:
+    ///
+    /// * every node (other than ground) is connected to at least two element
+    ///   terminals, so no node is left floating;
+    /// * at least one element connects to ground;
+    /// * every CCCS/CCVS controlling source exists and is a voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidCircuit`] or
+    /// [`NetlistError::UnknownElement`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut degree = vec![0usize; self.node_count()];
+        let mut ground_touched = false;
+        for el in &self.elements {
+            for node in el.nodes() {
+                degree[node.0] += 1;
+                if node.is_ground() {
+                    ground_touched = true;
+                }
+            }
+            match el {
+                Element::Cccs(c) => self.check_ctrl_source(&c.ctrl_vsource)?,
+                Element::Ccvs(c) => self.check_ctrl_source(&c.ctrl_vsource)?,
+                _ => {}
+            }
+        }
+        if !self.elements.is_empty() && !ground_touched {
+            return Err(NetlistError::InvalidCircuit(
+                "no element connects to the ground node".to_string(),
+            ));
+        }
+        for (idx, &deg) in degree.iter().enumerate().skip(1) {
+            if deg == 0 {
+                return Err(NetlistError::InvalidCircuit(format!(
+                    "node `{}` is not connected to any element",
+                    self.node_names[idx]
+                )));
+            }
+            if deg == 1 {
+                return Err(NetlistError::InvalidCircuit(format!(
+                    "node `{}` is connected to only one element terminal (floating)",
+                    self.node_names[idx]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_ctrl_source(&self, name: &str) -> Result<(), NetlistError> {
+        match self.element(name) {
+            Some(Element::Vsource(_)) => Ok(()),
+            Some(_) => Err(NetlistError::InvalidCircuit(format!(
+                "controlling element `{name}` is not a voltage source"
+            ))),
+            None => Err(NetlistError::UnknownElement(name.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new("t");
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("GND"), Circuit::GROUND);
+        assert_eq!(c.node_count(), 1);
+    }
+
+    #[test]
+    fn node_interning_is_stable() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_ne!(a, b);
+        assert_eq!(c.node("a"), a);
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.find_node("missing"), None);
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.signal_nodes(), vec![a, b]);
+    }
+
+    #[test]
+    fn builder_adds_elements() {
+        let mut c = Circuit::new("rc");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc_ac(1.0, 1.0, 0.0));
+        c.add_resistor("R1", vin, vout, 1e3);
+        c.add_capacitor("C1", vout, Circuit::GROUND, 1e-9);
+        assert_eq!(c.elements().len(), 3);
+        assert!(c.element("R1").is_some());
+        assert!(c.element("R9").is_none());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_nonpositive_resistor() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate element name")]
+    fn rejects_duplicate_names() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0);
+        c.add_resistor("R1", a, Circuit::GROUND, 2.0);
+    }
+
+    #[test]
+    fn validate_detects_floating_node() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0);
+        // b connected to only one terminal:
+        c.add_capacitor("C1", b, Circuit::GROUND, 1e-12);
+        // Wait: that gives b degree 1 → floating error expected.
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("only one element terminal"));
+    }
+
+    #[test]
+    fn validate_detects_missing_ground() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, b, 1.0);
+        c.add_capacitor("C1", a, b, 1e-12);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("ground"));
+    }
+
+    #[test]
+    fn validate_checks_controlled_source_references() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0);
+        c.add_resistor("R2", b, Circuit::GROUND, 1.0);
+        c.add_resistor("R3", a, b, 1.0);
+        c.add_cccs("F1", a, b, "Vmissing", 2.0);
+        assert!(matches!(c.validate(), Err(NetlistError::UnknownElement(_))));
+    }
+
+    #[test]
+    fn zero_ac_sources_only_touches_ac() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc_ac(1.0, 1.0, 0.0));
+        c.add_isource("I1", b, Circuit::GROUND, SourceSpec::ac_probe(1.0));
+        c.add_vsource("V2", b, a, SourceSpec::dc(5.0));
+        assert_eq!(c.zero_ac_sources(), 2);
+        assert_eq!(c.zero_ac_sources(), 0);
+        match c.element("V1").unwrap() {
+            Element::Vsource(v) => assert_eq!(v.spec.ac_mag, 0.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn element_mut_allows_retuning() {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        c.add_capacitor("Ccomp", a, Circuit::GROUND, 1e-12);
+        if let Some(Element::Capacitor(cap)) = c.element_mut("Ccomp") {
+            cap.farads = 2e-12;
+        }
+        match c.element("Ccomp").unwrap() {
+            Element::Capacitor(cap) => assert_eq!(cap.farads, 2e-12),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(Circuit::GROUND.to_string(), "n0");
+        assert!(Circuit::GROUND.is_ground());
+        assert_eq!(NodeId(3).index(), 3);
+    }
+}

@@ -1,0 +1,429 @@
+//! Circuit element (device instance) definitions.
+
+use crate::circuit::NodeId;
+use crate::models::{BjtModel, DiodeModel, MosfetModel};
+use crate::source::SourceSpec;
+
+/// A linear resistor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resistor {
+    /// Instance name, e.g. `"R1"`.
+    pub name: String,
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Resistance in ohms (must be positive).
+    pub ohms: f64,
+}
+
+/// A linear capacitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    /// Instance name, e.g. `"C1"`.
+    pub name: String,
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Capacitance in farads (must be non-negative).
+    pub farads: f64,
+}
+
+/// A linear inductor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inductor {
+    /// Instance name, e.g. `"L1"`.
+    pub name: String,
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Inductance in henries (must be positive).
+    pub henries: f64,
+}
+
+/// An independent voltage source (from `plus` to `minus`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vsource {
+    /// Instance name, e.g. `"V1"`.
+    pub name: String,
+    /// Positive terminal.
+    pub plus: NodeId,
+    /// Negative terminal.
+    pub minus: NodeId,
+    /// DC / AC / transient specification.
+    pub spec: SourceSpec,
+}
+
+/// An independent current source; positive current flows from `plus` through
+/// the source to `minus` (i.e. it is *injected into* the `minus` node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Isource {
+    /// Instance name, e.g. `"I1"`.
+    pub name: String,
+    /// Terminal the current leaves the external circuit from.
+    pub plus: NodeId,
+    /// Terminal the current is injected into.
+    pub minus: NodeId,
+    /// DC / AC / transient specification.
+    pub spec: SourceSpec,
+}
+
+/// Voltage-controlled voltage source (SPICE `E`): `v(out) = gain·v(ctrl)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vcvs {
+    /// Instance name, e.g. `"E1"`.
+    pub name: String,
+    /// Positive output terminal.
+    pub out_plus: NodeId,
+    /// Negative output terminal.
+    pub out_minus: NodeId,
+    /// Positive controlling terminal.
+    pub ctrl_plus: NodeId,
+    /// Negative controlling terminal.
+    pub ctrl_minus: NodeId,
+    /// Voltage gain (dimensionless).
+    pub gain: f64,
+}
+
+/// Voltage-controlled current source (SPICE `G`): `i(out) = gm·v(ctrl)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vccs {
+    /// Instance name, e.g. `"G1"`.
+    pub name: String,
+    /// Terminal current flows out of (into the circuit).
+    pub out_plus: NodeId,
+    /// Terminal current flows into.
+    pub out_minus: NodeId,
+    /// Positive controlling terminal.
+    pub ctrl_plus: NodeId,
+    /// Negative controlling terminal.
+    pub ctrl_minus: NodeId,
+    /// Transconductance in siemens.
+    pub gm: f64,
+}
+
+/// Current-controlled current source (SPICE `F`): `i(out) = gain·i(Vctrl)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cccs {
+    /// Instance name, e.g. `"F1"`.
+    pub name: String,
+    /// Terminal current flows out of.
+    pub out_plus: NodeId,
+    /// Terminal current flows into.
+    pub out_minus: NodeId,
+    /// Name of the voltage source whose current is the controlling quantity.
+    pub ctrl_vsource: String,
+    /// Current gain (dimensionless).
+    pub gain: f64,
+}
+
+/// Current-controlled voltage source (SPICE `H`): `v(out) = rm·i(Vctrl)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ccvs {
+    /// Instance name, e.g. `"H1"`.
+    pub name: String,
+    /// Positive output terminal.
+    pub out_plus: NodeId,
+    /// Negative output terminal.
+    pub out_minus: NodeId,
+    /// Name of the voltage source whose current is the controlling quantity.
+    pub ctrl_vsource: String,
+    /// Transresistance in ohms.
+    pub rm: f64,
+}
+
+/// A junction diode (anode → cathode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diode {
+    /// Instance name, e.g. `"D1"`.
+    pub name: String,
+    /// Anode terminal.
+    pub anode: NodeId,
+    /// Cathode terminal.
+    pub cathode: NodeId,
+    /// Model parameters.
+    pub model: DiodeModel,
+}
+
+/// BJT polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BjtPolarity {
+    /// NPN transistor.
+    Npn,
+    /// PNP transistor.
+    Pnp,
+}
+
+/// A bipolar junction transistor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bjt {
+    /// Instance name, e.g. `"Q1"`.
+    pub name: String,
+    /// Collector terminal.
+    pub collector: NodeId,
+    /// Base terminal.
+    pub base: NodeId,
+    /// Emitter terminal.
+    pub emitter: NodeId,
+    /// NPN or PNP.
+    pub polarity: BjtPolarity,
+    /// Model parameters.
+    pub model: BjtModel,
+}
+
+/// MOSFET polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosfetPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// A MOSFET (level-1 model, bulk tied implicitly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet {
+    /// Instance name, e.g. `"M1"`.
+    pub name: String,
+    /// Drain terminal.
+    pub drain: NodeId,
+    /// Gate terminal.
+    pub gate: NodeId,
+    /// Source terminal.
+    pub source: NodeId,
+    /// N-channel or P-channel.
+    pub polarity: MosfetPolarity,
+    /// Channel width in metres.
+    pub width: f64,
+    /// Channel length in metres.
+    pub length: f64,
+    /// Model parameters.
+    pub model: MosfetModel,
+}
+
+impl Mosfet {
+    /// The geometric gain factor `β = KP·W/L` in A/V².
+    pub fn beta(&self) -> f64 {
+        self.model.kp * self.width / self.length
+    }
+}
+
+/// Any circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor.
+    Resistor(Resistor),
+    /// Linear capacitor.
+    Capacitor(Capacitor),
+    /// Linear inductor.
+    Inductor(Inductor),
+    /// Independent voltage source.
+    Vsource(Vsource),
+    /// Independent current source.
+    Isource(Isource),
+    /// Voltage-controlled voltage source.
+    Vcvs(Vcvs),
+    /// Voltage-controlled current source.
+    Vccs(Vccs),
+    /// Current-controlled current source.
+    Cccs(Cccs),
+    /// Current-controlled voltage source.
+    Ccvs(Ccvs),
+    /// Junction diode.
+    Diode(Diode),
+    /// Bipolar junction transistor.
+    Bjt(Bjt),
+    /// MOSFET.
+    Mosfet(Mosfet),
+}
+
+/// Coarse element classification, useful for reports and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// Resistor.
+    Resistor,
+    /// Capacitor.
+    Capacitor,
+    /// Inductor.
+    Inductor,
+    /// Independent voltage source.
+    Vsource,
+    /// Independent current source.
+    Isource,
+    /// Voltage-controlled voltage source.
+    Vcvs,
+    /// Voltage-controlled current source.
+    Vccs,
+    /// Current-controlled current source.
+    Cccs,
+    /// Current-controlled voltage source.
+    Ccvs,
+    /// Diode.
+    Diode,
+    /// BJT.
+    Bjt,
+    /// MOSFET.
+    Mosfet,
+}
+
+impl Element {
+    /// The instance name of the element.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor(e) => &e.name,
+            Element::Capacitor(e) => &e.name,
+            Element::Inductor(e) => &e.name,
+            Element::Vsource(e) => &e.name,
+            Element::Isource(e) => &e.name,
+            Element::Vcvs(e) => &e.name,
+            Element::Vccs(e) => &e.name,
+            Element::Cccs(e) => &e.name,
+            Element::Ccvs(e) => &e.name,
+            Element::Diode(e) => &e.name,
+            Element::Bjt(e) => &e.name,
+            Element::Mosfet(e) => &e.name,
+        }
+    }
+
+    /// The coarse kind of the element.
+    pub fn kind(&self) -> ElementKind {
+        match self {
+            Element::Resistor(_) => ElementKind::Resistor,
+            Element::Capacitor(_) => ElementKind::Capacitor,
+            Element::Inductor(_) => ElementKind::Inductor,
+            Element::Vsource(_) => ElementKind::Vsource,
+            Element::Isource(_) => ElementKind::Isource,
+            Element::Vcvs(_) => ElementKind::Vcvs,
+            Element::Vccs(_) => ElementKind::Vccs,
+            Element::Cccs(_) => ElementKind::Cccs,
+            Element::Ccvs(_) => ElementKind::Ccvs,
+            Element::Diode(_) => ElementKind::Diode,
+            Element::Bjt(_) => ElementKind::Bjt,
+            Element::Mosfet(_) => ElementKind::Mosfet,
+        }
+    }
+
+    /// The node identifiers this element connects to.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Element::Resistor(e) => vec![e.a, e.b],
+            Element::Capacitor(e) => vec![e.a, e.b],
+            Element::Inductor(e) => vec![e.a, e.b],
+            Element::Vsource(e) => vec![e.plus, e.minus],
+            Element::Isource(e) => vec![e.plus, e.minus],
+            Element::Vcvs(e) => vec![e.out_plus, e.out_minus, e.ctrl_plus, e.ctrl_minus],
+            Element::Vccs(e) => vec![e.out_plus, e.out_minus, e.ctrl_plus, e.ctrl_minus],
+            Element::Cccs(e) => vec![e.out_plus, e.out_minus],
+            Element::Ccvs(e) => vec![e.out_plus, e.out_minus],
+            Element::Diode(e) => vec![e.anode, e.cathode],
+            Element::Bjt(e) => vec![e.collector, e.base, e.emitter],
+            Element::Mosfet(e) => vec![e.drain, e.gate, e.source],
+        }
+    }
+
+    /// Returns `true` when the element is a nonlinear device that requires a
+    /// Newton-Raphson operating-point solve.
+    pub fn is_nonlinear(&self) -> bool {
+        matches!(self, Element::Diode(_) | Element::Bjt(_) | Element::Mosfet(_))
+    }
+
+    /// Returns `true` for independent sources (the ones whose AC stimuli the
+    /// tool auto-zeroes before injecting its own probe).
+    pub fn is_independent_source(&self) -> bool {
+        matches!(self, Element::Vsource(_) | Element::Isource(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn two_nodes() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new("t");
+        let a = c.node("a");
+        let b = c.node("b");
+        (c, a, b)
+    }
+
+    #[test]
+    fn element_name_and_kind() {
+        let (_, a, b) = two_nodes();
+        let e = Element::Resistor(Resistor {
+            name: "R1".into(),
+            a,
+            b,
+            ohms: 10.0,
+        });
+        assert_eq!(e.name(), "R1");
+        assert_eq!(e.kind(), ElementKind::Resistor);
+        assert!(!e.is_nonlinear());
+        assert!(!e.is_independent_source());
+        assert_eq!(e.nodes(), vec![a, b]);
+    }
+
+    #[test]
+    fn nonlinear_classification() {
+        let (_, a, b) = two_nodes();
+        let d = Element::Diode(Diode {
+            name: "D1".into(),
+            anode: a,
+            cathode: b,
+            model: DiodeModel::default(),
+        });
+        assert!(d.is_nonlinear());
+        let q = Element::Bjt(Bjt {
+            name: "Q1".into(),
+            collector: a,
+            base: b,
+            emitter: b,
+            polarity: BjtPolarity::Npn,
+            model: BjtModel::default(),
+        });
+        assert!(q.is_nonlinear());
+        assert_eq!(q.nodes().len(), 3);
+    }
+
+    #[test]
+    fn source_classification() {
+        let (_, a, b) = two_nodes();
+        let v = Element::Vsource(Vsource {
+            name: "V1".into(),
+            plus: a,
+            minus: b,
+            spec: SourceSpec::dc(1.0),
+        });
+        assert!(v.is_independent_source());
+        let g = Element::Vccs(Vccs {
+            name: "G1".into(),
+            out_plus: a,
+            out_minus: b,
+            ctrl_plus: a,
+            ctrl_minus: b,
+            gm: 1e-3,
+        });
+        assert!(!g.is_independent_source());
+        assert_eq!(g.nodes().len(), 4);
+    }
+
+    #[test]
+    fn mosfet_beta() {
+        let (_, a, b) = two_nodes();
+        let m = Mosfet {
+            name: "M1".into(),
+            drain: a,
+            gate: b,
+            source: b,
+            polarity: MosfetPolarity::Nmos,
+            width: 10e-6,
+            length: 1e-6,
+            model: MosfetModel {
+                kp: 2e-5,
+                ..Default::default()
+            },
+        };
+        assert!((m.beta() - 2e-4).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for circuit construction and netlist parsing.
+
+use std::fmt;
+
+/// Errors produced while building or parsing a circuit description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// An element with this name already exists in the circuit.
+    DuplicateElement(String),
+    /// A referenced element (e.g. the controlling source of a CCCS) does not exist.
+    UnknownElement(String),
+    /// A referenced device model was never defined.
+    UnknownModel(String),
+    /// A numeric value could not be parsed.
+    InvalidValue {
+        /// The offending token.
+        token: String,
+        /// Netlist line number (1-based) when parsed from text, 0 otherwise.
+        line: usize,
+    },
+    /// A netlist line is malformed.
+    MalformedLine {
+        /// Netlist line number (1-based).
+        line: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A component value is outside its physically meaningful range
+    /// (e.g. a negative capacitance).
+    InvalidParameter {
+        /// Element or model name.
+        name: String,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// The circuit failed a structural validity check.
+    InvalidCircuit(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateElement(name) => {
+                write!(f, "element `{name}` is defined more than once")
+            }
+            NetlistError::UnknownElement(name) => {
+                write!(f, "referenced element `{name}` does not exist")
+            }
+            NetlistError::UnknownModel(name) => {
+                write!(f, "referenced model `{name}` does not exist")
+            }
+            NetlistError::InvalidValue { token, line } => {
+                if *line == 0 {
+                    write!(f, "invalid numeric value `{token}`")
+                } else {
+                    write!(f, "invalid numeric value `{token}` on line {line}")
+                }
+            }
+            NetlistError::MalformedLine { line, reason } => {
+                write!(f, "malformed netlist line {line}: {reason}")
+            }
+            NetlistError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter for `{name}`: {reason}")
+            }
+            NetlistError::InvalidCircuit(reason) => write!(f, "invalid circuit: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NetlistError::DuplicateElement("R1".into()).to_string(),
+            "element `R1` is defined more than once"
+        );
+        assert_eq!(
+            NetlistError::InvalidValue { token: "1x".into(), line: 3 }.to_string(),
+            "invalid numeric value `1x` on line 3"
+        );
+        assert_eq!(
+            NetlistError::InvalidValue { token: "1x".into(), line: 0 }.to_string(),
+            "invalid numeric value `1x`"
+        );
+        assert_eq!(
+            NetlistError::MalformedLine { line: 7, reason: "too few tokens".into() }.to_string(),
+            "malformed netlist line 7: too few tokens"
+        );
+        assert_eq!(
+            NetlistError::InvalidCircuit("no ground".into()).to_string(),
+            "invalid circuit: no ground"
+        );
+        assert_eq!(
+            NetlistError::UnknownModel("npn1".into()).to_string(),
+            "referenced model `npn1` does not exist"
+        );
+    }
+}

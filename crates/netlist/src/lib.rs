@@ -1,0 +1,49 @@
+//! Circuit representation for the `loopscope` toolkit.
+//!
+//! This crate models the *input* to the simulator: nodes, circuit elements,
+//! device model parameters, independent-source waveforms, and a SPICE-like
+//! text netlist parser. The simulation engine itself lives in
+//! `loopscope-spice`; the stability methodology on top of it lives in
+//! `loopscope-core`.
+//!
+//! The original tool of Milev & Burt reads circuits from Cadence Composer
+//! schematics. Here a circuit is either built programmatically through
+//! [`Circuit`]'s builder-style methods or parsed from a SPICE-like netlist
+//! with [`parse_netlist`].
+//!
+//! # Example
+//!
+//! ```
+//! use loopscope_netlist::{Circuit, SourceSpec};
+//!
+//! let mut ckt = Circuit::new("rc lowpass");
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! ckt.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc_ac(1.0, 1.0, 0.0));
+//! ckt.add_resistor("R1", vin, vout, 1.0e3);
+//! ckt.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-9);
+//! assert_eq!(ckt.node_count(), 3); // ground + in + out
+//! assert_eq!(ckt.elements().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod element;
+mod error;
+mod models;
+mod parser;
+mod source;
+mod units;
+
+pub use circuit::{Circuit, NodeId};
+pub use element::{
+    Bjt, BjtPolarity, Capacitor, Cccs, Ccvs, Diode, Element, ElementKind, Inductor, Isource,
+    Mosfet, MosfetPolarity, Resistor, Vccs, Vcvs, Vsource,
+};
+pub use error::NetlistError;
+pub use models::{BjtModel, DiodeModel, MosfetModel};
+pub use parser::parse_netlist;
+pub use source::{SourceSpec, Waveform};
+pub use units::parse_value;

@@ -1,0 +1,237 @@
+//! Device model parameter sets.
+//!
+//! The original methodology runs on full foundry PDK models inside Spectre.
+//! Loop stability, however, is governed by the small-signal quantities the
+//! operating point produces — transconductance, output conductance and node
+//! capacitances — so simplified standard models (Shockley diode, Ebers-Moll
+//! style BJT with Early effect, Shichman-Hodges level-1 MOSFET) are used
+//! here. See DESIGN.md §2 for the substitution rationale.
+
+use crate::error::NetlistError;
+
+/// Shockley diode model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeModel {
+    /// Saturation current `IS` in amperes.
+    pub is: f64,
+    /// Emission coefficient `N`.
+    pub n: f64,
+    /// Zero-bias junction capacitance `CJ0` in farads.
+    pub cj0: f64,
+    /// Ohmic series resistance `RS` in ohms.
+    pub rs: f64,
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        Self {
+            is: 1.0e-14,
+            n: 1.0,
+            cj0: 0.0,
+            rs: 0.0,
+        }
+    }
+}
+
+impl DiodeModel {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] when a parameter is outside
+    /// its physical range.
+    pub fn validate(&self, name: &str) -> Result<(), NetlistError> {
+        if self.is <= 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: format!("saturation current must be positive, got {}", self.is),
+            });
+        }
+        if self.n <= 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: format!("emission coefficient must be positive, got {}", self.n),
+            });
+        }
+        if self.cj0 < 0.0 || self.rs < 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: "capacitance and resistance must be non-negative".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Simplified Gummel-Poon / Ebers-Moll BJT model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BjtModel {
+    /// Transport saturation current `IS` in amperes.
+    pub is: f64,
+    /// Forward current gain `BF`.
+    pub bf: f64,
+    /// Reverse current gain `BR`.
+    pub br: f64,
+    /// Forward Early voltage `VAF` in volts (∞ disables the Early effect).
+    pub vaf: f64,
+    /// Zero-bias base-emitter junction capacitance `CJE` in farads.
+    pub cje: f64,
+    /// Zero-bias base-collector junction capacitance `CJC` in farads.
+    pub cjc: f64,
+    /// Forward transit time `TF` in seconds (diffusion capacitance).
+    pub tf: f64,
+}
+
+impl Default for BjtModel {
+    fn default() -> Self {
+        Self {
+            is: 1.0e-16,
+            bf: 100.0,
+            br: 1.0,
+            vaf: f64::INFINITY,
+            cje: 0.0,
+            cjc: 0.0,
+            tf: 0.0,
+        }
+    }
+}
+
+impl BjtModel {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] when a parameter is outside
+    /// its physical range.
+    pub fn validate(&self, name: &str) -> Result<(), NetlistError> {
+        if self.is <= 0.0 || self.bf <= 0.0 || self.br <= 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: "IS, BF and BR must be positive".to_string(),
+            });
+        }
+        if self.vaf <= 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: format!("Early voltage must be positive, got {}", self.vaf),
+            });
+        }
+        if self.cje < 0.0 || self.cjc < 0.0 || self.tf < 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: "CJE, CJC and TF must be non-negative".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Shichman-Hodges (SPICE level-1) MOSFET model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetModel {
+    /// Threshold voltage `VTO` in volts (positive for enhancement NMOS; the
+    /// same magnitude convention as SPICE is used for PMOS, i.e. negative).
+    pub vto: f64,
+    /// Transconductance parameter `KP = µ·Cox` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation `LAMBDA` in 1/V.
+    pub lambda: f64,
+    /// Gate-source overlap/intrinsic capacitance per instance in farads.
+    pub cgs: f64,
+    /// Gate-drain overlap capacitance per instance in farads.
+    pub cgd: f64,
+    /// Drain/source junction capacitance to bulk per instance in farads.
+    pub cdb: f64,
+}
+
+impl Default for MosfetModel {
+    fn default() -> Self {
+        Self {
+            vto: 0.7,
+            kp: 2.0e-5,
+            lambda: 0.02,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+        }
+    }
+}
+
+impl MosfetModel {
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] when a parameter is outside
+    /// its physical range.
+    pub fn validate(&self, name: &str) -> Result<(), NetlistError> {
+        if self.kp <= 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: format!("KP must be positive, got {}", self.kp),
+            });
+        }
+        if self.lambda < 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: format!("LAMBDA must be non-negative, got {}", self.lambda),
+            });
+        }
+        if self.cgs < 0.0 || self.cgd < 0.0 || self.cdb < 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: name.to_string(),
+                reason: "capacitances must be non-negative".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        DiodeModel::default().validate("d").unwrap();
+        BjtModel::default().validate("q").unwrap();
+        MosfetModel::default().validate("m").unwrap();
+    }
+
+    #[test]
+    fn diode_rejects_bad_is() {
+        let m = DiodeModel { is: 0.0, ..Default::default() };
+        assert!(m.validate("d1").is_err());
+        let m = DiodeModel { n: -1.0, ..Default::default() };
+        assert!(m.validate("d1").is_err());
+        let m = DiodeModel { cj0: -1.0, ..Default::default() };
+        assert!(m.validate("d1").is_err());
+    }
+
+    #[test]
+    fn bjt_rejects_bad_params() {
+        let m = BjtModel { bf: 0.0, ..Default::default() };
+        assert!(m.validate("q1").is_err());
+        let m = BjtModel { vaf: -10.0, ..Default::default() };
+        assert!(m.validate("q1").is_err());
+        let m = BjtModel { tf: -1.0, ..Default::default() };
+        assert!(m.validate("q1").is_err());
+    }
+
+    #[test]
+    fn mosfet_rejects_bad_params() {
+        let m = MosfetModel { kp: 0.0, ..Default::default() };
+        assert!(m.validate("m1").is_err());
+        let m = MosfetModel { lambda: -0.1, ..Default::default() };
+        assert!(m.validate("m1").is_err());
+        let m = MosfetModel { cgd: -1e-15, ..Default::default() };
+        assert!(m.validate("m1").is_err());
+    }
+
+    #[test]
+    fn error_message_mentions_name() {
+        let m = MosfetModel { kp: -1.0, ..Default::default() };
+        let err = m.validate("mload").unwrap_err();
+        assert!(err.to_string().contains("mload"));
+    }
+}

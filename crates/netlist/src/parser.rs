@@ -1,0 +1,645 @@
+//! SPICE-like netlist text parser.
+//!
+//! The grammar is a pragmatic subset of Berkeley SPICE decks, sufficient to
+//! describe the circuits used throughout the paper's evaluation:
+//!
+//! ```text
+//! * comment lines start with '*' (or ';')
+//! R<name> n+ n- value
+//! C<name> n+ n- value
+//! L<name> n+ n- value
+//! V<name> n+ n- [DC v] [AC mag [phase]]
+//! I<name> n+ n- [DC v] [AC mag [phase]]
+//! E<name> out+ out- ctrl+ ctrl- gain
+//! G<name> out+ out- ctrl+ ctrl- gm
+//! F<name> out+ out- vsource gain
+//! H<name> out+ out- vsource rm
+//! D<name> anode cathode model
+//! Q<name> collector base emitter model
+//! M<name> drain gate source model [W=value] [L=value]
+//! .model <name> <D|NPN|PNP|NMOS|PMOS> [param=value ...]
+//! .end
+//! ```
+//!
+//! Values accept the usual engineering suffixes (`k`, `meg`, `u`, `n`, `p`…).
+
+use crate::circuit::Circuit;
+use crate::element::{BjtPolarity, MosfetPolarity};
+use crate::error::NetlistError;
+use crate::models::{BjtModel, DiodeModel, MosfetModel};
+use crate::source::SourceSpec;
+use crate::units::parse_value;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum ModelCard {
+    Diode(DiodeModel),
+    Bjt(BjtPolarity, BjtModel),
+    Mosfet(MosfetPolarity, MosfetModel),
+}
+
+/// Parses a SPICE-like netlist into a [`Circuit`].
+///
+/// The first line is treated as the circuit title if it does not look like an
+/// element, directive or comment.
+///
+/// # Errors
+///
+/// Returns a [`NetlistError`] describing the first problem encountered
+/// (malformed line, unknown model, invalid value, duplicate element).
+///
+/// ```
+/// let ckt = loopscope_netlist::parse_netlist(r"
+/// simple rc
+/// V1 in 0 DC 1 AC 1
+/// R1 in out 1k
+/// C1 out 0 100p
+/// .end
+/// ")?;
+/// assert_eq!(ckt.title(), "simple rc");
+/// assert_eq!(ckt.elements().len(), 3);
+/// # Ok::<(), loopscope_netlist::NetlistError>(())
+/// ```
+pub fn parse_netlist(text: &str) -> Result<Circuit, NetlistError> {
+    let lines: Vec<(usize, String)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim().to_string()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('*') && !l.starts_with(';'))
+        .collect();
+
+    // Pass 1: collect model cards and the title.
+    let mut models: HashMap<String, ModelCard> = HashMap::new();
+    let mut title = String::from("netlist");
+    let mut title_line: Option<usize> = None;
+    for (lineno, line) in &lines {
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with(".model") {
+            let (name, card) = parse_model_card(*lineno, line)?;
+            models.insert(name, card);
+        } else if title_line.is_none() && !lower.starts_with('.') && !is_element_line(line) {
+            title = line.clone();
+            title_line = Some(*lineno);
+        }
+    }
+
+    let mut circuit = Circuit::new(title);
+
+    // Pass 2: elements.
+    for (lineno, line) in &lines {
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with('.') || Some(*lineno) == title_line {
+            continue;
+        }
+        parse_element_line(&mut circuit, &models, *lineno, line)?;
+    }
+
+    Ok(circuit)
+}
+
+fn is_element_line(line: &str) -> bool {
+    matches!(
+        line.chars().next().map(|c| c.to_ascii_uppercase()),
+        Some('R' | 'C' | 'L' | 'V' | 'I' | 'E' | 'G' | 'F' | 'H' | 'D' | 'Q' | 'M')
+    ) && line.split_whitespace().count() >= 3
+}
+
+fn value_at(tokens: &[&str], idx: usize, lineno: usize) -> Result<f64, NetlistError> {
+    let token = tokens.get(idx).ok_or_else(|| NetlistError::MalformedLine {
+        line: lineno,
+        reason: "missing value token".to_string(),
+    })?;
+    parse_value(token).map_err(|_| NetlistError::InvalidValue {
+        token: (*token).to_string(),
+        line: lineno,
+    })
+}
+
+fn parse_source_spec(tokens: &[&str], lineno: usize) -> Result<SourceSpec, NetlistError> {
+    // tokens are the trailing tokens after "<name> n+ n-".
+    let mut dc = 0.0;
+    let mut ac_mag = 0.0;
+    let mut ac_phase = 0.0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = tokens[i].to_ascii_lowercase();
+        match t.as_str() {
+            "dc" => {
+                dc = value_at(tokens, i + 1, lineno)?;
+                i += 2;
+            }
+            "ac" => {
+                ac_mag = value_at(tokens, i + 1, lineno)?;
+                if let Some(phase_tok) = tokens.get(i + 2) {
+                    if let Ok(p) = parse_value(phase_tok) {
+                        ac_phase = p;
+                        i += 1;
+                    }
+                }
+                i += 2;
+            }
+            _ => {
+                // A bare leading number is the DC value.
+                dc = value_at(tokens, i, lineno)?;
+                i += 1;
+            }
+        }
+    }
+    Ok(SourceSpec::dc_ac(dc, ac_mag, ac_phase))
+}
+
+fn parse_model_card(lineno: usize, line: &str) -> Result<(String, ModelCard), NetlistError> {
+    // ".model name TYPE param=value param=value ..." — parentheses optional.
+    let cleaned = line.replace(['(', ')'], " ");
+    let tokens: Vec<&str> = cleaned.split_whitespace().collect();
+    if tokens.len() < 3 {
+        return Err(NetlistError::MalformedLine {
+            line: lineno,
+            reason: ".model requires a name and a type".to_string(),
+        });
+    }
+    let name = tokens[1].to_string();
+    let kind = tokens[2].to_ascii_uppercase();
+    let params = parse_named_params(&tokens[3..], lineno)?;
+    let get = |key: &str, default: f64| params.get(key).copied().unwrap_or(default);
+
+    let card = match kind.as_str() {
+        "D" => ModelCard::Diode(DiodeModel {
+            is: get("is", 1.0e-14),
+            n: get("n", 1.0),
+            cj0: get("cj0", 0.0),
+            rs: get("rs", 0.0),
+        }),
+        "NPN" | "PNP" => {
+            let polarity = if kind == "NPN" {
+                BjtPolarity::Npn
+            } else {
+                BjtPolarity::Pnp
+            };
+            ModelCard::Bjt(
+                polarity,
+                BjtModel {
+                    is: get("is", 1.0e-16),
+                    bf: get("bf", 100.0),
+                    br: get("br", 1.0),
+                    vaf: get("vaf", f64::INFINITY),
+                    cje: get("cje", 0.0),
+                    cjc: get("cjc", 0.0),
+                    tf: get("tf", 0.0),
+                },
+            )
+        }
+        "NMOS" | "PMOS" => {
+            let polarity = if kind == "NMOS" {
+                MosfetPolarity::Nmos
+            } else {
+                MosfetPolarity::Pmos
+            };
+            ModelCard::Mosfet(
+                polarity,
+                MosfetModel {
+                    vto: get("vto", if kind == "NMOS" { 0.7 } else { -0.7 }),
+                    kp: get("kp", 2.0e-5),
+                    lambda: get("lambda", 0.02),
+                    cgs: get("cgs", 0.0),
+                    cgd: get("cgd", 0.0),
+                    cdb: get("cdb", 0.0),
+                },
+            )
+        }
+        other => {
+            return Err(NetlistError::MalformedLine {
+                line: lineno,
+                reason: format!("unsupported model type `{other}`"),
+            })
+        }
+    };
+    Ok((name, card))
+}
+
+fn parse_named_params(tokens: &[&str], lineno: usize) -> Result<HashMap<String, f64>, NetlistError> {
+    let mut map = HashMap::new();
+    for tok in tokens {
+        let Some((key, value)) = tok.split_once('=') else {
+            return Err(NetlistError::MalformedLine {
+                line: lineno,
+                reason: format!("expected `param=value`, got `{tok}`"),
+            });
+        };
+        let v = parse_value(value).map_err(|_| NetlistError::InvalidValue {
+            token: value.to_string(),
+            line: lineno,
+        })?;
+        map.insert(key.to_ascii_lowercase(), v);
+    }
+    Ok(map)
+}
+
+fn parse_element_line(
+    circuit: &mut Circuit,
+    models: &HashMap<String, ModelCard>,
+    lineno: usize,
+    line: &str,
+) -> Result<(), NetlistError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let name = tokens[0];
+    let first = name.chars().next().unwrap_or(' ').to_ascii_uppercase();
+    let need = |count: usize| -> Result<(), NetlistError> {
+        if tokens.len() < count {
+            Err(NetlistError::MalformedLine {
+                line: lineno,
+                reason: format!("expected at least {count} tokens, got {}", tokens.len()),
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    match first {
+        'R' | 'C' | 'L' => {
+            need(4)?;
+            let a = circuit.node(tokens[1]);
+            let b = circuit.node(tokens[2]);
+            let value = value_at(&tokens, 3, lineno)?;
+            let element = match first {
+                'R' => {
+                    if !(value.is_finite() && value > 0.0) {
+                        return Err(NetlistError::InvalidParameter {
+                            name: name.to_string(),
+                            reason: "resistance must be positive".to_string(),
+                        });
+                    }
+                    crate::element::Element::Resistor(crate::element::Resistor {
+                        name: name.to_string(),
+                        a,
+                        b,
+                        ohms: value,
+                    })
+                }
+                'C' => {
+                    if !(value.is_finite() && value >= 0.0) {
+                        return Err(NetlistError::InvalidParameter {
+                            name: name.to_string(),
+                            reason: "capacitance must be non-negative".to_string(),
+                        });
+                    }
+                    crate::element::Element::Capacitor(crate::element::Capacitor {
+                        name: name.to_string(),
+                        a,
+                        b,
+                        farads: value,
+                    })
+                }
+                _ => {
+                    if !(value.is_finite() && value > 0.0) {
+                        return Err(NetlistError::InvalidParameter {
+                            name: name.to_string(),
+                            reason: "inductance must be positive".to_string(),
+                        });
+                    }
+                    crate::element::Element::Inductor(crate::element::Inductor {
+                        name: name.to_string(),
+                        a,
+                        b,
+                        henries: value,
+                    })
+                }
+            };
+            circuit.try_add(element)
+        }
+        'V' | 'I' => {
+            need(3)?;
+            let plus = circuit.node(tokens[1]);
+            let minus = circuit.node(tokens[2]);
+            let spec = parse_source_spec(&tokens[3..], lineno)?;
+            let element = if first == 'V' {
+                crate::element::Element::Vsource(crate::element::Vsource {
+                    name: name.to_string(),
+                    plus,
+                    minus,
+                    spec,
+                })
+            } else {
+                crate::element::Element::Isource(crate::element::Isource {
+                    name: name.to_string(),
+                    plus,
+                    minus,
+                    spec,
+                })
+            };
+            circuit.try_add(element)
+        }
+        'E' | 'G' => {
+            need(6)?;
+            let out_plus = circuit.node(tokens[1]);
+            let out_minus = circuit.node(tokens[2]);
+            let ctrl_plus = circuit.node(tokens[3]);
+            let ctrl_minus = circuit.node(tokens[4]);
+            let value = value_at(&tokens, 5, lineno)?;
+            let element = if first == 'E' {
+                crate::element::Element::Vcvs(crate::element::Vcvs {
+                    name: name.to_string(),
+                    out_plus,
+                    out_minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gain: value,
+                })
+            } else {
+                crate::element::Element::Vccs(crate::element::Vccs {
+                    name: name.to_string(),
+                    out_plus,
+                    out_minus,
+                    ctrl_plus,
+                    ctrl_minus,
+                    gm: value,
+                })
+            };
+            circuit.try_add(element)
+        }
+        'F' | 'H' => {
+            need(5)?;
+            let out_plus = circuit.node(tokens[1]);
+            let out_minus = circuit.node(tokens[2]);
+            let ctrl = tokens[3].to_string();
+            let value = value_at(&tokens, 4, lineno)?;
+            let element = if first == 'F' {
+                crate::element::Element::Cccs(crate::element::Cccs {
+                    name: name.to_string(),
+                    out_plus,
+                    out_minus,
+                    ctrl_vsource: ctrl,
+                    gain: value,
+                })
+            } else {
+                crate::element::Element::Ccvs(crate::element::Ccvs {
+                    name: name.to_string(),
+                    out_plus,
+                    out_minus,
+                    ctrl_vsource: ctrl,
+                    rm: value,
+                })
+            };
+            circuit.try_add(element)
+        }
+        'D' => {
+            need(4)?;
+            let anode = circuit.node(tokens[1]);
+            let cathode = circuit.node(tokens[2]);
+            let model = match models.get(tokens[3]) {
+                Some(ModelCard::Diode(m)) => *m,
+                Some(_) => {
+                    return Err(NetlistError::MalformedLine {
+                        line: lineno,
+                        reason: format!("model `{}` is not a diode model", tokens[3]),
+                    })
+                }
+                None => return Err(NetlistError::UnknownModel(tokens[3].to_string())),
+            };
+            circuit.try_add(crate::element::Element::Diode(crate::element::Diode {
+                name: name.to_string(),
+                anode,
+                cathode,
+                model,
+            }))
+        }
+        'Q' => {
+            need(5)?;
+            let collector = circuit.node(tokens[1]);
+            let base = circuit.node(tokens[2]);
+            let emitter = circuit.node(tokens[3]);
+            let (polarity, model) = match models.get(tokens[4]) {
+                Some(ModelCard::Bjt(p, m)) => (*p, *m),
+                Some(_) => {
+                    return Err(NetlistError::MalformedLine {
+                        line: lineno,
+                        reason: format!("model `{}` is not a BJT model", tokens[4]),
+                    })
+                }
+                None => return Err(NetlistError::UnknownModel(tokens[4].to_string())),
+            };
+            circuit.try_add(crate::element::Element::Bjt(crate::element::Bjt {
+                name: name.to_string(),
+                collector,
+                base,
+                emitter,
+                polarity,
+                model,
+            }))
+        }
+        'M' => {
+            need(5)?;
+            let drain = circuit.node(tokens[1]);
+            let gate = circuit.node(tokens[2]);
+            let source = circuit.node(tokens[3]);
+            let (polarity, model) = match models.get(tokens[4]) {
+                Some(ModelCard::Mosfet(p, m)) => (*p, *m),
+                Some(_) => {
+                    return Err(NetlistError::MalformedLine {
+                        line: lineno,
+                        reason: format!("model `{}` is not a MOSFET model", tokens[4]),
+                    })
+                }
+                None => return Err(NetlistError::UnknownModel(tokens[4].to_string())),
+            };
+            let geom = parse_named_params(&tokens[5..], lineno)?;
+            let width = geom.get("w").copied().unwrap_or(10.0e-6);
+            let length = geom.get("l").copied().unwrap_or(1.0e-6);
+            if width <= 0.0 || length <= 0.0 {
+                return Err(NetlistError::InvalidParameter {
+                    name: name.to_string(),
+                    reason: "W and L must be positive".to_string(),
+                });
+            }
+            circuit.try_add(crate::element::Element::Mosfet(crate::element::Mosfet {
+                name: name.to_string(),
+                drain,
+                gate,
+                source,
+                polarity,
+                width,
+                length,
+                model,
+            }))
+        }
+        other => Err(NetlistError::MalformedLine {
+            line: lineno,
+            reason: format!("unknown element prefix `{other}`"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Element;
+
+    #[test]
+    fn parses_rc_lowpass() {
+        let ckt = parse_netlist(
+            "rc lowpass\nV1 in 0 DC 1 AC 1\nR1 in out 1k\nC1 out 0 100p\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.title(), "rc lowpass");
+        assert_eq!(ckt.elements().len(), 3);
+        assert_eq!(ckt.node_count(), 3);
+        match ckt.element("C1").unwrap() {
+            Element::Capacitor(c) => assert!((c.farads - 1e-10).abs() < 1e-22),
+            _ => panic!("wrong element type"),
+        }
+        ckt.validate().unwrap();
+    }
+
+    #[test]
+    fn parses_source_variants() {
+        let ckt = parse_netlist(
+            "sources\nV1 a 0 5\nV2 b 0 DC 2 AC 1 45\nI1 0 c AC 1\nR1 a b 1\nR2 b c 1\nR3 c 0 1\n",
+        )
+        .unwrap();
+        match ckt.element("V1").unwrap() {
+            Element::Vsource(v) => {
+                assert_eq!(v.spec.dc, 5.0);
+                assert_eq!(v.spec.ac_mag, 0.0);
+            }
+            _ => panic!(),
+        }
+        match ckt.element("V2").unwrap() {
+            Element::Vsource(v) => {
+                assert_eq!(v.spec.dc, 2.0);
+                assert_eq!(v.spec.ac_mag, 1.0);
+                assert_eq!(v.spec.ac_phase_deg, 45.0);
+            }
+            _ => panic!(),
+        }
+        match ckt.element("I1").unwrap() {
+            Element::Isource(i) => {
+                assert_eq!(i.spec.dc, 0.0);
+                assert_eq!(i.spec.ac_mag, 1.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_controlled_sources() {
+        let ckt = parse_netlist(
+            "ctrl\nV1 in 0 DC 1\nR1 in x 1k\nE1 y 0 x 0 10\nR2 y 0 1k\nG1 0 z x 0 1m\nR3 z 0 2k\nF1 0 w V1 2\nR4 w 0 1k\nH1 u 0 V1 50\nR5 u 0 1k\nR6 x 0 1k\n",
+        )
+        .unwrap();
+        assert!(matches!(ckt.element("E1"), Some(Element::Vcvs(_))));
+        assert!(matches!(ckt.element("G1"), Some(Element::Vccs(_))));
+        assert!(matches!(ckt.element("F1"), Some(Element::Cccs(_))));
+        assert!(matches!(ckt.element("H1"), Some(Element::Ccvs(_))));
+        ckt.validate().unwrap();
+    }
+
+    #[test]
+    fn parses_semiconductors_with_models() {
+        let ckt = parse_netlist(
+            r"
+semis
+.model dio D (IS=2e-14 N=1.1 CJ0=1p)
+.model qn NPN (IS=1e-16 BF=150 VAF=80 CJE=0.5p CJC=0.3p TF=100p)
+.model mn NMOS (VTO=0.6 KP=50u LAMBDA=0.05 CGS=10f CGD=5f)
+V1 vdd 0 DC 3
+D1 vdd a dio
+Q1 b a 0 qn
+M1 c b 0 mn W=20u L=2u
+R1 a 0 10k
+R2 b vdd 10k
+R3 c vdd 10k
+.end
+",
+        )
+        .unwrap();
+        match ckt.element("D1").unwrap() {
+            Element::Diode(d) => {
+                assert_eq!(d.model.is, 2e-14);
+                assert_eq!(d.model.n, 1.1);
+            }
+            _ => panic!(),
+        }
+        match ckt.element("Q1").unwrap() {
+            Element::Bjt(q) => {
+                assert_eq!(q.polarity, BjtPolarity::Npn);
+                assert_eq!(q.model.bf, 150.0);
+                assert_eq!(q.model.vaf, 80.0);
+            }
+            _ => panic!(),
+        }
+        match ckt.element("M1").unwrap() {
+            Element::Mosfet(m) => {
+                assert_eq!(m.polarity, MosfetPolarity::Nmos);
+                assert!((m.width - 20e-6).abs() < 1e-12);
+                assert!((m.length - 2e-6).abs() < 1e-12);
+                assert!((m.model.kp - 50e-6).abs() < 1e-12);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let ckt = parse_netlist(
+            "* a comment\n\n; another comment\nR1 a 0 1k\nC1 a 0 1p\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.elements().len(), 2);
+        // No explicit title line: default is used.
+        assert_eq!(ckt.title(), "netlist");
+    }
+
+    #[test]
+    fn unknown_model_is_an_error() {
+        let err = parse_netlist("t\nD1 a 0 nomodel\nR1 a 0 1k\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownModel(_)));
+    }
+
+    #[test]
+    fn wrong_model_kind_is_an_error() {
+        let err = parse_netlist(
+            "t\n.model nm NMOS\nQ1 a b 0 nm\nR1 a 0 1k\nR2 b 0 1k\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetlistError::MalformedLine { .. }));
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_line_number() {
+        let err = parse_netlist("t\nR1 a 0\n").unwrap_err();
+        match err {
+            NetlistError::MalformedLine { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_value_reported() {
+        let err = parse_netlist("t\nR1 a 0 abc\n").unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn negative_resistance_rejected() {
+        let err = parse_netlist("t\nR1 a 0 -5\n").unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn unknown_prefix_rejected() {
+        let err = parse_netlist("t\nX1 a b c sub\n").unwrap_err();
+        assert!(matches!(err, NetlistError::MalformedLine { .. }));
+    }
+
+    #[test]
+    fn duplicate_element_rejected() {
+        let err = parse_netlist("t\nR1 a 0 1k\nR1 a 0 2k\n").unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateElement(_)));
+    }
+
+    #[test]
+    fn model_card_without_type_is_error() {
+        let err = parse_netlist("t\n.model broken\nR1 a 0 1k\n").unwrap_err();
+        assert!(matches!(err, NetlistError::MalformedLine { .. }));
+    }
+}

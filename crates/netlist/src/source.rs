@@ -1,0 +1,292 @@
+//! Independent source specifications.
+//!
+//! Each independent voltage or current source carries three facets that the
+//! different analyses consume:
+//!
+//! * a **DC** value used by the operating-point solve,
+//! * an **AC** small-signal magnitude/phase used by the AC sweep (this is the
+//!   facet the stability tool toggles when it injects its probe current), and
+//! * an optional **transient waveform** used by the time-domain analysis
+//!   (the step stimulus of the traditional overshoot method).
+
+/// Time-domain waveform of an independent source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Waveform {
+    /// Constant value equal to the DC value.
+    Constant,
+    /// An ideal step: `initial` before `delay`, `final_value` afterwards.
+    Step {
+        /// Value before the step instant.
+        initial: f64,
+        /// Value after the step instant.
+        final_value: f64,
+        /// Step instant in seconds.
+        delay: f64,
+    },
+    /// A finite-rise pulse, SPICE `PULSE(...)`-like but without period/repeat.
+    Pulse {
+        /// Initial value.
+        initial: f64,
+        /// Pulsed value.
+        pulsed: f64,
+        /// Delay before the rising edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width, seconds.
+        width: f64,
+    },
+    /// A sine wave `offset + amplitude·sin(2πf(t−delay))` for `t ≥ delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq_hz: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+}
+
+impl Waveform {
+    /// Evaluates the waveform at time `t` (seconds), given the source's DC
+    /// value (used by [`Waveform::Constant`]).
+    pub fn value_at(&self, t: f64, dc: f64) -> f64 {
+        match *self {
+            Waveform::Constant => dc,
+            Waveform::Step {
+                initial,
+                final_value,
+                delay,
+            } => {
+                if t < delay {
+                    initial
+                } else {
+                    final_value
+                }
+            }
+            Waveform::Pulse {
+                initial,
+                pulsed,
+                delay,
+                rise,
+                fall,
+                width,
+            } => {
+                if t < delay {
+                    initial
+                } else if t < delay + rise {
+                    if rise <= 0.0 {
+                        pulsed
+                    } else {
+                        initial + (pulsed - initial) * (t - delay) / rise
+                    }
+                } else if t < delay + rise + width {
+                    pulsed
+                } else if t < delay + rise + width + fall {
+                    if fall <= 0.0 {
+                        initial
+                    } else {
+                        pulsed + (initial - pulsed) * (t - delay - rise - width) / fall
+                    }
+                } else {
+                    initial
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                freq_hz,
+                delay,
+            } => {
+                if t < delay {
+                    offset
+                } else {
+                    offset
+                        + amplitude
+                            * (2.0 * std::f64::consts::PI * freq_hz * (t - delay)).sin()
+                }
+            }
+        }
+    }
+}
+
+/// Complete specification of an independent source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceSpec {
+    /// DC value (volts or amperes).
+    pub dc: f64,
+    /// Small-signal AC magnitude (volts or amperes). Zero disables the source
+    /// during AC analysis.
+    pub ac_mag: f64,
+    /// Small-signal AC phase in degrees.
+    pub ac_phase_deg: f64,
+    /// Transient waveform.
+    pub waveform: Waveform,
+}
+
+impl SourceSpec {
+    /// A DC-only source (no AC stimulus, constant in time).
+    pub fn dc(value: f64) -> Self {
+        Self {
+            dc: value,
+            ac_mag: 0.0,
+            ac_phase_deg: 0.0,
+            waveform: Waveform::Constant,
+        }
+    }
+
+    /// A source with both a DC value and an AC stimulus.
+    pub fn dc_ac(dc: f64, ac_mag: f64, ac_phase_deg: f64) -> Self {
+        Self {
+            dc,
+            ac_mag,
+            ac_phase_deg,
+            waveform: Waveform::Constant,
+        }
+    }
+
+    /// A pure AC probe with zero DC value — exactly what the stability tool
+    /// injects at the node under test.
+    pub fn ac_probe(ac_mag: f64) -> Self {
+        Self {
+            dc: 0.0,
+            ac_mag,
+            ac_phase_deg: 0.0,
+            waveform: Waveform::Constant,
+        }
+    }
+
+    /// A step source for transient analysis, holding `dc_initial` until
+    /// `delay` and `dc_final` afterwards. The DC (operating-point) value is
+    /// the *initial* level.
+    pub fn step(dc_initial: f64, dc_final: f64, delay: f64) -> Self {
+        Self {
+            dc: dc_initial,
+            ac_mag: 0.0,
+            ac_phase_deg: 0.0,
+            waveform: Waveform::Step {
+                initial: dc_initial,
+                final_value: dc_final,
+                delay,
+            },
+        }
+    }
+
+    /// Returns a copy with the AC stimulus removed (magnitude forced to 0).
+    ///
+    /// The original tool "auto-zeroes all AC sources/stimuli in the design
+    /// prior to running the analysis" so that only its own probe is active;
+    /// this is the per-source primitive behind that feature.
+    pub fn without_ac(mut self) -> Self {
+        self.ac_mag = 0.0;
+        self.ac_phase_deg = 0.0;
+        self
+    }
+
+    /// Transient value at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.waveform.value_at(t, self.dc)
+    }
+}
+
+impl Default for SourceSpec {
+    fn default() -> Self {
+        Self::dc(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_constructor() {
+        let s = SourceSpec::dc(2.5);
+        assert_eq!(s.dc, 2.5);
+        assert_eq!(s.ac_mag, 0.0);
+        assert_eq!(s.value_at(10.0), 2.5);
+    }
+
+    #[test]
+    fn ac_probe_has_no_dc() {
+        let s = SourceSpec::ac_probe(1.0);
+        assert_eq!(s.dc, 0.0);
+        assert_eq!(s.ac_mag, 1.0);
+    }
+
+    #[test]
+    fn without_ac_zeroes_stimulus() {
+        let s = SourceSpec::dc_ac(1.0, 1.0, 45.0).without_ac();
+        assert_eq!(s.ac_mag, 0.0);
+        assert_eq!(s.ac_phase_deg, 0.0);
+        assert_eq!(s.dc, 1.0);
+    }
+
+    #[test]
+    fn step_waveform() {
+        let s = SourceSpec::step(1.0, 2.0, 1e-6);
+        assert_eq!(s.value_at(0.0), 1.0);
+        assert_eq!(s.value_at(0.9e-6), 1.0);
+        assert_eq!(s.value_at(1.1e-6), 2.0);
+        assert_eq!(s.dc, 1.0);
+    }
+
+    #[test]
+    fn pulse_waveform_phases() {
+        let w = Waveform::Pulse {
+            initial: 0.0,
+            pulsed: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+        };
+        assert_eq!(w.value_at(0.5, 0.0), 0.0);
+        assert!((w.value_at(1.5, 0.0) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.value_at(2.5, 0.0), 1.0); // flat top
+        assert!((w.value_at(4.5, 0.0) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.value_at(10.0, 0.0), 0.0); // back to initial
+    }
+
+    #[test]
+    fn pulse_zero_rise_fall() {
+        let w = Waveform::Pulse {
+            initial: 0.0,
+            pulsed: 5.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+        };
+        assert_eq!(w.value_at(0.5, 0.0), 5.0);
+        assert_eq!(w.value_at(1.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn sine_waveform() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            freq_hz: 1.0,
+            delay: 0.0,
+        };
+        assert!((w.value_at(0.25, 0.0) - 3.0).abs() < 1e-12);
+        assert!((w.value_at(0.0, 0.0) - 1.0).abs() < 1e-12);
+        let delayed = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            freq_hz: 1.0,
+            delay: 5.0,
+        };
+        assert_eq!(delayed.value_at(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn default_is_zero_dc() {
+        assert_eq!(SourceSpec::default(), SourceSpec::dc(0.0));
+    }
+}

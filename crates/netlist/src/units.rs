@@ -1,0 +1,143 @@
+//! SPICE-style numeric value parsing with engineering suffixes.
+
+use crate::error::NetlistError;
+
+/// Parses a SPICE-style numeric token such as `10k`, `2.2u`, `1meg`, `5p` or
+/// a plain number. Suffixes are case-insensitive; any trailing unit letters
+/// after a recognized suffix are ignored (`10pF`, `1kOhm`).
+///
+/// | suffix | scale |
+/// |--------|-------|
+/// | `t`    | 1e12  |
+/// | `g`    | 1e9   |
+/// | `meg`  | 1e6   |
+/// | `k`    | 1e3   |
+/// | `m`    | 1e-3  |
+/// | `u`    | 1e-6  |
+/// | `n`    | 1e-9  |
+/// | `p`    | 1e-12 |
+/// | `f`    | 1e-15 |
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidValue`] when the token has no leading
+/// numeric part.
+///
+/// ```
+/// use loopscope_netlist::parse_value;
+/// assert_eq!(parse_value("10k").unwrap(), 1.0e4);
+/// assert_eq!(parse_value("2.5MEG").unwrap(), 2.5e6);
+/// assert_eq!(parse_value("100pF").unwrap(), 1.0e-10);
+/// assert_eq!(parse_value("-3.3").unwrap(), -3.3);
+/// assert!(parse_value("abc").is_err());
+/// ```
+pub fn parse_value(token: &str) -> Result<f64, NetlistError> {
+    let token_trimmed = token.trim();
+    let lower = token_trimmed.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+
+    // Split numeric head from the alphabetic tail.
+    let mut split = bytes.len();
+    for (i, &b) in bytes.iter().enumerate() {
+        let c = b as char;
+        let numeric = c.is_ascii_digit()
+            || c == '.'
+            || c == '-'
+            || c == '+'
+            || (c == 'e'
+                && i > 0
+                && bytes
+                    .get(i + 1)
+                    .is_some_and(|&n| (n as char).is_ascii_digit() || n == b'-' || n == b'+'));
+        if !numeric {
+            split = i;
+            break;
+        }
+    }
+    let (head, tail) = lower.split_at(split);
+    let base: f64 = head.parse().map_err(|_| NetlistError::InvalidValue {
+        token: token_trimmed.to_string(),
+        line: 0,
+    })?;
+
+    let scale = if tail.starts_with("meg") {
+        1e6
+    } else {
+        match tail.chars().next() {
+            Some('t') => 1e12,
+            Some('g') => 1e9,
+            Some('k') => 1e3,
+            Some('m') => 1e-3,
+            Some('u') => 1e-6,
+            Some('n') => 1e-9,
+            Some('p') => 1e-12,
+            Some('f') => 1e-15,
+            _ => 1.0,
+        }
+    };
+    Ok(base * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_value("42").unwrap(), 42.0);
+        assert_eq!(parse_value("-1.5").unwrap(), -1.5);
+        assert_eq!(parse_value("3e6").unwrap(), 3.0e6);
+        assert_eq!(parse_value("1.2e-9").unwrap(), 1.2e-9);
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        assert!(close(parse_value("10K").unwrap(), 1.0e4));
+        assert!(close(parse_value("1meg").unwrap(), 1.0e6));
+        assert!(close(parse_value("1MEG").unwrap(), 1.0e6));
+        assert!(close(parse_value("2g").unwrap(), 2.0e9));
+        assert!(close(parse_value("1t").unwrap(), 1.0e12));
+        assert!(close(parse_value("5m").unwrap(), 5.0e-3));
+        assert!(close(parse_value("5u").unwrap(), 5.0e-6));
+        assert!(close(parse_value("5n").unwrap(), 5.0e-9));
+        assert!(close(parse_value("5p").unwrap(), 5.0e-12));
+        assert!(close(parse_value("5f").unwrap(), 5.0e-15));
+    }
+
+    #[test]
+    fn unit_tails_are_ignored() {
+        assert!(close(parse_value("10pF").unwrap(), 1.0e-11));
+        assert!(close(parse_value("1kOhm").unwrap(), 1.0e3));
+        assert!(close(parse_value("2.5Volts").unwrap(), 2.5));
+    }
+
+    #[test]
+    fn milli_vs_mega_disambiguation() {
+        assert!(close(parse_value("1m").unwrap(), 1.0e-3));
+        assert!(close(parse_value("1meg").unwrap(), 1.0e6));
+        // "mA" is milli-amps, not mega.
+        assert!(close(parse_value("1mA").unwrap(), 1.0e-3));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(parse_value(" 10k ").unwrap(), 1.0e4);
+    }
+
+    #[test]
+    fn invalid_tokens_rejected() {
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+        assert!(parse_value("k10").is_err());
+    }
+
+    #[test]
+    fn scientific_with_suffix_tail() {
+        // Exponent form followed by a unit letter.
+        assert_eq!(parse_value("1e3V").unwrap(), 1.0e3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the circuit model and netlist parser.
+
+use loopscope_netlist::{parse_netlist, parse_value, Circuit, Element, SourceSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Engineering-notation parsing agrees with plain scientific notation for
+    /// every suffix and a wide range of mantissas.
+    #[test]
+    fn value_parsing_matches_scientific(
+        mantissa in 0.001f64..9999.0,
+        suffix_idx in 0usize..9,
+    ) {
+        let (suffix, scale) = [
+            ("t", 1e12), ("g", 1e9), ("meg", 1e6), ("k", 1e3), ("", 1.0),
+            ("m", 1e-3), ("u", 1e-6), ("n", 1e-9), ("p", 1e-12),
+        ][suffix_idx];
+        let token = format!("{mantissa}{suffix}");
+        let parsed = parse_value(&token).expect("valid token");
+        let expected = mantissa * scale;
+        prop_assert!((parsed - expected).abs() <= 1e-9 * expected.abs());
+    }
+
+    /// A generated resistor/capacitor ladder netlist round-trips through the
+    /// text parser: same element count, same node count, same values.
+    #[test]
+    fn ladder_netlist_roundtrip(
+        sections in 1usize..12,
+        r_ohms in 1.0f64..1.0e6,
+        c_farads in 1.0e-15f64..1.0e-6,
+    ) {
+        let mut text = String::from("generated ladder\nV1 in 0 DC 1\n");
+        for k in 1..=sections {
+            let prev = if k == 1 { "in".to_string() } else { format!("n{}", k - 1) };
+            text.push_str(&format!("R{k} {prev} n{k} {r_ohms:.6e}\n"));
+            text.push_str(&format!("C{k} n{k} 0 {c_farads:.6e}\n"));
+        }
+        let circuit = parse_netlist(&text).expect("generated netlist parses");
+        prop_assert_eq!(circuit.elements().len(), 1 + 2 * sections);
+        prop_assert_eq!(circuit.node_count(), 2 + sections); // ground + in + n1..nN
+        circuit.validate().expect("ladder is structurally valid");
+        for k in 1..=sections {
+            match circuit.element(&format!("R{k}")).unwrap() {
+                Element::Resistor(r) => prop_assert!((r.ohms - r_ohms).abs() <= 1e-6 * r_ohms),
+                _ => prop_assert!(false, "wrong element kind"),
+            }
+            match circuit.element(&format!("C{k}")).unwrap() {
+                Element::Capacitor(c) => prop_assert!((c.farads - c_farads).abs() <= 1e-6 * c_farads),
+                _ => prop_assert!(false, "wrong element kind"),
+            }
+        }
+    }
+
+    /// Node interning is stable and name lookups agree with handles for any
+    /// set of distinct names.
+    #[test]
+    fn node_interning_is_consistent(names in prop::collection::hash_set("[a-z][a-z0-9_]{0,8}", 1..20)) {
+        let mut circuit = Circuit::new("interning");
+        let mut handles = Vec::new();
+        for name in &names {
+            handles.push((name.clone(), circuit.node(name)));
+        }
+        for (name, handle) in &handles {
+            prop_assert_eq!(circuit.node(name), *handle);
+            prop_assert_eq!(circuit.find_node(name), Some(*handle));
+            if name != "gnd" {
+                prop_assert_eq!(circuit.node_name(*handle), name.as_str());
+            }
+        }
+        let expected_ground_aliases = names.contains("gnd") as usize;
+        prop_assert_eq!(circuit.node_count(), 1 + names.len() - expected_ground_aliases);
+    }
+
+    /// Zeroing AC sources is idempotent and never touches DC values.
+    #[test]
+    fn zero_ac_sources_idempotent(
+        dc in -10.0f64..10.0,
+        ac in 0.0f64..5.0,
+        phase in -180.0f64..180.0,
+    ) {
+        let mut circuit = Circuit::new("zero ac");
+        let a = circuit.node("a");
+        circuit.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc_ac(dc, ac, phase));
+        circuit.add_resistor("R1", a, Circuit::GROUND, 1.0e3);
+        let first = circuit.zero_ac_sources();
+        prop_assert_eq!(first, usize::from(ac != 0.0));
+        prop_assert_eq!(circuit.zero_ac_sources(), 0);
+        match circuit.element("V1").unwrap() {
+            Element::Vsource(v) => {
+                prop_assert_eq!(v.spec.dc, dc);
+                prop_assert_eq!(v.spec.ac_mag, 0.0);
+            }
+            _ => prop_assert!(false),
+        }
+    }
+}

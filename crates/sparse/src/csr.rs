@@ -1,0 +1,213 @@
+//! Compressed sparse row (CSR) matrix storage.
+
+use crate::scalar::Scalar;
+use std::collections::BTreeMap;
+
+/// An immutable sparse matrix in compressed sparse row format.
+///
+/// Construct one through [`TripletMatrix::to_csr`](crate::TripletMatrix::to_csr).
+///
+/// ```
+/// use loopscope_sparse::TripletMatrix;
+/// let mut t = TripletMatrix::<f64>::new(2, 3);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 2, 2.0);
+/// t.push(1, 1, 3.0);
+/// let m = t.to_csr();
+/// assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from entries already sorted by `(row, col)` with no
+    /// duplicates (the `BTreeMap` ordering guarantees both).
+    pub(crate) fn from_sorted_entries(
+        rows: usize,
+        cols: usize,
+        entries: BTreeMap<(usize, usize), T>,
+    ) -> Self {
+        let nnz = entries.len();
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for (&(r, c), &v) in &entries {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for r in 0..rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Creates an empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value at `(row, col)`, or zero if the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        match self.col_idx[start..end].binary_search(&col) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Iterates over the stored entries of a row as `(col, value)` pairs.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        self.col_idx[start..end]
+            .iter()
+            .copied()
+            .zip(self.values[start..end].iter().copied())
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row_entries(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Matrix-vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![T::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = T::ZERO;
+            for (c, v) in self.row_entries(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Largest entry magnitude, or zero for an empty matrix. Useful for
+    /// conditioning diagnostics.
+    pub fn max_modulus(&self) -> f64 {
+        self.values
+            .iter()
+            .map(|v| v.modulus())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+    use loopscope_math::Complex64;
+
+    fn sample() -> CsrMatrix<f64> {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 2, -1.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, 4.0);
+        t.push(2, 2, 5.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn structure_and_get() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0 - 3.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let m = sample();
+        let entries: Vec<(usize, usize, f64)> = m.iter().collect();
+        assert_eq!(entries.len(), 5);
+        assert!(entries.contains(&(2, 0, 4.0)));
+    }
+
+    #[test]
+    fn zeros_matrix() {
+        let m = CsrMatrix::<f64>::zeros(2, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.mul_vec(&[1.0; 4]), vec![0.0, 0.0]);
+        assert_eq!(m.max_modulus(), 0.0);
+    }
+
+    #[test]
+    fn complex_mul_vec() {
+        let mut t = TripletMatrix::<Complex64>::new(2, 2);
+        t.push(0, 0, Complex64::I);
+        t.push(1, 1, Complex64::new(2.0, 0.0));
+        let m = t.to_csr();
+        let y = m.mul_vec(&[Complex64::ONE, Complex64::I]);
+        assert_eq!(y[0], Complex64::I);
+        assert_eq!(y[1], Complex64::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn max_modulus() {
+        let m = sample();
+        assert_eq!(m.max_modulus(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        sample().get(3, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Sparse matrices and a sparse LU solver for circuit simulation.
+//!
+//! Modified nodal analysis (MNA) produces matrices that are extremely sparse
+//! — each circuit element touches at most a handful of rows/columns — so the
+//! simulator in `loopscope-spice` assembles its systems through the types in
+//! this crate:
+//!
+//! * [`TripletMatrix`] — a coordinate-format accumulator that element
+//!   "stamps" append to; duplicate entries are summed, which matches how MNA
+//!   stamps superpose.
+//! * [`CsrMatrix`] — compressed sparse row storage used for matrix-vector
+//!   products and as the input to factorization.
+//! * [`SparseLu`] — a row-map based LU factorization with partial pivoting
+//!   that handles fill-in and works for both real and complex scalars.
+//!
+//! The scalar abstraction [`Scalar`] is implemented for `f64` (DC and
+//! transient analyses) and [`Complex64`] (AC analysis).
+//!
+//! # Example
+//!
+//! ```
+//! use loopscope_sparse::{TripletMatrix, SparseLu};
+//!
+//! // 2x2 system: [2 1; 1 3]·x = [5, 10]  →  x = [1, 3]
+//! let mut t = TripletMatrix::<f64>::new(2, 2);
+//! t.push(0, 0, 2.0);
+//! t.push(0, 1, 1.0);
+//! t.push(1, 0, 1.0);
+//! t.push(1, 1, 3.0);
+//! let lu = SparseLu::factor(&t.to_csr())?;
+//! let x = lu.solve(&[5.0, 10.0])?;
+//! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+//! # Ok::<(), loopscope_sparse::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+mod lu;
+mod scalar;
+mod triplet;
+
+pub use csr::CsrMatrix;
+pub use lu::{solve_once, SolveError, SparseLu};
+pub use scalar::Scalar;
+pub use triplet::TripletMatrix;
+
+pub use loopscope_math::Complex64;

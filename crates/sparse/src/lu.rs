@@ -1,0 +1,392 @@
+//! Sparse LU factorization with partial pivoting.
+//!
+//! The factorization operates on row maps (`BTreeMap<usize, T>` per row), so
+//! fill-in created during elimination is inserted where it appears. Pivoting
+//! is partial (largest modulus in the pivot column among the remaining rows),
+//! which is robust for MNA matrices that contain zero diagonal entries for
+//! voltage-source branch equations.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced by factorization or solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (no usable pivot) at the given elimination step.
+    Singular(usize),
+    /// The matrix is not square.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// The right-hand side length does not match the matrix dimension.
+    RhsLength {
+        /// Matrix dimension.
+        expected: usize,
+        /// Supplied right-hand-side length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular(k) => write!(f, "matrix is singular at elimination step {k}"),
+            SolveError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            SolveError::RhsLength { expected, got } => {
+                write!(f, "right-hand side has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An LU factorization `P·A = L·U` of a sparse square matrix.
+///
+/// The factors are stored as sparse row maps; [`solve`](SparseLu::solve) can
+/// be called repeatedly with different right-hand sides, which is how the AC
+/// sweep reuses structure across frequency points (one factorization per
+/// frequency, one solve per stimulus).
+#[derive(Debug, Clone)]
+pub struct SparseLu<T: Scalar> {
+    n: usize,
+    /// Row permutation: `perm[k]` is the original row index used as pivot row
+    /// at elimination step `k`.
+    perm: Vec<usize>,
+    /// Unit-lower-triangular factors: for each elimination step `k`, the list
+    /// of `(row, multiplier)` pairs that were eliminated using pivot `k`.
+    lower: Vec<Vec<(usize, T)>>,
+    /// Upper-triangular rows indexed by elimination step.
+    upper: Vec<BTreeMap<usize, T>>,
+    /// Pivot values (diagonal of U).
+    pivots: Vec<T>,
+}
+
+/// Relative threshold under which a pivot is declared numerically singular.
+const SINGULARITY_THRESHOLD: f64 = 1e-250;
+
+impl<T: Scalar> SparseLu<T> {
+    /// Factors a square sparse matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for rectangular input and
+    /// [`SolveError::Singular`] when no acceptable pivot exists at some step.
+    pub fn factor(matrix: &CsrMatrix<T>) -> Result<Self, SolveError> {
+        let n = matrix.rows();
+        if matrix.cols() != n {
+            return Err(SolveError::NotSquare {
+                rows: n,
+                cols: matrix.cols(),
+            });
+        }
+
+        // Working row maps.
+        let mut rows: Vec<BTreeMap<usize, T>> = (0..n)
+            .map(|r| matrix.row_entries(r).collect::<BTreeMap<usize, T>>())
+            .collect();
+        // Which original rows are still uneliminated.
+        let mut active: Vec<usize> = (0..n).collect();
+
+        let mut perm = Vec::with_capacity(n);
+        let mut lower: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
+        let mut upper: Vec<BTreeMap<usize, T>> = Vec::with_capacity(n);
+        let mut pivots = Vec::with_capacity(n);
+
+        for k in 0..n {
+            // Partial pivoting: among active rows, choose the one with the
+            // largest modulus in column k.
+            let mut best: Option<(usize, f64)> = None;
+            for (ai, &r) in active.iter().enumerate() {
+                if let Some(v) = rows[r].get(&k) {
+                    let m = v.modulus();
+                    if m > best.map_or(0.0, |(_, bm)| bm) {
+                        best = Some((ai, m));
+                    }
+                }
+            }
+            let (active_idx, pivot_mod) = best.ok_or(SolveError::Singular(k))?;
+            if pivot_mod < SINGULARITY_THRESHOLD {
+                return Err(SolveError::Singular(k));
+            }
+            let pivot_row = active.swap_remove(active_idx);
+            let pivot_map = std::mem::take(&mut rows[pivot_row]);
+            let pivot_val = *pivot_map.get(&k).expect("pivot entry must exist");
+
+            // Eliminate column k from the remaining active rows.
+            let mut l_col = Vec::new();
+            for &r in &active {
+                let Some(&a_rk) = rows[r].get(&k) else {
+                    continue;
+                };
+                let factor = a_rk / pivot_val;
+                rows[r].remove(&k);
+                if factor.is_zero() {
+                    continue;
+                }
+                for (&c, &p_v) in pivot_map.range((k + 1)..) {
+                    let entry = rows[r].entry(c).or_insert(T::ZERO);
+                    *entry -= factor * p_v;
+                    // Drop entries that cancelled exactly to keep rows sparse.
+                    if entry.is_zero() {
+                        rows[r].remove(&c);
+                    }
+                }
+                l_col.push((r, factor));
+            }
+
+            perm.push(pivot_row);
+            lower.push(l_col);
+            pivots.push(pivot_val);
+            upper.push(pivot_map);
+        }
+
+        Ok(Self {
+            n,
+            perm,
+            lower,
+            upper,
+            pivots,
+        })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of stored entries in the L and U factors (a fill-in
+    /// diagnostic).
+    pub fn factor_nnz(&self) -> usize {
+        self.lower.iter().map(Vec::len).sum::<usize>()
+            + self.upper.iter().map(BTreeMap::len).sum::<usize>()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::RhsLength`] when `b.len()` does not match the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, SolveError> {
+        if b.len() != self.n {
+            return Err(SolveError::RhsLength {
+                expected: self.n,
+                got: b.len(),
+            });
+        }
+        // Forward elimination applied to a copy of b, indexed by ORIGINAL row.
+        let mut work = b.to_vec();
+        let mut y = vec![T::ZERO; self.n];
+        for k in 0..self.n {
+            let yk = work[self.perm[k]];
+            y[k] = yk;
+            for &(row, factor) in &self.lower[k] {
+                work[row] -= factor * yk;
+            }
+        }
+        // Back substitution on U (indexed by elimination step).
+        let mut x = vec![T::ZERO; self.n];
+        for k in (0..self.n).rev() {
+            let mut acc = y[k];
+            for (&c, &v) in self.upper[k].range((k + 1)..) {
+                acc -= v * x[c];
+            }
+            x[k] = acc / self.pivots[k];
+        }
+        Ok(x)
+    }
+}
+
+/// Convenience helper: factor `matrix` and solve for a single right-hand side.
+///
+/// # Errors
+///
+/// Propagates any [`SolveError`] from factorization or solve.
+pub fn solve_once<T: Scalar>(matrix: &CsrMatrix<T>, b: &[T]) -> Result<Vec<T>, SolveError> {
+    SparseLu::factor(matrix)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+    use loopscope_math::Complex64;
+
+    fn csr_from_dense(d: &[&[f64]]) -> CsrMatrix<f64> {
+        let rows = d.len();
+        let cols = d[0].len();
+        let mut t = TripletMatrix::new(rows, cols);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    t.push(i, j, v);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_small_dense_system() {
+        let a = csr_from_dense(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = solve_once(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn handles_zero_diagonal_via_pivoting() {
+        // Typical MNA pattern: a voltage-source branch row with zero diagonal.
+        let a = csr_from_dense(&[&[0.0, 1.0], &[1.0, 1e-3]]);
+        let x = solve_once(&a, &[5.0, 2.0]).unwrap();
+        // x[1] = 5 (from row 0), x[0] = 2 − 1e-3·5.
+        assert!((x[1] - 5.0).abs() < 1e-12);
+        assert!((x[0] - (2.0 - 5e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = csr_from_dense(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve_once(&a, &[1.0, 2.0]),
+            Err(SolveError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn detects_structurally_empty_column() {
+        let a = csr_from_dense(&[&[1.0, 0.0], &[3.0, 0.0]]);
+        assert!(matches!(
+            solve_once(&a, &[1.0, 2.0]),
+            Err(SolveError::Singular(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let mut t = TripletMatrix::<f64>::new(2, 3);
+        t.push(0, 0, 1.0);
+        assert!(matches!(
+            SparseLu::factor(&t.to_csr()),
+            Err(SolveError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rhs_length() {
+        let a = csr_from_dense(&[&[1.0]]);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(SolveError::RhsLength { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn repeated_solves_reuse_factorization() {
+        let a = csr_from_dense(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let lu = SparseLu::factor(&a).unwrap();
+        for k in 1..5 {
+            let x_true = vec![k as f64, -(k as f64)];
+            let b = a.mul_vec(&x_true);
+            let x = lu.solve(&b).unwrap();
+            assert!((x[0] - x_true[0]).abs() < 1e-12);
+            assert!((x[1] - x_true[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_banded_system() {
+        // Tridiagonal resistive-ladder-like matrix.
+        let n = 50;
+        let mut t = TripletMatrix::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        let a = t.to_csr();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve_once(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn complex_system_roundtrip() {
+        let n = 12;
+        let mut t = TripletMatrix::<Complex64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, Complex64::new(3.0, 1.0 + i as f64 * 0.1));
+            if i + 1 < n {
+                t.push(i, i + 1, Complex64::new(-1.0, 0.3));
+                t.push(i + 1, i, Complex64::new(0.2, -0.8));
+            }
+        }
+        let a = t.to_csr();
+        let x_true: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).cos(), (i as f64 * 0.5).sin()))
+            .collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve_once(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fill_in_is_tracked() {
+        // Arrow matrix: dense last row/column creates fill-in.
+        let n = 10;
+        let mut t = TripletMatrix::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i + 1 < n {
+                t.push(i, n - 1, 1.0);
+                t.push(n - 1, i, 1.0);
+            }
+        }
+        let a = t.to_csr();
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(lu.factor_nnz() >= a.nnz());
+        let b = vec![1.0; n];
+        let x = lu.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_error_display() {
+        assert_eq!(
+            SolveError::Singular(2).to_string(),
+            "matrix is singular at elimination step 2"
+        );
+        assert_eq!(
+            SolveError::NotSquare { rows: 2, cols: 3 }.to_string(),
+            "matrix is not square (2x3)"
+        );
+        assert_eq!(
+            SolveError::RhsLength { expected: 4, got: 2 }.to_string(),
+            "right-hand side has length 2, expected 4"
+        );
+    }
+}

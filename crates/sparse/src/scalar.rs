@@ -1,0 +1,92 @@
+//! Scalar abstraction over real and complex arithmetic.
+
+use loopscope_math::Complex64;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// The scalar field a sparse matrix is defined over.
+///
+/// Implemented for `f64` (DC, transient) and [`Complex64`] (AC). The trait is
+/// sealed in spirit: downstream crates are not expected to implement it.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Magnitude used for pivot selection and singularity checks.
+    fn modulus(self) -> f64;
+
+    /// Embeds a real number into the scalar field.
+    fn from_f64(x: f64) -> Self;
+
+    /// Returns `true` when the value is exactly zero.
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl Scalar for Complex64 {
+    const ZERO: Self = Complex64::ZERO;
+    const ONE: Self = Complex64::ONE;
+
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Complex64::from_real(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_scalar_basics() {
+        assert_eq!(f64::ZERO, 0.0);
+        assert_eq!(f64::ONE, 1.0);
+        assert_eq!((-3.0f64).modulus(), 3.0);
+        assert!(f64::ZERO.is_zero());
+        assert!(!f64::ONE.is_zero());
+        assert_eq!(f64::from_f64(2.5), 2.5);
+    }
+
+    #[test]
+    fn complex_scalar_basics() {
+        assert!(Complex64::ZERO.is_zero());
+        assert!(!Complex64::I.is_zero());
+        assert!((Complex64::new(3.0, 4.0).modulus() - 5.0).abs() < 1e-15);
+        assert_eq!(Complex64::from_f64(1.5), Complex64::new(1.5, 0.0));
+    }
+}

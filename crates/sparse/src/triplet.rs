@@ -1,0 +1,157 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use std::collections::BTreeMap;
+
+/// A coordinate-format sparse matrix accumulator.
+///
+/// MNA element stamps call [`push`](TripletMatrix::push) repeatedly; entries
+/// that address the same `(row, col)` position are summed when the matrix is
+/// converted to CSR, exactly matching the superposition semantics of nodal
+/// analysis stamps.
+///
+/// ```
+/// use loopscope_sparse::TripletMatrix;
+/// let mut t = TripletMatrix::<f64>::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // stamps accumulate
+/// let m = t.to_csr();
+/// assert_eq!(m.get(0, 0), 3.0);
+/// assert_eq!(m.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripletMatrix<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> TripletMatrix<T> {
+    /// Creates an empty `rows × cols` accumulator.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an accumulator with pre-allocated capacity for `cap` stamps.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-deduplication) entries pushed so far.
+    pub fn raw_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates accumulate.
+    ///
+    /// Zero values are accepted (they can still create structural entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Removes all entries, keeping the allocation and dimensions.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Converts to compressed sparse row form, summing duplicate entries.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // BTreeMap keyed by (row, col) gives deterministic ordering and
+        // accumulation in one pass.
+        let mut acc: BTreeMap<(usize, usize), T> = BTreeMap::new();
+        for &(r, c, v) in &self.entries {
+            acc.entry((r, c))
+                .and_modify(|e| *e += v)
+                .or_insert(v);
+        }
+        CsrMatrix::from_sorted_entries(self.rows, self.cols, acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_math::Complex64;
+
+    #[test]
+    fn accumulates_duplicates() {
+        let mut t = TripletMatrix::<f64>::new(3, 3);
+        t.push(1, 2, 5.0);
+        t.push(1, 2, -2.0);
+        t.push(0, 0, 1.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let mut t = TripletMatrix::<f64>::new(2, 2);
+        t.push(0, 0, 1.0);
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds() {
+        let mut t = TripletMatrix::<f64>::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn complex_entries() {
+        let mut t = TripletMatrix::<Complex64>::new(2, 2);
+        t.push(0, 1, Complex64::new(1.0, 2.0));
+        t.push(0, 1, Complex64::new(0.5, -1.0));
+        let m = t.to_csr();
+        assert_eq!(m.get(0, 1), Complex64::new(1.5, 1.0));
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let t = TripletMatrix::<f64>::with_capacity(4, 4, 16);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.cols(), 4);
+        assert_eq!(t.raw_len(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the sparse LU solver.
+//!
+//! The key invariant: for any reasonably conditioned matrix `A` and vector
+//! `x`, factoring `A` and solving against `b = A·x` recovers `x`, and the
+//! residual `A·x̂ − b` is small. Diagonal dominance is enforced on the random
+//! matrices to keep the condition number bounded so the tolerance can be tight.
+
+use loopscope_math::Complex64;
+use loopscope_sparse::{solve_once, CsrMatrix, SparseLu, TripletMatrix};
+use proptest::prelude::*;
+
+/// Builds a random, diagonally dominant sparse matrix from proptest inputs.
+fn build_real(
+    n: usize,
+    entries: &[(usize, usize, f64)],
+) -> CsrMatrix<f64> {
+    let mut t = TripletMatrix::new(n, n);
+    let mut row_sum = vec![0.0; n];
+    for &(r, c, v) in entries {
+        let (r, c) = (r % n, c % n);
+        if r == c {
+            continue;
+        }
+        t.push(r, c, v);
+        row_sum[r] += v.abs();
+    }
+    for (i, s) in row_sum.iter().enumerate() {
+        // Strict diagonal dominance keeps the matrix invertible.
+        t.push(i, i, s + 1.0 + i as f64 * 0.01);
+    }
+    t.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn real_solve_recovers_solution(
+        n in 2usize..24,
+        entries in prop::collection::vec((0usize..24, 0usize..24, -5.0f64..5.0), 0..120),
+        xseed in prop::collection::vec(-10.0f64..10.0, 24),
+    ) {
+        let a = build_real(n, &entries);
+        let x_true: Vec<f64> = xseed.iter().take(n).copied().collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve_once(&a, &b).expect("diagonally dominant matrix must factor");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-8 * (1.0 + ti.abs()));
+        }
+    }
+
+    #[test]
+    fn residual_is_small(
+        n in 2usize..16,
+        entries in prop::collection::vec((0usize..16, 0usize..16, -3.0f64..3.0), 0..80),
+        bseed in prop::collection::vec(-10.0f64..10.0, 16),
+    ) {
+        let a = build_real(n, &entries);
+        let b: Vec<f64> = bseed.iter().take(n).copied().collect();
+        let x = solve_once(&a, &b).expect("must factor");
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8 * (1.0 + bi.abs()));
+        }
+    }
+
+    #[test]
+    fn complex_solve_recovers_solution(
+        n in 2usize..12,
+        entries in prop::collection::vec(
+            (0usize..12, 0usize..12, -3.0f64..3.0, -3.0f64..3.0), 0..60),
+        xseed in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 12),
+    ) {
+        let mut t = TripletMatrix::<Complex64>::new(n, n);
+        let mut row_sum = vec![0.0; n];
+        for &(r, c, re, im) in &entries {
+            let (r, c) = (r % n, c % n);
+            if r == c { continue; }
+            let v = Complex64::new(re, im);
+            t.push(r, c, v);
+            row_sum[r] += v.abs();
+        }
+        for (i, s) in row_sum.iter().enumerate() {
+            t.push(i, i, Complex64::new(s + 1.0, 0.5));
+        }
+        let a = t.to_csr();
+        let x_true: Vec<Complex64> = xseed.iter().take(n)
+            .map(|&(re, im)| Complex64::new(re, im)).collect();
+        let b = a.mul_vec(&x_true);
+        let lu = SparseLu::factor(&a).expect("must factor");
+        let x = lu.solve(&b).expect("rhs length matches");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((*xi - *ti).abs() < 1e-8 * (1.0 + ti.abs()));
+        }
+    }
+
+    #[test]
+    fn triplet_accumulation_matches_sum(
+        pushes in prop::collection::vec((0usize..6, 0usize..6, -2.0f64..2.0), 1..40),
+    ) {
+        let mut t = TripletMatrix::<f64>::new(6, 6);
+        let mut dense = [[0.0f64; 6]; 6];
+        for &(r, c, v) in &pushes {
+            t.push(r, c, v);
+            dense[r][c] += v;
+        }
+        let m = t.to_csr();
+        for r in 0..6 {
+            for c in 0..6 {
+                prop_assert!((m.get(r, c) - dense[r][c]).abs() < 1e-12);
+            }
+        }
+    }
+}

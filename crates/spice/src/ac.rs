@@ -1,0 +1,509 @@
+//! Small-signal AC analysis.
+//!
+//! The circuit is linearized around a previously computed DC operating point
+//! and the complex MNA system `Y(jω)·x = b` is solved at every frequency of a
+//! sweep. Two kinds of excitation are supported:
+//!
+//! * the circuit's own AC sources ([`AcAnalysis::sweep`]), which is the
+//!   classical `.ac` analysis used for Bode plots, and
+//! * a **unit AC current injected at a node** with every other AC stimulus
+//!   turned off ([`AcAnalysis::driving_point_response`] /
+//!   [`AcAnalysis::driving_point_all_nodes`]) — the probe the stability
+//!   methodology of Milev & Burt is built on. The response at the injected
+//!   node is the driving-point impedance `Z_nn(jω)`, whose magnitude carries
+//!   the complex-pole signature the stability plot extracts.
+//!
+//! For the all-nodes mode the factorization of `Y(jω)` is reused for every
+//! injection node at a given frequency, which is what makes whole-circuit
+//! stability scans cheap compared to running one full simulation per node.
+
+use crate::dc::OperatingPoint;
+use crate::devices;
+use crate::error::SpiceError;
+use crate::mna::{MnaLayout, Stamper};
+use crate::GMIN;
+use loopscope_math::{interp, Complex64, FrequencyGrid, TWO_PI};
+use loopscope_netlist::{Circuit, Element, NodeId};
+use loopscope_sparse::{SparseLu, TripletMatrix};
+
+/// Results of an AC sweep: complex node voltages over frequency.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    freqs: Vec<f64>,
+    /// `data[freq_index][node_index]` — node voltages including ground at 0.
+    data: Vec<Vec<Complex64>>,
+}
+
+impl AcSweep {
+    /// The swept frequencies in hertz.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Number of frequency points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Returns `true` when the sweep holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Complex response of a node across the sweep.
+    pub fn response(&self, node: NodeId) -> Vec<Complex64> {
+        self.data.iter().map(|row| row[node.index()]).collect()
+    }
+
+    /// Magnitude of a node response across the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        self.data.iter().map(|row| row[node.index()].abs()).collect()
+    }
+
+    /// Magnitude in decibels of a node response across the sweep.
+    pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
+        self.data
+            .iter()
+            .map(|row| row[node.index()].abs_db())
+            .collect()
+    }
+
+    /// Phase in degrees (wrapped to ±180°) of a node response.
+    pub fn phase_deg(&self, node: NodeId) -> Vec<f64> {
+        self.data
+            .iter()
+            .map(|row| row[node.index()].arg_deg())
+            .collect()
+    }
+
+    /// Magnitude of a node response, linearly interpolated at `freq_hz`.
+    pub fn magnitude_at(&self, node: NodeId, freq_hz: f64) -> f64 {
+        let mags = self.magnitude(node);
+        interp::lerp_at(&self.freqs, &mags, freq_hz)
+    }
+}
+
+/// Small-signal AC analysis of a circuit linearized at an operating point.
+#[derive(Debug)]
+pub struct AcAnalysis<'c> {
+    circuit: &'c Circuit,
+    layout: MnaLayout,
+    op_voltages: Vec<f64>,
+}
+
+impl<'c> AcAnalysis<'c> {
+    /// Prepares an AC analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Netlist`] if the circuit fails validation or
+    /// [`SpiceError::InvalidOptions`] if the operating point does not match
+    /// the circuit's node count.
+    pub fn new(circuit: &'c Circuit, op: &OperatingPoint) -> Result<Self, SpiceError> {
+        circuit.validate().map_err(SpiceError::Netlist)?;
+        if op.node_voltages().len() != circuit.node_count() {
+            return Err(SpiceError::InvalidOptions(format!(
+                "operating point has {} nodes but the circuit has {}",
+                op.node_voltages().len(),
+                circuit.node_count()
+            )));
+        }
+        Ok(Self {
+            circuit,
+            layout: MnaLayout::new(circuit),
+            op_voltages: op.node_voltages().to_vec(),
+        })
+    }
+
+    /// The MNA layout used by this analysis.
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+
+    /// Assembles the complex admittance matrix at `freq_hz` along with the RHS
+    /// produced by the circuit's own AC sources.
+    fn assemble(&self, freq_hz: f64, use_circuit_sources: bool) -> (TripletMatrix<Complex64>, Vec<Complex64>) {
+        let w = TWO_PI * freq_hz;
+        let jw = Complex64::new(0.0, w);
+        let mut st = Stamper::<Complex64>::new(&self.layout);
+
+        for node in self.circuit.signal_nodes() {
+            st.add_node_node(node, node, Complex64::from_real(GMIN));
+        }
+
+        for el in self.circuit.elements() {
+            match el {
+                Element::Resistor(r) => {
+                    st.stamp_admittance(r.a, r.b, Complex64::from_real(1.0 / r.ohms))
+                }
+                Element::Capacitor(c) => st.stamp_admittance(c.a, c.b, jw * c.farads),
+                Element::Inductor(l) => {
+                    let br = self.layout.branch_var(&l.name).expect("branch");
+                    st.add_var_node(br, l.a, Complex64::ONE);
+                    st.add_var_node(br, l.b, -Complex64::ONE);
+                    st.add_node_var(l.a, br, Complex64::ONE);
+                    st.add_node_var(l.b, br, -Complex64::ONE);
+                    st.add_var_var(br, br, -(jw * l.henries));
+                }
+                Element::Vsource(v) => {
+                    let br = self.layout.branch_var(&v.name).expect("branch");
+                    st.add_var_node(br, v.plus, Complex64::ONE);
+                    st.add_var_node(br, v.minus, -Complex64::ONE);
+                    st.add_node_var(v.plus, br, Complex64::ONE);
+                    st.add_node_var(v.minus, br, -Complex64::ONE);
+                    if use_circuit_sources && v.spec.ac_mag != 0.0 {
+                        let phasor = Complex64::from_polar(
+                            v.spec.ac_mag,
+                            v.spec.ac_phase_deg.to_radians(),
+                        );
+                        st.add_rhs_var(br, phasor);
+                    }
+                }
+                Element::Isource(i) => {
+                    if use_circuit_sources && i.spec.ac_mag != 0.0 {
+                        let phasor = Complex64::from_polar(
+                            i.spec.ac_mag,
+                            i.spec.ac_phase_deg.to_radians(),
+                        );
+                        st.stamp_current_injection(i.minus, i.plus, phasor);
+                    }
+                }
+                Element::Vcvs(e) => {
+                    let br = self.layout.branch_var(&e.name).expect("branch");
+                    st.add_var_node(br, e.out_plus, Complex64::ONE);
+                    st.add_var_node(br, e.out_minus, -Complex64::ONE);
+                    st.add_var_node(br, e.ctrl_plus, Complex64::from_real(-e.gain));
+                    st.add_var_node(br, e.ctrl_minus, Complex64::from_real(e.gain));
+                    st.add_node_var(e.out_plus, br, Complex64::ONE);
+                    st.add_node_var(e.out_minus, br, -Complex64::ONE);
+                }
+                Element::Vccs(g) => st.stamp_vccs(
+                    g.out_plus,
+                    g.out_minus,
+                    g.ctrl_plus,
+                    g.ctrl_minus,
+                    Complex64::from_real(g.gm),
+                ),
+                Element::Cccs(f) => {
+                    let ctrl = self
+                        .layout
+                        .branch_var(&f.ctrl_vsource)
+                        .expect("controlling source validated");
+                    st.add_node_var(f.out_plus, ctrl, Complex64::from_real(f.gain));
+                    st.add_node_var(f.out_minus, ctrl, Complex64::from_real(-f.gain));
+                }
+                Element::Ccvs(h) => {
+                    let br = self.layout.branch_var(&h.name).expect("branch");
+                    let ctrl = self
+                        .layout
+                        .branch_var(&h.ctrl_vsource)
+                        .expect("controlling source validated");
+                    st.add_var_node(br, h.out_plus, Complex64::ONE);
+                    st.add_var_node(br, h.out_minus, -Complex64::ONE);
+                    st.add_var_var(br, ctrl, Complex64::from_real(-h.rm));
+                    st.add_node_var(h.out_plus, br, Complex64::ONE);
+                    st.add_node_var(h.out_minus, br, -Complex64::ONE);
+                }
+                Element::Diode(d) => {
+                    self.apply_small_signal(&mut st, devices::small_signal_diode(d, &self.op_voltages), jw)
+                }
+                Element::Bjt(q) => {
+                    self.apply_small_signal(&mut st, devices::small_signal_bjt(q, &self.op_voltages), jw)
+                }
+                Element::Mosfet(m) => {
+                    self.apply_small_signal(&mut st, devices::small_signal_mosfet(m, &self.op_voltages), jw)
+                }
+            }
+        }
+        st.finish()
+    }
+
+    fn apply_small_signal(
+        &self,
+        st: &mut Stamper<'_, Complex64>,
+        ss: devices::SmallSignal,
+        jw: Complex64,
+    ) {
+        for (r, c, g) in ss.conductances {
+            st.add_node_node(r, c, Complex64::from_real(g));
+        }
+        for (a, b, cap) in ss.capacitances {
+            st.stamp_admittance(a, b, jw * cap);
+        }
+    }
+
+    fn solve_into_node_row(&self, solution: &[Complex64]) -> Vec<Complex64> {
+        let mut row = vec![Complex64::ZERO; self.circuit.node_count()];
+        for node in self.circuit.signal_nodes() {
+            row[node.index()] = self.layout.node_value(solution, node);
+        }
+        row
+    }
+
+    /// Runs a classical AC sweep using the circuit's own AC sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Linear`] when the linearized system is singular
+    /// at some frequency.
+    pub fn sweep(&self, grid: &FrequencyGrid) -> Result<AcSweep, SpiceError> {
+        let mut data = Vec::with_capacity(grid.len());
+        for &f in grid.freqs() {
+            let (matrix, rhs) = self.assemble(f, true);
+            let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
+            let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+            data.push(self.solve_into_node_row(&solution));
+        }
+        Ok(AcSweep {
+            freqs: grid.freqs().to_vec(),
+            data,
+        })
+    }
+
+    /// Injects a unit AC current into `node` (all other AC stimuli disabled)
+    /// and returns the complex response **at the same node** across the sweep
+    /// — the driving-point impedance used by the stability plot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownReference`] when `node` is the ground node
+    /// and [`SpiceError::Linear`] when the system is singular.
+    pub fn driving_point_response(
+        &self,
+        node: NodeId,
+        grid: &FrequencyGrid,
+    ) -> Result<Vec<Complex64>, SpiceError> {
+        let Some(var) = self.layout.node_var(node) else {
+            return Err(SpiceError::UnknownReference(
+                "cannot inject at the ground node".to_string(),
+            ));
+        };
+        if node.index() >= self.circuit.node_count() {
+            return Err(SpiceError::UnknownReference(format!(
+                "node index {} outside circuit",
+                node.index()
+            )));
+        }
+        let mut out = Vec::with_capacity(grid.len());
+        for &f in grid.freqs() {
+            let (matrix, _) = self.assemble(f, false);
+            let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
+            let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
+            rhs[var] = Complex64::ONE;
+            let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+            out.push(solution[var]);
+        }
+        Ok(out)
+    }
+
+    /// Driving-point responses for **every** non-ground node: the workhorse of
+    /// the tool's "All Nodes" mode. At each frequency the admittance matrix is
+    /// factored once and re-used for all injection nodes.
+    ///
+    /// Returns one vector per signal node, in [`Circuit::signal_nodes`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Linear`] when the system is singular.
+    pub fn driving_point_all_nodes(
+        &self,
+        grid: &FrequencyGrid,
+    ) -> Result<Vec<Vec<Complex64>>, SpiceError> {
+        let nodes = self.circuit.signal_nodes();
+        let mut out = vec![Vec::with_capacity(grid.len()); nodes.len()];
+        for &f in grid.freqs() {
+            let (matrix, _) = self.assemble(f, false);
+            let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
+            for (k, node) in nodes.iter().enumerate() {
+                let var = self.layout.node_var(*node).expect("signal node");
+                let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
+                rhs[var] = Complex64::ONE;
+                let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+                out[k].push(solution[var]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+    use loopscope_netlist::SourceSpec;
+
+    fn rc_lowpass() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new("rc");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc_ac(0.0, 1.0, 0.0));
+        c.add_resistor("R1", vin, vout, 1.0e3);
+        c.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-6);
+        (c, vin, vout)
+    }
+
+    #[test]
+    fn rc_corner_frequency() {
+        let (c, vin, vout) = rc_lowpass();
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(1.0, 1.0e5, 20);
+        let sweep = ac.sweep(&grid).unwrap();
+        // Input node follows the source exactly.
+        for m in sweep.magnitude(vin) {
+            assert!((m - 1.0).abs() < 1e-9);
+        }
+        // Corner at 1/(2πRC) = 159.15 Hz → −3 dB.
+        let corner = sweep.magnitude_at(vout, 159.155);
+        assert!((corner - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+        // Two decades above the corner the slope is −20 dB/dec.
+        let hi = sweep.magnitude_at(vout, 15_915.5);
+        assert!((hi - 0.01).abs() < 0.001);
+        // Phase approaches −90°.
+        let phases = sweep.phase_deg(vout);
+        assert!(phases.last().unwrap() < &-85.0);
+    }
+
+    #[test]
+    fn rlc_series_resonance() {
+        let mut c = Circuit::new("rlc");
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc_ac(0.0, 1.0, 0.0));
+        c.add_resistor("R1", vin, mid, 10.0);
+        c.add_inductor("L1", mid, vout, 1.0e-3);
+        c.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-9);
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        // f0 = 1/(2π√(LC)) ≈ 159.2 kHz; Q = √(L/C)/R = 100.
+        let grid = FrequencyGrid::log_decade(1.0e3, 1.0e7, 200);
+        let sweep = ac.sweep(&grid).unwrap();
+        let mags = sweep.magnitude(vout);
+        let peak = mags.iter().cloned().fold(0.0, f64::max);
+        let peak_idx = mags.iter().position(|&m| m == peak).unwrap();
+        let peak_freq = sweep.freqs()[peak_idx];
+        assert!(
+            (peak_freq - 159.2e3).abs() / 159.2e3 < 0.05,
+            "peak at {peak_freq}"
+        );
+        // Output resonates to roughly Q × input.
+        assert!(peak > 50.0 && peak < 150.0, "peak magnitude {peak}");
+    }
+
+    #[test]
+    fn driving_point_of_parallel_rc() {
+        // A 1 kΩ ∥ 1 µF one-port: Z(0) = 1 kΩ, corner at 159 Hz.
+        let mut c = Circuit::new("zrc");
+        let n = c.node("n");
+        c.add_resistor("R1", n, Circuit::GROUND, 1.0e3);
+        c.add_capacitor("C1", n, Circuit::GROUND, 1.0e-6);
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(1.0, 1.0e5, 20);
+        let z = ac.driving_point_response(n, &grid).unwrap();
+        assert!((z[0].abs() - 1.0e3).abs() / 1.0e3 < 1e-3);
+        let mags: Vec<f64> = z.iter().map(|v| v.abs()).collect();
+        let corner = interp::lerp_at(grid.freqs(), &mags, 159.155);
+        assert!((corner - 1.0e3 * std::f64::consts::FRAC_1_SQRT_2).abs() / 707.0 < 0.01);
+    }
+
+    #[test]
+    fn driving_point_rejects_ground() {
+        let (c, _, _) = rc_lowpass();
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(1.0, 10.0, 2);
+        assert!(matches!(
+            ac.driving_point_response(Circuit::GROUND, &grid),
+            Err(SpiceError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn all_nodes_matches_single_node() {
+        let (c, vin, vout) = rc_lowpass();
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(10.0, 1.0e4, 10);
+        let all = ac.driving_point_all_nodes(&grid).unwrap();
+        let single_out = ac.driving_point_response(vout, &grid).unwrap();
+        let single_in = ac.driving_point_response(vin, &grid).unwrap();
+        let nodes = c.signal_nodes();
+        let idx_out = nodes.iter().position(|&n| n == vout).unwrap();
+        let idx_in = nodes.iter().position(|&n| n == vin).unwrap();
+        for (a, b) in all[idx_out].iter().zip(&single_out) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+        for (a, b) in all[idx_in].iter().zip(&single_in) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vsource_ac_mag_zero_acts_as_short() {
+        // The input source has no AC component: injecting current at the
+        // output should see R1 to the AC-grounded input in parallel with C1.
+        let mut c = Circuit::new("short");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc(1.0));
+        c.add_resistor("R1", vin, vout, 2.0e3);
+        c.add_resistor("R2", vout, Circuit::GROUND, 2.0e3);
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(1.0, 100.0, 2);
+        let z = ac.driving_point_response(vout, &grid).unwrap();
+        // 2k ∥ 2k = 1k.
+        assert!((z[0].abs() - 1.0e3).abs() / 1.0e3 < 1e-6);
+    }
+
+    #[test]
+    fn mosfet_common_source_gain() {
+        use loopscope_netlist::{MosfetModel, MosfetPolarity};
+        let mut c = Circuit::new("cs amp");
+        let vdd = c.node("vdd");
+        let vg = c.node("g");
+        let vd = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, SourceSpec::dc(3.0));
+        c.add_vsource("VG", vg, Circuit::GROUND, SourceSpec::dc_ac(1.0, 1.0, 0.0));
+        c.add_resistor("RD", vdd, vd, 2.0e3);
+        c.add_mosfet(
+            "M1",
+            vd,
+            vg,
+            Circuit::GROUND,
+            MosfetPolarity::Nmos,
+            50.0e-6,
+            1.0e-6,
+            MosfetModel {
+                vto: 0.6,
+                kp: 100.0e-6,
+                lambda: 0.0,
+                ..Default::default()
+            },
+        );
+        let op = solve_dc(&c).unwrap();
+        // vov = 0.4 V, β = 5 mA/V² → Id = 0.4 mA (drain sits at 2.2 V, well in
+        // saturation); gm = β·vov = 2 mS → gain = gm·RD = 4.
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(1.0, 1.0e3, 5);
+        let sweep = ac.sweep(&grid).unwrap();
+        let gain = sweep.magnitude(vd)[0];
+        assert!((gain - 4.0).abs() < 0.1, "gain = {gain}");
+    }
+
+    #[test]
+    fn sweep_accessors() {
+        let (c, _, vout) = rc_lowpass();
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(1.0, 100.0, 5);
+        let sweep = ac.sweep(&grid).unwrap();
+        assert_eq!(sweep.len(), grid.len());
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep.response(vout).len(), grid.len());
+        assert_eq!(sweep.magnitude_db(vout).len(), grid.len());
+        assert_eq!(sweep.freqs(), grid.freqs());
+    }
+}

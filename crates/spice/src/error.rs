@@ -1,0 +1,108 @@
+//! Simulator error type.
+
+use loopscope_netlist::NetlistError;
+use loopscope_sparse::SolveError;
+use std::fmt;
+
+/// Errors produced by the circuit simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The circuit failed structural validation before simulation.
+    Netlist(NetlistError),
+    /// The MNA matrix could not be factored (singular system), typically a
+    /// floating node or an inconsistent source loop.
+    Linear(SolveError),
+    /// The Newton-Raphson operating-point iteration did not converge.
+    DcNoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+        /// Largest voltage update at the last iteration.
+        max_delta: f64,
+    },
+    /// A transient Newton solve failed to converge at the given time.
+    TransientNoConvergence {
+        /// Simulation time at which convergence failed, in seconds.
+        time: f64,
+    },
+    /// A reference (node or element) passed to an analysis does not belong to
+    /// the circuit.
+    UnknownReference(String),
+    /// Analysis options are inconsistent (e.g. a non-positive time step).
+    InvalidOptions(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SpiceError::Linear(e) => write!(f, "linear solve failed: {e}"),
+            SpiceError::DcNoConvergence {
+                iterations,
+                max_delta,
+            } => write!(
+                f,
+                "DC operating point did not converge after {iterations} iterations (last |ΔV| = {max_delta:.3e})"
+            ),
+            SpiceError::TransientNoConvergence { time } => {
+                write!(f, "transient Newton iteration failed to converge at t = {time:.3e} s")
+            }
+            SpiceError::UnknownReference(name) => {
+                write!(f, "unknown node or element reference `{name}`")
+            }
+            SpiceError::InvalidOptions(reason) => write!(f, "invalid analysis options: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Netlist(e) => Some(e),
+            SpiceError::Linear(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SpiceError {
+    fn from(e: NetlistError) -> Self {
+        SpiceError::Netlist(e)
+    }
+}
+
+impl From<SolveError> for SpiceError {
+    fn from(e: SolveError) -> Self {
+        SpiceError::Linear(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = SpiceError::DcNoConvergence {
+            iterations: 100,
+            max_delta: 0.5,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+        assert!(e.source().is_none());
+
+        let wrapped = SpiceError::Linear(SolveError::Singular(3));
+        assert!(wrapped.to_string().contains("singular"));
+        assert!(wrapped.source().is_some());
+
+        let n = SpiceError::from(NetlistError::InvalidCircuit("x".into()));
+        assert!(matches!(n, SpiceError::Netlist(_)));
+
+        assert!(SpiceError::UnknownReference("foo".into())
+            .to_string()
+            .contains("foo"));
+        assert!(SpiceError::TransientNoConvergence { time: 1e-6 }
+            .to_string()
+            .contains("transient"));
+        assert!(SpiceError::InvalidOptions("dt".into()).to_string().contains("dt"));
+    }
+}

@@ -1,0 +1,64 @@
+//! A small-signal circuit simulator built on modified nodal analysis (MNA).
+//!
+//! This crate is the substrate that replaces the commercial Spectre/TIspice
+//! simulators used by the original DATE'05 tool. It provides the three
+//! analyses the stability methodology needs:
+//!
+//! * [`dc::OperatingPoint`] — nonlinear DC operating point via Newton-Raphson
+//!   with gmin and source stepping,
+//! * [`ac::AcAnalysis`] — small-signal frequency sweeps, including the
+//!   driving-point (current-injection) responses the stability plot is
+//!   computed from,
+//! * [`tran::TransientAnalysis`] — time-domain integration used by the
+//!   traditional step-response overshoot baseline.
+//!
+//! The MNA formulation, element stamps and device companion models live in
+//! [`mna`] and [`devices`]; measurement helpers (overshoot, gain/phase
+//! margins, crossovers) live in [`measure`].
+//!
+//! # Example
+//!
+//! ```
+//! use loopscope_netlist::{Circuit, SourceSpec};
+//! use loopscope_spice::{dc::solve_dc, ac::AcAnalysis};
+//! use loopscope_math::FrequencyGrid;
+//!
+//! // A simple RC low-pass driven by a 1 V AC source.
+//! let mut ckt = Circuit::new("rc");
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! ckt.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc_ac(0.0, 1.0, 0.0));
+//! ckt.add_resistor("R1", vin, vout, 1.0e3);
+//! ckt.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-6);
+//! let op = solve_dc(&ckt)?;
+//! let ac = AcAnalysis::new(&ckt, &op)?;
+//! let grid = FrequencyGrid::log_decade(1.0, 1.0e5, 10);
+//! let sweep = ac.sweep(&grid)?;
+//! // At the 159 Hz corner the output is 3 dB down.
+//! let corner = sweep.magnitude_at(vout, 159.15);
+//! assert!((corner - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+//! # Ok::<(), loopscope_spice::SpiceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ac;
+pub mod dc;
+pub mod devices;
+pub mod error;
+pub mod measure;
+pub mod mna;
+pub mod tran;
+
+pub use ac::{AcAnalysis, AcSweep};
+pub use dc::{solve_dc, DcOptions, OperatingPoint};
+pub use error::SpiceError;
+pub use tran::{TransientAnalysis, TransientOptions, TransientResult};
+
+/// Thermal voltage kT/q at 300 K, in volts.
+pub const THERMAL_VOLTAGE: f64 = 0.02585;
+
+/// Minimum conductance added from every node to ground to keep MNA matrices
+/// well conditioned (SPICE `GMIN`).
+pub const GMIN: f64 = 1.0e-12;

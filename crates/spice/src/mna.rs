@@ -1,0 +1,280 @@
+//! Modified nodal analysis bookkeeping: unknown layout and stamping helpers.
+//!
+//! The unknown vector of an MNA system is
+//!
+//! ```text
+//! x = [ v(node 1), …, v(node N−1),  i(branch 1), …, i(branch M) ]
+//! ```
+//!
+//! where branch currents are introduced for elements whose constitutive
+//! relation cannot be written as a nodal admittance: independent voltage
+//! sources, inductors, voltage-controlled voltage sources and
+//! current-controlled voltage sources. Ground (node 0) is eliminated.
+
+use loopscope_netlist::{Circuit, Element, NodeId};
+use loopscope_sparse::{Scalar, TripletMatrix};
+use std::collections::HashMap;
+
+/// Index assignment for the MNA unknown vector of a circuit.
+#[derive(Debug, Clone)]
+pub struct MnaLayout {
+    node_count: usize,
+    branch_names: Vec<String>,
+    branch_index: HashMap<String, usize>,
+}
+
+impl MnaLayout {
+    /// Builds the layout for a circuit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let mut branch_names = Vec::new();
+        let mut branch_index = HashMap::new();
+        for el in circuit.elements() {
+            let needs_branch = matches!(
+                el,
+                Element::Vsource(_) | Element::Inductor(_) | Element::Vcvs(_) | Element::Ccvs(_)
+            );
+            if needs_branch {
+                branch_index.insert(el.name().to_string(), branch_names.len());
+                branch_names.push(el.name().to_string());
+            }
+        }
+        Self {
+            node_count: circuit.node_count(),
+            branch_names,
+            branch_index,
+        }
+    }
+
+    /// Total number of unknowns (node voltages plus branch currents).
+    pub fn dim(&self) -> usize {
+        (self.node_count - 1) + self.branch_names.len()
+    }
+
+    /// Number of branch-current unknowns.
+    pub fn branch_count(&self) -> usize {
+        self.branch_names.len()
+    }
+
+    /// Unknown index of a node voltage, or `None` for the ground node.
+    pub fn node_var(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Unknown index of the branch current owned by the named element.
+    pub fn branch_var(&self, element_name: &str) -> Option<usize> {
+        self.branch_index
+            .get(element_name)
+            .map(|&i| (self.node_count - 1) + i)
+    }
+
+    /// Extracts the voltage of `node` from a solution vector (0 for ground).
+    pub fn node_value<T: Scalar>(&self, solution: &[T], node: NodeId) -> T {
+        match self.node_var(node) {
+            Some(idx) => solution[idx],
+            None => T::ZERO,
+        }
+    }
+}
+
+/// Accumulates MNA stamps into a sparse matrix and right-hand side, hiding the
+/// ground-elimination bookkeeping from element code.
+#[derive(Debug)]
+pub struct Stamper<'a, T: Scalar> {
+    layout: &'a MnaLayout,
+    matrix: TripletMatrix<T>,
+    rhs: Vec<T>,
+}
+
+impl<'a, T: Scalar> Stamper<'a, T> {
+    /// Creates an empty stamper for the given layout.
+    pub fn new(layout: &'a MnaLayout) -> Self {
+        let n = layout.dim();
+        Self {
+            layout,
+            matrix: TripletMatrix::with_capacity(n, n, 8 * n),
+            rhs: vec![T::ZERO; n],
+        }
+    }
+
+    /// The layout this stamper addresses.
+    pub fn layout(&self) -> &MnaLayout {
+        self.layout
+    }
+
+    /// Adds `val` at the matrix position addressed by two node voltages.
+    /// Entries involving ground are dropped.
+    pub fn add_node_node(&mut self, row: NodeId, col: NodeId, val: T) {
+        if let (Some(r), Some(c)) = (self.layout.node_var(row), self.layout.node_var(col)) {
+            self.matrix.push(r, c, val);
+        }
+    }
+
+    /// Adds `val` at (node-voltage row, raw unknown column).
+    pub fn add_node_var(&mut self, row: NodeId, col: usize, val: T) {
+        if let Some(r) = self.layout.node_var(row) {
+            self.matrix.push(r, col, val);
+        }
+    }
+
+    /// Adds `val` at (raw unknown row, node-voltage column).
+    pub fn add_var_node(&mut self, row: usize, col: NodeId, val: T) {
+        if let Some(c) = self.layout.node_var(col) {
+            self.matrix.push(row, c, val);
+        }
+    }
+
+    /// Adds `val` at a raw (row, column) position.
+    pub fn add_var_var(&mut self, row: usize, col: usize, val: T) {
+        self.matrix.push(row, col, val);
+    }
+
+    /// Adds `val` to the right-hand side entry of a node-voltage row.
+    pub fn add_rhs_node(&mut self, node: NodeId, val: T) {
+        if let Some(r) = self.layout.node_var(node) {
+            self.rhs[r] += val;
+        }
+    }
+
+    /// Adds `val` to the right-hand side entry of a raw unknown row.
+    pub fn add_rhs_var(&mut self, row: usize, val: T) {
+        self.rhs[row] += val;
+    }
+
+    /// Stamps a two-terminal admittance `y` between nodes `a` and `b`
+    /// (resistor, capacitor admittance, linearized device conductance …).
+    pub fn stamp_admittance(&mut self, a: NodeId, b: NodeId, y: T) {
+        self.add_node_node(a, a, y);
+        self.add_node_node(b, b, y);
+        self.add_node_node(a, b, -y);
+        self.add_node_node(b, a, -y);
+    }
+
+    /// Stamps a current `i` injected *into* node `a` and drawn *out of* node
+    /// `b` (i.e. a current source from `b` to `a` through the source).
+    pub fn stamp_current_injection(&mut self, into: NodeId, out_of: NodeId, i: T) {
+        self.add_rhs_node(into, i);
+        self.add_rhs_node(out_of, -i);
+    }
+
+    /// Stamps a voltage-controlled current source: a current
+    /// `gm·(v(cp) − v(cm))` flowing out of node `op`, through the source, into
+    /// node `om`.
+    pub fn stamp_vccs(&mut self, op: NodeId, om: NodeId, cp: NodeId, cm: NodeId, gm: T) {
+        self.add_node_node(op, cp, gm);
+        self.add_node_node(op, cm, -gm);
+        self.add_node_node(om, cp, -gm);
+        self.add_node_node(om, cm, gm);
+    }
+
+    /// Consumes the stamper and returns the assembled matrix and RHS.
+    pub fn finish(self) -> (TripletMatrix<T>, Vec<T>) {
+        (self.matrix, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_netlist::SourceSpec;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new("layout test");
+        let a = c.node("a");
+        let b = c.node("b");
+        let d = c.node("d");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(1.0));
+        c.add_resistor("R1", a, b, 1e3);
+        c.add_inductor("L1", b, d, 1e-6);
+        c.add_capacitor("C1", d, Circuit::GROUND, 1e-12);
+        c.add_vcvs("E1", d, Circuit::GROUND, a, b, 2.0);
+        c
+    }
+
+    #[test]
+    fn layout_counts_and_indices() {
+        let ckt = sample_circuit();
+        let layout = MnaLayout::new(&ckt);
+        // 3 signal nodes + branches for V1, L1, E1.
+        assert_eq!(layout.dim(), 3 + 3);
+        assert_eq!(layout.branch_count(), 3);
+        assert_eq!(layout.node_var(Circuit::GROUND), None);
+        let a = ckt.find_node("a").unwrap();
+        assert_eq!(layout.node_var(a), Some(0));
+        assert_eq!(layout.branch_var("V1"), Some(3));
+        assert_eq!(layout.branch_var("L1"), Some(4));
+        assert_eq!(layout.branch_var("E1"), Some(5));
+        assert_eq!(layout.branch_var("R1"), None);
+    }
+
+    #[test]
+    fn node_value_extraction() {
+        let ckt = sample_circuit();
+        let layout = MnaLayout::new(&ckt);
+        let solution = vec![1.0, 2.0, 3.0, -0.5, 0.0, 0.1];
+        let b = ckt.find_node("b").unwrap();
+        assert_eq!(layout.node_value(&solution, b), 2.0);
+        assert_eq!(layout.node_value(&solution, Circuit::GROUND), 0.0);
+    }
+
+    #[test]
+    fn stamper_ignores_ground() {
+        let ckt = sample_circuit();
+        let layout = MnaLayout::new(&ckt);
+        let mut st = Stamper::<f64>::new(&layout);
+        let a = ckt.find_node("a").unwrap();
+        st.stamp_admittance(a, Circuit::GROUND, 0.5);
+        let (m, rhs) = st.finish();
+        let csr = m.to_csr();
+        // Only the (a, a) entry survives ground elimination.
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 0), 0.5);
+        assert!(rhs.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stamper_admittance_pattern() {
+        let ckt = sample_circuit();
+        let layout = MnaLayout::new(&ckt);
+        let a = ckt.find_node("a").unwrap();
+        let b = ckt.find_node("b").unwrap();
+        let mut st = Stamper::<f64>::new(&layout);
+        st.stamp_admittance(a, b, 2.0);
+        let (m, _) = st.finish();
+        let csr = m.to_csr();
+        assert_eq!(csr.get(0, 0), 2.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+        assert_eq!(csr.get(0, 1), -2.0);
+        assert_eq!(csr.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn stamper_current_injection_sign() {
+        let ckt = sample_circuit();
+        let layout = MnaLayout::new(&ckt);
+        let a = ckt.find_node("a").unwrap();
+        let mut st = Stamper::<f64>::new(&layout);
+        st.stamp_current_injection(a, Circuit::GROUND, 1e-3);
+        let (_, rhs) = st.finish();
+        assert_eq!(rhs[0], 1e-3);
+        assert!(rhs[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stamper_vccs_pattern() {
+        let ckt = sample_circuit();
+        let layout = MnaLayout::new(&ckt);
+        let a = ckt.find_node("a").unwrap();
+        let b = ckt.find_node("b").unwrap();
+        let d = ckt.find_node("d").unwrap();
+        let mut st = Stamper::<f64>::new(&layout);
+        st.stamp_vccs(d, Circuit::GROUND, a, b, 1e-3);
+        let (m, _) = st.finish();
+        let csr = m.to_csr();
+        assert_eq!(csr.get(2, 0), 1e-3);
+        assert_eq!(csr.get(2, 1), -1e-3);
+    }
+}

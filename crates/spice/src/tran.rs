@@ -1,0 +1,503 @@
+//! Transient (time-domain) analysis.
+//!
+//! Transient analysis is the substrate for the *traditional* stability check
+//! the paper compares against — "node pulsing": apply a small step to the
+//! closed-loop circuit and read the overshoot of the response. Fixed-step
+//! integration with either backward Euler or trapezoidal companion models is
+//! used; nonlinear devices are resolved with Newton iteration at every step.
+
+use crate::dc::OperatingPoint;
+use crate::devices;
+use crate::error::SpiceError;
+use crate::mna::{MnaLayout, Stamper};
+use crate::GMIN;
+use loopscope_math::interp;
+use loopscope_netlist::{Circuit, Element, NodeId};
+use loopscope_sparse::SparseLu;
+
+/// Time-integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integration {
+    /// Backward Euler: L-stable, slightly lossy; good default for stiff
+    /// circuits and start-up transients.
+    BackwardEuler,
+    /// Trapezoidal rule: second-order accurate, preserves oscillation
+    /// amplitude much better — preferred for ringing/overshoot measurements.
+    Trapezoidal,
+}
+
+/// Options controlling a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOptions {
+    /// Fixed time step in seconds.
+    pub dt: f64,
+    /// Stop time in seconds (the run covers `0..=t_stop`).
+    pub t_stop: f64,
+    /// Integration method.
+    pub method: Integration,
+    /// Maximum Newton iterations per time point.
+    pub max_newton: usize,
+    /// Newton convergence tolerance on node voltages, volts.
+    pub vntol: f64,
+}
+
+impl TransientOptions {
+    /// Creates options with the given step and stop time, trapezoidal
+    /// integration and default Newton settings.
+    pub fn new(dt: f64, t_stop: f64) -> Self {
+        Self {
+            dt,
+            t_stop,
+            method: Integration::Trapezoidal,
+            max_newton: 50,
+            vntol: 1.0e-9,
+        }
+    }
+}
+
+/// Result of a transient run: node-voltage waveforms on a uniform time grid.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `data[time_index][node_index]`.
+    data: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The simulation time points in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of stored time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` when the result holds no time points.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The waveform of a node across the whole run.
+    pub fn waveform(&self, node: NodeId) -> Vec<f64> {
+        self.data.iter().map(|row| row[node.index()]).collect()
+    }
+
+    /// The node voltage linearly interpolated at time `t`.
+    pub fn value_at(&self, node: NodeId, t: f64) -> f64 {
+        let wave = self.waveform(node);
+        interp::lerp_at(&self.times, &wave, t)
+    }
+}
+
+/// Transient analysis driver.
+#[derive(Debug)]
+pub struct TransientAnalysis<'c> {
+    circuit: &'c Circuit,
+    layout: MnaLayout,
+    options: TransientOptions,
+}
+
+impl<'c> TransientAnalysis<'c> {
+    /// Prepares a transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidOptions`] for non-positive `dt`/`t_stop`
+    /// and [`SpiceError::Netlist`] if the circuit fails validation.
+    pub fn new(circuit: &'c Circuit, options: TransientOptions) -> Result<Self, SpiceError> {
+        circuit.validate().map_err(SpiceError::Netlist)?;
+        if !(options.dt > 0.0 && options.dt.is_finite()) {
+            return Err(SpiceError::InvalidOptions(
+                "time step must be positive".to_string(),
+            ));
+        }
+        if !(options.t_stop > options.dt) {
+            return Err(SpiceError::InvalidOptions(
+                "stop time must exceed the time step".to_string(),
+            ));
+        }
+        Ok(Self {
+            circuit,
+            layout: MnaLayout::new(circuit),
+            options,
+        })
+    }
+
+    /// Runs the transient analysis starting from the given operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Linear`] if a time-point system is singular or
+    /// [`SpiceError::TransientNoConvergence`] if the per-step Newton loop
+    /// fails.
+    pub fn run(&self, op: &OperatingPoint) -> Result<TransientResult, SpiceError> {
+        let node_count = self.circuit.node_count();
+        let dt = self.options.dt;
+        let steps = (self.options.t_stop / dt).ceil() as usize;
+
+        // State carried between time points.
+        let mut voltages = op.node_voltages().to_vec();
+        let mut prev_cap_current: Vec<f64> = vec![0.0; self.circuit.elements().len()];
+        let mut prev_ind_voltage: Vec<f64> = vec![0.0; self.circuit.elements().len()];
+        let mut branch_currents: Vec<f64> = vec![0.0; self.layout.dim()];
+        // Seed inductor currents from the operating point.
+        for (ei, el) in self.circuit.elements().iter().enumerate() {
+            if let Element::Inductor(l) = el {
+                if let Some(i0) = op.branch_current(&l.name) {
+                    if let Some(var) = self.layout.branch_var(&l.name) {
+                        branch_currents[var] = i0;
+                    }
+                }
+                prev_ind_voltage[ei] =
+                    voltages[l.a.index()] - voltages[l.b.index()];
+            }
+        }
+
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut data = Vec::with_capacity(steps + 1);
+        times.push(0.0);
+        data.push(voltages.clone());
+
+        for step in 1..=steps {
+            let t = step as f64 * dt;
+            let mut trial = voltages.clone();
+            let mut solution = vec![0.0; self.layout.dim()];
+            let mut converged = false;
+
+            for _ in 0..self.options.max_newton {
+                let (matrix, rhs) = self.assemble_timestep(
+                    t,
+                    dt,
+                    &trial,
+                    &voltages,
+                    &prev_cap_current,
+                    &prev_ind_voltage,
+                    &branch_currents,
+                );
+                let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
+                solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+
+                let mut max_delta: f64 = 0.0;
+                let mut next = vec![0.0; node_count];
+                for node in self.circuit.signal_nodes() {
+                    let var = self.layout.node_var(node).expect("signal node");
+                    let v = solution[var];
+                    max_delta = max_delta.max((v - trial[node.index()]).abs());
+                    next[node.index()] = v;
+                }
+                trial = next;
+                if max_delta < self.options.vntol
+                    || !self.circuit.elements().iter().any(Element::is_nonlinear)
+                {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(SpiceError::TransientNoConvergence { time: t });
+            }
+
+            // Update capacitor / inductor state for the next step.
+            for (ei, el) in self.circuit.elements().iter().enumerate() {
+                match el {
+                    Element::Capacitor(c) => {
+                        let v_new = trial[c.a.index()] - trial[c.b.index()];
+                        let v_old = voltages[c.a.index()] - voltages[c.b.index()];
+                        let i_new = match self.options.method {
+                            Integration::BackwardEuler => c.farads / dt * (v_new - v_old),
+                            Integration::Trapezoidal => {
+                                2.0 * c.farads / dt * (v_new - v_old) - prev_cap_current[ei]
+                            }
+                        };
+                        prev_cap_current[ei] = i_new;
+                    }
+                    Element::Inductor(l) => {
+                        prev_ind_voltage[ei] = trial[l.a.index()] - trial[l.b.index()];
+                    }
+                    _ => {}
+                }
+            }
+            branch_currents.copy_from_slice(&solution);
+            voltages = trial;
+            times.push(t);
+            data.push(voltages.clone());
+        }
+
+        Ok(TransientResult { times, data })
+    }
+
+    /// Assembles the MNA system for one Newton iteration of one time point.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_timestep(
+        &self,
+        t: f64,
+        dt: f64,
+        trial: &[f64],
+        prev: &[f64],
+        prev_cap_current: &[f64],
+        prev_ind_voltage: &[f64],
+        prev_solution: &[f64],
+    ) -> (loopscope_sparse::TripletMatrix<f64>, Vec<f64>) {
+        let mut st = Stamper::<f64>::new(&self.layout);
+        let trapezoidal = self.options.method == Integration::Trapezoidal;
+
+        for node in self.circuit.signal_nodes() {
+            st.add_node_node(node, node, GMIN);
+        }
+
+        for (ei, el) in self.circuit.elements().iter().enumerate() {
+            match el {
+                Element::Resistor(r) => st.stamp_admittance(r.a, r.b, 1.0 / r.ohms),
+                Element::Capacitor(c) => {
+                    let v_old = prev[c.a.index()] - prev[c.b.index()];
+                    if trapezoidal {
+                        let geq = 2.0 * c.farads / dt;
+                        let ieq = geq * v_old + prev_cap_current[ei];
+                        st.stamp_admittance(c.a, c.b, geq);
+                        st.add_rhs_node(c.a, ieq);
+                        st.add_rhs_node(c.b, -ieq);
+                    } else {
+                        let geq = c.farads / dt;
+                        let ieq = geq * v_old;
+                        st.stamp_admittance(c.a, c.b, geq);
+                        st.add_rhs_node(c.a, ieq);
+                        st.add_rhs_node(c.b, -ieq);
+                    }
+                }
+                Element::Inductor(l) => {
+                    let br = self.layout.branch_var(&l.name).expect("branch");
+                    let i_old = prev_solution[br];
+                    st.add_var_node(br, l.a, 1.0);
+                    st.add_var_node(br, l.b, -1.0);
+                    st.add_node_var(l.a, br, 1.0);
+                    st.add_node_var(l.b, br, -1.0);
+                    if trapezoidal {
+                        let req = 2.0 * l.henries / dt;
+                        st.add_var_var(br, br, -req);
+                        st.add_rhs_var(br, -req * i_old - prev_ind_voltage[ei]);
+                    } else {
+                        let req = l.henries / dt;
+                        st.add_var_var(br, br, -req);
+                        st.add_rhs_var(br, -req * i_old);
+                    }
+                }
+                Element::Vsource(v) => {
+                    let br = self.layout.branch_var(&v.name).expect("branch");
+                    st.add_var_node(br, v.plus, 1.0);
+                    st.add_var_node(br, v.minus, -1.0);
+                    st.add_node_var(v.plus, br, 1.0);
+                    st.add_node_var(v.minus, br, -1.0);
+                    st.add_rhs_var(br, v.spec.value_at(t));
+                }
+                Element::Isource(i) => {
+                    st.stamp_current_injection(i.minus, i.plus, i.spec.value_at(t));
+                }
+                Element::Vcvs(e) => {
+                    let br = self.layout.branch_var(&e.name).expect("branch");
+                    st.add_var_node(br, e.out_plus, 1.0);
+                    st.add_var_node(br, e.out_minus, -1.0);
+                    st.add_var_node(br, e.ctrl_plus, -e.gain);
+                    st.add_var_node(br, e.ctrl_minus, e.gain);
+                    st.add_node_var(e.out_plus, br, 1.0);
+                    st.add_node_var(e.out_minus, br, -1.0);
+                }
+                Element::Vccs(g) => {
+                    st.stamp_vccs(g.out_plus, g.out_minus, g.ctrl_plus, g.ctrl_minus, g.gm)
+                }
+                Element::Cccs(f) => {
+                    let ctrl = self
+                        .layout
+                        .branch_var(&f.ctrl_vsource)
+                        .expect("controlling source validated");
+                    st.add_node_var(f.out_plus, ctrl, f.gain);
+                    st.add_node_var(f.out_minus, ctrl, -f.gain);
+                }
+                Element::Ccvs(h) => {
+                    let br = self.layout.branch_var(&h.name).expect("branch");
+                    let ctrl = self
+                        .layout
+                        .branch_var(&h.ctrl_vsource)
+                        .expect("controlling source validated");
+                    st.add_var_node(br, h.out_plus, 1.0);
+                    st.add_var_node(br, h.out_minus, -1.0);
+                    st.add_var_var(br, ctrl, -h.rm);
+                    st.add_node_var(h.out_plus, br, 1.0);
+                    st.add_node_var(h.out_minus, br, -1.0);
+                }
+                Element::Diode(d) => {
+                    apply_nonlinear(&mut st, devices::stamp_diode(d, trial));
+                }
+                Element::Bjt(q) => {
+                    apply_nonlinear(&mut st, devices::stamp_bjt(q, trial));
+                }
+                Element::Mosfet(m) => {
+                    apply_nonlinear(&mut st, devices::stamp_mosfet(m, trial));
+                }
+            }
+        }
+        st.finish()
+    }
+}
+
+fn apply_nonlinear(st: &mut Stamper<'_, f64>, stamp: devices::NonlinearStamp) {
+    for (r, c, g) in stamp.conductances {
+        st.add_node_node(r, c, g);
+    }
+    for (n, i) in stamp.rhs_currents {
+        st.add_rhs_node(n, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::solve_dc;
+    use loopscope_netlist::SourceSpec;
+
+    #[test]
+    fn rc_charging_curve() {
+        // Step from 0 to 1 V through 1 kΩ into 1 µF: τ = 1 ms.
+        let mut c = Circuit::new("rc step");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+        c.add_resistor("R1", vin, vout, 1.0e3);
+        c.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-6);
+        let op = solve_dc(&c).unwrap();
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(10.0e-6, 5.0e-3)).unwrap();
+        let result = tran.run(&op).unwrap();
+        // After one time constant: 1 − e^-1 ≈ 0.632.
+        let v_tau = result.value_at(vout, 1.0e-3);
+        assert!((v_tau - 0.632).abs() < 0.01, "v(τ) = {v_tau}");
+        // Fully settled by 5τ.
+        let v_end = result.value_at(vout, 5.0e-3);
+        assert!((v_end - 1.0).abs() < 0.01, "v(5τ) = {v_end}");
+    }
+
+    #[test]
+    fn lc_oscillation_period_with_trapezoidal() {
+        // A lightly damped series RLC ringing at f0 = 1/(2π√(LC)).
+        let mut c = Circuit::new("rlc ring");
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+        c.add_resistor("R1", vin, mid, 5.0);
+        c.add_inductor("L1", mid, vout, 1.0e-3);
+        c.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-9);
+        let op = solve_dc(&c).unwrap();
+        // f0 ≈ 159 kHz → period ≈ 6.28 µs; run 40 µs at 20 ns.
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(20.0e-9, 40.0e-6)).unwrap();
+        let result = tran.run(&op).unwrap();
+        let wave = result.waveform(vout);
+        let times = result.times();
+        // Find the first two upward crossings of the final value 1.0.
+        let mut crossings = Vec::new();
+        for i in 1..wave.len() {
+            if wave[i - 1] < 1.0 && wave[i] >= 1.0 {
+                crossings.push(times[i]);
+            }
+        }
+        assert!(crossings.len() >= 2, "expected ringing");
+        let period = (crossings[1] - crossings[0]) * 1.0; // full period between same-direction crossings
+        assert!(
+            (period - 6.28e-6).abs() / 6.28e-6 < 0.1,
+            "period = {period}"
+        );
+        // Overshoot close to 100 % (very low damping).
+        let peak = wave.iter().cloned().fold(0.0, f64::max);
+        assert!(peak > 1.7, "peak = {peak}");
+    }
+
+    #[test]
+    fn backward_euler_damps_more_than_trapezoidal() {
+        let build = || {
+            let mut c = Circuit::new("ring");
+            let vin = c.node("in");
+            let mid = c.node("mid");
+            let vout = c.node("out");
+            c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+            c.add_resistor("R1", vin, mid, 20.0);
+            c.add_inductor("L1", mid, vout, 1.0e-3);
+            c.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-9);
+            c
+        };
+        let run = |method: Integration| {
+            let c = build();
+            let op = solve_dc(&c).unwrap();
+            let mut opts = TransientOptions::new(50.0e-9, 30.0e-6);
+            opts.method = method;
+            let tran = TransientAnalysis::new(&c, opts).unwrap();
+            let r = tran.run(&op).unwrap();
+            let out = c.find_node("out").unwrap();
+            r.waveform(out).iter().cloned().fold(0.0, f64::max)
+        };
+        let peak_trap = run(Integration::Trapezoidal);
+        let peak_be = run(Integration::BackwardEuler);
+        assert!(peak_trap > peak_be, "trap {peak_trap} vs BE {peak_be}");
+    }
+
+    #[test]
+    fn diode_rectifier_clamps_negative_half() {
+        use loopscope_netlist::DiodeModel;
+        let mut c = Circuit::new("rect");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            loopscope_netlist::SourceSpec {
+                dc: 0.0,
+                ac_mag: 0.0,
+                ac_phase_deg: 0.0,
+                waveform: loopscope_netlist::Waveform::Sine {
+                    offset: 0.0,
+                    amplitude: 2.0,
+                    freq_hz: 1.0e3,
+                    delay: 0.0,
+                },
+            },
+        );
+        c.add_diode("D1", vin, vout, DiodeModel::default());
+        c.add_resistor("RL", vout, Circuit::GROUND, 1.0e3);
+        let op = solve_dc(&c).unwrap();
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(2.0e-6, 2.0e-3)).unwrap();
+        let result = tran.run(&op).unwrap();
+        let wave = result.waveform(vout);
+        let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = wave.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Positive peaks pass (minus a diode drop), negative half is clamped.
+        assert!(max > 1.0, "max = {max}");
+        assert!(min > -0.3, "min = {min}");
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let mut c = Circuit::new("x");
+        let a = c.node("a");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0);
+        c.add_capacitor("C1", a, Circuit::GROUND, 1e-9);
+        assert!(TransientAnalysis::new(&c, TransientOptions::new(0.0, 1.0)).is_err());
+        assert!(TransientAnalysis::new(&c, TransientOptions::new(1.0, 0.5)).is_err());
+    }
+
+    #[test]
+    fn result_accessors() {
+        let mut c = Circuit::new("acc");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0e3);
+        let op = solve_dc(&c).unwrap();
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(1.0e-6, 10.0e-6)).unwrap();
+        let r = tran.run(&op).unwrap();
+        // 10 steps of 1 µs plus the initial point (±1 for the floating-point
+        // ceiling of t_stop/dt).
+        assert!(r.len() == 11 || r.len() == 12, "len = {}", r.len());
+        assert!(!r.is_empty());
+        assert_eq!(r.times().len(), r.len());
+        assert!((r.value_at(a, 5.0e-6) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the simulator on randomly generated linear
+//! circuits, checking physical invariants rather than specific values.
+
+use loopscope_math::FrequencyGrid;
+use loopscope_netlist::{Circuit, SourceSpec};
+use loopscope_spice::ac::AcAnalysis;
+use loopscope_spice::dc::solve_dc;
+use proptest::prelude::*;
+
+/// Builds a random ladder of resistors with capacitors to ground, driven by a
+/// DC + AC source. Always a valid, passive, connected circuit.
+fn random_ladder(rs: &[f64], cs: &[f64], vdc: f64) -> (Circuit, Vec<loopscope_netlist::NodeId>) {
+    let mut circuit = Circuit::new("random ladder");
+    let input = circuit.node("in");
+    circuit.add_vsource("V1", input, Circuit::GROUND, SourceSpec::dc_ac(vdc, 1.0, 0.0));
+    let mut prev = input;
+    let mut nodes = Vec::new();
+    for (k, (&r, &c)) in rs.iter().zip(cs).enumerate() {
+        let n = circuit.node(&format!("n{k}"));
+        circuit.add_resistor(&format!("R{k}"), prev, n, r);
+        circuit.add_capacitor(&format!("C{k}"), n, Circuit::GROUND, c);
+        nodes.push(n);
+        prev = n;
+    }
+    (circuit, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DC: with no DC path to ground anywhere except through the source, every
+    /// ladder node sits at the source voltage (capacitors carry no current).
+    #[test]
+    fn dc_ladder_floats_to_source(
+        rs in prop::collection::vec(10.0f64..1.0e6, 1..8),
+        cs in prop::collection::vec(1.0e-12f64..1.0e-6, 8),
+        vdc in -5.0f64..5.0,
+    ) {
+        let cs = &cs[..rs.len()];
+        let (circuit, nodes) = random_ladder(&rs, cs, vdc);
+        let op = solve_dc(&circuit).expect("linear circuit always converges");
+        for n in nodes {
+            prop_assert!((op.voltage(n) - vdc).abs() < 1.0e-3 + 1.0e-6 * vdc.abs());
+        }
+    }
+
+    /// AC: a passive RC ladder driven by a 1 V source can never show gain
+    /// above 1 anywhere, and the response magnitude is monotonically
+    /// non-increasing along the ladder at every frequency.
+    #[test]
+    fn ac_ladder_is_passive_and_ordered(
+        rs in prop::collection::vec(100.0f64..1.0e5, 2..6),
+        cs in prop::collection::vec(10.0e-12f64..10.0e-9, 6),
+    ) {
+        let cs = &cs[..rs.len()];
+        let (circuit, nodes) = random_ladder(&rs, cs, 0.0);
+        let op = solve_dc(&circuit).expect("converges");
+        let ac = AcAnalysis::new(&circuit, &op).expect("valid");
+        let grid = FrequencyGrid::log_decade(10.0, 1.0e8, 10);
+        let sweep = ac.sweep(&grid).expect("no singularities in a passive ladder");
+        for (fi, _f) in grid.freqs().iter().enumerate() {
+            let mut prev_mag = 1.0 + 1e-9;
+            for n in &nodes {
+                let mag = sweep.response(*n)[fi].abs();
+                prop_assert!(mag <= 1.0 + 1.0e-6, "passive gain bound violated: {mag}");
+                prop_assert!(mag <= prev_mag + 1.0e-9, "monotonicity violated");
+                prev_mag = mag;
+            }
+        }
+    }
+
+    /// Driving-point impedance of a passive one-port has a non-negative real
+    /// part at every frequency (positive-real property).
+    #[test]
+    fn driving_point_impedance_is_positive_real(
+        r1 in 10.0f64..1.0e5,
+        r2 in 10.0f64..1.0e5,
+        c in 1.0e-12f64..1.0e-7,
+        l in 1.0e-9f64..1.0e-3,
+    ) {
+        let mut circuit = Circuit::new("one port");
+        let a = circuit.node("a");
+        let b = circuit.node("b");
+        circuit.add_resistor("R1", a, b, r1);
+        circuit.add_inductor("L1", b, Circuit::GROUND, l);
+        circuit.add_resistor("R2", a, Circuit::GROUND, r2);
+        circuit.add_capacitor("C1", a, Circuit::GROUND, c);
+        let op = solve_dc(&circuit).expect("converges");
+        let ac = AcAnalysis::new(&circuit, &op).expect("valid");
+        let grid = FrequencyGrid::log_decade(1.0, 1.0e9, 10);
+        let z = ac.driving_point_response(a, &grid).expect("solvable");
+        for zi in z {
+            prop_assert!(zi.re >= -1.0e-9, "negative real part {}", zi.re);
+        }
+    }
+}

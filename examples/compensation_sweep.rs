@@ -1,0 +1,64 @@
+//! Corner/parameter sweep (paper §4.2 "in-tool sweeps"): how the main loop's
+//! damping and phase margin move as the compensation network and load of the
+//! 2 MHz buffer are varied — the workflow a designer uses to pick `rzero`,
+//! `C1` and to check the worst-case load.
+//!
+//! Run with `cargo run --release --example compensation_sweep`.
+
+use loopscope::prelude::*;
+use loopscope_core::sweep::sweep_node;
+
+fn main() -> Result<(), StabilityError> {
+    let options = StabilityOptions {
+        f_start: 1.0e3,
+        f_stop: 1.0e8,
+        points_per_decade: 80,
+        ..Default::default()
+    };
+
+    // Sweep 1: load capacitance (the paper's `cload` knob).
+    let cload_variants = [100.0e-12, 250.0e-12, 400.0e-12, 600.0e-12, 1.0e-9]
+        .into_iter()
+        .map(|cload| {
+            let params = OpAmpParams {
+                cload,
+                ..Default::default()
+            };
+            (format!("cload={:.0}pF", cload * 1.0e12), two_stage_buffer(&params).0)
+        });
+    let cload_sweep = sweep_node(cload_variants, "out", options)?;
+    println!("{}", cload_sweep.to_text());
+    if let Some(worst) = cload_sweep.worst_case() {
+        println!(
+            "worst case: {} (ζ = {:.3})\nmeets 45° phase margin at every corner: {}\n",
+            worst.label,
+            worst.estimate.map(|e| e.damping_ratio).unwrap_or(f64::NAN),
+            cload_sweep.meets_phase_margin(45.0)
+        );
+    }
+
+    // Sweep 2: Miller capacitor C1 (stronger compensation).
+    let c1_variants = [1.5e-12, 2.3e-12, 4.7e-12, 10.0e-12]
+        .into_iter()
+        .map(|c1| {
+            let params = OpAmpParams {
+                c1,
+                ..Default::default()
+            };
+            (format!("C1={:.1}pF", c1 * 1.0e12), two_stage_buffer(&params).0)
+        });
+    let c1_sweep = sweep_node(c1_variants, "out", options)?;
+    println!("{}", c1_sweep.to_text());
+    println!(
+        "increasing the Miller capacitor monotonically improves the margin: {}",
+        c1_sweep
+            .points
+            .windows(2)
+            .all(|w| match (w[0].estimate, w[1].estimate) {
+                (Some(a), Some(b)) => b.damping_ratio >= a.damping_ratio,
+                (Some(_), None) => true, // became fully damped
+                _ => true,
+            })
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Full comparison on the 2 MHz op-amp buffer: the stability-plot method
+//! versus the two traditional baselines (paper Figs. 2, 3 and 4).
+//!
+//! 1. Transient step response → percent overshoot (Fig. 2).
+//! 2. Open-loop Bode plot (loop broken by hand) → phase margin (Fig. 3).
+//! 3. Stability plot at the output node (loop left closed) → performance
+//!    index, natural frequency and estimated phase margin (Fig. 4).
+//!
+//! Run with `cargo run --release --example opamp_stability`.
+
+use loopscope::prelude::*;
+use loopscope_circuits::opamp::two_stage_open_loop;
+use loopscope_core::baseline::{open_loop_margins, transient_overshoot};
+
+fn main() -> Result<(), StabilityError> {
+    let params = OpAmpParams::default();
+
+    // --- Baseline 1: transient overshoot (Fig. 2) --------------------------
+    let (closed_loop, nodes) = two_stage_buffer(&params);
+    let overshoot = transient_overshoot(&closed_loop, nodes.output, 2.0e-9, 8.0e-6)?;
+    println!("baseline 1 — transient step response (Fig. 2):");
+    println!("  overshoot            : {:.1} %", overshoot.percent_overshoot);
+    println!("  equivalent ζ         : {:.3}", overshoot.equivalent_damping);
+
+    // --- Baseline 2: open-loop Bode margins (Fig. 3) ------------------------
+    let (open_loop, ol_nodes) = two_stage_open_loop(&params);
+    let grid = FrequencyGrid::log_decade(1.0, 100.0e6, 40);
+    let margins = open_loop_margins(&open_loop, ol_nodes.output, &grid)?;
+    println!("\nbaseline 2 — open-loop gain/phase plot (Fig. 3, loop broken):");
+    if let (Some(fc), Some(pm)) = (margins.gain_crossover_hz, margins.phase_margin_deg) {
+        println!("  0 dB crossover       : {:.2} MHz", fc / 1.0e6);
+        println!("  phase margin         : {:.1}°", pm);
+    }
+    if let Some(fp) = margins.phase_crossover_hz {
+        println!("  −180° phase crossing : {:.2} MHz", fp / 1.0e6);
+    }
+
+    // --- The paper's method: stability plot, loop left closed (Fig. 4) ------
+    let analyzer = StabilityAnalyzer::new(closed_loop, StabilityOptions::default())?;
+    let result = analyzer.single_node(nodes.output)?;
+    let peak = result.peak.expect("under-compensated buffer must peak");
+    let est = result.estimate.expect("estimate follows from the peak");
+    println!("\nstability plot at the output node (Fig. 4, loop closed):");
+    println!("  peak value           : {:.1}", peak.y);
+    println!("  natural frequency    : {:.2} MHz", est.natural_freq_hz / 1.0e6);
+    println!("  damping ratio ζ      : {:.3}", est.damping_ratio);
+    println!("  estimated PM         : {:.1}°", est.phase_margin_deg);
+    println!("  equivalent overshoot : {:.0} %", est.percent_overshoot);
+
+    println!("\nconsistency checks (the three views must agree):");
+    println!(
+        "  ζ from overshoot = {:.3}   ζ from stability plot = {:.3}",
+        overshoot.equivalent_damping, est.damping_ratio
+    );
+    if let Some(pm) = margins.phase_margin_deg {
+        println!(
+            "  PM from Bode = {:.1}°        PM from stability plot = {:.1}°",
+            pm, est.phase_margin_deg
+        );
+    }
+    if let (Some(fc), Some(fp)) = (margins.gain_crossover_hz, margins.phase_crossover_hz) {
+        println!(
+            "  stability-plot natural frequency {:.2} MHz lies between the 0 dB crossover ({:.2} MHz) and the −180° crossing ({:.2} MHz): {}",
+            est.natural_freq_hz / 1.0e6,
+            fc / 1.0e6,
+            fp / 1.0e6,
+            est.natural_freq_hz >= fc && est.natural_freq_hz <= fp
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: single-node stability analysis of the 2 MHz op-amp buffer.
+//!
+//! Reproduces the paper's headline workflow: attach an AC current probe to
+//! the output node of a closed-loop amplifier, compute the stability plot,
+//! and read the loop's natural frequency, damping ratio and estimated phase
+//! margin — all without breaking the feedback loop.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use loopscope::prelude::*;
+use loopscope_core::table1;
+
+fn main() -> Result<(), StabilityError> {
+    // The paper's evaluation vehicle: a simple 2 MHz op-amp connected as a
+    // unity-gain buffer, with the nominal (under-compensated) rzero / cload /
+    // C1 values.
+    let (circuit, nodes) = two_stage_buffer(&OpAmpParams::default());
+
+    let analyzer = StabilityAnalyzer::new(circuit, StabilityOptions::default())?;
+    println!(
+        "operating point converged in {} Newton iterations; {} AC source(s) auto-zeroed\n",
+        analyzer.operating_point().iterations(),
+        analyzer.zeroed_sources()
+    );
+
+    // "Single Node" run mode at the amplifier output.
+    let result = analyzer.single_node(nodes.output)?;
+    println!("stability analysis of node `{}`:", result.node_name);
+    match (&result.peak, &result.estimate) {
+        (Some(peak), Some(est)) => {
+            println!("  stability peak      : {:.1}", -peak.y);
+            println!("  natural frequency   : {:.3} MHz", est.natural_freq_hz / 1.0e6);
+            println!("  damping ratio ζ     : {:.3}", est.damping_ratio);
+            println!("  est. phase margin   : {:.1}°  (exact 2nd-order: {:.1}°)",
+                est.phase_margin_deg, est.phase_margin_exact_deg);
+            println!("  equiv. overshoot    : {:.0} %", est.percent_overshoot);
+        }
+        _ => println!("  no under-damped loop detected at this node"),
+    }
+
+    // The paper's Table 1: the analytic second-order lookup the estimate uses.
+    println!("\nTable 1 — second-order system characteristics:");
+    println!("{:>5} {:>12} {:>12} {:>10} {:>12}", "ζ", "overshoot %", "PM (deg)", "Mp", "perf. index");
+    for row in table1() {
+        println!(
+            "{:>5.1} {:>12.1} {:>12.1} {:>10.2} {:>12.1}",
+            row.zeta,
+            row.percent_overshoot,
+            row.phase_margin_deg,
+            row.max_magnitude,
+            row.performance_index
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Methodology sanity check: real poles versus complex poles.
+//!
+//! The stability plot is designed so that real poles and zeros are filtered
+//! out by the double differentiation (paper §2) while complex pole pairs
+//! produce a peak of exactly −1/ζ². This example demonstrates both halves of
+//! that claim on circuits with exactly known pole structure:
+//!
+//! * an RC ladder (all poles real) — no node reports a loop;
+//! * a series RLC divider swept over ζ — the reported peak matches −1/ζ².
+//!
+//! Run with `cargo run --release --example rc_ladder_sweep`.
+
+use loopscope::prelude::*;
+use loopscope_circuits::blocks::{rc_ladder, series_rlc, series_rlc_damping, series_rlc_natural_freq};
+
+fn main() -> Result<(), StabilityError> {
+    // --- Part 1: RC ladder, real poles only ---------------------------------
+    let (ladder, nodes) = rc_ladder(6, 1.0e3, 1.0e-9);
+    let options = StabilityOptions {
+        f_start: 1.0e2,
+        f_stop: 1.0e8,
+        points_per_decade: 80,
+        ..Default::default()
+    };
+    let analyzer = StabilityAnalyzer::new(ladder, options)?;
+    println!("6-section RC ladder (all real poles):");
+    for node in nodes {
+        let r = analyzer.single_node(node)?;
+        let min = r
+            .plot
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  node {:<4} deepest curvature {:>7.3}   loop detected: {}",
+            r.node_name,
+            min,
+            r.estimate.is_some()
+        );
+    }
+
+    // --- Part 2: series RLC with known damping ------------------------------
+    println!("\nseries RLC divider, ζ swept (peak must equal −1/ζ²):");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "ζ", "expected peak", "measured peak", "expected fn", "measured fn"
+    );
+    let l: f64 = 1.0e-3;
+    let cap: f64 = 1.0e-9;
+    for zeta_target in [0.1, 0.2, 0.3, 0.5, 0.7] {
+        let r = 2.0 * zeta_target * (l / cap).sqrt();
+        let (circuit, out) = series_rlc(r, l, cap);
+        let zeta = series_rlc_damping(r, l, cap);
+        let fn_hz = series_rlc_natural_freq(l, cap);
+        let opts = StabilityOptions {
+            f_start: 1.0e3,
+            f_stop: 1.0e7,
+            points_per_decade: 120,
+            ..Default::default()
+        };
+        let analyzer = StabilityAnalyzer::new(circuit, opts)?;
+        let result = analyzer.single_node(out)?;
+        match result.peak {
+            Some(peak) => println!(
+                "{:>6.2} {:>14.2} {:>14.2} {:>14.3e} {:>14.3e}",
+                zeta,
+                -1.0 / (zeta * zeta),
+                peak.y,
+                fn_hz,
+                peak.x
+            ),
+            None => println!("{zeta:>6.2} (no peak below the threshold)"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! `loopscope` — AC-stability analysis of continuous-time closed-loop
+//! circuits without breaking the loop.
+//!
+//! This is the umbrella crate of the workspace: it re-exports the public API
+//! of the individual crates so applications can depend on a single crate.
+//! See the [`core`] module (the `loopscope-core` crate) for the methodology
+//! entry points, [`spice`] for the underlying simulator and [`circuits`] for
+//! the ready-made evaluation circuits from the paper.
+//!
+//! ```
+//! use loopscope::prelude::*;
+//!
+//! let (circuit, nodes) = two_stage_buffer(&OpAmpParams::default());
+//! let analyzer = StabilityAnalyzer::new(circuit, StabilityOptions::default())?;
+//! let result = analyzer.single_node(nodes.output)?;
+//! assert!(result.estimate.is_some());
+//! # Ok::<(), loopscope::core::StabilityError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use loopscope_circuits as circuits;
+pub use loopscope_core as core;
+pub use loopscope_math as math;
+pub use loopscope_netlist as netlist;
+pub use loopscope_sparse as sparse;
+pub use loopscope_spice as spice;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use loopscope_circuits::{
+        two_stage_buffer, zero_tc_bias, BiasParams, OpAmpNodes, OpAmpParams,
+    };
+    pub use loopscope_core::{
+        AllNodesReport, LoopEstimate, NodeStabilityResult, StabilityAnalyzer, StabilityError,
+        StabilityOptions, StabilityPlot,
+    };
+    pub use loopscope_math::{FrequencyGrid, SecondOrder};
+    pub use loopscope_netlist::{parse_netlist, Circuit, NodeId, SourceSpec};
+    pub use loopscope_spice::{solve_dc, AcAnalysis, TransientAnalysis, TransientOptions};
+}

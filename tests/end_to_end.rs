@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: netlist → operating point → AC probe →
+//! stability plot → report, exercised through the umbrella crate's public API.
+
+use loopscope::prelude::*;
+use loopscope_circuits::blocks::{series_rlc, series_rlc_damping, series_rlc_natural_freq};
+use loopscope_circuits::opamp_with_bias;
+use loopscope_core::baseline::transient_overshoot;
+
+fn fast_options(f_start: f64, f_stop: f64) -> StabilityOptions {
+    StabilityOptions {
+        f_start,
+        f_stop,
+        points_per_decade: 80,
+        ..Default::default()
+    }
+}
+
+/// The complete pipeline on a circuit built from a text netlist: a series RLC
+/// with ζ = 0.25 described in SPICE syntax, probed without modification.
+#[test]
+fn netlist_to_stability_estimate() {
+    let netlist = r"
+ringing rlc
+V1 in 0 DC 0
+R1 in mid 500
+L1 mid out 1m
+C1 out 0 1n
+.end
+";
+    let circuit = parse_netlist(netlist).expect("netlist parses");
+    let out = circuit.find_node("out").expect("out node exists");
+    let analyzer = StabilityAnalyzer::new(circuit, fast_options(1.0e3, 1.0e7)).unwrap();
+    let result = analyzer.single_node(out).unwrap();
+    let est = result.estimate.expect("complex pole pair");
+    let zeta = series_rlc_damping(500.0, 1.0e-3, 1.0e-9);
+    assert!((est.damping_ratio - zeta).abs() < 0.02);
+    assert!(
+        (est.natural_freq_hz - series_rlc_natural_freq(1.0e-3, 1.0e-9)).abs()
+            / series_rlc_natural_freq(1.0e-3, 1.0e-9)
+            < 0.03
+    );
+}
+
+/// The stability-plot estimate and the transient-overshoot baseline must agree
+/// on the damping ratio of the same circuit (paper's Fig. 2 vs Fig. 4 cross
+/// check), here on a circuit whose true ζ is known exactly.
+#[test]
+fn stability_plot_agrees_with_transient_baseline() {
+    let l: f64 = 1.0e-3;
+    let cap: f64 = 1.0e-9;
+    let r = 2.0 * 0.3 * (l / cap).sqrt();
+    let (circuit, out) = series_rlc(r, l, cap);
+
+    let analyzer = StabilityAnalyzer::new(circuit.clone(), fast_options(1.0e3, 1.0e7)).unwrap();
+    let plot_estimate = analyzer.single_node(out).unwrap().estimate.unwrap();
+
+    let overshoot = transient_overshoot(&circuit, out, 40.0e-9, 80.0e-6).unwrap();
+
+    assert!(
+        (plot_estimate.damping_ratio - overshoot.equivalent_damping).abs() < 0.04,
+        "plot ζ {} vs transient ζ {}",
+        plot_estimate.damping_ratio,
+        overshoot.equivalent_damping
+    );
+    assert!(
+        (plot_estimate.percent_overshoot - overshoot.percent_overshoot).abs() < 8.0,
+        "plot overshoot {} vs measured {}",
+        plot_estimate.percent_overshoot,
+        overshoot.percent_overshoot
+    );
+}
+
+/// The all-nodes scan of the combined op-amp + bias circuit must find at least
+/// two distinct loops (the MHz main loop and the bias cell's local loop), with
+/// the main loop grouping together the output-path nodes — the paper's
+/// Table 2 scenario.
+#[test]
+fn all_nodes_finds_main_and_local_loops() {
+    let (circuit, opamp_nodes, bias_nodes) =
+        opamp_with_bias(&OpAmpParams::default(), &BiasParams::default());
+    let analyzer = StabilityAnalyzer::new(circuit, fast_options(1.0e4, 1.0e9)).unwrap();
+    let report = analyzer.all_nodes().unwrap();
+
+    assert!(
+        report.loops().len() >= 2,
+        "expected at least two loops, got {}",
+        report.loops().len()
+    );
+
+    // The op-amp output must belong to a loop in the MHz range.
+    let main_freq = report
+        .entries()
+        .iter()
+        .find(|e| e.node == opamp_nodes.output)
+        .and_then(|e| e.natural_freq_hz())
+        .expect("main loop visible at the output");
+    assert!(main_freq > 5.0e5 && main_freq < 1.0e7, "main loop at {main_freq}");
+
+    // The bias cell's regulation loop must show up well above the main loop.
+    let bias_freq = report
+        .entries()
+        .iter()
+        .find(|e| e.node == bias_nodes.q3_collector)
+        .and_then(|e| e.natural_freq_hz())
+        .expect("local bias loop visible at the Q3 collector");
+    assert!(
+        bias_freq > 2.0 * main_freq,
+        "bias loop at {bias_freq} vs main at {main_freq}"
+    );
+
+    // The report text renders and mentions the output node.
+    let text = report.to_text();
+    assert!(text.contains("out"));
+}
+
+/// Retuning the compensation (larger Miller capacitor, smaller load) must
+/// increase the estimated phase margin — the workflow a designer follows
+/// after the tool flags a marginal loop.
+#[test]
+fn compensation_improves_phase_margin() {
+    let nominal = OpAmpParams::default();
+    let improved = OpAmpParams {
+        c1: 12.0e-12,
+        cload: 100.0e-12,
+        ..nominal
+    };
+    let pm_of = |params: &OpAmpParams| {
+        let (circuit, nodes) = two_stage_buffer(params);
+        let analyzer = StabilityAnalyzer::new(circuit, fast_options(1.0e3, 1.0e8)).unwrap();
+        analyzer
+            .single_node(nodes.output)
+            .unwrap()
+            .estimate
+            .map(|e| e.phase_margin_exact_deg)
+    };
+    let pm_nominal = pm_of(&nominal).expect("nominal circuit peaks");
+    match pm_of(&improved) {
+        Some(pm_improved) => assert!(
+            pm_improved > pm_nominal + 5.0,
+            "improved {pm_improved} vs nominal {pm_nominal}"
+        ),
+        // Even better: the loop became so well damped that no peak remains.
+        None => {}
+    }
+}
+
+/// The analyzer must leave the caller's circuit untouched (probing is
+/// non-invasive), and the same analyzer can serve many queries.
+#[test]
+fn analyzer_is_reusable_and_non_invasive() {
+    let (circuit, nodes) = two_stage_buffer(&OpAmpParams::default());
+    let element_count = circuit.elements().len();
+    let analyzer = StabilityAnalyzer::new(circuit.clone(), fast_options(1.0e3, 1.0e8)).unwrap();
+    let a = analyzer.single_node(nodes.output).unwrap();
+    let b = analyzer.single_node(nodes.stage1).unwrap();
+    let c = analyzer.single_node(nodes.output).unwrap();
+    assert_eq!(analyzer.circuit().elements().len(), element_count);
+    assert_eq!(a.peak.map(|p| p.x), c.peak.map(|p| p.x));
+    // Both nodes on the same loop agree on the natural frequency within a few
+    // per cent (paper Table 2 shows the same behaviour).
+    if let (Some(fa), Some(fb)) = (a.natural_freq_hz(), b.natural_freq_hz()) {
+        assert!((fa - fb).abs() / fa < 0.1, "fa {fa} fb {fb}");
+    }
+}
