@@ -28,15 +28,18 @@ fn print_comparison() {
     // The transient baseline has to resolve the ~3 MHz ringing (ns steps) for
     // several microseconds to see it settle — the cost the paper's method avoids.
     let t1 = Instant::now();
-    let tran_result = transient_overshoot(&circuit, nodes.output, 2.0e-9, 8.0e-6)
-        .expect("transient baseline");
+    let tran_result =
+        transient_overshoot(&circuit, nodes.output, 2.0e-9, 8.0e-6).expect("transient baseline");
     let tran_time = t1.elapsed();
 
     println!("\n=== Ablation A1: AC stability scan vs transient node pulsing ===");
     println!(
         "  AC stability plot    : {:>8.1} ms  (ζ = {:.3})",
         ac_time.as_secs_f64() * 1.0e3,
-        ac_result.estimate.map(|e| e.damping_ratio).unwrap_or(f64::NAN)
+        ac_result
+            .estimate
+            .map(|e| e.damping_ratio)
+            .unwrap_or(f64::NAN)
     );
     println!(
         "  transient overshoot  : {:>8.1} ms  (ζ = {:.3})",

@@ -29,7 +29,12 @@ fn print_comparison() {
     let mut deepest: f64 = 0.0;
     for node in &nodes {
         let r = analyzer.single_node(*node).expect("scan");
-        let min = r.plot.values().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = r
+            .plot
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         deepest = deepest.min(min);
     }
     println!("  6-section RC ladder (real poles only): deepest plot value {deepest:.3}  → no loop reported");

@@ -13,8 +13,8 @@ const T_STOP: f64 = 8.0e-6;
 
 fn print_fig2() {
     let (circuit, nodes) = two_stage_buffer(&nominal_opamp());
-    let result = transient_overshoot(&circuit, nodes.output, DT, T_STOP)
-        .expect("transient baseline runs");
+    let result =
+        transient_overshoot(&circuit, nodes.output, DT, T_STOP).expect("transient baseline runs");
     println!("\n=== Fig. 2: closed-loop step response (traditional baseline) ===");
     println!("  step                 : 10 mV at the non-inverting input");
     println!("  measured overshoot   : {:.1} %", result.percent_overshoot);
@@ -33,9 +33,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("transient_overshoot_baseline", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                transient_overshoot(&circuit, nodes.output, DT, T_STOP).unwrap(),
-            )
+            std::hint::black_box(transient_overshoot(&circuit, nodes.output, DT, T_STOP).unwrap())
         })
     });
     group.finish();

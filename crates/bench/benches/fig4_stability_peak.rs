@@ -9,20 +9,26 @@ use loopscope_bench::{fmt_freq, opamp_analyzer};
 
 fn print_fig4() {
     let (analyzer, nodes) = opamp_analyzer();
-    let result = analyzer.single_node(nodes.output).expect("single-node run succeeds");
+    let result = analyzer
+        .single_node(nodes.output)
+        .expect("single-node run succeeds");
     println!("\n=== Fig. 4: stability plot at the output node (loop left closed) ===");
     match (result.peak, result.estimate) {
         (Some(peak), Some(est)) => {
             println!("  stability peak       : {:.1}", peak.y);
             println!("  natural frequency    : {}", fmt_freq(est.natural_freq_hz));
             println!("  damping ratio ζ      : {:.3}", est.damping_ratio);
-            println!("  estimated PM         : {:.1}° (exact 2nd-order {:.1}°)",
-                est.phase_margin_deg, est.phase_margin_exact_deg);
+            println!(
+                "  estimated PM         : {:.1}° (exact 2nd-order {:.1}°)",
+                est.phase_margin_deg, est.phase_margin_exact_deg
+            );
             println!("  equivalent overshoot : {:.0} %", est.percent_overshoot);
         }
         _ => println!("  no peak detected — circuit unexpectedly well damped"),
     }
-    println!("  paper reference      : peak ≈ −29 at ≈ 3.2 MHz ⇒ ζ ≈ 0.19, PM slightly below 20°\n");
+    println!(
+        "  paper reference      : peak ≈ −29 at ≈ 3.2 MHz ⇒ ζ ≈ 0.19, PM slightly below 20°\n"
+    );
 
     // A short excerpt of the plot around the peak, the data behind the figure.
     if let Some(peak) = result.peak {

@@ -1,0 +1,183 @@
+//! Experiment S1 — symbolic/numeric LU split: factor-once-vs-refactor on the
+//! op-amp MNA matrix and on an N-stage RC ladder.
+//!
+//! The whole-circuit stability scan solves `Y(jω)·x = b` at hundreds of
+//! frequency points with an identical sparsity pattern; this bench isolates
+//! the solver-side win of reusing the pivot order and fill pattern
+//! ([`loopscope_sparse::SparseLu::refactor`]) instead of running a fresh
+//! pivoting factorization per point, and prints the sweep-level counters
+//! proving a whole scan performs exactly one symbolic analysis.
+//!
+//! Regenerate with `cargo bench -p loopscope-bench --bench solver_refactor`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_circuits::{mos_two_stage_buffer, two_stage_buffer, OpAmpParams};
+use loopscope_math::{Complex64, FrequencyGrid};
+use loopscope_sparse::{CsrMatrix, SparseLu, SymbolicLu, TripletMatrix};
+use loopscope_spice::ac::AcAnalysis;
+use loopscope_spice::dc::solve_dc;
+use std::time::Instant;
+
+/// Builds the complex MNA admittance matrix of an N-stage RC ladder at a
+/// given angular-frequency scale (same pattern for every scale).
+fn rc_ladder_matrix(stages: usize, jw_scale: f64) -> CsrMatrix<Complex64> {
+    let mut t = TripletMatrix::<Complex64>::new(stages, stages);
+    for i in 0..stages {
+        let g = 1.0e-3 * (1.0 + (i % 7) as f64 * 0.1);
+        let jwc = Complex64::new(0.0, jw_scale * 1.0e-9 * (1.0 + (i % 5) as f64 * 0.2));
+        let mut diag = Complex64::from_real(g) + jwc;
+        if i > 0 {
+            t.push(i, i - 1, Complex64::from_real(-g));
+            diag += Complex64::from_real(g);
+        }
+        if i + 1 < stages {
+            t.push(i, i + 1, Complex64::from_real(-g));
+        }
+        t.push(i, i, diag);
+    }
+    t.to_csr()
+}
+
+/// Mean wall-clock time of `f` over `iters` runs, in nanoseconds.
+fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn print_speedup_table(
+    label: &str,
+    matrices: &[CsrMatrix<Complex64>],
+    symbolic: &SymbolicLu,
+    iters: usize,
+) {
+    let mut k = 0usize;
+    let fresh_ns = time_ns(iters, || {
+        let m = &matrices[k % matrices.len()];
+        k += 1;
+        std::hint::black_box(SparseLu::factor(m).expect("factor"));
+    });
+    let mut k = 0usize;
+    let refactor_ns = time_ns(iters, || {
+        let m = &matrices[k % matrices.len()];
+        k += 1;
+        let lu = SparseLu::refactor(symbolic, m).expect("refactor");
+        assert!(lu.refactored(), "bench matrices must not force a fallback");
+        std::hint::black_box(lu);
+    });
+    println!(
+        "{label:<28} fresh factor {:>10.2} µs   refactor {:>10.2} µs   speedup {:>5.2}x",
+        fresh_ns / 1.0e3,
+        refactor_ns / 1.0e3,
+        fresh_ns / refactor_ns
+    );
+}
+
+fn opamp_matrices() -> (Vec<CsrMatrix<Complex64>>, SymbolicLu) {
+    // Transistor-level op-amp: the full MOS small-signal MNA system.
+    let (circuit, _nodes) = mos_two_stage_buffer(&OpAmpParams::default());
+    let op = solve_dc(&circuit).expect("op-amp operating point");
+    let ac = AcAnalysis::new(&circuit, &op).expect("valid analysis");
+    // A decade around the loop's natural frequency, like the scan would hit.
+    let freqs = FrequencyGrid::log_decade(1.0e6, 1.0e7, 16);
+    let matrices: Vec<_> = freqs
+        .freqs()
+        .iter()
+        .map(|&f| ac.admittance_matrix(f))
+        .collect();
+    let (_, symbolic) = SparseLu::factor_with_symbolic(&matrices[0]).expect("op-amp MNA factors");
+    (matrices, symbolic)
+}
+
+fn ladder_matrices(stages: usize) -> (Vec<CsrMatrix<Complex64>>, SymbolicLu) {
+    let matrices: Vec<_> = (0..16)
+        .map(|k| rc_ladder_matrix(stages, 1.0e3 * 10f64.powf(k as f64 * 0.25)))
+        .collect();
+    let (_, symbolic) = SparseLu::factor_with_symbolic(&matrices[0]).expect("ladder factors");
+    (matrices, symbolic)
+}
+
+fn print_sweep_counters() {
+    let (circuit, _nodes) = two_stage_buffer(&OpAmpParams::default());
+    let op = solve_dc(&circuit).expect("operating point");
+    let ac = AcAnalysis::new(&circuit, &op).expect("valid analysis");
+    let grid = FrequencyGrid::log_decade(1.0e3, 1.0e9, 20);
+    let _ = ac
+        .driving_point_all_nodes(&grid)
+        .expect("all-nodes scan solves");
+    let stats = ac.solve_stats();
+    println!(
+        "all-nodes scan over {} frequency points: {} symbolic analysis, {} numeric refactors, {} fresh fallbacks, {} in-place assemblies",
+        grid.len(),
+        stats.symbolic,
+        stats.numeric_refactor,
+        stats.fresh_fallback,
+        stats.cached_assemblies
+    );
+    assert_eq!(
+        stats.symbolic, 1,
+        "a whole scan must run exactly one symbolic analysis"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== S1: symbolic/numeric split — factor once, refactor per frequency ===");
+    let (opamp, opamp_sym) = opamp_matrices();
+    println!(
+        "op-amp MNA: {} unknowns, {} nonzeros, {} LU pattern entries",
+        opamp[0].rows(),
+        opamp[0].nnz(),
+        opamp_sym.fill_nnz()
+    );
+    print_speedup_table("opamp_mna", &opamp, &opamp_sym, 400);
+
+    for &stages in &[100usize, 400] {
+        let (ladder, ladder_sym) = ladder_matrices(stages);
+        print_speedup_table(&format!("rc_ladder_{stages}"), &ladder, &ladder_sym, 200);
+    }
+    print_sweep_counters();
+    println!();
+
+    let mut group = c.benchmark_group("solver_refactor");
+    group.sample_size(10);
+    let (matrices, symbolic) = opamp_matrices();
+    let mut k = 0usize;
+    group.bench_function("opamp_fresh_factor", |b| {
+        b.iter(|| {
+            let m = &matrices[k % matrices.len()];
+            k += 1;
+            std::hint::black_box(SparseLu::factor(m).expect("factor"))
+        })
+    });
+    let mut k = 0usize;
+    group.bench_function("opamp_refactor", |b| {
+        b.iter(|| {
+            let m = &matrices[k % matrices.len()];
+            k += 1;
+            std::hint::black_box(SparseLu::refactor(&symbolic, m).expect("refactor"))
+        })
+    });
+    let (ladder, ladder_sym) = ladder_matrices(400);
+    let mut k = 0usize;
+    group.bench_function("rc_ladder_400_fresh_factor", |b| {
+        b.iter(|| {
+            let m = &ladder[k % ladder.len()];
+            k += 1;
+            std::hint::black_box(SparseLu::factor(m).expect("factor"))
+        })
+    });
+    let mut k = 0usize;
+    group.bench_function("rc_ladder_400_refactor", |b| {
+        b.iter(|| {
+            let m = &ladder[k % ladder.len()];
+            k += 1;
+            std::hint::black_box(SparseLu::refactor(&ladder_sym, m).expect("refactor"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -51,7 +51,12 @@ pub fn series_rlc(r_ohms: f64, l_henries: f64, c_farads: f64) -> (Circuit, NodeI
     let input = c.node("in");
     let mid = c.node("mid");
     let out = c.node("out");
-    c.add_vsource("Vin", input, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+    c.add_vsource(
+        "Vin",
+        input,
+        Circuit::GROUND,
+        SourceSpec::step(0.0, 1.0, 0.0),
+    );
     c.add_resistor("R1", input, mid, r_ohms);
     c.add_inductor("L1", mid, out, l_henries);
     c.add_capacitor("C1", out, Circuit::GROUND, c_farads);
@@ -149,8 +154,26 @@ pub fn current_mirror(cload_farads: f64) -> (Circuit, NodeId, NodeId) {
     c.add_vsource("VDD", vdd, Circuit::GROUND, SourceSpec::dc(3.3));
     c.add_isource("Iref", diode, Circuit::GROUND, SourceSpec::dc(100.0e-6));
     c.add_resistor("Rref", vdd, diode, 15.0e3);
-    c.add_mosfet("M1", diode, diode, Circuit::GROUND, MosfetPolarity::Nmos, 20.0e-6, 1.0e-6, nmos);
-    c.add_mosfet("M2", out, diode, Circuit::GROUND, MosfetPolarity::Nmos, 40.0e-6, 1.0e-6, nmos);
+    c.add_mosfet(
+        "M1",
+        diode,
+        diode,
+        Circuit::GROUND,
+        MosfetPolarity::Nmos,
+        20.0e-6,
+        1.0e-6,
+        nmos,
+    );
+    c.add_mosfet(
+        "M2",
+        out,
+        diode,
+        Circuit::GROUND,
+        MosfetPolarity::Nmos,
+        40.0e-6,
+        1.0e-6,
+        nmos,
+    );
     c.add_resistor("Rload", vdd, out, 10.0e3);
     c.add_capacitor("Cload", out, Circuit::GROUND, cload_farads);
     (c, diode, out)

@@ -23,6 +23,4 @@ pub mod blocks;
 pub mod opamp;
 
 pub use bias::{zero_tc_bias, BiasNodes, BiasParams};
-pub use opamp::{
-    mos_two_stage_buffer, opamp_with_bias, two_stage_buffer, OpAmpNodes, OpAmpParams,
-};
+pub use opamp::{mos_two_stage_buffer, opamp_with_bias, two_stage_buffer, OpAmpNodes, OpAmpParams};

@@ -114,7 +114,14 @@ pub fn two_stage_buffer(params: &OpAmpParams) -> (Circuit, OpAmpNodes) {
     c.add_capacitor("Cpar1", stage1, Circuit::GROUND, params.c1_parasitic);
 
     // Stage 2: inverting transconductor loaded by r2 ∥ cload.
-    c.add_vccs("Ggm2", output, Circuit::GROUND, stage1, Circuit::GROUND, params.gm2);
+    c.add_vccs(
+        "Ggm2",
+        output,
+        Circuit::GROUND,
+        stage1,
+        Circuit::GROUND,
+        params.gm2,
+    );
     c.add_resistor("R2", output, Circuit::GROUND, params.r2);
     c.add_capacitor("Cload", output, Circuit::GROUND, params.cload);
 
@@ -163,7 +170,14 @@ pub fn two_stage_open_loop(params: &OpAmpParams) -> (Circuit, OpAmpNodes) {
     c.add_resistor("R1", stage1, Circuit::GROUND, params.r1);
     c.add_capacitor("Cpar1", stage1, Circuit::GROUND, params.c1_parasitic);
 
-    c.add_vccs("Ggm2", output, Circuit::GROUND, stage1, Circuit::GROUND, params.gm2);
+    c.add_vccs(
+        "Ggm2",
+        output,
+        Circuit::GROUND,
+        stage1,
+        Circuit::GROUND,
+        params.gm2,
+    );
     c.add_resistor("R2", output, Circuit::GROUND, params.r2);
     c.add_capacitor("Cload", output, Circuit::GROUND, params.cload);
 
@@ -241,16 +255,61 @@ pub fn mos_two_stage_buffer(params: &OpAmpParams) -> (Circuit, MosOpAmpNodes) {
     // NMOS differential pair. The mirror-side gate (M1) is the inverting
     // input and is tied to the output; the stage-1-side gate (M2) is the
     // non-inverting input driven by the source.
-    c.add_mosfet("M1", mirror, output, tail, MosfetPolarity::Nmos, 40.0e-6, 2.0e-6, nmos);
-    c.add_mosfet("M2", stage1, input, tail, MosfetPolarity::Nmos, 40.0e-6, 2.0e-6, nmos);
+    c.add_mosfet(
+        "M1",
+        mirror,
+        output,
+        tail,
+        MosfetPolarity::Nmos,
+        40.0e-6,
+        2.0e-6,
+        nmos,
+    );
+    c.add_mosfet(
+        "M2",
+        stage1,
+        input,
+        tail,
+        MosfetPolarity::Nmos,
+        40.0e-6,
+        2.0e-6,
+        nmos,
+    );
 
     // PMOS mirror load.
-    c.add_mosfet("M3", mirror, mirror, vdd, MosfetPolarity::Pmos, 80.0e-6, 2.0e-6, pmos);
-    c.add_mosfet("M4", stage1, mirror, vdd, MosfetPolarity::Pmos, 80.0e-6, 2.0e-6, pmos);
+    c.add_mosfet(
+        "M3",
+        mirror,
+        mirror,
+        vdd,
+        MosfetPolarity::Pmos,
+        80.0e-6,
+        2.0e-6,
+        pmos,
+    );
+    c.add_mosfet(
+        "M4",
+        stage1,
+        mirror,
+        vdd,
+        MosfetPolarity::Pmos,
+        80.0e-6,
+        2.0e-6,
+        pmos,
+    );
 
     // Second stage: PMOS common-source device driven from stage1, loaded by an
     // ideal 200 µA sink.
-    c.add_mosfet("M6", output, stage1, vdd, MosfetPolarity::Pmos, 400.0e-6, 1.0e-6, pmos);
+    c.add_mosfet(
+        "M6",
+        output,
+        stage1,
+        vdd,
+        MosfetPolarity::Pmos,
+        400.0e-6,
+        1.0e-6,
+        pmos,
+    );
     c.add_isource("Ibias2", output, Circuit::GROUND, SourceSpec::dc(200.0e-6));
 
     // Compensation and load — the paper's three knobs.
@@ -293,10 +352,10 @@ pub fn bias_only(params: &BiasParams) -> (Circuit, crate::bias::BiasNodes) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use loopscope_math::FrequencyGrid;
     use loopscope_spice::ac::AcAnalysis;
     use loopscope_spice::dc::solve_dc;
     use loopscope_spice::measure::{bode_margins, unwrap_phase_deg};
-    use loopscope_math::FrequencyGrid;
 
     #[test]
     fn buffer_dc_follows_input() {

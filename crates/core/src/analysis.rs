@@ -247,20 +247,28 @@ mod tests {
 
     #[test]
     fn options_validation() {
-        let mut o = StabilityOptions::default();
-        o.f_start = -1.0;
+        let o = StabilityOptions {
+            f_start: -1.0,
+            ..Default::default()
+        };
         assert!(StabilityAnalyzer::new(Circuit::new("x"), o).is_err());
-        let mut o = StabilityOptions::default();
-        o.points_per_decade = 2;
+        let o = StabilityOptions {
+            points_per_decade: 2,
+            ..Default::default()
+        };
         assert!(matches!(
             StabilityAnalyzer::new(Circuit::new("x"), o),
             Err(StabilityError::InvalidOptions(_))
         ));
-        let mut o = StabilityOptions::default();
-        o.peak_threshold = 0.5;
+        let o = StabilityOptions {
+            peak_threshold: 0.5,
+            ..Default::default()
+        };
         assert!(StabilityAnalyzer::new(Circuit::new("x"), o).is_err());
-        let mut o = StabilityOptions::default();
-        o.group_tolerance = 1.5;
+        let o = StabilityOptions {
+            group_tolerance: 1.5,
+            ..Default::default()
+        };
         assert!(StabilityAnalyzer::new(Circuit::new("x"), o).is_err());
     }
 
@@ -282,7 +290,11 @@ mod tests {
         let analyzer = StabilityAnalyzer::new(circuit, options).unwrap();
         let result = analyzer.single_node(out).unwrap();
         let est = result.estimate.expect("complex pole pair expected");
-        assert!((est.damping_ratio - zeta).abs() < 0.02, "ζ = {}", est.damping_ratio);
+        assert!(
+            (est.damping_ratio - zeta).abs() < 0.02,
+            "ζ = {}",
+            est.damping_ratio
+        );
         assert!(
             (est.natural_freq_hz - fnat).abs() / fnat < 0.03,
             "fn = {}",

@@ -198,11 +198,7 @@ mod tests {
         // The zero's negative side lobes are far shallower than its positive
         // peak, so it is never mistaken for an under-damped pole of similar
         // severity.
-        let deepest_negative = plot
-            .values()
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let deepest_negative = plot.values().iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(deepest_negative.abs() < 0.5 * tallest.y);
     }
 

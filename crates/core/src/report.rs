@@ -117,7 +117,10 @@ impl AllNodesReport {
         let mut out = String::new();
         out.push_str("Stability Plot peak values for all circuit nodes, grouped by loop\n");
         out.push_str("natural frequency (paper Table 2 format)\n");
-        out.push_str(&format!("{:<16} {:>16} {:>20}\n", "Node", "Stability Peak", "Natural Frequency, Hz"));
+        out.push_str(&format!(
+            "{:<16} {:>16} {:>20}\n",
+            "Node", "Stability Peak", "Natural Frequency, Hz"
+        ));
 
         for group in &self.groups {
             out.push_str(&format!(

@@ -52,7 +52,7 @@ impl NodeSweep {
     pub fn meets_phase_margin(&self, min_margin_deg: f64) -> bool {
         self.points.iter().all(|p| {
             p.estimate
-                .map_or(true, |e| e.phase_margin_exact_deg >= min_margin_deg)
+                .is_none_or(|e| e.phase_margin_exact_deg >= min_margin_deg)
         })
     }
 
@@ -151,7 +151,10 @@ mod tests {
             .map(|p| p.estimate.map(|e| e.damping_ratio).unwrap_or(1.0))
             .collect();
         // Heavier load ⇒ less damping.
-        assert!(zetas[0] > zetas[1] && zetas[1] > zetas[2], "zetas {zetas:?}");
+        assert!(
+            zetas[0] > zetas[1] && zetas[1] > zetas[2],
+            "zetas {zetas:?}"
+        );
         let worst = sweep.worst_case().unwrap();
         assert_eq!(worst.label, "cload=600pF");
         assert!(!sweep.meets_phase_margin(60.0));
@@ -168,11 +171,7 @@ mod tests {
         let a = bad.node("a");
         let b = bad.node("b");
         bad.add_resistor("R1", a, b, 1.0);
-        let result = sweep_node(
-            vec![("broken".to_string(), bad)],
-            "a",
-            options(),
-        );
+        let result = sweep_node(vec![("broken".to_string(), bad)], "a", options());
         assert!(result.is_err());
     }
 }

@@ -1,0 +1,234 @@
+//! A self-contained, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim implements the API subset loopscope's bench
+//! targets use — [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with [`BenchmarkGroup::sample_size`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! wall-clock measurement loop.
+//!
+//! Each benchmark is auto-calibrated so a single sample takes a measurable
+//! amount of time, then `sample_size` samples are collected and the
+//! mean / best / worst per-iteration times are printed. The numbers are
+//! intentionally formatted one-benchmark-per-line so `cargo bench` output can
+//! be diffed across commits to track the performance trajectory.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+/// Target wall-clock duration of one sample during calibration.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+/// Hard cap on total time spent per benchmark.
+const MAX_BENCH_TIME: Duration = Duration::from_secs(5);
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the number of iterations chosen by the harness and
+    /// records the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collected statistics for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    best_ns: f64,
+    worst_ns: f64,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) -> Stats {
+    // Calibration: find an iteration count whose sample takes a measurable
+    // amount of wall-clock time.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 24 {
+            break;
+        }
+        // Aim directly at the target using the observed per-iteration time.
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let needed = if per_iter > 0.0 {
+            (TARGET_SAMPLE_TIME.as_secs_f64() / per_iter).ceil() as u64
+        } else {
+            iters * 8
+        };
+        iters = needed.clamp(iters + 1, iters * 16);
+    }
+
+    let budget = Instant::now();
+    let mut samples_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if budget.elapsed() > MAX_BENCH_TIME {
+            break;
+        }
+    }
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let best_ns = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let worst_ns = samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    let stats = Stats {
+        mean_ns,
+        best_ns,
+        worst_ns,
+    };
+    println!(
+        "bench {name:<48} mean {:>12}   best {:>12}   worst {:>12}   ({} iters/sample, {} samples)",
+        format_time(stats.mean_ns),
+        format_time(stats.best_ns),
+        format_time(stats.worst_ns),
+        iters,
+        samples_ns.len()
+    );
+    stats
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures a single benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Measures one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (a no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs a list of benchmark registrations, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(3) * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(12.3), "12.3 ns");
+        assert_eq!(format_time(1.5e3), "1.500 µs");
+        assert_eq!(format_time(2.0e6), "2.000 ms");
+        assert_eq!(format_time(3.0e9), "3.000 s");
+    }
+}

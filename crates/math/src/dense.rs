@@ -381,7 +381,10 @@ mod tests {
         let a = DMatrix::identity(3);
         assert!(matches!(
             a.solve(&[1.0]),
-            Err(LuError::DimensionMismatch { expected: 3, got: 1 })
+            Err(LuError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 
@@ -426,7 +429,11 @@ mod tests {
             "matrix is singular at pivot column 3"
         );
         assert_eq!(
-            LuError::DimensionMismatch { expected: 2, got: 1 }.to_string(),
+            LuError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+            .to_string(),
             "dimension mismatch: expected 2, got 1"
         );
     }

@@ -60,16 +60,14 @@ pub fn gradient(x: &[f64], y: &[f64]) -> Vec<f64> {
     {
         let h1 = x[1] - x[0];
         let h2 = x[2] - x[1];
-        d[0] = -(2.0 * h1 + h2) / (h1 * (h1 + h2)) * y[0]
-            + (h1 + h2) / (h1 * h2) * y[1]
+        d[0] = -(2.0 * h1 + h2) / (h1 * (h1 + h2)) * y[0] + (h1 + h2) / (h1 * h2) * y[1]
             - h1 / (h2 * (h1 + h2)) * y[2];
     }
     // Backward one-sided three-point at the right edge.
     {
         let h1 = x[n - 2] - x[n - 3];
         let h2 = x[n - 1] - x[n - 2];
-        d[n - 1] = h2 / (h1 * (h1 + h2)) * y[n - 3]
-            - (h1 + h2) / (h1 * h2) * y[n - 2]
+        d[n - 1] = h2 / (h1 * (h1 + h2)) * y[n - 3] - (h1 + h2) / (h1 * h2) * y[n - 2]
             + (h1 + 2.0 * h2) / (h2 * (h1 + h2)) * y[n - 1];
     }
     d
@@ -197,9 +195,7 @@ mod tests {
             let w = logspace(0.001, 1000.0, 6001);
             let mag: Vec<f64> = w
                 .iter()
-                .map(|&w| {
-                    1.0 / (((1.0 - w * w).powi(2) + (2.0 * zeta * w).powi(2)).sqrt())
-                })
+                .map(|&w| 1.0 / (((1.0 - w * w).powi(2) + (2.0 * zeta * w).powi(2)).sqrt()))
                 .collect();
             let p = log_log_curvature(&w, &mag);
             let min = p.iter().cloned().fold(f64::INFINITY, f64::min);

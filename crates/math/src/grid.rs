@@ -38,7 +38,10 @@ pub fn linspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
 /// assert!((v[1] - 10.0).abs() < 1e-9);
 /// ```
 pub fn logspace(start: f64, stop: f64, n: usize) -> Vec<f64> {
-    assert!(start > 0.0 && stop > 0.0, "logspace requires positive bounds");
+    assert!(
+        start > 0.0 && stop > 0.0,
+        "logspace requires positive bounds"
+    );
     linspace(start.log10(), stop.log10(), n)
         .into_iter()
         .map(|e| 10f64.powf(e))
@@ -197,7 +200,12 @@ mod tests {
         let grid = FrequencyGrid::log_decade(1e3, 1e6, 10);
         // 3 decades at 10 points/decade → 31 points.
         assert_eq!(grid.len(), 31);
-        assert_eq!(grid.kind(), SweepKind::Decade { points_per_decade: 10 });
+        assert_eq!(
+            grid.kind(),
+            SweepKind::Decade {
+                points_per_decade: 10
+            }
+        );
     }
 
     #[test]

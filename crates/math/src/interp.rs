@@ -19,19 +19,30 @@
 /// ```
 pub fn lerp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
     assert_eq!(xs.len(), ys.len(), "xs and ys must match in length");
+    lerp_at_by(xs, x, |i| ys[i])
+}
+
+/// Like [`lerp_at`] but reads ordinates through an accessor instead of a
+/// slice, so callers can interpolate over derived quantities (a column of a
+/// sweep, a magnitude of a complex series, …) without materializing them.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn lerp_at_by(xs: &[f64], x: f64, y: impl Fn(usize) -> f64) -> f64 {
     assert!(!xs.is_empty(), "cannot interpolate an empty series");
     if x <= xs[0] {
-        return ys[0];
+        return y(0);
     }
     if x >= xs[xs.len() - 1] {
-        return ys[ys.len() - 1];
+        return y(xs.len() - 1);
     }
     let idx = match xs.binary_search_by(|v| v.partial_cmp(&x).expect("non-finite abscissa")) {
-        Ok(i) => return ys[i],
+        Ok(i) => return y(i),
         Err(i) => i,
     };
     let (x0, x1) = (xs[idx - 1], xs[idx]);
-    let (y0, y1) = (ys[idx - 1], ys[idx]);
+    let (y0, y1) = (y(idx - 1), y(idx));
     y0 + (y1 - y0) * (x - x0) / (x1 - x0)
 }
 

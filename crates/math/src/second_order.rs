@@ -37,12 +37,18 @@ impl SecondOrder {
     /// Panics if `zeta` is negative or not finite, or if the natural frequency
     /// is not positive.
     pub fn from_damping(zeta: f64, natural_freq_hz: f64) -> Self {
-        assert!(zeta.is_finite() && zeta >= 0.0, "damping ratio must be >= 0");
+        assert!(
+            zeta.is_finite() && zeta >= 0.0,
+            "damping ratio must be >= 0"
+        );
         assert!(
             natural_freq_hz.is_finite() && natural_freq_hz > 0.0,
             "natural frequency must be positive"
         );
-        Self { zeta, natural_freq_hz }
+        Self {
+            zeta,
+            natural_freq_hz,
+        }
     }
 
     /// Recovers a system from a measured stability-plot peak (performance
@@ -291,7 +297,15 @@ mod tests {
 
     #[test]
     fn max_magnitude_matches_paper_table1() {
-        let expected = [(0.7, 1.01), (0.6, 1.04), (0.5, 1.15), (0.4, 1.4), (0.3, 1.8), (0.2, 2.6), (0.1, 5.0)];
+        let expected = [
+            (0.7, 1.01),
+            (0.6, 1.04),
+            (0.5, 1.15),
+            (0.4, 1.4),
+            (0.3, 1.8),
+            (0.2, 2.6),
+            (0.1, 5.0),
+        ];
         for (zeta, mp) in expected {
             let sys = SecondOrder::from_damping(zeta, 1.0);
             assert!(
@@ -318,7 +332,12 @@ mod tests {
         for zeta in [0.1, 0.2, 0.3] {
             let sys = SecondOrder::from_damping(zeta, 1.0);
             let diff = (sys.phase_margin_deg() - sys.phase_margin_approx_deg()).abs();
-            assert!(diff < 4.0, "zeta={zeta}: exact {} vs approx {}", sys.phase_margin_deg(), sys.phase_margin_approx_deg());
+            assert!(
+                diff < 4.0,
+                "zeta={zeta}: exact {} vs approx {}",
+                sys.phase_margin_deg(),
+                sys.phase_margin_approx_deg()
+            );
         }
     }
 
@@ -347,7 +366,9 @@ mod tests {
 
     #[test]
     fn no_resonance_for_high_damping() {
-        assert!(SecondOrder::from_damping(0.8, 1.0).resonant_freq_hz().is_none());
+        assert!(SecondOrder::from_damping(0.8, 1.0)
+            .resonant_freq_hz()
+            .is_none());
         assert_eq!(SecondOrder::from_damping(0.8, 1.0).max_magnitude(), 1.0);
     }
 

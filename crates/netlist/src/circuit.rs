@@ -224,7 +224,13 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on a duplicate name.
-    pub fn add_vsource(&mut self, name: &str, plus: NodeId, minus: NodeId, spec: SourceSpec) -> &mut Self {
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        spec: SourceSpec,
+    ) -> &mut Self {
         self.insert(Element::Vsource(Vsource {
             name: name.to_string(),
             plus,
@@ -241,7 +247,13 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on a duplicate name.
-    pub fn add_isource(&mut self, name: &str, plus: NodeId, minus: NodeId, spec: SourceSpec) -> &mut Self {
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        spec: SourceSpec,
+    ) -> &mut Self {
         self.insert(Element::Isource(Isource {
             name: name.to_string(),
             plus,
@@ -359,7 +371,13 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on a duplicate name or invalid model.
-    pub fn add_diode(&mut self, name: &str, anode: NodeId, cathode: NodeId, model: DiodeModel) -> &mut Self {
+    pub fn add_diode(
+        &mut self,
+        name: &str,
+        anode: NodeId,
+        cathode: NodeId,
+        model: DiodeModel,
+    ) -> &mut Self {
         model.validate(name).expect("invalid diode model");
         self.insert(Element::Diode(Diode {
             name: name.to_string(),
@@ -403,6 +421,7 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics on a duplicate name, invalid model, or non-positive geometry.
+    #[allow(clippy::too_many_arguments)] // mirrors the SPICE card: M d g s type w l model
     pub fn add_mosfet(
         &mut self,
         name: &str,

@@ -326,7 +326,10 @@ impl Element {
     /// Returns `true` when the element is a nonlinear device that requires a
     /// Newton-Raphson operating-point solve.
     pub fn is_nonlinear(&self) -> bool {
-        matches!(self, Element::Diode(_) | Element::Bjt(_) | Element::Mosfet(_))
+        matches!(
+            self,
+            Element::Diode(_) | Element::Bjt(_) | Element::Mosfet(_)
+        )
     }
 
     /// Returns `true` for independent sources (the ones whose AC stimuli the

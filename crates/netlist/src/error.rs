@@ -80,15 +80,27 @@ mod tests {
             "element `R1` is defined more than once"
         );
         assert_eq!(
-            NetlistError::InvalidValue { token: "1x".into(), line: 3 }.to_string(),
+            NetlistError::InvalidValue {
+                token: "1x".into(),
+                line: 3
+            }
+            .to_string(),
             "invalid numeric value `1x` on line 3"
         );
         assert_eq!(
-            NetlistError::InvalidValue { token: "1x".into(), line: 0 }.to_string(),
+            NetlistError::InvalidValue {
+                token: "1x".into(),
+                line: 0
+            }
+            .to_string(),
             "invalid numeric value `1x`"
         );
         assert_eq!(
-            NetlistError::MalformedLine { line: 7, reason: "too few tokens".into() }.to_string(),
+            NetlistError::MalformedLine {
+                line: 7,
+                reason: "too few tokens".into()
+            }
+            .to_string(),
             "malformed netlist line 7: too few tokens"
         );
         assert_eq!(

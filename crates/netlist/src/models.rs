@@ -200,37 +200,67 @@ mod tests {
 
     #[test]
     fn diode_rejects_bad_is() {
-        let m = DiodeModel { is: 0.0, ..Default::default() };
+        let m = DiodeModel {
+            is: 0.0,
+            ..Default::default()
+        };
         assert!(m.validate("d1").is_err());
-        let m = DiodeModel { n: -1.0, ..Default::default() };
+        let m = DiodeModel {
+            n: -1.0,
+            ..Default::default()
+        };
         assert!(m.validate("d1").is_err());
-        let m = DiodeModel { cj0: -1.0, ..Default::default() };
+        let m = DiodeModel {
+            cj0: -1.0,
+            ..Default::default()
+        };
         assert!(m.validate("d1").is_err());
     }
 
     #[test]
     fn bjt_rejects_bad_params() {
-        let m = BjtModel { bf: 0.0, ..Default::default() };
+        let m = BjtModel {
+            bf: 0.0,
+            ..Default::default()
+        };
         assert!(m.validate("q1").is_err());
-        let m = BjtModel { vaf: -10.0, ..Default::default() };
+        let m = BjtModel {
+            vaf: -10.0,
+            ..Default::default()
+        };
         assert!(m.validate("q1").is_err());
-        let m = BjtModel { tf: -1.0, ..Default::default() };
+        let m = BjtModel {
+            tf: -1.0,
+            ..Default::default()
+        };
         assert!(m.validate("q1").is_err());
     }
 
     #[test]
     fn mosfet_rejects_bad_params() {
-        let m = MosfetModel { kp: 0.0, ..Default::default() };
+        let m = MosfetModel {
+            kp: 0.0,
+            ..Default::default()
+        };
         assert!(m.validate("m1").is_err());
-        let m = MosfetModel { lambda: -0.1, ..Default::default() };
+        let m = MosfetModel {
+            lambda: -0.1,
+            ..Default::default()
+        };
         assert!(m.validate("m1").is_err());
-        let m = MosfetModel { cgd: -1e-15, ..Default::default() };
+        let m = MosfetModel {
+            cgd: -1e-15,
+            ..Default::default()
+        };
         assert!(m.validate("m1").is_err());
     }
 
     #[test]
     fn error_message_mentions_name() {
-        let m = MosfetModel { kp: -1.0, ..Default::default() };
+        let m = MosfetModel {
+            kp: -1.0,
+            ..Default::default()
+        };
         let err = m.validate("mload").unwrap_err();
         assert!(err.to_string().contains("mload"));
     }

@@ -217,7 +217,10 @@ fn parse_model_card(lineno: usize, line: &str) -> Result<(String, ModelCard), Ne
     Ok((name, card))
 }
 
-fn parse_named_params(tokens: &[&str], lineno: usize) -> Result<HashMap<String, f64>, NetlistError> {
+fn parse_named_params(
+    tokens: &[&str],
+    lineno: usize,
+) -> Result<HashMap<String, f64>, NetlistError> {
     let mut map = HashMap::new();
     for tok in tokens {
         let Some((key, value)) = tok.split_once('=') else {
@@ -476,10 +479,9 @@ mod tests {
 
     #[test]
     fn parses_rc_lowpass() {
-        let ckt = parse_netlist(
-            "rc lowpass\nV1 in 0 DC 1 AC 1\nR1 in out 1k\nC1 out 0 100p\n.end\n",
-        )
-        .unwrap();
+        let ckt =
+            parse_netlist("rc lowpass\nV1 in 0 DC 1 AC 1\nR1 in out 1k\nC1 out 0 100p\n.end\n")
+                .unwrap();
         assert_eq!(ckt.title(), "rc lowpass");
         assert_eq!(ckt.elements().len(), 3);
         assert_eq!(ckt.node_count(), 3);
@@ -580,10 +582,8 @@ R3 c vdd 10k
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let ckt = parse_netlist(
-            "* a comment\n\n; another comment\nR1 a 0 1k\nC1 a 0 1p\n",
-        )
-        .unwrap();
+        let ckt =
+            parse_netlist("* a comment\n\n; another comment\nR1 a 0 1k\nC1 a 0 1p\n").unwrap();
         assert_eq!(ckt.elements().len(), 2);
         // No explicit title line: default is used.
         assert_eq!(ckt.title(), "netlist");
@@ -597,10 +597,8 @@ R3 c vdd 10k
 
     #[test]
     fn wrong_model_kind_is_an_error() {
-        let err = parse_netlist(
-            "t\n.model nm NMOS\nQ1 a b 0 nm\nR1 a 0 1k\nR2 b 0 1k\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_netlist("t\n.model nm NMOS\nQ1 a b 0 nm\nR1 a 0 1k\nR2 b 0 1k\n").unwrap_err();
         assert!(matches!(err, NetlistError::MalformedLine { .. }));
     }
 

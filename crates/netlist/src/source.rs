@@ -105,9 +105,7 @@ impl Waveform {
                 if t < delay {
                     offset
                 } else {
-                    offset
-                        + amplitude
-                            * (2.0 * std::f64::consts::PI * freq_hz * (t - delay)).sin()
+                    offset + amplitude * (2.0 * std::f64::consts::PI * freq_hz * (t - delay)).sin()
                 }
             }
         }

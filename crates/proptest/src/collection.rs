@@ -1,0 +1,138 @@
+//! Collection strategies: random vectors and hash sets.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// A size specification for collection strategies: either an exact length or
+/// a half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.max <= self.min + 1 {
+            self.min
+        } else {
+            self.min + rng.next_below((self.max - self.min) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose length is drawn from `size` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing `HashSet`s of distinct values.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.draw(rng);
+        let mut set = HashSet::with_capacity(target);
+        // Duplicates are re-drawn; bail out after a generous attempt budget so
+        // low-cardinality element strategies cannot loop forever.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 50 * (target + 1) {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Generates hash sets of distinct elements; the set size is drawn from
+/// `size` (best-effort when the element domain is small).
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::deterministic("vec sizes");
+        let strat = vec(0.0f64..1.0, 2..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 7, "len = {}", v.len());
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let mut rng = TestRng::deterministic("vec exact");
+        let strat = vec(0usize..10, 5usize);
+        assert_eq!(strat.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn hash_set_produces_distinct_elements() {
+        let mut rng = TestRng::deterministic("hash set");
+        let strat = hash_set("[a-z]{1,6}", 3..10);
+        for _ in 0..50 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() >= 3 && s.len() < 10, "len = {}", s.len());
+        }
+    }
+}

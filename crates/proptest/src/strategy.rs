@@ -1,0 +1,144 @@
+//! The [`Strategy`] trait and implementations for ranges, tuples and string
+//! patterns.
+
+use crate::string::generate_from_pattern;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of random values of one type. The shim equivalent of
+/// `proptest::strategy::Strategy` — generation only, no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        debug_assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                debug_assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.next_below(span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! signed_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                debug_assert!(self.start < self.end, "empty integer range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.next_below(span) as $ty)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// String-pattern strategy: a `&str` is treated as a simplified regex (see
+/// [`crate::string`]) and generates matching strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut rng = TestRng::deterministic("f64 range");
+        let strat = -2.5f64..7.5;
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn usize_range_hits_all_values() {
+        let mut rng = TestRng::deterministic("usize range");
+        let strat = 3usize..6;
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng)] = true;
+        }
+        assert_eq!(&seen[3..], &[true, true, true]);
+        assert_eq!(&seen[..3], &[false, false, false]);
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::deterministic("tuple");
+        let strat = (0usize..4, -1.0f64..1.0, (10usize..20, 0.0f64..1.0));
+        let (a, b, (c, d)) = strat.generate(&mut rng);
+        assert!(a < 4);
+        assert!((-1.0..1.0).contains(&b));
+        assert!((10..20).contains(&c));
+        assert!((0.0..1.0).contains(&d));
+    }
+
+    #[test]
+    fn just_clones_value() {
+        let mut rng = TestRng::deterministic("just");
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+}

@@ -1,0 +1,189 @@
+//! Tiny regex-like string generator.
+//!
+//! Supports the pattern subset loopscope's tests use: literal characters,
+//! character classes (`[a-z0-9_]` with ranges and singletons), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*` and `+` (the unbounded ones are capped
+//! at 8 repetitions).
+
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Flattened list of candidate characters.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut members = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .expect("unterminated character class in string pattern");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    members.push(p);
+                }
+                return members;
+            }
+            '-' => {
+                // A range if we have a pending start and a following end.
+                let start = pending.take();
+                match (start, chars.peek().copied()) {
+                    (Some(s), Some(e)) if e != ']' => {
+                        chars.next();
+                        let (lo, hi) = (s as u32, e as u32);
+                        assert!(lo <= hi, "inverted range in character class");
+                        for v in lo..=hi {
+                            members.push(char::from_u32(v).expect("valid range char"));
+                        }
+                    }
+                    _ => {
+                        if let Some(s) = start {
+                            members.push(s);
+                        }
+                        members.push('-');
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    members.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo: usize = lo.trim().parse().expect("bad quantifier lower bound");
+                    let hi: usize = hi.trim().parse().expect("bad quantifier upper bound");
+                    (lo, hi)
+                }
+                None => {
+                    let n: usize = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape in pattern")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates a random string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse_pattern(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.max > piece.min {
+            piece.min + rng.next_below((piece.max - piece.min + 1) as u64) as usize
+        } else {
+            piece.min
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(members) => {
+                    assert!(!members.is_empty(), "empty character class");
+                    out.push(members[rng.next_below(members.len() as u64) as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matches_identifier(s: &str) -> bool {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_lowercase() => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    }
+
+    #[test]
+    fn identifier_pattern_generates_identifiers() {
+        let mut rng = TestRng::deterministic("identifiers");
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(matches_identifier(&s), "bad identifier {s:?}");
+            assert!(!s.is_empty() && s.len() <= 9);
+        }
+    }
+
+    #[test]
+    fn literal_pattern_is_fixed() {
+        let mut rng = TestRng::deterministic("literal");
+        assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut rng = TestRng::deterministic("repeat");
+        let s = generate_from_pattern("[01]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::deterministic("dash");
+        let s = generate_from_pattern("[a-]", &mut rng);
+        assert!(s == "a" || s == "-");
+    }
+}

@@ -118,12 +118,12 @@ impl<T: Scalar> CsrMatrix<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut y = vec![T::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = T::ZERO;
             for (c, v) in self.row_entries(r) {
                 acc += v * x[c];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -131,10 +131,51 @@ impl<T: Scalar> CsrMatrix<T> {
     /// Largest entry magnitude, or zero for an empty matrix. Useful for
     /// conditioning diagnostics.
     pub fn max_modulus(&self) -> f64 {
-        self.values
-            .iter()
-            .map(|v| v.modulus())
-            .fold(0.0, f64::max)
+        self.values.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+
+    /// Returns the storage index of the entry at `(row, col)`, or `None` when
+    /// the position is not part of the sparsity pattern.
+    ///
+    /// Together with [`values_mut`](CsrMatrix::values_mut) this lets repeated
+    /// assemblies over a fixed pattern overwrite values in place instead of
+    /// rebuilding the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[inline]
+    pub fn find_slot(&self, row: usize, col: usize) -> Option<usize> {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        self.col_idx[start..end]
+            .binary_search(&col)
+            .ok()
+            .map(|pos| start + pos)
+    }
+
+    /// Mutable access to the stored values, in the same order as
+    /// [`find_slot`](CsrMatrix::find_slot) indexes them. The sparsity pattern
+    /// itself is immutable.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Resets every stored value to zero, keeping the pattern. The first step
+    /// of an in-place re-assembly.
+    pub fn zero_values(&mut self) {
+        self.values.fill(T::ZERO);
+    }
+
+    /// Returns `true` when `other` has the identical sparsity pattern
+    /// (dimensions, row pointers and column indices).
+    pub fn same_pattern(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
     }
 }
 
@@ -209,5 +250,33 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         sample().get(3, 0);
+    }
+
+    #[test]
+    fn find_slot_addresses_values() {
+        let mut m = sample();
+        let slot = m.find_slot(2, 2).unwrap();
+        m.values_mut()[slot] = 7.5;
+        assert_eq!(m.get(2, 2), 7.5);
+        assert_eq!(m.find_slot(0, 1), None);
+    }
+
+    #[test]
+    fn zero_values_keeps_pattern() {
+        let mut m = sample();
+        m.zero_values();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert!(m.find_slot(0, 2).is_some());
+    }
+
+    #[test]
+    fn same_pattern_ignores_values() {
+        let a = sample();
+        let mut b = sample();
+        b.zero_values();
+        assert!(a.same_pattern(&b));
+        let c = CsrMatrix::<f64>::zeros(3, 3);
+        assert!(!a.same_pattern(&c));
     }
 }

@@ -1,17 +1,26 @@
-//! Sparse matrices and a sparse LU solver for circuit simulation.
+//! Sparse matrices and a symbolic/numeric sparse LU solver for circuit
+//! simulation.
 //!
 //! Modified nodal analysis (MNA) produces matrices that are extremely sparse
-//! — each circuit element touches at most a handful of rows/columns — so the
-//! simulator in `loopscope-spice` assembles its systems through the types in
-//! this crate:
+//! — each circuit element touches at most a handful of rows/columns — and the
+//! stability analyses in `loopscope-spice` factor the *same pattern* hundreds
+//! of times per sweep (one factorization per frequency point, Newton
+//! iteration or timestep). The crate is organised around that workload:
 //!
 //! * [`TripletMatrix`] — a coordinate-format accumulator that element
 //!   "stamps" append to; duplicate entries are summed, which matches how MNA
-//!   stamps superpose.
+//!   stamps superpose. Used once per circuit structure to discover the
+//!   pattern.
 //! * [`CsrMatrix`] — compressed sparse row storage used for matrix-vector
-//!   products and as the input to factorization.
-//! * [`SparseLu`] — a row-map based LU factorization with partial pivoting
-//!   that handles fill-in and works for both real and complex scalars.
+//!   products and as the input to factorization. Values can be rewritten in
+//!   place ([`CsrMatrix::zero_values`], [`CsrMatrix::find_slot`]) so repeated
+//!   assemblies over a fixed pattern allocate nothing.
+//! * [`SparseLu`] — flat-storage LU with partial pivoting. A first call to
+//!   [`SparseLu::factor_with_symbolic`] captures the pivot order and fill
+//!   pattern as a [`SymbolicLu`]; every later matrix with the same structure
+//!   is factored by the numeric-only [`SparseLu::refactor`], which skips
+//!   pivot search and fill discovery entirely and falls back to fresh
+//!   pivoting only when a pivot degrades numerically.
 //!
 //! The scalar abstraction [`Scalar`] is implemented for `f64` (DC and
 //! transient analyses) and [`Complex64`] (AC analysis).
@@ -27,9 +36,20 @@
 //! t.push(0, 1, 1.0);
 //! t.push(1, 0, 1.0);
 //! t.push(1, 1, 3.0);
-//! let lu = SparseLu::factor(&t.to_csr())?;
+//! let (lu, symbolic) = SparseLu::factor_with_symbolic(&t.to_csr())?;
 //! let x = lu.solve(&[5.0, 10.0])?;
 //! assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+//!
+//! // Same pattern, new values: numeric-only refactorization.
+//! let mut t2 = TripletMatrix::<f64>::new(2, 2);
+//! t2.push(0, 0, 4.0);
+//! t2.push(0, 1, 1.0);
+//! t2.push(1, 0, 1.0);
+//! t2.push(1, 1, 5.0);
+//! let lu2 = SparseLu::refactor(&symbolic, &t2.to_csr())?;
+//! assert!(lu2.refactored());
+//! let x2 = lu2.solve(&[5.0, 6.0])?;
+//! assert!((x2[0] - 1.0).abs() < 1e-12 && (x2[1] - 1.0).abs() < 1e-12);
 //! # Ok::<(), loopscope_sparse::SolveError>(())
 //! ```
 
@@ -42,7 +62,7 @@ mod scalar;
 mod triplet;
 
 pub use csr::CsrMatrix;
-pub use lu::{solve_once, SolveError, SparseLu};
+pub use lu::{solve_once, SolveError, SparseLu, SymbolicLu};
 pub use scalar::Scalar;
 pub use triplet::TripletMatrix;
 

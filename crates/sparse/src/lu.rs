@@ -1,15 +1,41 @@
-//! Sparse LU factorization with partial pivoting.
+//! Sparse LU factorization with a symbolic/numeric split.
 //!
-//! The factorization operates on row maps (`BTreeMap<usize, T>` per row), so
-//! fill-in created during elimination is inserted where it appears. Pivoting
-//! is partial (largest modulus in the pivot column among the remaining rows),
-//! which is robust for MNA matrices that contain zero diagonal entries for
-//! voltage-source branch equations.
+//! The solver is organised around the workload of the stability analyses: the
+//! same MNA sparsity pattern is factored hundreds of times per sweep (once
+//! per frequency point, Newton iteration or timestep) with only the numeric
+//! values changing. Two paths serve that workload:
+//!
+//! * [`SparseLu::factor`] — a **fresh factorization with partial pivoting**
+//!   (largest modulus in the pivot column among the remaining rows). Rows are
+//!   kept as flat sorted `(col, value)` vectors and elimination updates are
+//!   two-pointer merges, so there is no tree/map traversal in the hot loop.
+//!   Pivoting makes this path robust for MNA matrices, which carry zero
+//!   diagonals on voltage-source branch rows.
+//! * [`SparseLu::refactor`] — a **numeric-only refactorization** that reuses
+//!   a [`SymbolicLu`] (pivot order + fill pattern) captured by
+//!   [`SparseLu::factor_with_symbolic`]. It runs a left-looking pass over the
+//!   precomputed pattern with a scatter/gather dense work row: no pivot
+//!   search, no fill discovery, no allocation proportional to elimination
+//!   steps. When a pivot degrades numerically (or the matrix pattern no
+//!   longer matches) it transparently falls back to a fresh pivoting
+//!   factorization; [`SparseLu::refactored`] reports which path ran.
+//!
+//! Structural zeros are preserved during elimination (entries that cancel
+//! exactly are kept), so the recorded fill pattern is value-independent and
+//! remains valid for any matrix with the same structure.
+//!
+//! Singularity is detected **per pivot column, relative to that column's
+//! largest entry modulus in the input matrix** rather than against an
+//! absolute epsilon. Badly scaled but well-conditioned systems (e.g.
+//! everything in nano-units) factor cleanly, genuinely rank-deficient
+//! columns are still rejected, and — unlike a matrix-wide norm test — a
+//! tiny-but-healthy column (a GMIN shunt next to a huge admittance) is not
+//! misclassified just because unrelated entries are large.
 
 use crate::csr::CsrMatrix;
 use crate::scalar::Scalar;
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error produced by factorization or solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,32 +74,143 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-/// An LU factorization `P·A = L·U` of a sparse square matrix.
+/// A pivot is declared numerically singular when its modulus falls below
+/// this fraction of **its column's** largest entry modulus in the input
+/// matrix. Column-relative (rather than absolute, or matrix-norm-relative)
+/// so uniformly scaled systems behave identically at any magnitude and a
+/// small-but-healthy column is not poisoned by large entries elsewhere.
+const SINGULARITY_RELATIVE: f64 = 1.0e-14;
+
+/// During a refactorization the precomputed pivot order is trusted only while
+/// each pivot stays within this factor of the largest modulus in its U row;
+/// below it the factorization falls back to fresh partial pivoting.
+const REFACTOR_PIVOT_RELATIVE: f64 = 1.0e-8;
+
+/// The pivot order and fill pattern of an LU factorization, independent of
+/// the numeric values.
 ///
-/// The factors are stored as sparse row maps; [`solve`](SparseLu::solve) can
-/// be called repeatedly with different right-hand sides, which is how the AC
-/// sweep reuses structure across frequency points (one factorization per
-/// frequency, one solve per stimulus).
+/// Produced by [`SparseLu::factor_with_symbolic`]; consumed by
+/// [`SparseLu::refactor`] to factor further matrices **with the same sparsity
+/// pattern** without re-running pivot search or fill-in discovery. The
+/// pattern is value-independent because the analysis keeps structural zeros,
+/// so it stays valid for every matrix assembled over the same structure.
 #[derive(Debug, Clone)]
-pub struct SparseLu<T: Scalar> {
-    n: usize,
-    /// Row permutation: `perm[k]` is the original row index used as pivot row
-    /// at elimination step `k`.
-    perm: Vec<usize>,
-    /// Unit-lower-triangular factors: for each elimination step `k`, the list
-    /// of `(row, multiplier)` pairs that were eliminated using pivot `k`.
-    lower: Vec<Vec<(usize, T)>>,
-    /// Upper-triangular rows indexed by elimination step.
-    upper: Vec<BTreeMap<usize, T>>,
-    /// Pivot values (diagonal of U).
-    pivots: Vec<T>,
+pub struct SymbolicLu {
+    /// Shared with every [`SparseLu`] produced from it, so capturing and
+    /// reusing a pattern never copies the index arrays.
+    pattern: Arc<LuPattern>,
 }
 
-/// Relative threshold under which a pivot is declared numerically singular.
-const SINGULARITY_THRESHOLD: f64 = 1e-250;
+/// The immutable pivot-order + fill-pattern data shared (via `Arc`) between
+/// a [`SymbolicLu`] and the factorizations built over it.
+#[derive(Debug)]
+struct LuPattern {
+    n: usize,
+    /// `perm[k]` is the original row index used as pivot row at step `k`.
+    perm: Vec<usize>,
+    /// CSR-style pattern of the strictly-lower factor, indexed by elimination
+    /// step: `l_cols[l_ptr[i]..l_ptr[i+1]]` are the (ascending) pivot columns
+    /// eliminated from row `perm[i]`.
+    l_ptr: Vec<usize>,
+    l_cols: Vec<usize>,
+    /// CSR-style pattern of the upper factor, indexed by elimination step;
+    /// the first column of each row is the diagonal.
+    u_ptr: Vec<usize>,
+    u_cols: Vec<usize>,
+}
+
+impl SymbolicLu {
+    /// Matrix dimension this pattern was computed for.
+    pub fn dim(&self) -> usize {
+        self.pattern.n
+    }
+
+    /// Total number of pattern entries in L and U (fill-in included).
+    pub fn fill_nnz(&self) -> usize {
+        self.pattern.l_cols.len() + self.pattern.u_cols.len()
+    }
+
+    /// The pivot order: element `k` is the original row eliminated at step
+    /// `k`.
+    pub fn pivot_order(&self) -> &[usize] {
+        &self.pattern.perm
+    }
+}
+
+/// Largest modulus per column of `matrix` — the per-column reference scale
+/// for the relative singularity test.
+fn column_max_moduli<T: Scalar>(matrix: &CsrMatrix<T>) -> Vec<f64> {
+    let mut col_max = vec![0.0f64; matrix.cols()];
+    for (_, c, v) in matrix.iter() {
+        let m = v.modulus();
+        if m > col_max[c] {
+            col_max[c] = m;
+        }
+    }
+    col_max
+}
+
+/// Why a numeric-only refactorization could not be completed; drives the
+/// fallback in [`SparseLu::refactor`].
+enum RefactorFailure {
+    /// A pivot fell below the numeric quality threshold at the given step;
+    /// a fresh pivoting factorization may still succeed.
+    Degraded,
+    /// The matrix contains an entry outside the recorded fill pattern.
+    PatternMismatch,
+    /// A hard error that no fallback can fix.
+    Hard(SolveError),
+}
+
+/// An LU factorization `P·A = L·U` of a sparse square matrix.
+///
+/// Factors are stored flat (CSR-style index/value arrays ordered by
+/// elimination step), so [`solve`](SparseLu::solve) is two cache-friendly
+/// sweeps. A factorization can be reused for any number of right-hand sides;
+/// with a [`SymbolicLu`] the *pattern* can additionally be reused across
+/// matrices via [`refactor`](SparseLu::refactor).
+#[derive(Debug, Clone)]
+pub struct SparseLu<T: Scalar> {
+    /// Pivot order and L/U index pattern, shared (not copied) with the
+    /// [`SymbolicLu`] this factorization came from or can hand out.
+    pattern: Arc<LuPattern>,
+    l_vals: Vec<T>,
+    u_vals: Vec<T>,
+    /// Whether this factorization was produced by pattern-reusing
+    /// refactorization (`true`) or fresh pivoting (`false`).
+    refactored: bool,
+}
+
+/// Computes `merged = a − factor·p` for two sorted sparse rows, keeping the
+/// full union pattern (entries that cancel to exact zero are preserved so the
+/// fill pattern stays value-independent).
+fn merge_sub<T: Scalar>(a: &[(usize, T)], p: &[(usize, T)], factor: T, out: &mut Vec<(usize, T)>) {
+    out.clear();
+    out.reserve(a.len() + p.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < p.len() {
+        let (ac, av) = a[i];
+        let (pc, pv) = p[j];
+        if ac == pc {
+            out.push((ac, av - factor * pv));
+            i += 1;
+            j += 1;
+        } else if ac < pc {
+            out.push((ac, av));
+            i += 1;
+        } else {
+            out.push((pc, -(factor * pv)));
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    for &(pc, pv) in &p[j..] {
+        out.push((pc, -(factor * pv)));
+    }
+}
 
 impl<T: Scalar> SparseLu<T> {
-    /// Factors a square sparse matrix.
+    /// Factors a square sparse matrix with partial pivoting.
     ///
     /// # Errors
     ///
@@ -87,86 +224,252 @@ impl<T: Scalar> SparseLu<T> {
                 cols: matrix.cols(),
             });
         }
+        // Per-column reference scales for the relative singularity test.
+        let col_max = column_max_moduli(matrix);
 
-        // Working row maps.
-        let mut rows: Vec<BTreeMap<usize, T>> = (0..n)
-            .map(|r| matrix.row_entries(r).collect::<BTreeMap<usize, T>>())
-            .collect();
-        // Which original rows are still uneliminated.
+        // Working rows as sorted (col, value) vectors. After step k every
+        // still-active row starts at a column > k, so "row contains the pivot
+        // column" is a check of its first entry only.
+        let mut rows: Vec<Vec<(usize, T)>> =
+            (0..n).map(|r| matrix.row_entries(r).collect()).collect();
         let mut active: Vec<usize> = (0..n).collect();
-
+        // L entries per ORIGINAL row index, pushed in ascending step order.
+        let mut l_rows: Vec<Vec<(usize, T)>> = vec![Vec::new(); n];
+        let mut u_rows: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
         let mut perm = Vec::with_capacity(n);
-        let mut lower: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
-        let mut upper: Vec<BTreeMap<usize, T>> = Vec::with_capacity(n);
-        let mut pivots = Vec::with_capacity(n);
+        let mut scratch: Vec<(usize, T)> = Vec::new();
 
+        // The loop is over elimination steps, not col_max; indexing is
+        // clearer than iterating the threshold table.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
-            // Partial pivoting: among active rows, choose the one with the
-            // largest modulus in column k.
+            // Partial pivoting: among active rows holding column k, take the
+            // one with the largest modulus there.
             let mut best: Option<(usize, f64)> = None;
             for (ai, &r) in active.iter().enumerate() {
-                if let Some(v) = rows[r].get(&k) {
-                    let m = v.modulus();
-                    if m > best.map_or(0.0, |(_, bm)| bm) {
-                        best = Some((ai, m));
+                if let Some(&(c, v)) = rows[r].first() {
+                    if c == k {
+                        let m = v.modulus();
+                        if best.is_none_or(|(_, bm)| m > bm) {
+                            best = Some((ai, m));
+                        }
                     }
                 }
             }
             let (active_idx, pivot_mod) = best.ok_or(SolveError::Singular(k))?;
-            if pivot_mod < SINGULARITY_THRESHOLD {
+            if pivot_mod <= col_max[k] * SINGULARITY_RELATIVE || pivot_mod == 0.0 {
                 return Err(SolveError::Singular(k));
             }
             let pivot_row = active.swap_remove(active_idx);
-            let pivot_map = std::mem::take(&mut rows[pivot_row]);
-            let pivot_val = *pivot_map.get(&k).expect("pivot entry must exist");
+            let pivot = std::mem::take(&mut rows[pivot_row]);
+            let pivot_val = pivot[0].1;
 
             // Eliminate column k from the remaining active rows.
-            let mut l_col = Vec::new();
             for &r in &active {
-                let Some(&a_rk) = rows[r].get(&k) else {
+                let Some(&(c, a_rk)) = rows[r].first() else {
                     continue;
                 };
-                let factor = a_rk / pivot_val;
-                rows[r].remove(&k);
-                if factor.is_zero() {
+                if c != k {
                     continue;
                 }
-                for (&c, &p_v) in pivot_map.range((k + 1)..) {
-                    let entry = rows[r].entry(c).or_insert(T::ZERO);
-                    *entry -= factor * p_v;
-                    // Drop entries that cancelled exactly to keep rows sparse.
-                    if entry.is_zero() {
-                        rows[r].remove(&c);
-                    }
-                }
-                l_col.push((r, factor));
+                let factor = a_rk / pivot_val;
+                merge_sub(&rows[r][1..], &pivot[1..], factor, &mut scratch);
+                std::mem::swap(&mut rows[r], &mut scratch);
+                // Record even exact-zero multipliers: the L pattern must not
+                // depend on the numeric values.
+                l_rows[r].push((k, factor));
             }
 
             perm.push(pivot_row);
-            lower.push(l_col);
-            pivots.push(pivot_val);
-            upper.push(pivot_map);
+            u_rows.push(pivot);
+        }
+
+        // Flatten into CSR-style arrays ordered by elimination step.
+        let mut l_ptr = Vec::with_capacity(n + 1);
+        let mut l_cols = Vec::new();
+        let mut l_vals = Vec::new();
+        let mut u_ptr = Vec::with_capacity(n + 1);
+        let mut u_cols = Vec::new();
+        let mut u_vals = Vec::new();
+        l_ptr.push(0);
+        u_ptr.push(0);
+        for (i, u_row) in u_rows.into_iter().enumerate() {
+            for (c, v) in std::mem::take(&mut l_rows[perm[i]]) {
+                l_cols.push(c);
+                l_vals.push(v);
+            }
+            l_ptr.push(l_cols.len());
+            debug_assert_eq!(u_row[0].0, i, "pivot row must start at its diagonal");
+            for (c, v) in u_row {
+                u_cols.push(c);
+                u_vals.push(v);
+            }
+            u_ptr.push(u_cols.len());
         }
 
         Ok(Self {
-            n,
-            perm,
-            lower,
-            upper,
-            pivots,
+            pattern: Arc::new(LuPattern {
+                n,
+                perm,
+                l_ptr,
+                l_cols,
+                u_ptr,
+                u_cols,
+            }),
+            l_vals,
+            u_vals,
+            refactored: false,
+        })
+    }
+
+    /// Factors a matrix and additionally captures its pivot order and fill
+    /// pattern for later [`refactor`](SparseLu::refactor) calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`factor`](SparseLu::factor).
+    pub fn factor_with_symbolic(matrix: &CsrMatrix<T>) -> Result<(Self, SymbolicLu), SolveError> {
+        let lu = Self::factor(matrix)?;
+        let symbolic = lu.extract_symbolic();
+        Ok((lu, symbolic))
+    }
+
+    /// Captures this factorization's pivot order and fill pattern — the same
+    /// data [`factor_with_symbolic`](SparseLu::factor_with_symbolic) returns.
+    ///
+    /// Useful to adopt a fresh pattern after
+    /// [`refactor`](SparseLu::refactor) fell back to pivoting: the fallback
+    /// already computed a healthy pivot order, so callers can reuse it
+    /// without paying for another factorization. Cheap: the pattern is
+    /// reference-counted, not copied.
+    pub fn extract_symbolic(&self) -> SymbolicLu {
+        SymbolicLu {
+            pattern: Arc::clone(&self.pattern),
+        }
+    }
+
+    /// Factors a matrix **reusing the pivot order and fill pattern** of a
+    /// previous factorization of a matrix with the same structure.
+    ///
+    /// This is the hot path of frequency sweeps, Newton loops and transient
+    /// stepping: a numeric-only left-looking pass with no pivot search and no
+    /// fill discovery. When a pivot degrades numerically, or the matrix does
+    /// not match the recorded pattern, the call transparently falls back to a
+    /// fresh pivoting factorization ([`refactored`](SparseLu::refactored)
+    /// returns `false` in that case, signalling that the symbolic analysis
+    /// should be refreshed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for rectangular input or a dimension
+    /// mismatch with `symbolic`, and [`SolveError::Singular`] when even the
+    /// fallback pivoting factorization finds no acceptable pivot.
+    pub fn refactor(symbolic: &SymbolicLu, matrix: &CsrMatrix<T>) -> Result<Self, SolveError> {
+        match Self::try_refactor(symbolic, matrix) {
+            Ok(lu) => Ok(lu),
+            Err(RefactorFailure::Degraded | RefactorFailure::PatternMismatch) => {
+                Self::factor(matrix)
+            }
+            Err(RefactorFailure::Hard(e)) => Err(e),
+        }
+    }
+
+    /// The numeric-only refactorization pass; failures that a fresh pivoting
+    /// factorization might fix are reported as soft [`RefactorFailure`]s.
+    fn try_refactor(symbolic: &SymbolicLu, matrix: &CsrMatrix<T>) -> Result<Self, RefactorFailure> {
+        let pattern = &*symbolic.pattern;
+        let n = pattern.n;
+        if matrix.rows() != n || matrix.cols() != n {
+            return Err(RefactorFailure::Hard(SolveError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            }));
+        }
+        // Per-column reference scales of the *new* values for the relative
+        // singularity test (same rule as the fresh factorization).
+        let col_max = column_max_moduli(matrix);
+
+        // Dense scatter/gather work row. `marked[c] == i` means column c is
+        // part of row i's fill pattern and its work slot is initialised.
+        let mut work = vec![T::ZERO; n];
+        let mut marked = vec![usize::MAX; n];
+        let mut l_vals = Vec::with_capacity(pattern.l_cols.len());
+        let mut u_vals: Vec<T> = Vec::with_capacity(pattern.u_cols.len());
+
+        // Loop over elimination steps; col_max is only consulted for the
+        // pivot check, so enumerate() would obscure the structure.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let l_range = pattern.l_ptr[i]..pattern.l_ptr[i + 1];
+            let u_range = pattern.u_ptr[i]..pattern.u_ptr[i + 1];
+            for &c in &pattern.l_cols[l_range.clone()] {
+                work[c] = T::ZERO;
+                marked[c] = i;
+            }
+            for &c in &pattern.u_cols[u_range.clone()] {
+                work[c] = T::ZERO;
+                marked[c] = i;
+            }
+            // Scatter the input row; anything outside the pattern means the
+            // structure changed and the symbolic analysis is stale.
+            for (c, v) in matrix.row_entries(pattern.perm[i]) {
+                if marked[c] != i {
+                    return Err(RefactorFailure::PatternMismatch);
+                }
+                work[c] = v;
+            }
+            // Left-looking elimination against the already-finished U rows.
+            for t in l_range {
+                let k = pattern.l_cols[t];
+                let mult = work[k] / u_vals[pattern.u_ptr[k]];
+                l_vals.push(mult);
+                if !mult.is_zero() {
+                    for s in (pattern.u_ptr[k] + 1)..pattern.u_ptr[k + 1] {
+                        work[pattern.u_cols[s]] -= mult * u_vals[s];
+                    }
+                }
+            }
+            // Gather the U row and check pivot quality. The pivot of step i
+            // sits in column i, so its singularity scale is col_max[i].
+            let diag_at = u_vals.len();
+            let mut row_max = 0.0f64;
+            for s in u_range {
+                let v = work[pattern.u_cols[s]];
+                row_max = row_max.max(v.modulus());
+                u_vals.push(v);
+            }
+            let pivot_mod = u_vals[diag_at].modulus();
+            if pivot_mod == 0.0
+                || pivot_mod <= col_max[i] * SINGULARITY_RELATIVE
+                || pivot_mod < REFACTOR_PIVOT_RELATIVE * row_max
+            {
+                return Err(RefactorFailure::Degraded);
+            }
+        }
+
+        Ok(Self {
+            pattern: Arc::clone(&symbolic.pattern),
+            l_vals,
+            u_vals,
+            refactored: true,
         })
     }
 
     /// Matrix dimension.
     pub fn dim(&self) -> usize {
-        self.n
+        self.pattern.n
+    }
+
+    /// `true` when this factorization reused a precomputed pattern; `false`
+    /// when it ran (or fell back to) fresh partial pivoting.
+    pub fn refactored(&self) -> bool {
+        self.refactored
     }
 
     /// Total number of stored entries in the L and U factors (a fill-in
     /// diagnostic).
     pub fn factor_nnz(&self) -> usize {
-        self.lower.iter().map(Vec::len).sum::<usize>()
-            + self.upper.iter().map(BTreeMap::len).sum::<usize>()
+        self.l_vals.len() + self.u_vals.len()
     }
 
     /// Solves `A·x = b` using the stored factorization.
@@ -176,30 +479,32 @@ impl<T: Scalar> SparseLu<T> {
     /// Returns [`SolveError::RhsLength`] when `b.len()` does not match the
     /// matrix dimension.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, SolveError> {
-        if b.len() != self.n {
+        let p = &*self.pattern;
+        if b.len() != p.n {
             return Err(SolveError::RhsLength {
-                expected: self.n,
+                expected: p.n,
                 got: b.len(),
             });
         }
-        // Forward elimination applied to a copy of b, indexed by ORIGINAL row.
-        let mut work = b.to_vec();
-        let mut y = vec![T::ZERO; self.n];
-        for k in 0..self.n {
-            let yk = work[self.perm[k]];
-            y[k] = yk;
-            for &(row, factor) in &self.lower[k] {
-                work[row] -= factor * yk;
+        // Forward substitution on the unit-lower factor, rows in elimination
+        // order: y[i] = b[perm[i]] − Σ L[i][k]·y[k].
+        let mut y = vec![T::ZERO; p.n];
+        for i in 0..p.n {
+            let mut acc = b[p.perm[i]];
+            for t in p.l_ptr[i]..p.l_ptr[i + 1] {
+                acc -= self.l_vals[t] * y[p.l_cols[t]];
             }
+            y[i] = acc;
         }
-        // Back substitution on U (indexed by elimination step).
-        let mut x = vec![T::ZERO; self.n];
-        for k in (0..self.n).rev() {
-            let mut acc = y[k];
-            for (&c, &v) in self.upper[k].range((k + 1)..) {
-                acc -= v * x[c];
+        // Back substitution on U (diagonal first in each row).
+        let mut x = vec![T::ZERO; p.n];
+        for i in (0..p.n).rev() {
+            let start = p.u_ptr[i];
+            let mut acc = y[i];
+            for t in (start + 1)..p.u_ptr[i + 1] {
+                acc -= self.u_vals[t] * x[p.u_cols[t]];
             }
-            x[k] = acc / self.pivots[k];
+            x[i] = acc / self.u_vals[start];
         }
         Ok(x)
     }
@@ -274,6 +579,28 @@ mod tests {
     }
 
     #[test]
+    fn badly_scaled_but_well_conditioned_factors() {
+        // Everything around 1e-200: far below the old absolute threshold but
+        // perfectly conditioned — the relative test must accept it.
+        let a = csr_from_dense(&[&[2.0e-200, 1.0e-200], &[1.0e-200, 3.0e-200]]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0e-200, 4.0e-200]).unwrap();
+        // Exact solution of [[2,1],[1,3]]·x = [3,4] is [1, 1].
+        assert!((x[0] - 1.0).abs() < 1e-10, "x0 = {}", x[0]);
+        assert!((x[1] - 1.0).abs() < 1e-10, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn relatively_tiny_pivot_is_singular() {
+        // A genuinely deficient column hidden behind mixed scales.
+        let b = csr_from_dense(&[&[1.0e20, 1.0e4], &[1.0, 1.0e-16]]);
+        // Elimination: row1 − 1e-20·row0 leaves ~1e-16 − 1e-16 at (1,1); the
+        // exact value cancels to 0 and anything left is noise far below the
+        // column scale (col_max = 1e4) times the relative threshold.
+        assert!(matches!(SparseLu::factor(&b), Err(SolveError::Singular(1))));
+    }
+
+    #[test]
     fn rejects_non_square() {
         let mut t = TripletMatrix::<f64>::new(2, 3);
         t.push(0, 0, 1.0);
@@ -289,7 +616,10 @@ mod tests {
         let lu = SparseLu::factor(&a).unwrap();
         assert!(matches!(
             lu.solve(&[1.0, 2.0]),
-            Err(SolveError::RhsLength { expected: 1, got: 2 })
+            Err(SolveError::RhsLength {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 
@@ -375,6 +705,100 @@ mod tests {
     }
 
     #[test]
+    fn refactor_matches_fresh_factorization() {
+        // Same pattern, different values: refactor must reproduce the fresh
+        // solution without falling back.
+        let a = csr_from_dense(&[&[4.0, 1.0, 0.0], &[1.0, 5.0, 2.0], &[0.0, 2.0, 6.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        let b_mat = csr_from_dense(&[&[7.0, 2.0, 0.0], &[2.0, 9.0, 1.0], &[0.0, 1.0, 8.0]]);
+        let rhs = b_mat.mul_vec(&[1.0, -2.0, 0.5]);
+        let fresh = SparseLu::factor(&b_mat).unwrap().solve(&rhs).unwrap();
+        let lu = SparseLu::refactor(&symbolic, &b_mat).unwrap();
+        assert!(lu.refactored(), "pattern reuse must not fall back here");
+        let re = lu.solve(&rhs).unwrap();
+        for (f, r) in fresh.iter().zip(&re) {
+            assert!((f - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refactor_handles_fill_in_pattern() {
+        // Arrow matrix with fill-in: the reused pattern must include fill.
+        let n = 8;
+        let build = |scale: f64| {
+            let mut t = TripletMatrix::<f64>::new(n, n);
+            for i in 0..n {
+                t.push(i, i, 4.0 * scale + i as f64);
+                if i + 1 < n {
+                    t.push(i, n - 1, 1.0 * scale);
+                    t.push(n - 1, i, 1.5 / scale);
+                }
+            }
+            t.to_csr()
+        };
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&build(1.0)).unwrap();
+        let m2 = build(1.7);
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 - 0.3 * i as f64).collect();
+        let rhs = m2.mul_vec(&x_true);
+        let lu = SparseLu::refactor(&symbolic, &m2).unwrap();
+        assert!(lu.refactored());
+        let x = lu.solve(&rhs).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refactor_falls_back_on_degraded_pivot() {
+        // First matrix is diagonally dominant; the second flips the weight so
+        // the recorded pivot order becomes terrible and the row-relative
+        // pivot check must trigger the pivoting fallback.
+        let a = csr_from_dense(&[&[1.0, 1.0e-3], &[1.0e-3, 1.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        let b = csr_from_dense(&[&[1.0e-12, 1.0], &[1.0, 1.0e-12]]);
+        let lu = SparseLu::refactor(&symbolic, &b).unwrap();
+        assert!(!lu.refactored(), "degraded pivot must force fresh pivoting");
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        // b is (to 1e-12) the exchange matrix: x ≈ [2, 1].
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refactor_rejects_pattern_mismatch_gracefully() {
+        let a = csr_from_dense(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        // A different pattern (off-diagonal entries) must fall back, not
+        // corrupt the factorization.
+        let b = csr_from_dense(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = SparseLu::refactor(&symbolic, &b).unwrap();
+        assert!(!lu.refactored());
+        let x = lu.solve(&[3.0, 4.0]).unwrap();
+        let r = b.mul_vec(&x);
+        assert!((r[0] - 3.0).abs() < 1e-12 && (r[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactor_dimension_mismatch_is_hard_error() {
+        let a = csr_from_dense(&[&[1.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        let b = csr_from_dense(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(matches!(
+            SparseLu::refactor(&symbolic, &b),
+            Err(SolveError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn symbolic_reports_pattern_size() {
+        let a = csr_from_dense(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let (lu, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        assert_eq!(symbolic.dim(), 2);
+        assert_eq!(symbolic.fill_nnz(), lu.factor_nnz());
+        assert_eq!(symbolic.pivot_order().len(), 2);
+    }
+
+    #[test]
     fn solve_error_display() {
         assert_eq!(
             SolveError::Singular(2).to_string(),
@@ -385,7 +809,11 @@ mod tests {
             "matrix is not square (2x3)"
         );
         assert_eq!(
-            SolveError::RhsLength { expected: 4, got: 2 }.to_string(),
+            SolveError::RhsLength {
+                expected: 4,
+                got: 2
+            }
+            .to_string(),
             "right-hand side has length 2, expected 4"
         );
     }

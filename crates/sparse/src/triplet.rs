@@ -95,9 +95,7 @@ impl<T: Scalar> TripletMatrix<T> {
         // accumulation in one pass.
         let mut acc: BTreeMap<(usize, usize), T> = BTreeMap::new();
         for &(r, c, v) in &self.entries {
-            acc.entry((r, c))
-                .and_modify(|e| *e += v)
-                .or_insert(v);
+            acc.entry((r, c)).and_modify(|e| *e += v).or_insert(v);
         }
         CsrMatrix::from_sorted_entries(self.rows, self.cols, acc)
     }

@@ -10,10 +10,13 @@ use loopscope_sparse::{solve_once, CsrMatrix, SparseLu, TripletMatrix};
 use proptest::prelude::*;
 
 /// Builds a random, diagonally dominant sparse matrix from proptest inputs.
-fn build_real(
-    n: usize,
-    entries: &[(usize, usize, f64)],
-) -> CsrMatrix<f64> {
+fn build_real(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+    build_real_scaled(n, entries, 1.0)
+}
+
+/// Like [`build_real`] but with every off-diagonal value multiplied by
+/// `scale` — same sparsity pattern for any scale, different numerics.
+fn build_real_scaled(n: usize, entries: &[(usize, usize, f64)], scale: f64) -> CsrMatrix<f64> {
     let mut t = TripletMatrix::new(n, n);
     let mut row_sum = vec![0.0; n];
     for &(r, c, v) in entries {
@@ -21,8 +24,8 @@ fn build_real(
         if r == c {
             continue;
         }
-        t.push(r, c, v);
-        row_sum[r] += v.abs();
+        t.push(r, c, v * scale);
+        row_sum[r] += (v * scale).abs();
     }
     for (i, s) in row_sum.iter().enumerate() {
         // Strict diagonal dominance keeps the matrix invertible.
@@ -94,6 +97,99 @@ proptest! {
         }
     }
 
+    /// Refactorization over a reused symbolic pattern must agree with a
+    /// fresh pivoting factorization on any same-pattern real system.
+    #[test]
+    fn real_refactor_matches_fresh_factor(
+        n in 2usize..20,
+        entries in prop::collection::vec((0usize..20, 0usize..20, -4.0f64..4.0), 0..100),
+        xseed in prop::collection::vec(-10.0f64..10.0, 20),
+        scale in 0.2f64..5.0,
+    ) {
+        let first = build_real(n, &entries);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&first)
+            .expect("diagonally dominant matrix must factor");
+        // Same pattern, different values.
+        let second = build_real_scaled(n, &entries, scale);
+        prop_assert!(first.same_pattern(&second));
+        let x_true: Vec<f64> = xseed.iter().take(n).copied().collect();
+        let b = second.mul_vec(&x_true);
+        let lu = SparseLu::refactor(&symbolic, &second).expect("refactor must succeed");
+        prop_assert!(lu.refactored(), "diagonally dominant refactor must not fall back");
+        let x = lu.solve(&b).expect("solve");
+        let fresh = solve_once(&second, &b).expect("fresh factor");
+        for ((xi, fi), ti) in x.iter().zip(&fresh).zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-8 * (1.0 + ti.abs()),
+                "refactor vs truth: {} vs {}", xi, ti);
+            prop_assert!((xi - fi).abs() < 1e-8 * (1.0 + fi.abs()),
+                "refactor vs fresh: {} vs {}", xi, fi);
+        }
+    }
+
+    /// The same property over the complex field (the AC-analysis scalar).
+    #[test]
+    fn complex_refactor_matches_fresh_factor(
+        n in 2usize..12,
+        entries in prop::collection::vec(
+            (0usize..12, 0usize..12, -3.0f64..3.0, -3.0f64..3.0), 0..60),
+        xseed in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 12),
+        phase in 0.1f64..6.2,
+    ) {
+        let build = |rot: Complex64| {
+            let mut t = TripletMatrix::<Complex64>::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for &(r, c, re, im) in &entries {
+                let (r, c) = (r % n, c % n);
+                if r == c { continue; }
+                let v = Complex64::new(re, im) * rot;
+                t.push(r, c, v);
+                row_sum[r] += v.abs();
+            }
+            for (i, s) in row_sum.iter().enumerate() {
+                t.push(i, i, Complex64::new(s + 1.0, 0.5));
+            }
+            t.to_csr()
+        };
+        let first = build(Complex64::ONE);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&first).expect("must factor");
+        // Rotate all off-diagonal values in the complex plane: same pattern,
+        // different numbers — like re-stamping jωC at a new frequency.
+        let second = build(Complex64::from_polar(1.0, phase));
+        prop_assert!(first.same_pattern(&second));
+        let x_true: Vec<Complex64> = xseed.iter().take(n)
+            .map(|&(re, im)| Complex64::new(re, im)).collect();
+        let b = second.mul_vec(&x_true);
+        let lu = SparseLu::refactor(&symbolic, &second).expect("refactor");
+        prop_assert!(lu.refactored());
+        let x = lu.solve(&b).expect("solve");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((*xi - *ti).abs() < 1e-8 * (1.0 + ti.abs()),
+                "{:?} vs {:?}", xi, ti);
+        }
+    }
+
+    /// A refactorization handed a matrix whose pattern does not match the
+    /// symbolic analysis must still produce a correct factorization (via the
+    /// pivoting fallback), never a wrong answer.
+    #[test]
+    fn refactor_pattern_mismatch_falls_back_correctly(
+        n in 2usize..12,
+        entries_a in prop::collection::vec((0usize..12, 0usize..12, -3.0f64..3.0), 0..40),
+        entries_b in prop::collection::vec((0usize..12, 0usize..12, -3.0f64..3.0), 0..40),
+        xseed in prop::collection::vec(-5.0f64..5.0, 12),
+    ) {
+        let a = build_real(n, &entries_a);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&a).expect("must factor");
+        let b_mat = build_real(n, &entries_b);
+        let x_true: Vec<f64> = xseed.iter().take(n).copied().collect();
+        let rhs = b_mat.mul_vec(&x_true);
+        let lu = SparseLu::refactor(&symbolic, &b_mat).expect("refactor or fallback");
+        let x = lu.solve(&rhs).expect("solve");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-8 * (1.0 + ti.abs()));
+        }
+    }
+
     #[test]
     fn triplet_accumulation_matches_sum(
         pushes in prop::collection::vec((0usize..6, 0usize..6, -2.0f64..2.0), 1..40),
@@ -105,9 +201,9 @@ proptest! {
             dense[r][c] += v;
         }
         let m = t.to_csr();
-        for r in 0..6 {
-            for c in 0..6 {
-                prop_assert!((m.get(r, c) - dense[r][c]).abs() < 1e-12);
+        for (r, row) in dense.iter().enumerate() {
+            for (c, want) in row.iter().enumerate() {
+                prop_assert!((m.get(r, c) - want).abs() < 1e-12);
             }
         }
     }

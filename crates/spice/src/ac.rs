@@ -16,15 +16,24 @@
 //! For the all-nodes mode the factorization of `Y(jω)` is reused for every
 //! injection node at a given frequency, which is what makes whole-circuit
 //! stability scans cheap compared to running one full simulation per node.
+//!
+//! Across frequency points the heavy lifting is shared through
+//! [`crate::assembly::CachedMna`]: the sparsity pattern and value-slot map
+//! are built at the first frequency, every later point restamps values in
+//! place, and the LU pivot order/fill pattern is computed once and reused by
+//! numeric-only refactorization. A whole sweep therefore performs exactly one
+//! symbolic analysis (see [`AcAnalysis::solve_stats`]).
 
+use crate::assembly::{AssembleMna, CachedMna, SolveStats};
 use crate::dc::OperatingPoint;
 use crate::devices;
 use crate::error::SpiceError;
-use crate::mna::{MnaLayout, Stamper};
+use crate::mna::{MatrixSink, MnaLayout, Stamper};
 use crate::GMIN;
 use loopscope_math::{interp, Complex64, FrequencyGrid, TWO_PI};
 use loopscope_netlist::{Circuit, Element, NodeId};
-use loopscope_sparse::{SparseLu, TripletMatrix};
+use loopscope_sparse::CsrMatrix;
+use std::sync::Mutex;
 
 /// Results of an AC sweep: complex node voltages over frequency.
 #[derive(Debug, Clone)]
@@ -57,7 +66,10 @@ impl AcSweep {
 
     /// Magnitude of a node response across the sweep.
     pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
-        self.data.iter().map(|row| row[node.index()].abs()).collect()
+        self.data
+            .iter()
+            .map(|row| row[node.index()].abs())
+            .collect()
     }
 
     /// Magnitude in decibels of a node response across the sweep.
@@ -77,9 +89,13 @@ impl AcSweep {
     }
 
     /// Magnitude of a node response, linearly interpolated at `freq_hz`.
+    ///
+    /// Interpolates directly over the stored sweep data (clamping outside the
+    /// swept range, like [`interp::lerp_at`]) without materializing the full
+    /// magnitude vector.
     pub fn magnitude_at(&self, node: NodeId, freq_hz: f64) -> f64 {
-        let mags = self.magnitude(node);
-        interp::lerp_at(&self.freqs, &mags, freq_hz)
+        let idx = node.index();
+        interp::lerp_at_by(&self.freqs, freq_hz, |i| self.data[i][idx].abs())
     }
 }
 
@@ -89,6 +105,27 @@ pub struct AcAnalysis<'c> {
     circuit: &'c Circuit,
     layout: MnaLayout,
     op_voltages: Vec<f64>,
+    /// Shared assembly/factorization cache: the Y(jω) sparsity pattern and LU
+    /// pivot order are identical at every frequency (and for both sweep and
+    /// driving-point excitations, which differ only in the right-hand side),
+    /// so one cache serves every solve this analysis performs. A `Mutex`
+    /// (never contended — each solve path locks once) rather than `RefCell`
+    /// so the analysis stays `Sync` for future parallel scans.
+    solver: Mutex<CachedMna<Complex64>>,
+}
+
+/// Assembly job for the complex admittance system at one frequency.
+struct AcSystem<'a, 'c> {
+    analysis: &'a AcAnalysis<'c>,
+    freq_hz: f64,
+    use_circuit_sources: bool,
+}
+
+impl AssembleMna<Complex64> for AcSystem<'_, '_> {
+    fn stamp<S: MatrixSink<Complex64>>(&self, st: &mut Stamper<'_, Complex64, S>) {
+        self.analysis
+            .stamp_system(st, self.freq_hz, self.use_circuit_sources);
+    }
 }
 
 impl<'c> AcAnalysis<'c> {
@@ -112,6 +149,7 @@ impl<'c> AcAnalysis<'c> {
             circuit,
             layout: MnaLayout::new(circuit),
             op_voltages: op.node_voltages().to_vec(),
+            solver: Mutex::new(CachedMna::new()),
         })
     }
 
@@ -120,12 +158,34 @@ impl<'c> AcAnalysis<'c> {
         &self.layout
     }
 
-    /// Assembles the complex admittance matrix at `freq_hz` along with the RHS
+    /// Counters describing how this analysis served its linear solves so far:
+    /// how many symbolic analyses, numeric refactorizations and in-place
+    /// assemblies ran. A fresh analysis performs exactly one symbolic
+    /// analysis for an entire sweep.
+    pub fn solve_stats(&self) -> SolveStats {
+        self.solver.lock().expect("solver lock").stats()
+    }
+
+    /// Assembles and returns the complex admittance matrix at `freq_hz`
+    /// (diagnostic/benchmark entry point; the analyses themselves go through
+    /// the in-place cached path).
+    pub fn admittance_matrix(&self, freq_hz: f64) -> CsrMatrix<Complex64> {
+        let mut st = Stamper::<Complex64>::new(&self.layout);
+        self.stamp_system(&mut st, freq_hz, false);
+        let (triplets, _) = st.finish();
+        triplets.to_csr()
+    }
+
+    /// Stamps the complex admittance system at `freq_hz` along with the RHS
     /// produced by the circuit's own AC sources.
-    fn assemble(&self, freq_hz: f64, use_circuit_sources: bool) -> (TripletMatrix<Complex64>, Vec<Complex64>) {
+    fn stamp_system<S: MatrixSink<Complex64>>(
+        &self,
+        st: &mut Stamper<'_, Complex64, S>,
+        freq_hz: f64,
+        use_circuit_sources: bool,
+    ) {
         let w = TWO_PI * freq_hz;
         let jw = Complex64::new(0.0, w);
-        let mut st = Stamper::<Complex64>::new(&self.layout);
 
         for node in self.circuit.signal_nodes() {
             st.add_node_node(node, node, Complex64::from_real(GMIN));
@@ -152,19 +212,15 @@ impl<'c> AcAnalysis<'c> {
                     st.add_node_var(v.plus, br, Complex64::ONE);
                     st.add_node_var(v.minus, br, -Complex64::ONE);
                     if use_circuit_sources && v.spec.ac_mag != 0.0 {
-                        let phasor = Complex64::from_polar(
-                            v.spec.ac_mag,
-                            v.spec.ac_phase_deg.to_radians(),
-                        );
+                        let phasor =
+                            Complex64::from_polar(v.spec.ac_mag, v.spec.ac_phase_deg.to_radians());
                         st.add_rhs_var(br, phasor);
                     }
                 }
                 Element::Isource(i) => {
                     if use_circuit_sources && i.spec.ac_mag != 0.0 {
-                        let phasor = Complex64::from_polar(
-                            i.spec.ac_mag,
-                            i.spec.ac_phase_deg.to_radians(),
-                        );
+                        let phasor =
+                            Complex64::from_polar(i.spec.ac_mag, i.spec.ac_phase_deg.to_radians());
                         st.stamp_current_injection(i.minus, i.plus, phasor);
                     }
                 }
@@ -204,23 +260,26 @@ impl<'c> AcAnalysis<'c> {
                     st.add_node_var(h.out_plus, br, Complex64::ONE);
                     st.add_node_var(h.out_minus, br, -Complex64::ONE);
                 }
-                Element::Diode(d) => {
-                    self.apply_small_signal(&mut st, devices::small_signal_diode(d, &self.op_voltages), jw)
-                }
+                Element::Diode(d) => self.apply_small_signal(
+                    st,
+                    devices::small_signal_diode(d, &self.op_voltages),
+                    jw,
+                ),
                 Element::Bjt(q) => {
-                    self.apply_small_signal(&mut st, devices::small_signal_bjt(q, &self.op_voltages), jw)
+                    self.apply_small_signal(st, devices::small_signal_bjt(q, &self.op_voltages), jw)
                 }
-                Element::Mosfet(m) => {
-                    self.apply_small_signal(&mut st, devices::small_signal_mosfet(m, &self.op_voltages), jw)
-                }
+                Element::Mosfet(m) => self.apply_small_signal(
+                    st,
+                    devices::small_signal_mosfet(m, &self.op_voltages),
+                    jw,
+                ),
             }
         }
-        st.finish()
     }
 
-    fn apply_small_signal(
+    fn apply_small_signal<S: MatrixSink<Complex64>>(
         &self,
-        st: &mut Stamper<'_, Complex64>,
+        st: &mut Stamper<'_, Complex64, S>,
         ss: devices::SmallSignal,
         jw: Complex64,
     ) {
@@ -247,10 +306,16 @@ impl<'c> AcAnalysis<'c> {
     /// Returns [`SpiceError::Linear`] when the linearized system is singular
     /// at some frequency.
     pub fn sweep(&self, grid: &FrequencyGrid) -> Result<AcSweep, SpiceError> {
+        let mut solver = self.solver.lock().expect("solver lock");
         let mut data = Vec::with_capacity(grid.len());
         for &f in grid.freqs() {
-            let (matrix, rhs) = self.assemble(f, true);
-            let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
+            let job = AcSystem {
+                analysis: self,
+                freq_hz: f,
+                use_circuit_sources: true,
+            };
+            let rhs = solver.assemble(&self.layout, &job);
+            let lu = solver.factor().map_err(SpiceError::Linear)?;
             let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
             data.push(self.solve_into_node_row(&solution));
         }
@@ -284,13 +349,20 @@ impl<'c> AcAnalysis<'c> {
                 node.index()
             )));
         }
+        let mut solver = self.solver.lock().expect("solver lock");
         let mut out = Vec::with_capacity(grid.len());
+        let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
         for &f in grid.freqs() {
-            let (matrix, _) = self.assemble(f, false);
-            let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
-            let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
+            let job = AcSystem {
+                analysis: self,
+                freq_hz: f,
+                use_circuit_sources: false,
+            };
+            let _ = solver.assemble(&self.layout, &job);
+            let lu = solver.factor().map_err(SpiceError::Linear)?;
             rhs[var] = Complex64::ONE;
             let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+            rhs[var] = Complex64::ZERO;
             out.push(solution[var]);
         }
         Ok(out)
@@ -310,15 +382,22 @@ impl<'c> AcAnalysis<'c> {
         grid: &FrequencyGrid,
     ) -> Result<Vec<Vec<Complex64>>, SpiceError> {
         let nodes = self.circuit.signal_nodes();
+        let mut solver = self.solver.lock().expect("solver lock");
         let mut out = vec![Vec::with_capacity(grid.len()); nodes.len()];
+        let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
         for &f in grid.freqs() {
-            let (matrix, _) = self.assemble(f, false);
-            let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
+            let job = AcSystem {
+                analysis: self,
+                freq_hz: f,
+                use_circuit_sources: false,
+            };
+            let _ = solver.assemble(&self.layout, &job);
+            let lu = solver.factor().map_err(SpiceError::Linear)?;
             for (k, node) in nodes.iter().enumerate() {
                 let var = self.layout.node_var(*node).expect("signal node");
-                let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
                 rhs[var] = Complex64::ONE;
                 let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+                rhs[var] = Complex64::ZERO;
                 out[k].push(solution[var]);
             }
         }
@@ -330,6 +409,7 @@ impl<'c> AcAnalysis<'c> {
 mod tests {
     use super::*;
     use crate::dc::solve_dc;
+    use loopscope_math::interp;
     use loopscope_netlist::SourceSpec;
 
     fn rc_lowpass() -> (Circuit, NodeId, NodeId) {

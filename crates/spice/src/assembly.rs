@@ -1,0 +1,360 @@
+//! Cached MNA assembly: build the sparsity pattern once, then restamp values
+//! in place and refactor with a reused pivot order.
+//!
+//! Every analysis in this crate solves the same shape of problem many times
+//! over: an AC sweep assembles `Y(jω)` at hundreds of frequencies, a DC
+//! Newton loop re-linearizes at every iteration, a transient run re-stamps
+//! companion models at every timestep — and in all cases the **sparsity
+//! pattern never changes**, only the values. The naive pipeline (triplet
+//! accumulation → sort/dedup to CSR → pivoting factorization) repays none of
+//! that structure.
+//!
+//! [`CachedMna`] is the structured pipeline:
+//!
+//! 1. **First assembly** runs the element stamps into a [`TripletMatrix`] and
+//!    converts to CSR — exactly the naive path — and keeps the CSR as the
+//!    pattern.
+//! 2. **Later assemblies** zero the CSR values and replay the same stamps
+//!    through a [`SlotSink`], which routes each stamp to its value slot by a
+//!    binary search within the row. No allocation, no sorting, no BTreeMap.
+//!    If a stamp misses the pattern (a nonlinear device changed operating
+//!    region, say), the assembly transparently rebuilds the pattern.
+//! 3. **Factorization** captures a [`SymbolicLu`] on first use and runs the
+//!    numeric-only [`SparseLu::refactor`] afterwards, re-analyzing only when
+//!    the refactorization reports a degraded pivot or the pattern was
+//!    rebuilt.
+//!
+//! [`SolveStats`] counts what actually happened, which is how the tests (and
+//! the `solver_refactor` bench) assert that e.g. a whole AC sweep performs
+//! exactly one symbolic analysis.
+
+use crate::mna::{MatrixSink, MnaLayout, Stamper};
+use loopscope_sparse::{CsrMatrix, Scalar, SolveError, SparseLu, SymbolicLu};
+
+/// A circuit-assembly job: stamps one MNA system into any matrix sink.
+///
+/// Implementations must be **pure**: calling [`stamp`](AssembleMna::stamp)
+/// twice with equivalent sinks must produce the same entries, because the
+/// cache replays the job when it needs to rebuild the pattern.
+pub trait AssembleMna<T: Scalar> {
+    /// Stamps the matrix entries and right-hand side for this job.
+    fn stamp<S: MatrixSink<T>>(&self, stamper: &mut Stamper<'_, T, S>);
+}
+
+/// Matrix sink that accumulates stamps into the value slots of an existing
+/// CSR pattern. Records (instead of panicking on) stamps that fall outside
+/// the pattern so the caller can rebuild.
+#[derive(Debug)]
+pub struct SlotSink<'m, T: Scalar> {
+    csr: &'m mut CsrMatrix<T>,
+    missed: bool,
+}
+
+impl<'m, T: Scalar> SlotSink<'m, T> {
+    /// Wraps a CSR matrix whose values have already been zeroed.
+    pub fn new(csr: &'m mut CsrMatrix<T>) -> Self {
+        Self { csr, missed: false }
+    }
+
+    /// `true` when at least one stamp addressed a position outside the
+    /// pattern (the assembly is then incomplete and must be rebuilt).
+    pub fn missed(&self) -> bool {
+        self.missed
+    }
+}
+
+impl<T: Scalar> MatrixSink<T> for SlotSink<'_, T> {
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, value: T) {
+        match self.csr.find_slot(row, col) {
+            Some(slot) => self.csr.values_mut()[slot] += value,
+            None => self.missed = true,
+        }
+    }
+}
+
+/// Counters describing how a [`CachedMna`] served its solves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Full symbolic analyses (pivot order + fill pattern computations).
+    pub symbolic: usize,
+    /// Numeric-only refactorizations that reused the pattern.
+    pub numeric_refactor: usize,
+    /// Fresh pivoting factorizations forced by a degraded pivot.
+    pub fresh_fallback: usize,
+    /// Pattern rebuilds forced by a stamp outside the cached pattern.
+    pub pattern_rebuilds: usize,
+    /// In-place (value-only) assemblies served from the cached pattern.
+    pub cached_assemblies: usize,
+}
+
+impl SolveStats {
+    /// Total number of factorizations of any kind.
+    pub fn factorizations(&self) -> usize {
+        self.symbolic + self.numeric_refactor + self.fresh_fallback
+    }
+}
+
+/// Reusable assembly + factorization state for one MNA structure.
+///
+/// Create one per analysis run (or store it for the lifetime of the circuit —
+/// the cache detects pattern changes) and drive every solve through
+/// [`assemble`](CachedMna::assemble) followed by
+/// [`factor`](CachedMna::factor).
+#[derive(Debug, Default)]
+pub struct CachedMna<T: Scalar> {
+    csr: Option<CsrMatrix<T>>,
+    symbolic: Option<SymbolicLu>,
+    stats: SolveStats,
+}
+
+impl<T: Scalar> CachedMna<T> {
+    /// Creates an empty cache; the first assembly establishes the pattern.
+    pub fn new() -> Self {
+        Self {
+            csr: None,
+            symbolic: None,
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Assembles the MNA system for `job`, reusing the cached pattern when
+    /// possible, and returns the right-hand side (the matrix stays inside the
+    /// cache for [`factor`](CachedMna::factor)).
+    pub fn assemble(&mut self, layout: &MnaLayout, job: &impl AssembleMna<T>) -> Vec<T> {
+        if let Some(csr) = self.csr.as_mut() {
+            csr.zero_values();
+            let mut stamper = Stamper::with_sink(layout, SlotSink::new(csr));
+            job.stamp(&mut stamper);
+            let (sink, rhs) = stamper.into_parts();
+            if !sink.missed() {
+                self.stats.cached_assemblies += 1;
+                return rhs;
+            }
+            // The structure changed under us: drop the pattern (and the
+            // symbolic analysis tied to it) and rebuild below.
+            self.stats.pattern_rebuilds += 1;
+            self.csr = None;
+            self.symbolic = None;
+        }
+
+        let mut stamper = Stamper::new(layout);
+        job.stamp(&mut stamper);
+        let (triplets, rhs) = stamper.finish();
+        self.csr = Some(triplets.to_csr());
+        rhs
+    }
+
+    /// The assembled matrix from the most recent
+    /// [`assemble`](CachedMna::assemble) call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before any assembly.
+    pub fn matrix(&self) -> &CsrMatrix<T> {
+        self.csr
+            .as_ref()
+            .expect("CachedMna::assemble must run first")
+    }
+
+    /// Factors the most recently assembled matrix, reusing the symbolic
+    /// analysis whenever one is available and still numerically healthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] when the system is singular or
+    /// inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before any assembly.
+    pub fn factor(&mut self) -> Result<SparseLu<T>, SolveError> {
+        let csr = self
+            .csr
+            .as_ref()
+            .expect("CachedMna::assemble must run first");
+        if let Some(symbolic) = self.symbolic.as_ref() {
+            let lu = SparseLu::refactor(symbolic, csr)?;
+            if lu.refactored() {
+                self.stats.numeric_refactor += 1;
+            } else {
+                // The pivot order went stale and the fallback already ran a
+                // fresh pivoting factorization — adopt its pattern so the
+                // next solve refactors again instead of re-analyzing.
+                self.stats.fresh_fallback += 1;
+                self.symbolic = Some(lu.extract_symbolic());
+            }
+            return Ok(lu);
+        }
+        let (lu, symbolic) = SparseLu::factor_with_symbolic(csr)?;
+        self.symbolic = Some(symbolic);
+        self.stats.symbolic += 1;
+        Ok(lu)
+    }
+
+    /// Convenience wrapper: assemble, factor, and solve with the assembled
+    /// right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] when the system is singular.
+    pub fn solve(
+        &mut self,
+        layout: &MnaLayout,
+        job: &impl AssembleMna<T>,
+    ) -> Result<Vec<T>, SolveError> {
+        let rhs = self.assemble(layout, job);
+        self.factor()?.solve(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope_netlist::{Circuit, SourceSpec};
+
+    /// A tiny hand-written job: conductance ladder with a value knob.
+    struct LadderJob {
+        g1: f64,
+        g2: f64,
+        extra_entry: bool,
+    }
+
+    impl AssembleMna<f64> for LadderJob {
+        fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+            st.add_var_var(0, 0, self.g1 + self.g2);
+            st.add_var_var(0, 1, -self.g2);
+            st.add_var_var(1, 0, -self.g2);
+            st.add_var_var(1, 1, self.g2);
+            st.add_rhs_var(0, 1.0e-3);
+            if self.extra_entry {
+                st.add_var_var(1, 1, 0.5);
+            }
+        }
+    }
+
+    fn two_node_layout() -> (Circuit, MnaLayout) {
+        let mut c = Circuit::new("cache test");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0e3);
+        c.add_resistor("R2", a, b, 1.0e3);
+        c.add_isource("I1", Circuit::GROUND, a, SourceSpec::dc(1.0e-3));
+        let layout = MnaLayout::new(&c);
+        (c, layout)
+    }
+
+    #[test]
+    fn second_assembly_is_value_only() {
+        let (_c, layout) = two_node_layout();
+        let mut cache = CachedMna::<f64>::new();
+        let job = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        cache.assemble(&layout, &job);
+        let first = cache.matrix().clone();
+        let job2 = LadderJob {
+            g1: 4.0e-3,
+            g2: 0.5e-3,
+            extra_entry: false,
+        };
+        let rhs = cache.assemble(&layout, &job2);
+        assert!(cache.matrix().same_pattern(&first));
+        assert_eq!(cache.stats().cached_assemblies, 1);
+        assert_eq!(cache.stats().pattern_rebuilds, 0);
+        assert!((cache.matrix().get(0, 0) - 4.5e-3).abs() < 1e-18);
+        assert!((cache.matrix().get(0, 1) + 0.5e-3).abs() < 1e-18);
+        assert_eq!(rhs[0], 1.0e-3);
+    }
+
+    #[test]
+    fn pattern_miss_triggers_rebuild() {
+        let (_c, layout) = two_node_layout();
+        let mut cache = CachedMna::<f64>::new();
+        cache.assemble(
+            &layout,
+            &LadderJob {
+                g1: 1.0,
+                g2: 1.0,
+                extra_entry: false,
+            },
+        );
+        cache.factor().unwrap();
+        assert_eq!(cache.stats().symbolic, 1);
+        // The extra stamp addresses (1,1), which IS in the pattern — use a
+        // job with a different structure instead: g2 = 0 keeps positions, so
+        // force a genuinely new position via a fresh cache scenario below.
+        let mut cache2 = CachedMna::<f64>::new();
+        struct DiagOnly;
+        impl AssembleMna<f64> for DiagOnly {
+            fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+                st.add_var_var(0, 0, 1.0);
+                st.add_var_var(1, 1, 2.0);
+            }
+        }
+        cache2.assemble(&layout, &DiagOnly);
+        cache2.factor().unwrap();
+        cache2.assemble(
+            &layout,
+            &LadderJob {
+                g1: 1.0,
+                g2: 1.0,
+                extra_entry: false,
+            },
+        );
+        assert_eq!(cache2.stats().pattern_rebuilds, 1);
+        assert_eq!(cache2.matrix().get(0, 1), -1.0);
+        // The symbolic analysis was invalidated: next factor re-analyzes.
+        cache2.factor().unwrap();
+        assert_eq!(cache2.stats().symbolic, 2);
+    }
+
+    #[test]
+    fn factor_counts_refactors() {
+        let (_c, layout) = two_node_layout();
+        let mut cache = CachedMna::<f64>::new();
+        for k in 1..=5 {
+            let job = LadderJob {
+                g1: 1.0e-3 * k as f64,
+                g2: 2.0e-3,
+                extra_entry: false,
+            };
+            let x = cache.solve(&layout, &job).unwrap();
+            assert!(x[0].is_finite());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.symbolic, 1);
+        assert_eq!(stats.numeric_refactor, 4);
+        assert_eq!(stats.fresh_fallback, 0);
+        assert_eq!(stats.factorizations(), 5);
+    }
+
+    #[test]
+    fn solve_matches_from_scratch_build() {
+        let (_c, layout) = two_node_layout();
+        let job = LadderJob {
+            g1: 3.0e-3,
+            g2: 1.5e-3,
+            extra_entry: true,
+        };
+        // Naive path.
+        let mut st = Stamper::new(&layout);
+        job.stamp(&mut st);
+        let (trip, rhs) = st.finish();
+        let naive = loopscope_sparse::solve_once(&trip.to_csr(), &rhs).unwrap();
+        // Cached path, twice (second solve exercises the slot sink).
+        let mut cache = CachedMna::<f64>::new();
+        cache.solve(&layout, &job).unwrap();
+        let cached = cache.solve(&layout, &job).unwrap();
+        for (a, b) in naive.iter().zip(&cached) {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
+    }
+}

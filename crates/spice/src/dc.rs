@@ -13,12 +13,12 @@
 //! currents, and is the linearization point for AC and the starting state for
 //! transient analysis.
 
+use crate::assembly::{AssembleMna, CachedMna};
 use crate::devices;
 use crate::error::SpiceError;
-use crate::mna::{MnaLayout, Stamper};
+use crate::mna::{MatrixSink, MnaLayout, Stamper};
 use crate::GMIN;
 use loopscope_netlist::{Circuit, Element, NodeId};
-use loopscope_sparse::SparseLu;
 use std::collections::HashMap;
 
 /// Options controlling the operating-point solve.
@@ -82,23 +82,51 @@ impl OperatingPoint {
     }
 }
 
-/// Assembles the DC MNA system at a trial solution.
+/// The DC MNA system at a trial solution, as a restampable assembly job.
 ///
 /// `source_scale` multiplies all independent DC sources (used by source
 /// stepping) and `gshunt` is an extra conductance from every node to ground
-/// (used by gmin stepping).
-fn assemble_dc(
+/// (used by gmin stepping). Neither affects the sparsity pattern, and the
+/// Newton trial voltages only move values, so the whole DC solve — every
+/// iteration of every gmin/source-stepping phase — shares one cached pattern
+/// and (pivot health permitting) one symbolic LU analysis.
+struct DcSystem<'a> {
+    circuit: &'a Circuit,
+    layout: &'a MnaLayout,
+    voltages: &'a [f64],
+    source_scale: f64,
+    gshunt: f64,
+}
+
+impl AssembleMna<f64> for DcSystem<'_> {
+    fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+        stamp_dc(
+            st,
+            self.circuit,
+            self.layout,
+            self.voltages,
+            self.source_scale,
+            self.gshunt,
+        );
+    }
+}
+
+/// Stamps the DC MNA system at a trial solution (see [`DcSystem`]).
+fn stamp_dc<S: MatrixSink<f64>>(
+    st: &mut Stamper<'_, f64, S>,
     circuit: &Circuit,
     layout: &MnaLayout,
     voltages: &[f64],
     source_scale: f64,
     gshunt: f64,
-) -> (loopscope_sparse::TripletMatrix<f64>, Vec<f64>) {
-    let mut st = Stamper::<f64>::new(layout);
-
+) {
     // Global minimum conductance to ground.
     for node in 1..voltages.len() {
-        st.add_node_node(NodeId::from_index(node), NodeId::from_index(node), GMIN + gshunt);
+        st.add_node_node(
+            NodeId::from_index(node),
+            NodeId::from_index(node),
+            GMIN + gshunt,
+        );
     }
 
     for el in circuit.elements() {
@@ -135,7 +163,9 @@ fn assemble_dc(
                 st.add_node_var(e.out_plus, br, 1.0);
                 st.add_node_var(e.out_minus, br, -1.0);
             }
-            Element::Vccs(g) => st.stamp_vccs(g.out_plus, g.out_minus, g.ctrl_plus, g.ctrl_minus, g.gm),
+            Element::Vccs(g) => {
+                st.stamp_vccs(g.out_plus, g.out_minus, g.ctrl_plus, g.ctrl_minus, g.gm)
+            }
             Element::Cccs(f) => {
                 let ctrl = layout
                     .branch_var(&f.ctrl_vsource)
@@ -154,15 +184,17 @@ fn assemble_dc(
                 st.add_node_var(h.out_plus, br, 1.0);
                 st.add_node_var(h.out_minus, br, -1.0);
             }
-            Element::Diode(d) => apply_nonlinear(&mut st, devices::stamp_diode(d, voltages)),
-            Element::Bjt(q) => apply_nonlinear(&mut st, devices::stamp_bjt(q, voltages)),
-            Element::Mosfet(m) => apply_nonlinear(&mut st, devices::stamp_mosfet(m, voltages)),
+            Element::Diode(d) => apply_nonlinear(st, devices::stamp_diode(d, voltages)),
+            Element::Bjt(q) => apply_nonlinear(st, devices::stamp_bjt(q, voltages)),
+            Element::Mosfet(m) => apply_nonlinear(st, devices::stamp_mosfet(m, voltages)),
         }
     }
-    st.finish()
 }
 
-fn apply_nonlinear(st: &mut Stamper<'_, f64>, stamp: devices::NonlinearStamp) {
+fn apply_nonlinear<S: MatrixSink<f64>>(
+    st: &mut Stamper<'_, f64, S>,
+    stamp: devices::NonlinearStamp,
+) {
     for (r, c, g) in stamp.conductances {
         st.add_node_node(r, c, g);
     }
@@ -173,9 +205,11 @@ fn apply_nonlinear(st: &mut Stamper<'_, f64>, stamp: devices::NonlinearStamp) {
 
 /// Runs Newton-Raphson from the supplied initial node voltages. Returns the
 /// converged unknown vector and the number of iterations used.
+#[allow(clippy::too_many_arguments)]
 fn newton(
     circuit: &Circuit,
     layout: &MnaLayout,
+    solver: &mut CachedMna<f64>,
     initial_voltages: &[f64],
     source_scale: f64,
     gshunt: f64,
@@ -187,9 +221,14 @@ fn newton(
     let has_nonlinear = circuit.elements().iter().any(Element::is_nonlinear);
 
     for iteration in 1..=opts.max_iterations {
-        let (matrix, rhs) = assemble_dc(circuit, layout, &voltages, source_scale, gshunt);
-        let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
-        let new_solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+        let job = DcSystem {
+            circuit,
+            layout,
+            voltages: &voltages,
+            source_scale,
+            gshunt,
+        };
+        let new_solution = solver.solve(layout, &job).map_err(SpiceError::Linear)?;
 
         // Extract and damp the node-voltage update.
         let mut max_delta: f64 = 0.0;
@@ -217,11 +256,11 @@ fn newton(
         if converged || !has_nonlinear {
             // Linear circuits converge in a single iteration by construction.
             // Re-read the exact node voltages from the solution (undo damping).
-            for idx in 1..node_count {
+            for (idx, v) in voltages.iter_mut().enumerate().skip(1) {
                 let var = layout
                     .node_var(NodeId::from_index(idx))
                     .expect("non-ground node");
-                voltages[idx] = solution[var];
+                *v = solution[var];
             }
             return Ok((voltages, solution, iteration));
         }
@@ -256,9 +295,12 @@ pub fn solve_dc_with(circuit: &Circuit, opts: &DcOptions) -> Result<OperatingPoi
     let layout = MnaLayout::new(circuit);
     let zero = vec![0.0; circuit.node_count()];
     let mut total_iterations = 0;
+    // One assembly/factorization cache for the entire operating-point search:
+    // gmin and source stepping only change values, never the pattern.
+    let mut solver = CachedMna::new();
 
     // Attempt 1: plain Newton from a zero initial guess.
-    let direct = newton(circuit, &layout, &zero, 1.0, 0.0, opts);
+    let direct = newton(circuit, &layout, &mut solver, &zero, 1.0, 0.0, opts);
     let (voltages, solution) = match direct {
         Ok((v, s, it)) => {
             total_iterations += it;
@@ -267,9 +309,11 @@ pub fn solve_dc_with(circuit: &Circuit, opts: &DcOptions) -> Result<OperatingPoi
         Err(SpiceError::Linear(e)) => return Err(SpiceError::Linear(e)),
         Err(_) => {
             // Attempt 2: gmin stepping.
-            match gmin_stepping(circuit, &layout, opts, &mut total_iterations) {
+            match gmin_stepping(circuit, &layout, &mut solver, opts, &mut total_iterations) {
                 Ok(pair) => pair,
-                Err(_) => source_stepping(circuit, &layout, opts, &mut total_iterations)?,
+                Err(_) => {
+                    source_stepping(circuit, &layout, &mut solver, opts, &mut total_iterations)?
+                }
             }
         }
     };
@@ -292,6 +336,7 @@ type DcSolution = (Vec<f64>, Vec<f64>);
 fn gmin_stepping(
     circuit: &Circuit,
     layout: &MnaLayout,
+    solver: &mut CachedMna<f64>,
     opts: &DcOptions,
     total_iterations: &mut usize,
 ) -> Result<DcSolution, SpiceError> {
@@ -299,13 +344,13 @@ fn gmin_stepping(
     let mut last = None;
     for step in 0..=opts.gmin_decades {
         let gshunt = 1.0e-2 * 10f64.powi(-(step as i32));
-        let (v, s, it) = newton(circuit, layout, &guess, 1.0, gshunt, opts)?;
+        let (v, s, it) = newton(circuit, layout, solver, &guess, 1.0, gshunt, opts)?;
         *total_iterations += it;
         guess = v.clone();
         last = Some((v, s));
     }
     // Final solve with no extra shunt at all.
-    let (v, s, it) = newton(circuit, layout, &guess, 1.0, 0.0, opts)?;
+    let (v, s, it) = newton(circuit, layout, solver, &guess, 1.0, 0.0, opts)?;
     *total_iterations += it;
     let _ = last;
     Ok((v, s))
@@ -314,6 +359,7 @@ fn gmin_stepping(
 fn source_stepping(
     circuit: &Circuit,
     layout: &MnaLayout,
+    solver: &mut CachedMna<f64>,
     opts: &DcOptions,
     total_iterations: &mut usize,
 ) -> Result<DcSolution, SpiceError> {
@@ -321,7 +367,7 @@ fn source_stepping(
     let mut result = None;
     for step in 1..=opts.source_steps {
         let scale = step as f64 / opts.source_steps as f64;
-        let (v, s, it) = newton(circuit, layout, &guess, scale, 0.0, opts)?;
+        let (v, s, it) = newton(circuit, layout, solver, &guess, scale, 0.0, opts)?;
         *total_iterations += it;
         guess = v.clone();
         result = Some((v, s));
@@ -542,8 +588,26 @@ mod tests {
             lambda: 0.05,
             ..Default::default()
         };
-        c.add_mosfet("MN", vout, vin, Circuit::GROUND, MosfetPolarity::Nmos, 10e-6, 1e-6, nmodel);
-        c.add_mosfet("MP", vout, vin, vdd, MosfetPolarity::Pmos, 20e-6, 1e-6, pmodel);
+        c.add_mosfet(
+            "MN",
+            vout,
+            vin,
+            Circuit::GROUND,
+            MosfetPolarity::Nmos,
+            10e-6,
+            1e-6,
+            nmodel,
+        );
+        c.add_mosfet(
+            "MP",
+            vout,
+            vin,
+            vdd,
+            MosfetPolarity::Pmos,
+            20e-6,
+            1e-6,
+            pmodel,
+        );
         let op = solve_dc(&c).unwrap();
         let vo = op.voltage(vout);
         // With matched drive strengths the switching output sits mid-rail-ish.

@@ -126,7 +126,11 @@ fn eval_bjt(q: &Bjt, vbe: f64, vbc: f64) -> BjtEval {
     let i_r = m.is * (er - 1.0);
     let gif = m.is * def / vt;
     let gir = m.is * der / vt;
-    let kq = if m.vaf.is_finite() { 1.0 - vbc / m.vaf } else { 1.0 };
+    let kq = if m.vaf.is_finite() {
+        1.0 - vbc / m.vaf
+    } else {
+        1.0
+    };
     let dkq_dvbc = if m.vaf.is_finite() { -1.0 / m.vaf } else { 0.0 };
 
     let ic = (i_f - i_r) * kq - i_r / m.br;
@@ -426,7 +430,10 @@ mod tests {
             .2;
         let id = gd * 0.6 - stamp.rhs_currents[0].1;
         let expected = 1e-14 * ((0.6 / THERMAL_VOLTAGE).exp() - 1.0) + GMIN * 0.6;
-        assert!((id - expected).abs() / expected < 1e-9, "id {id} vs {expected}");
+        assert!(
+            (id - expected).abs() / expected < 1e-9,
+            "id {id} vs {expected}"
+        );
         assert!(gd > 0.0);
     }
 
@@ -666,7 +673,7 @@ mod tests {
                 ..Default::default()
             },
         };
-        let ss = small_signal_mosfet(&m, &vec![0.0, 3.0, 1.7, 0.0]);
+        let ss = small_signal_mosfet(&m, &[0.0, 3.0, 1.7, 0.0]);
         assert_eq!(ss.capacitances.len(), 3);
         let q = Bjt {
             name: "Q1".into(),
@@ -681,10 +688,15 @@ mod tests {
                 ..Default::default()
             },
         };
-        let ssq = small_signal_bjt(&q, &vec![0.0, 3.0, 0.65, 0.0]);
+        let ssq = small_signal_bjt(&q, &[0.0, 3.0, 0.65, 0.0]);
         assert_eq!(ssq.capacitances.len(), 2);
         // Diffusion capacitance adds to CJE.
-        let cbe = ssq.capacitances.iter().find(|(a, b, _)| *a == ids[1] && *b == ids[2]).unwrap().2;
+        let cbe = ssq
+            .capacitances
+            .iter()
+            .find(|(a, b, _)| *a == ids[1] && *b == ids[2])
+            .unwrap()
+            .2;
         assert!(cbe > 1e-13);
     }
 }

@@ -103,6 +103,8 @@ mod tests {
         assert!(SpiceError::TransientNoConvergence { time: 1e-6 }
             .to_string()
             .contains("transient"));
-        assert!(SpiceError::InvalidOptions("dt".into()).to_string().contains("dt"));
+        assert!(SpiceError::InvalidOptions("dt".into())
+            .to_string()
+            .contains("dt"));
     }
 }

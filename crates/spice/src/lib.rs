@@ -14,7 +14,11 @@
 //!
 //! The MNA formulation, element stamps and device companion models live in
 //! [`mna`] and [`devices`]; measurement helpers (overshoot, gain/phase
-//! margins, crossovers) live in [`measure`].
+//! margins, crossovers) live in [`measure`]. All three analyses drive their
+//! linear solves through [`assembly::CachedMna`], which builds the sparsity
+//! pattern and the LU pivot order once per circuit structure and then
+//! restamps values in place and refactors numerically for every further
+//! frequency point, Newton iteration or timestep.
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod ac;
+pub mod assembly;
 pub mod dc;
 pub mod devices;
 pub mod error;
@@ -52,6 +57,7 @@ pub mod mna;
 pub mod tran;
 
 pub use ac::{AcAnalysis, AcSweep};
+pub use assembly::{AssembleMna, CachedMna, SlotSink, SolveStats};
 pub use dc::{solve_dc, DcOptions, OperatingPoint};
 pub use error::SpiceError;
 pub use tran::{TransientAnalysis, TransientOptions, TransientResult};

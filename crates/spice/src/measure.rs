@@ -217,7 +217,7 @@ mod tests {
             .map(|&f| {
                 let mut h = Complex64::from_real(30.0);
                 for p in poles_hz {
-                    h = h / (Complex64::ONE + Complex64::new(0.0, f / p));
+                    h /= Complex64::ONE + Complex64::new(0.0, f / p);
                 }
                 (h.abs_db(), h.arg_deg())
             })

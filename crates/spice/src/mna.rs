@@ -80,23 +80,55 @@ impl MnaLayout {
     }
 }
 
-/// Accumulates MNA stamps into a sparse matrix and right-hand side, hiding the
+/// Destination of MNA matrix stamps.
+///
+/// Implemented by [`TripletMatrix`] (pattern discovery: every stamp appends a
+/// coordinate entry) and by [`crate::assembly::SlotSink`] (in-place
+/// re-assembly: every stamp accumulates into a precomputed CSR value slot).
+/// Element stamping code is written once against [`Stamper`] and works with
+/// either destination.
+pub trait MatrixSink<T: Scalar> {
+    /// Accumulates `value` at `(row, col)`.
+    fn add(&mut self, row: usize, col: usize, value: T);
+}
+
+impl<T: Scalar> MatrixSink<T> for TripletMatrix<T> {
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, value: T) {
+        self.push(row, col, value);
+    }
+}
+
+/// Accumulates MNA stamps into a matrix sink and right-hand side, hiding the
 /// ground-elimination bookkeeping from element code.
 #[derive(Debug)]
-pub struct Stamper<'a, T: Scalar> {
+pub struct Stamper<'a, T: Scalar, S: MatrixSink<T> = TripletMatrix<T>> {
     layout: &'a MnaLayout,
-    matrix: TripletMatrix<T>,
+    matrix: S,
     rhs: Vec<T>,
 }
 
-impl<'a, T: Scalar> Stamper<'a, T> {
-    /// Creates an empty stamper for the given layout.
+impl<'a, T: Scalar> Stamper<'a, T, TripletMatrix<T>> {
+    /// Creates an empty triplet-backed stamper for the given layout (the
+    /// pattern-discovery path).
     pub fn new(layout: &'a MnaLayout) -> Self {
         let n = layout.dim();
+        Self::with_sink(layout, TripletMatrix::with_capacity(n, n, 8 * n))
+    }
+
+    /// Consumes the stamper and returns the assembled matrix and RHS.
+    pub fn finish(self) -> (TripletMatrix<T>, Vec<T>) {
+        (self.matrix, self.rhs)
+    }
+}
+
+impl<'a, T: Scalar, S: MatrixSink<T>> Stamper<'a, T, S> {
+    /// Creates a stamper writing matrix entries into an explicit sink.
+    pub fn with_sink(layout: &'a MnaLayout, sink: S) -> Self {
         Self {
             layout,
-            matrix: TripletMatrix::with_capacity(n, n, 8 * n),
-            rhs: vec![T::ZERO; n],
+            matrix: sink,
+            rhs: vec![T::ZERO; layout.dim()],
         }
     }
 
@@ -105,31 +137,36 @@ impl<'a, T: Scalar> Stamper<'a, T> {
         self.layout
     }
 
+    /// Consumes the stamper and returns the sink and RHS.
+    pub fn into_parts(self) -> (S, Vec<T>) {
+        (self.matrix, self.rhs)
+    }
+
     /// Adds `val` at the matrix position addressed by two node voltages.
     /// Entries involving ground are dropped.
     pub fn add_node_node(&mut self, row: NodeId, col: NodeId, val: T) {
         if let (Some(r), Some(c)) = (self.layout.node_var(row), self.layout.node_var(col)) {
-            self.matrix.push(r, c, val);
+            self.matrix.add(r, c, val);
         }
     }
 
     /// Adds `val` at (node-voltage row, raw unknown column).
     pub fn add_node_var(&mut self, row: NodeId, col: usize, val: T) {
         if let Some(r) = self.layout.node_var(row) {
-            self.matrix.push(r, col, val);
+            self.matrix.add(r, col, val);
         }
     }
 
     /// Adds `val` at (raw unknown row, node-voltage column).
     pub fn add_var_node(&mut self, row: usize, col: NodeId, val: T) {
         if let Some(c) = self.layout.node_var(col) {
-            self.matrix.push(row, c, val);
+            self.matrix.add(row, c, val);
         }
     }
 
     /// Adds `val` at a raw (row, column) position.
     pub fn add_var_var(&mut self, row: usize, col: usize, val: T) {
-        self.matrix.push(row, col, val);
+        self.matrix.add(row, col, val);
     }
 
     /// Adds `val` to the right-hand side entry of a node-voltage row.
@@ -168,11 +205,6 @@ impl<'a, T: Scalar> Stamper<'a, T> {
         self.add_node_node(op, cm, -gm);
         self.add_node_node(om, cp, -gm);
         self.add_node_node(om, cm, gm);
-    }
-
-    /// Consumes the stamper and returns the assembled matrix and RHS.
-    pub fn finish(self) -> (TripletMatrix<T>, Vec<T>) {
-        (self.matrix, self.rhs)
     }
 }
 

@@ -6,14 +6,14 @@
 //! integration with either backward Euler or trapezoidal companion models is
 //! used; nonlinear devices are resolved with Newton iteration at every step.
 
+use crate::assembly::{AssembleMna, CachedMna};
 use crate::dc::OperatingPoint;
 use crate::devices;
 use crate::error::SpiceError;
-use crate::mna::{MnaLayout, Stamper};
+use crate::mna::{MatrixSink, MnaLayout, Stamper};
 use crate::GMIN;
 use loopscope_math::interp;
 use loopscope_netlist::{Circuit, Element, NodeId};
-use loopscope_sparse::SparseLu;
 
 /// Time-integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,7 +113,8 @@ impl<'c> TransientAnalysis<'c> {
                 "time step must be positive".to_string(),
             ));
         }
-        if !(options.t_stop > options.dt) {
+        let stop_valid = options.t_stop.is_finite() && options.t_stop > options.dt;
+        if !stop_valid {
             return Err(SpiceError::InvalidOptions(
                 "stop time must exceed the time step".to_string(),
             ));
@@ -150,8 +151,7 @@ impl<'c> TransientAnalysis<'c> {
                         branch_currents[var] = i0;
                     }
                 }
-                prev_ind_voltage[ei] =
-                    voltages[l.a.index()] - voltages[l.b.index()];
+                prev_ind_voltage[ei] = voltages[l.a.index()] - voltages[l.b.index()];
             }
         }
 
@@ -160,6 +160,10 @@ impl<'c> TransientAnalysis<'c> {
         times.push(0.0);
         data.push(voltages.clone());
 
+        // Companion-model restamping never changes the sparsity pattern, so
+        // one cache serves every Newton iteration of every timestep.
+        let mut solver = CachedMna::new();
+
         for step in 1..=steps {
             let t = step as f64 * dt;
             let mut trial = voltages.clone();
@@ -167,17 +171,19 @@ impl<'c> TransientAnalysis<'c> {
             let mut converged = false;
 
             for _ in 0..self.options.max_newton {
-                let (matrix, rhs) = self.assemble_timestep(
+                let job = TimestepSystem {
+                    analysis: self,
                     t,
                     dt,
-                    &trial,
-                    &voltages,
-                    &prev_cap_current,
-                    &prev_ind_voltage,
-                    &branch_currents,
-                );
-                let lu = SparseLu::factor(&matrix.to_csr()).map_err(SpiceError::Linear)?;
-                solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+                    trial: &trial,
+                    prev: &voltages,
+                    prev_cap_current: &prev_cap_current,
+                    prev_ind_voltage: &prev_ind_voltage,
+                    prev_solution: &branch_currents,
+                };
+                solution = solver
+                    .solve(&self.layout, &job)
+                    .map_err(SpiceError::Linear)?;
 
                 let mut max_delta: f64 = 0.0;
                 let mut next = vec![0.0; node_count];
@@ -228,10 +234,11 @@ impl<'c> TransientAnalysis<'c> {
         Ok(TransientResult { times, data })
     }
 
-    /// Assembles the MNA system for one Newton iteration of one time point.
+    /// Stamps the MNA system for one Newton iteration of one time point.
     #[allow(clippy::too_many_arguments)]
-    fn assemble_timestep(
+    fn stamp_timestep<S: MatrixSink<f64>>(
         &self,
+        st: &mut Stamper<'_, f64, S>,
         t: f64,
         dt: f64,
         trial: &[f64],
@@ -239,8 +246,7 @@ impl<'c> TransientAnalysis<'c> {
         prev_cap_current: &[f64],
         prev_ind_voltage: &[f64],
         prev_solution: &[f64],
-    ) -> (loopscope_sparse::TripletMatrix<f64>, Vec<f64>) {
-        let mut st = Stamper::<f64>::new(&self.layout);
+    ) {
         let trapezoidal = self.options.method == Integration::Trapezoidal;
 
         for node in self.circuit.signal_nodes() {
@@ -327,21 +333,50 @@ impl<'c> TransientAnalysis<'c> {
                     st.add_node_var(h.out_minus, br, -1.0);
                 }
                 Element::Diode(d) => {
-                    apply_nonlinear(&mut st, devices::stamp_diode(d, trial));
+                    apply_nonlinear(st, devices::stamp_diode(d, trial));
                 }
                 Element::Bjt(q) => {
-                    apply_nonlinear(&mut st, devices::stamp_bjt(q, trial));
+                    apply_nonlinear(st, devices::stamp_bjt(q, trial));
                 }
                 Element::Mosfet(m) => {
-                    apply_nonlinear(&mut st, devices::stamp_mosfet(m, trial));
+                    apply_nonlinear(st, devices::stamp_mosfet(m, trial));
                 }
             }
         }
-        st.finish()
     }
 }
 
-fn apply_nonlinear(st: &mut Stamper<'_, f64>, stamp: devices::NonlinearStamp) {
+/// Assembly job for one Newton iteration of one transient time point.
+struct TimestepSystem<'a, 'c> {
+    analysis: &'a TransientAnalysis<'c>,
+    t: f64,
+    dt: f64,
+    trial: &'a [f64],
+    prev: &'a [f64],
+    prev_cap_current: &'a [f64],
+    prev_ind_voltage: &'a [f64],
+    prev_solution: &'a [f64],
+}
+
+impl AssembleMna<f64> for TimestepSystem<'_, '_> {
+    fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+        self.analysis.stamp_timestep(
+            st,
+            self.t,
+            self.dt,
+            self.trial,
+            self.prev,
+            self.prev_cap_current,
+            self.prev_ind_voltage,
+            self.prev_solution,
+        );
+    }
+}
+
+fn apply_nonlinear<S: MatrixSink<f64>>(
+    st: &mut Stamper<'_, f64, S>,
+    stamp: devices::NonlinearStamp,
+) {
     for (r, c, g) in stamp.conductances {
         st.add_node_node(r, c, g);
     }

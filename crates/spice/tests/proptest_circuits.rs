@@ -12,7 +12,12 @@ use proptest::prelude::*;
 fn random_ladder(rs: &[f64], cs: &[f64], vdc: f64) -> (Circuit, Vec<loopscope_netlist::NodeId>) {
     let mut circuit = Circuit::new("random ladder");
     let input = circuit.node("in");
-    circuit.add_vsource("V1", input, Circuit::GROUND, SourceSpec::dc_ac(vdc, 1.0, 0.0));
+    circuit.add_vsource(
+        "V1",
+        input,
+        Circuit::GROUND,
+        SourceSpec::dc_ac(vdc, 1.0, 0.0),
+    );
     let mut prev = input;
     let mut nodes = Vec::new();
     for (k, (&r, &c)) in rs.iter().zip(cs).enumerate() {

@@ -21,7 +21,10 @@ fn scan(params: &BiasParams, label: &str) -> Result<Option<LoopEstimate>, Stabil
 
     println!("--- {label} ---");
     for (name, peak, freq) in report.annotations() {
-        println!("  node {name:<14} stability peak {peak:>8.2}   natural frequency {:>8.1} MHz", freq / 1.0e6);
+        println!(
+            "  node {name:<14} stability peak {peak:>8.2}   natural frequency {:>8.1} MHz",
+            freq / 1.0e6
+        );
     }
     let q3c_entry = report
         .entries()

@@ -24,7 +24,10 @@ fn main() -> Result<(), StabilityError> {
                 cload,
                 ..Default::default()
             };
-            (format!("cload={:.0}pF", cload * 1.0e12), two_stage_buffer(&params).0)
+            (
+                format!("cload={:.0}pF", cload * 1.0e12),
+                two_stage_buffer(&params).0,
+            )
         });
     let cload_sweep = sweep_node(cload_variants, "out", options)?;
     println!("{}", cload_sweep.to_text());
@@ -38,15 +41,16 @@ fn main() -> Result<(), StabilityError> {
     }
 
     // Sweep 2: Miller capacitor C1 (stronger compensation).
-    let c1_variants = [1.5e-12, 2.3e-12, 4.7e-12, 10.0e-12]
-        .into_iter()
-        .map(|c1| {
-            let params = OpAmpParams {
-                c1,
-                ..Default::default()
-            };
-            (format!("C1={:.1}pF", c1 * 1.0e12), two_stage_buffer(&params).0)
-        });
+    let c1_variants = [1.5e-12, 2.3e-12, 4.7e-12, 10.0e-12].into_iter().map(|c1| {
+        let params = OpAmpParams {
+            c1,
+            ..Default::default()
+        };
+        (
+            format!("C1={:.1}pF", c1 * 1.0e12),
+            two_stage_buffer(&params).0,
+        )
+    });
     let c1_sweep = sweep_node(c1_variants, "out", options)?;
     println!("{}", c1_sweep.to_text());
     println!(

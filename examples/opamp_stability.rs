@@ -19,8 +19,14 @@ fn main() -> Result<(), StabilityError> {
     let (closed_loop, nodes) = two_stage_buffer(&params);
     let overshoot = transient_overshoot(&closed_loop, nodes.output, 2.0e-9, 8.0e-6)?;
     println!("baseline 1 — transient step response (Fig. 2):");
-    println!("  overshoot            : {:.1} %", overshoot.percent_overshoot);
-    println!("  equivalent ζ         : {:.3}", overshoot.equivalent_damping);
+    println!(
+        "  overshoot            : {:.1} %",
+        overshoot.percent_overshoot
+    );
+    println!(
+        "  equivalent ζ         : {:.3}",
+        overshoot.equivalent_damping
+    );
 
     // --- Baseline 2: open-loop Bode margins (Fig. 3) ------------------------
     let (open_loop, ol_nodes) = two_stage_open_loop(&params);
@@ -42,7 +48,10 @@ fn main() -> Result<(), StabilityError> {
     let est = result.estimate.expect("estimate follows from the peak");
     println!("\nstability plot at the output node (Fig. 4, loop closed):");
     println!("  peak value           : {:.1}", peak.y);
-    println!("  natural frequency    : {:.2} MHz", est.natural_freq_hz / 1.0e6);
+    println!(
+        "  natural frequency    : {:.2} MHz",
+        est.natural_freq_hz / 1.0e6
+    );
     println!("  damping ratio ζ      : {:.3}", est.damping_ratio);
     println!("  estimated PM         : {:.1}°", est.phase_margin_deg);
     println!("  equivalent overshoot : {:.0} %", est.percent_overshoot);

@@ -29,10 +29,15 @@ fn main() -> Result<(), StabilityError> {
     match (&result.peak, &result.estimate) {
         (Some(peak), Some(est)) => {
             println!("  stability peak      : {:.1}", -peak.y);
-            println!("  natural frequency   : {:.3} MHz", est.natural_freq_hz / 1.0e6);
+            println!(
+                "  natural frequency   : {:.3} MHz",
+                est.natural_freq_hz / 1.0e6
+            );
             println!("  damping ratio ζ     : {:.3}", est.damping_ratio);
-            println!("  est. phase margin   : {:.1}°  (exact 2nd-order: {:.1}°)",
-                est.phase_margin_deg, est.phase_margin_exact_deg);
+            println!(
+                "  est. phase margin   : {:.1}°  (exact 2nd-order: {:.1}°)",
+                est.phase_margin_deg, est.phase_margin_exact_deg
+            );
             println!("  equiv. overshoot    : {:.0} %", est.percent_overshoot);
         }
         _ => println!("  no under-damped loop detected at this node"),
@@ -40,7 +45,10 @@ fn main() -> Result<(), StabilityError> {
 
     // The paper's Table 1: the analytic second-order lookup the estimate uses.
     println!("\nTable 1 — second-order system characteristics:");
-    println!("{:>5} {:>12} {:>12} {:>10} {:>12}", "ζ", "overshoot %", "PM (deg)", "Mp", "perf. index");
+    println!(
+        "{:>5} {:>12} {:>12} {:>10} {:>12}",
+        "ζ", "overshoot %", "PM (deg)", "Mp", "perf. index"
+    );
     for row in table1() {
         println!(
             "{:>5.1} {:>12.1} {:>12.1} {:>10.2} {:>12.1}",

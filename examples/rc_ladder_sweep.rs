@@ -11,7 +11,9 @@
 //! Run with `cargo run --release --example rc_ladder_sweep`.
 
 use loopscope::prelude::*;
-use loopscope_circuits::blocks::{rc_ladder, series_rlc, series_rlc_damping, series_rlc_natural_freq};
+use loopscope_circuits::blocks::{
+    rc_ladder, series_rlc, series_rlc_damping, series_rlc_natural_freq,
+};
 
 fn main() -> Result<(), StabilityError> {
     // --- Part 1: RC ladder, real poles only ---------------------------------

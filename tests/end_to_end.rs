@@ -94,7 +94,10 @@ fn all_nodes_finds_main_and_local_loops() {
         .find(|e| e.node == opamp_nodes.output)
         .and_then(|e| e.natural_freq_hz())
         .expect("main loop visible at the output");
-    assert!(main_freq > 5.0e5 && main_freq < 1.0e7, "main loop at {main_freq}");
+    assert!(
+        main_freq > 5.0e5 && main_freq < 1.0e7,
+        "main loop at {main_freq}"
+    );
 
     // The bias cell's regulation loop must show up well above the main loop.
     let bias_freq = report
@@ -134,13 +137,12 @@ fn compensation_improves_phase_margin() {
             .map(|e| e.phase_margin_exact_deg)
     };
     let pm_nominal = pm_of(&nominal).expect("nominal circuit peaks");
-    match pm_of(&improved) {
-        Some(pm_improved) => assert!(
+    // (If no peak remains at all, the loop became even better damped.)
+    if let Some(pm_improved) = pm_of(&improved) {
+        assert!(
             pm_improved > pm_nominal + 5.0,
             "improved {pm_improved} vs nominal {pm_nominal}"
-        ),
-        // Even better: the loop became so well damped that no peak remains.
-        None => {}
+        );
     }
 }
 
