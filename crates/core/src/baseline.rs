@@ -92,7 +92,8 @@ pub fn damping_from_overshoot(percent: f64) -> f64 {
 /// extracts gain/phase margins from the response at `output`.
 ///
 /// The circuit must already have its loop broken and an AC source applied
-/// (e.g. [`loopscope_circuits::opamp::two_stage_open_loop`]); this mirrors
+/// (e.g. `loopscope_circuits::opamp::two_stage_open_loop`, which is a
+/// dev-dependency here and therefore not linkable); this mirrors
 /// the manual effort the traditional flow requires.
 ///
 /// # Errors

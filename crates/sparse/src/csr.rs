@@ -95,6 +95,16 @@ impl<T: Scalar> CsrMatrix<T> {
         }
     }
 
+    /// The column indices of the stored entries of a row — the row's
+    /// sparsity pattern, without the values.
+    ///
+    /// Used by the structural analyses (fill-reducing ordering, pattern
+    /// comparison) that must not depend on numeric values.
+    #[inline]
+    pub fn row_pattern(&self, row: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]]
+    }
+
     /// Iterates over the stored entries of a row as `(col, value)` pairs.
     pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, T)> + '_ {
         let start = self.row_ptr[row];

@@ -15,12 +15,23 @@
 //!   products and as the input to factorization. Values can be rewritten in
 //!   place ([`CsrMatrix::zero_values`], [`CsrMatrix::find_slot`]) so repeated
 //!   assemblies over a fixed pattern allocate nothing.
-//! * [`SparseLu`] — flat-storage LU with partial pivoting. A first call to
-//!   [`SparseLu::factor_with_symbolic`] captures the pivot order and fill
-//!   pattern as a [`SymbolicLu`]; every later matrix with the same structure
-//!   is factored by the numeric-only [`SparseLu::refactor`], which skips
-//!   pivot search and fill discovery entirely and falls back to fresh
-//!   pivoting only when a pivot degrades numerically.
+//! * [`ordering`] — fill-reducing elimination orderings (minimum degree on
+//!   the `A + Aᵀ` pattern, as KLU applies to circuit matrices). Computed once
+//!   per circuit structure, they keep the LU fill — and therefore the cost of
+//!   every numeric refactorization — near the structural optimum.
+//! * [`SparseLu`] — flat-storage LU. [`SparseLu::factor`] runs partial
+//!   pivoting in natural column order;
+//!   [`SparseLu::factor_ordered`] eliminates columns in a fill-reducing order
+//!   with KLU-style relative threshold pivoting, swapping rows only when
+//!   numerics demand it. A first call to [`SparseLu::factor_with_symbolic`]
+//!   (or [`SparseLu::factor_with_symbolic_ordered`]) captures the row and
+//!   column permutations plus the fill pattern as a [`SymbolicLu`]; every
+//!   later matrix with the same structure is factored by the numeric-only
+//!   [`SparseLu::refactor`] — or, allocation-free, by
+//!   [`SparseLu::refactor_into`] with a reusable [`LuWorkspace`] — which
+//!   skips pivot search and fill discovery entirely and falls back to fresh
+//!   pivoting only when a pivot degrades numerically. Solves are
+//!   allocation-free through [`SparseLu::solve_into`].
 //!
 //! The scalar abstraction [`Scalar`] is implemented for `f64` (DC and
 //! transient analyses) and [`Complex64`] (AC analysis).
@@ -58,11 +69,12 @@
 
 mod csr;
 mod lu;
+pub mod ordering;
 mod scalar;
 mod triplet;
 
 pub use csr::CsrMatrix;
-pub use lu::{solve_once, SolveError, SparseLu, SymbolicLu};
+pub use lu::{solve_once, LuWorkspace, SolveError, SparseLu, SymbolicLu, ORDERED_PIVOT_THRESHOLD};
 pub use scalar::Scalar;
 pub use triplet::TripletMatrix;
 

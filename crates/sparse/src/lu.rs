@@ -1,9 +1,10 @@
-//! Sparse LU factorization with a symbolic/numeric split.
+//! Sparse LU factorization with a symbolic/numeric split, fill-reducing
+//! ordering and allocation-free hot paths.
 //!
 //! The solver is organised around the workload of the stability analyses: the
 //! same MNA sparsity pattern is factored hundreds of times per sweep (once
 //! per frequency point, Newton iteration or timestep) with only the numeric
-//! values changing. Two paths serve that workload:
+//! values changing. Three layers serve that workload:
 //!
 //! * [`SparseLu::factor`] — a **fresh factorization with partial pivoting**
 //!   (largest modulus in the pivot column among the remaining rows). Rows are
@@ -11,14 +12,31 @@
 //!   two-pointer merges, so there is no tree/map traversal in the hot loop.
 //!   Pivoting makes this path robust for MNA matrices, which carry zero
 //!   diagonals on voltage-source branch rows.
-//! * [`SparseLu::refactor`] — a **numeric-only refactorization** that reuses
-//!   a [`SymbolicLu`] (pivot order + fill pattern) captured by
-//!   [`SparseLu::factor_with_symbolic`]. It runs a left-looking pass over the
-//!   precomputed pattern with a scatter/gather dense work row: no pivot
-//!   search, no fill discovery, no allocation proportional to elimination
-//!   steps. When a pivot degrades numerically (or the matrix pattern no
-//!   longer matches) it transparently falls back to a fresh pivoting
-//!   factorization; [`SparseLu::refactored`] reports which path ran.
+//! * [`SparseLu::factor_ordered`] — a **KLU-style threshold-pivoting
+//!   factorization** that eliminates columns in a caller-supplied
+//!   fill-reducing order (see [`crate::ordering`]). At each step the row the
+//!   ordering prefers is accepted as long as its pivot stays within
+//!   [`ORDERED_PIVOT_THRESHOLD`] of the largest candidate; only when numerics
+//!   degrade does the factorization swap rows like partial pivoting would.
+//!   This keeps the fill (and therefore every later refactorization) near the
+//!   structural optimum instead of whatever magnitudes dictate.
+//! * [`SparseLu::refactor`] / [`SparseLu::refactor_into`] — **numeric-only
+//!   refactorizations** that reuse a [`SymbolicLu`] (row *and* column
+//!   permutations plus fill pattern) captured by
+//!   [`SparseLu::factor_with_symbolic`] or
+//!   [`SparseLu::factor_with_symbolic_ordered`]. They run a left-looking pass
+//!   over the precomputed pattern with a scatter/gather dense work row: no
+//!   pivot search, no fill discovery — and `refactor_into` additionally reuses
+//!   the L/U value buffers and a caller-held [`LuWorkspace`], so the hot loop
+//!   performs **zero heap allocations**. When a pivot degrades numerically
+//!   (or the matrix pattern no longer matches) they transparently fall back
+//!   to a fresh pivoting factorization; [`SparseLu::refactored`] reports
+//!   which path ran.
+//!
+//! Solves follow the same split: [`SparseLu::solve_into`] is the
+//! allocation-free path (forward/backward substitution into caller-held
+//! buffers), and [`SparseLu::solve`] is a thin convenience wrapper over it
+//! for one-off solves.
 //!
 //! Structural zeros are preserved during elimination (entries that cancel
 //! exactly are kept), so the recorded fill pattern is value-independent and
@@ -86,14 +104,25 @@ const SINGULARITY_RELATIVE: f64 = 1.0e-14;
 /// below it the factorization falls back to fresh partial pivoting.
 const REFACTOR_PIVOT_RELATIVE: f64 = 1.0e-8;
 
+/// Relative pivot threshold of the ordered (fill-reducing) factorization,
+/// the same role and magnitude as KLU's default `tol`: the row preferred by
+/// the fill-reducing order is accepted as pivot while its modulus stays
+/// within this factor of the largest candidate in the pivot column; below
+/// it, magnitude wins and rows are swapped.
+pub const ORDERED_PIVOT_THRESHOLD: f64 = 1.0e-3;
+
 /// The pivot order and fill pattern of an LU factorization, independent of
 /// the numeric values.
 ///
-/// Produced by [`SparseLu::factor_with_symbolic`]; consumed by
-/// [`SparseLu::refactor`] to factor further matrices **with the same sparsity
-/// pattern** without re-running pivot search or fill-in discovery. The
-/// pattern is value-independent because the analysis keeps structural zeros,
-/// so it stays valid for every matrix assembled over the same structure.
+/// Produced by [`SparseLu::factor_with_symbolic`] (partial pivoting, natural
+/// column order) or [`SparseLu::factor_with_symbolic_ordered`] (threshold
+/// pivoting over a fill-reducing column order); consumed by
+/// [`SparseLu::refactor`] / [`SparseLu::refactor_into`] to factor further
+/// matrices **with the same sparsity pattern** without re-running pivot
+/// search or fill-in discovery. Both the row permutation (pivot order) and
+/// the column permutation (elimination order) are recorded. The pattern is
+/// value-independent because the analysis keeps structural zeros, so it
+/// stays valid for every matrix assembled over the same structure.
 #[derive(Debug, Clone)]
 pub struct SymbolicLu {
     /// Shared with every [`SparseLu`] produced from it, so capturing and
@@ -101,20 +130,27 @@ pub struct SymbolicLu {
     pattern: Arc<LuPattern>,
 }
 
-/// The immutable pivot-order + fill-pattern data shared (via `Arc`) between
+/// The immutable permutations + fill-pattern data shared (via `Arc`) between
 /// a [`SymbolicLu`] and the factorizations built over it.
 #[derive(Debug)]
 struct LuPattern {
     n: usize,
     /// `perm[k]` is the original row index used as pivot row at step `k`.
     perm: Vec<usize>,
+    /// `cperm[k]` is the original column eliminated at step `k` (identity for
+    /// the natural-order factorizations).
+    cperm: Vec<usize>,
+    /// Inverse of `cperm`: `cpos[c]` is the elimination step of original
+    /// column `c`.
+    cpos: Vec<usize>,
     /// CSR-style pattern of the strictly-lower factor, indexed by elimination
     /// step: `l_cols[l_ptr[i]..l_ptr[i+1]]` are the (ascending) pivot columns
-    /// eliminated from row `perm[i]`.
+    /// eliminated from row `perm[i]`, in elimination-column coordinates.
     l_ptr: Vec<usize>,
     l_cols: Vec<usize>,
     /// CSR-style pattern of the upper factor, indexed by elimination step;
-    /// the first column of each row is the diagonal.
+    /// the first column of each row is the diagonal. Columns are in
+    /// elimination coordinates (apply `cperm` to map back).
     u_ptr: Vec<usize>,
     u_cols: Vec<usize>,
 }
@@ -130,28 +166,37 @@ impl SymbolicLu {
         self.pattern.l_cols.len() + self.pattern.u_cols.len()
     }
 
-    /// The pivot order: element `k` is the original row eliminated at step
-    /// `k`.
+    /// The pivot (row) order: element `k` is the original row eliminated at
+    /// step `k`.
     pub fn pivot_order(&self) -> &[usize] {
         &self.pattern.perm
     }
+
+    /// The column elimination order: element `k` is the original column
+    /// eliminated at step `k`. The identity permutation for factorizations
+    /// produced without a fill-reducing ordering.
+    pub fn column_order(&self) -> &[usize] {
+        &self.pattern.cperm
+    }
 }
 
-/// Largest modulus per column of `matrix` — the per-column reference scale
-/// for the relative singularity test.
-fn column_max_moduli<T: Scalar>(matrix: &CsrMatrix<T>) -> Vec<f64> {
-    let mut col_max = vec![0.0f64; matrix.cols()];
+/// Largest modulus per *elimination* column of `matrix` (original columns
+/// mapped through `cpos`), written into `out` — the per-column reference
+/// scale for the relative singularity test. Reuses `out`'s allocation.
+fn column_max_moduli_into<T: Scalar>(matrix: &CsrMatrix<T>, cpos: &[usize], out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(matrix.cols(), 0.0);
     for (_, c, v) in matrix.iter() {
         let m = v.modulus();
-        if m > col_max[c] {
-            col_max[c] = m;
+        let cc = cpos[c];
+        if m > out[cc] {
+            out[cc] = m;
         }
     }
-    col_max
 }
 
 /// Why a numeric-only refactorization could not be completed; drives the
-/// fallback in [`SparseLu::refactor`].
+/// fallback in [`SparseLu::refactor`] / [`SparseLu::refactor_into`].
 enum RefactorFailure {
     /// A pivot fell below the numeric quality threshold at the given step;
     /// a fresh pivoting factorization may still succeed.
@@ -162,16 +207,74 @@ enum RefactorFailure {
     Hard(SolveError),
 }
 
-/// An LU factorization `P·A = L·U` of a sparse square matrix.
+/// Reusable scratch buffers for the allocation-free refactorization path
+/// ([`SparseLu::refactor_into`]).
+///
+/// Holds the dense scatter/gather work row, the per-column marker array and
+/// the per-column magnitude scales. Create one next to the [`SymbolicLu`]
+/// whose matrices it will serve and pass it to every `refactor_into` call;
+/// after the first call no further heap allocation happens (buffers are
+/// retained at matrix dimension).
+#[derive(Debug, Clone)]
+pub struct LuWorkspace<T: Scalar> {
+    work: Vec<T>,
+    /// Per-column markers. A column `c` is live for elimination step `i` of
+    /// the current call iff `marked[c] == stamp + i`; advancing `stamp` by
+    /// `n` per call invalidates every previous mark without an O(n) refill.
+    marked: Vec<usize>,
+    stamp: usize,
+    col_max: Vec<f64>,
+}
+
+impl<T: Scalar> Default for LuWorkspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> LuWorkspace<T> {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self {
+            work: Vec::new(),
+            marked: Vec::new(),
+            stamp: 0,
+            col_max: Vec::new(),
+        }
+    }
+
+    /// Prepares the scatter buffers for a matrix of dimension `n`. The work
+    /// row needs no zeroing (every slot is zeroed by the per-step scatter
+    /// before it is read) and the markers are invalidated by bumping the
+    /// stamp, so a same-size reset is O(1).
+    fn reset(&mut self, n: usize) {
+        if self.work.len() != n {
+            self.work.clear();
+            self.work.resize(n, T::ZERO);
+            self.marked.clear();
+            self.marked.resize(n, usize::MAX);
+            self.stamp = 0;
+        } else {
+            // `usize::MAX` (the virgin marker) stays unreachable because the
+            // stamp would need ~2^64/n calls to get near it.
+            self.stamp += n;
+        }
+    }
+}
+
+/// An LU factorization `P·A·Q = L·U` of a sparse square matrix (`Q` is the
+/// identity unless a fill-reducing column order was supplied).
 ///
 /// Factors are stored flat (CSR-style index/value arrays ordered by
-/// elimination step), so [`solve`](SparseLu::solve) is two cache-friendly
-/// sweeps. A factorization can be reused for any number of right-hand sides;
-/// with a [`SymbolicLu`] the *pattern* can additionally be reused across
-/// matrices via [`refactor`](SparseLu::refactor).
+/// elimination step), so a solve is two cache-friendly sweeps. A
+/// factorization can be reused for any number of right-hand sides — use
+/// [`solve_into`](SparseLu::solve_into) in hot loops and
+/// [`solve`](SparseLu::solve) for one-offs; with a [`SymbolicLu`] the
+/// *pattern* can additionally be reused across matrices via
+/// [`refactor`](SparseLu::refactor) / [`refactor_into`](SparseLu::refactor_into).
 #[derive(Debug, Clone)]
 pub struct SparseLu<T: Scalar> {
-    /// Pivot order and L/U index pattern, shared (not copied) with the
+    /// Permutations and L/U index pattern, shared (not copied) with the
     /// [`SymbolicLu`] this factorization came from or can hand out.
     pattern: Arc<LuPattern>,
     l_vals: Vec<T>,
@@ -212,11 +315,58 @@ fn merge_sub<T: Scalar>(a: &[(usize, T)], p: &[(usize, T)], factor: T, out: &mut
 impl<T: Scalar> SparseLu<T> {
     /// Factors a square sparse matrix with partial pivoting.
     ///
+    /// Columns are eliminated in natural order and the pivot row at each step
+    /// is the candidate with the largest modulus — robust, but oblivious to
+    /// fill. For matrices that will be factored repeatedly, prefer
+    /// [`factor_ordered`](SparseLu::factor_ordered) with a fill-reducing
+    /// order from [`crate::ordering`].
+    ///
+    /// ```
+    /// use loopscope_sparse::{SparseLu, TripletMatrix};
+    ///
+    /// let mut t = TripletMatrix::<f64>::new(2, 2);
+    /// t.push(0, 0, 2.0);
+    /// t.push(0, 1, 1.0);
+    /// t.push(1, 0, 1.0);
+    /// t.push(1, 1, 3.0);
+    /// let lu = SparseLu::factor(&t.to_csr())?;
+    /// let x = lu.solve(&[5.0, 10.0])?;
+    /// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    /// # Ok::<(), loopscope_sparse::SolveError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`SolveError::NotSquare`] for rectangular input and
     /// [`SolveError::Singular`] when no acceptable pivot exists at some step.
     pub fn factor(matrix: &CsrMatrix<T>) -> Result<Self, SolveError> {
+        Self::factor_impl(matrix, None)
+    }
+
+    /// Factors a square sparse matrix eliminating columns in the supplied
+    /// fill-reducing order, with KLU-style relative threshold pivoting.
+    ///
+    /// `col_order[k]` names the original column (and, preferentially, the
+    /// original row — MNA orderings are symmetric) eliminated at step `k`;
+    /// [`crate::ordering::min_degree_order`] computes a suitable order from
+    /// the matrix pattern. At each step the preferred row is accepted while
+    /// its pivot modulus stays within [`ORDERED_PIVOT_THRESHOLD`] of the
+    /// largest candidate in the column; otherwise the sparsest candidate
+    /// above the threshold is chosen, so numerics can force a swap but never
+    /// silently degrade.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`factor`](SparseLu::factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col_order` is not a permutation of `0..matrix.rows()`.
+    pub fn factor_ordered(matrix: &CsrMatrix<T>, col_order: &[usize]) -> Result<Self, SolveError> {
+        Self::factor_impl(matrix, Some(col_order))
+    }
+
+    fn factor_impl(matrix: &CsrMatrix<T>, col_order: Option<&[usize]>) -> Result<Self, SolveError> {
         let n = matrix.rows();
         if matrix.cols() != n {
             return Err(SolveError::NotSquare {
@@ -224,14 +374,47 @@ impl<T: Scalar> SparseLu<T> {
                 cols: matrix.cols(),
             });
         }
-        // Per-column reference scales for the relative singularity test.
-        let col_max = column_max_moduli(matrix);
+        // Column permutation: cperm[k] = original column eliminated at step
+        // k; cpos is its inverse. Identity when no ordering is supplied.
+        let (cperm, cpos) = match col_order {
+            Some(order) => {
+                assert_eq!(
+                    order.len(),
+                    n,
+                    "column order length must match the matrix dimension"
+                );
+                let mut cpos = vec![usize::MAX; n];
+                for (k, &c) in order.iter().enumerate() {
+                    assert!(
+                        c < n && cpos[c] == usize::MAX,
+                        "column order must be a permutation of 0..n"
+                    );
+                    cpos[c] = k;
+                }
+                (order.to_vec(), cpos)
+            }
+            None => ((0..n).collect::<Vec<_>>(), (0..n).collect::<Vec<_>>()),
+        };
+        let ordered = col_order.is_some();
 
-        // Working rows as sorted (col, value) vectors. After step k every
-        // still-active row starts at a column > k, so "row contains the pivot
-        // column" is a check of its first entry only.
-        let mut rows: Vec<Vec<(usize, T)>> =
-            (0..n).map(|r| matrix.row_entries(r).collect()).collect();
+        // Per-elimination-column reference scales for the relative
+        // singularity test.
+        let mut col_max = Vec::new();
+        column_max_moduli_into(matrix, &cpos, &mut col_max);
+
+        // Working rows as (elimination-column, value) vectors sorted by
+        // column. After step k every still-active row starts at a column > k,
+        // so "row contains the pivot column" is a check of its first entry.
+        let mut rows: Vec<Vec<(usize, T)>> = (0..n)
+            .map(|r| {
+                let mut row: Vec<(usize, T)> =
+                    matrix.row_entries(r).map(|(c, v)| (cpos[c], v)).collect();
+                if ordered {
+                    row.sort_unstable_by_key(|&(c, _)| c);
+                }
+                row
+            })
+            .collect();
         let mut active: Vec<usize> = (0..n).collect();
         // L entries per ORIGINAL row index, pushed in ascending step order.
         let mut l_rows: Vec<Vec<(usize, T)>> = vec![Vec::new(); n];
@@ -243,20 +426,25 @@ impl<T: Scalar> SparseLu<T> {
         // clearer than iterating the threshold table.
         #[allow(clippy::needless_range_loop)]
         for k in 0..n {
-            // Partial pivoting: among active rows holding column k, take the
-            // one with the largest modulus there.
-            let mut best: Option<(usize, f64)> = None;
-            for (ai, &r) in active.iter().enumerate() {
-                if let Some(&(c, v)) = rows[r].first() {
-                    if c == k {
-                        let m = v.modulus();
-                        if best.is_none_or(|(_, bm)| m > bm) {
-                            best = Some((ai, m));
+            let (active_idx, pivot_mod) = if ordered {
+                Self::select_threshold_pivot(&rows, &active, k, cperm[k])
+            } else {
+                // Partial pivoting: among active rows holding column k, take
+                // the one with the largest modulus there.
+                let mut best: Option<(usize, f64)> = None;
+                for (ai, &r) in active.iter().enumerate() {
+                    if let Some(&(c, v)) = rows[r].first() {
+                        if c == k {
+                            let m = v.modulus();
+                            if best.is_none_or(|(_, bm)| m > bm) {
+                                best = Some((ai, m));
+                            }
                         }
                     }
                 }
+                best
             }
-            let (active_idx, pivot_mod) = best.ok_or(SolveError::Singular(k))?;
+            .ok_or(SolveError::Singular(k))?;
             if pivot_mod <= col_max[k] * SINGULARITY_RELATIVE || pivot_mod == 0.0 {
                 return Err(SolveError::Singular(k));
             }
@@ -311,6 +499,8 @@ impl<T: Scalar> SparseLu<T> {
             pattern: Arc::new(LuPattern {
                 n,
                 perm,
+                cperm,
+                cpos,
                 l_ptr,
                 l_cols,
                 u_ptr,
@@ -322,8 +512,64 @@ impl<T: Scalar> SparseLu<T> {
         })
     }
 
+    /// KLU-style pivot selection for the ordered factorization at step `k`:
+    /// the row the ordering prefers (`preferred_row`, the symmetric-diagonal
+    /// choice) wins while its modulus stays within
+    /// [`ORDERED_PIVOT_THRESHOLD`] of the best candidate; otherwise the
+    /// shortest (least fill-producing) candidate above the threshold wins,
+    /// with modulus and then row index breaking ties deterministically.
+    fn select_threshold_pivot(
+        rows: &[Vec<(usize, T)>],
+        active: &[usize],
+        k: usize,
+        preferred_row: usize,
+    ) -> Option<(usize, f64)> {
+        let mut max_mod = 0.0f64;
+        for &r in active {
+            if let Some(&(c, v)) = rows[r].first() {
+                if c == k {
+                    max_mod = max_mod.max(v.modulus());
+                }
+            }
+        }
+        if max_mod == 0.0 {
+            return None;
+        }
+        let acceptance = ORDERED_PIVOT_THRESHOLD * max_mod;
+        // (active index, modulus, row length, original row index)
+        let mut best: Option<(usize, f64, usize, usize)> = None;
+        for (ai, &r) in active.iter().enumerate() {
+            let Some(&(c, v)) = rows[r].first() else {
+                continue;
+            };
+            if c != k {
+                continue;
+            }
+            let m = v.modulus();
+            if m == 0.0 || m < acceptance {
+                continue;
+            }
+            if r == preferred_row {
+                // Numerics did not force a swap: respect the ordering.
+                return Some((ai, m));
+            }
+            let len = rows[r].len();
+            let better = match best {
+                None => true,
+                Some((_, bm, blen, brow)) => {
+                    len < blen || (len == blen && (m > bm || (m == bm && r < brow)))
+                }
+            };
+            if better {
+                best = Some((ai, m, len, r));
+            }
+        }
+        best.map(|(ai, m, _, _)| (ai, m))
+    }
+
     /// Factors a matrix and additionally captures its pivot order and fill
-    /// pattern for later [`refactor`](SparseLu::refactor) calls.
+    /// pattern for later [`refactor`](SparseLu::refactor) /
+    /// [`refactor_into`](SparseLu::refactor_into) calls.
     ///
     /// # Errors
     ///
@@ -334,7 +580,29 @@ impl<T: Scalar> SparseLu<T> {
         Ok((lu, symbolic))
     }
 
-    /// Captures this factorization's pivot order and fill pattern — the same
+    /// Like [`factor_with_symbolic`](SparseLu::factor_with_symbolic) but
+    /// eliminating columns in the supplied fill-reducing order with threshold
+    /// pivoting (see [`factor_ordered`](SparseLu::factor_ordered)). The
+    /// captured [`SymbolicLu`] records **both** permutations, so every later
+    /// refactorization inherits the reduced fill.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`factor`](SparseLu::factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col_order` is not a permutation of `0..matrix.rows()`.
+    pub fn factor_with_symbolic_ordered(
+        matrix: &CsrMatrix<T>,
+        col_order: &[usize],
+    ) -> Result<(Self, SymbolicLu), SolveError> {
+        let lu = Self::factor_ordered(matrix, col_order)?;
+        let symbolic = lu.extract_symbolic();
+        Ok((lu, symbolic))
+    }
+
+    /// Captures this factorization's permutations and fill pattern — the same
     /// data [`factor_with_symbolic`](SparseLu::factor_with_symbolic) returns.
     ///
     /// Useful to adopt a fresh pattern after
@@ -348,7 +616,7 @@ impl<T: Scalar> SparseLu<T> {
         }
     }
 
-    /// Factors a matrix **reusing the pivot order and fill pattern** of a
+    /// Factors a matrix **reusing the permutations and fill pattern** of a
     /// previous factorization of a matrix with the same structure.
     ///
     /// This is the hot path of frequency sweeps, Newton loops and transient
@@ -359,25 +627,131 @@ impl<T: Scalar> SparseLu<T> {
     /// returns `false` in that case, signalling that the symbolic analysis
     /// should be refreshed).
     ///
+    /// This convenience form allocates fresh L/U value buffers per call; use
+    /// [`refactor_into`](SparseLu::refactor_into) to reuse an existing
+    /// factorization's buffers in hot loops.
+    ///
+    /// ```
+    /// use loopscope_sparse::{SparseLu, TripletMatrix};
+    ///
+    /// let build = |g: f64| {
+    ///     let mut t = TripletMatrix::<f64>::new(2, 2);
+    ///     t.push(0, 0, 2.0 * g);
+    ///     t.push(0, 1, -g);
+    ///     t.push(1, 0, -g);
+    ///     t.push(1, 1, 2.0 * g);
+    ///     t.to_csr()
+    /// };
+    /// let (_, symbolic) = SparseLu::factor_with_symbolic(&build(1.0))?;
+    /// // Same pattern, new values: numeric-only refactorization.
+    /// let lu = SparseLu::refactor(&symbolic, &build(3.0))?;
+    /// assert!(lu.refactored());
+    /// let x = lu.solve(&[3.0, 0.0])?;
+    /// assert!((x[0] - 2.0 / 3.0).abs() < 1e-12);
+    /// # Ok::<(), loopscope_sparse::SolveError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`SolveError::NotSquare`] for rectangular input or a dimension
     /// mismatch with `symbolic`, and [`SolveError::Singular`] when even the
     /// fallback pivoting factorization finds no acceptable pivot.
     pub fn refactor(symbolic: &SymbolicLu, matrix: &CsrMatrix<T>) -> Result<Self, SolveError> {
-        match Self::try_refactor(symbolic, matrix) {
-            Ok(lu) => Ok(lu),
+        let mut ws = LuWorkspace::new();
+        let mut l_vals = Vec::new();
+        let mut u_vals = Vec::new();
+        match Self::refactor_core(&symbolic.pattern, matrix, &mut ws, &mut l_vals, &mut u_vals) {
+            Ok(()) => Ok(Self {
+                pattern: Arc::clone(&symbolic.pattern),
+                l_vals,
+                u_vals,
+                refactored: true,
+            }),
             Err(RefactorFailure::Degraded | RefactorFailure::PatternMismatch) => {
-                Self::factor(matrix)
+                Self::fallback_factor(&symbolic.pattern, matrix)
             }
             Err(RefactorFailure::Hard(e)) => Err(e),
         }
     }
 
-    /// The numeric-only refactorization pass; failures that a fresh pivoting
-    /// factorization might fix are reported as soft [`RefactorFailure`]s.
-    fn try_refactor(symbolic: &SymbolicLu, matrix: &CsrMatrix<T>) -> Result<Self, RefactorFailure> {
-        let pattern = &*symbolic.pattern;
+    /// Fresh factorization used when a numeric-only refactorization cannot
+    /// proceed. When the stale pattern carried a fill-reducing column order,
+    /// the retry keeps it (threshold pivoting will find healthy rows for the
+    /// new values), so a mid-sweep fallback re-pivots **without** regressing
+    /// to natural-order fill for the rest of the sweep; plain partial
+    /// pivoting remains the last resort.
+    fn fallback_factor(pattern: &LuPattern, matrix: &CsrMatrix<T>) -> Result<Self, SolveError> {
+        let has_ordering = pattern.cperm.iter().enumerate().any(|(k, &c)| k != c);
+        if has_ordering && pattern.cperm.len() == matrix.rows() {
+            if let Ok(lu) = Self::factor_ordered(matrix, &pattern.cperm) {
+                return Ok(lu);
+            }
+        }
+        Self::factor(matrix)
+    }
+
+    /// Refactors `matrix` **in place**, reusing this factorization's L/U
+    /// value buffers and the caller's [`LuWorkspace`] — the allocation-free
+    /// form of [`refactor`](SparseLu::refactor) used by assembly caches.
+    ///
+    /// After the first call over a given pattern, a healthy refactorization
+    /// performs **zero heap allocations**. On success `self` is a valid
+    /// factorization of `matrix`; check [`refactored`](SparseLu::refactored)
+    /// to learn whether the pattern was reused (`true`) or a fresh pivoting
+    /// fallback ran (`false`, in which case the factorization carries a new
+    /// pattern worth adopting via [`extract_symbolic`](SparseLu::extract_symbolic)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for a dimension mismatch (leaving
+    /// `self` untouched) and [`SolveError::Singular`] when even the fallback
+    /// pivoting factorization fails — in the latter case the contents of
+    /// `self` are unspecified and it must be successfully refactored before
+    /// the next solve.
+    pub fn refactor_into(
+        &mut self,
+        symbolic: &SymbolicLu,
+        matrix: &CsrMatrix<T>,
+        ws: &mut LuWorkspace<T>,
+    ) -> Result<(), SolveError> {
+        let mut l_vals = std::mem::take(&mut self.l_vals);
+        let mut u_vals = std::mem::take(&mut self.u_vals);
+        match Self::refactor_core(&symbolic.pattern, matrix, ws, &mut l_vals, &mut u_vals) {
+            Ok(()) => {
+                if !Arc::ptr_eq(&self.pattern, &symbolic.pattern) {
+                    self.pattern = Arc::clone(&symbolic.pattern);
+                }
+                self.l_vals = l_vals;
+                self.u_vals = u_vals;
+                self.refactored = true;
+                Ok(())
+            }
+            Err(RefactorFailure::Degraded | RefactorFailure::PatternMismatch) => {
+                *self = Self::fallback_factor(&symbolic.pattern, matrix)?;
+                Ok(())
+            }
+            Err(RefactorFailure::Hard(e)) => {
+                // The hard checks run before any buffer is touched: restore
+                // the factors so `self` stays valid.
+                self.l_vals = l_vals;
+                self.u_vals = u_vals;
+                Err(e)
+            }
+        }
+    }
+
+    /// The numeric-only refactorization pass, writing factor values into the
+    /// caller's buffers (cleared, then filled to exactly the pattern size);
+    /// failures that a fresh pivoting factorization might fix are reported as
+    /// soft [`RefactorFailure`]s. Performs no heap allocation once the
+    /// buffers have reached pattern capacity.
+    fn refactor_core(
+        pattern: &LuPattern,
+        matrix: &CsrMatrix<T>,
+        ws: &mut LuWorkspace<T>,
+        l_vals: &mut Vec<T>,
+        u_vals: &mut Vec<T>,
+    ) -> Result<(), RefactorFailure> {
         let n = pattern.n;
         if matrix.rows() != n || matrix.cols() != n {
             return Err(RefactorFailure::Hard(SolveError::NotSquare {
@@ -385,16 +759,18 @@ impl<T: Scalar> SparseLu<T> {
                 cols: matrix.cols(),
             }));
         }
-        // Per-column reference scales of the *new* values for the relative
-        // singularity test (same rule as the fresh factorization).
-        let col_max = column_max_moduli(matrix);
-
-        // Dense scatter/gather work row. `marked[c] == i` means column c is
-        // part of row i's fill pattern and its work slot is initialised.
-        let mut work = vec![T::ZERO; n];
-        let mut marked = vec![usize::MAX; n];
-        let mut l_vals = Vec::with_capacity(pattern.l_cols.len());
-        let mut u_vals: Vec<T> = Vec::with_capacity(pattern.u_cols.len());
+        // Per-elimination-column reference scales of the *new* values for the
+        // relative singularity test (same rule as the fresh factorization).
+        column_max_moduli_into(matrix, &pattern.cpos, &mut ws.col_max);
+        // Dense scatter/gather work row. `marked[c] == mark + i` means
+        // elimination column c is part of step i's fill pattern and its
+        // work slot is live for this call.
+        ws.reset(n);
+        let mark = ws.stamp;
+        l_vals.clear();
+        l_vals.reserve(pattern.l_cols.len());
+        u_vals.clear();
+        u_vals.reserve(pattern.u_cols.len());
 
         // Loop over elimination steps; col_max is only consulted for the
         // pivot check, so enumerate() would obscure the structure.
@@ -403,56 +779,51 @@ impl<T: Scalar> SparseLu<T> {
             let l_range = pattern.l_ptr[i]..pattern.l_ptr[i + 1];
             let u_range = pattern.u_ptr[i]..pattern.u_ptr[i + 1];
             for &c in &pattern.l_cols[l_range.clone()] {
-                work[c] = T::ZERO;
-                marked[c] = i;
+                ws.work[c] = T::ZERO;
+                ws.marked[c] = mark + i;
             }
             for &c in &pattern.u_cols[u_range.clone()] {
-                work[c] = T::ZERO;
-                marked[c] = i;
+                ws.work[c] = T::ZERO;
+                ws.marked[c] = mark + i;
             }
             // Scatter the input row; anything outside the pattern means the
             // structure changed and the symbolic analysis is stale.
             for (c, v) in matrix.row_entries(pattern.perm[i]) {
-                if marked[c] != i {
+                let cc = pattern.cpos[c];
+                if ws.marked[cc] != mark + i {
                     return Err(RefactorFailure::PatternMismatch);
                 }
-                work[c] = v;
+                ws.work[cc] = v;
             }
             // Left-looking elimination against the already-finished U rows.
             for t in l_range {
                 let k = pattern.l_cols[t];
-                let mult = work[k] / u_vals[pattern.u_ptr[k]];
+                let mult = ws.work[k] / u_vals[pattern.u_ptr[k]];
                 l_vals.push(mult);
                 if !mult.is_zero() {
                     for s in (pattern.u_ptr[k] + 1)..pattern.u_ptr[k + 1] {
-                        work[pattern.u_cols[s]] -= mult * u_vals[s];
+                        ws.work[pattern.u_cols[s]] -= mult * u_vals[s];
                     }
                 }
             }
             // Gather the U row and check pivot quality. The pivot of step i
-            // sits in column i, so its singularity scale is col_max[i].
+            // sits in elimination column i, so its scale is col_max[i].
             let diag_at = u_vals.len();
             let mut row_max = 0.0f64;
             for s in u_range {
-                let v = work[pattern.u_cols[s]];
+                let v = ws.work[pattern.u_cols[s]];
                 row_max = row_max.max(v.modulus());
                 u_vals.push(v);
             }
             let pivot_mod = u_vals[diag_at].modulus();
             if pivot_mod == 0.0
-                || pivot_mod <= col_max[i] * SINGULARITY_RELATIVE
+                || pivot_mod <= ws.col_max[i] * SINGULARITY_RELATIVE
                 || pivot_mod < REFACTOR_PIVOT_RELATIVE * row_max
             {
                 return Err(RefactorFailure::Degraded);
             }
         }
-
-        Ok(Self {
-            pattern: Arc::clone(&symbolic.pattern),
-            l_vals,
-            u_vals,
-            refactored: true,
-        })
+        Ok(())
     }
 
     /// Matrix dimension.
@@ -472,41 +843,95 @@ impl<T: Scalar> SparseLu<T> {
         self.l_vals.len() + self.u_vals.len()
     }
 
-    /// Solves `A·x = b` using the stored factorization.
+    /// Solves `A·x = b` **in place**: `rhs` holds `b` on entry and `x` on
+    /// return, `work` is caller-held scratch of the same length. This is the
+    /// allocation-free path for hot loops (one solve per node per frequency
+    /// in the all-nodes stability scan); [`solve`](SparseLu::solve) wraps it
+    /// for one-off use.
+    ///
+    /// ```
+    /// use loopscope_sparse::{SparseLu, TripletMatrix};
+    ///
+    /// let mut t = TripletMatrix::<f64>::new(2, 2);
+    /// t.push(0, 0, 2.0);
+    /// t.push(0, 1, 1.0);
+    /// t.push(1, 0, 1.0);
+    /// t.push(1, 1, 3.0);
+    /// let lu = SparseLu::factor(&t.to_csr())?;
+    /// let mut rhs = vec![5.0, 10.0];
+    /// let mut work = vec![0.0; 2];
+    /// lu.solve_into(&mut rhs, &mut work)?; // rhs now holds x
+    /// assert!((rhs[0] - 1.0).abs() < 1e-12 && (rhs[1] - 3.0).abs() < 1e-12);
+    /// # Ok::<(), loopscope_sparse::SolveError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::RhsLength`] when `rhs.len()` or `work.len()`
+    /// does not match the matrix dimension.
+    pub fn solve_into(&self, rhs: &mut [T], work: &mut [T]) -> Result<(), SolveError> {
+        let p = &*self.pattern;
+        if rhs.len() != p.n {
+            return Err(SolveError::RhsLength {
+                expected: p.n,
+                got: rhs.len(),
+            });
+        }
+        if work.len() != p.n {
+            return Err(SolveError::RhsLength {
+                expected: p.n,
+                got: work.len(),
+            });
+        }
+        // Forward substitution on the unit-lower factor, rows in elimination
+        // order: work[i] = y[i] = b[perm[i]] − Σ L[i][k]·y[k].
+        for i in 0..p.n {
+            let mut acc = rhs[p.perm[i]];
+            for t in p.l_ptr[i]..p.l_ptr[i + 1] {
+                acc -= self.l_vals[t] * work[p.l_cols[t]];
+            }
+            work[i] = acc;
+        }
+        // Back substitution on U (diagonal first in each row), in place over
+        // the work row: slots above i already hold solution values.
+        for i in (0..p.n).rev() {
+            let start = p.u_ptr[i];
+            let mut acc = work[i];
+            for t in (start + 1)..p.u_ptr[i + 1] {
+                acc -= self.u_vals[t] * work[p.u_cols[t]];
+            }
+            work[i] = acc / self.u_vals[start];
+        }
+        // Undo the column permutation: elimination slot i is original
+        // unknown cperm[i].
+        for i in 0..p.n {
+            rhs[p.cperm[i]] = work[i];
+        }
+        Ok(())
+    }
+
+    /// Solves `A·x = b` using the stored factorization, returning a freshly
+    /// allocated solution vector.
+    ///
+    /// Convenience wrapper over [`solve_into`](SparseLu::solve_into) for
+    /// one-off solves; hot loops should hold their own buffers and call
+    /// `solve_into` directly (it performs no heap allocation).
     ///
     /// # Errors
     ///
     /// Returns [`SolveError::RhsLength`] when `b.len()` does not match the
     /// matrix dimension.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>, SolveError> {
-        let p = &*self.pattern;
-        if b.len() != p.n {
+        if b.len() != self.pattern.n {
             return Err(SolveError::RhsLength {
-                expected: p.n,
+                expected: self.pattern.n,
                 got: b.len(),
             });
         }
-        // Forward substitution on the unit-lower factor, rows in elimination
-        // order: y[i] = b[perm[i]] − Σ L[i][k]·y[k].
-        let mut y = vec![T::ZERO; p.n];
-        for i in 0..p.n {
-            let mut acc = b[p.perm[i]];
-            for t in p.l_ptr[i]..p.l_ptr[i + 1] {
-                acc -= self.l_vals[t] * y[p.l_cols[t]];
-            }
-            y[i] = acc;
-        }
-        // Back substitution on U (diagonal first in each row).
-        let mut x = vec![T::ZERO; p.n];
-        for i in (0..p.n).rev() {
-            let start = p.u_ptr[i];
-            let mut acc = y[i];
-            for t in (start + 1)..p.u_ptr[i + 1] {
-                acc -= self.u_vals[t] * x[p.u_cols[t]];
-            }
-            x[i] = acc / self.u_vals[start];
-        }
-        Ok(x)
+        let mut rhs = b.to_vec();
+        let mut work = vec![T::ZERO; self.pattern.n];
+        self.solve_into(&mut rhs, &mut work)?;
+        Ok(rhs)
     }
 }
 
@@ -522,6 +947,7 @@ pub fn solve_once<T: Scalar>(matrix: &CsrMatrix<T>, b: &[T]) -> Result<Vec<T>, S
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ordering::min_degree_order;
     use crate::TripletMatrix;
     use loopscope_math::Complex64;
 
@@ -621,6 +1047,15 @@ mod tests {
                 got: 2
             })
         ));
+        let mut rhs = [1.0];
+        let mut short_work = [];
+        assert!(matches!(
+            lu.solve_into(&mut rhs, &mut short_work),
+            Err(SolveError::RhsLength {
+                expected: 1,
+                got: 0
+            })
+        ));
     }
 
     #[test]
@@ -633,6 +1068,20 @@ mod tests {
             let x = lu.solve(&b).unwrap();
             assert!((x[0] - x_true[0]).abs() < 1e-12);
             assert!((x[1] - x_true[1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = csr_from_dense(&[&[4.0, 1.0, 0.0], &[1.0, 5.0, 2.0], &[0.0, 2.0, 6.0]]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = vec![1.0, -2.0, 3.0];
+        let alloc = lu.solve(&b).unwrap();
+        let mut rhs = b.clone();
+        let mut work = vec![0.0; 3];
+        lu.solve_into(&mut rhs, &mut work).unwrap();
+        for (a, b) in alloc.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-15);
         }
     }
 
@@ -722,6 +1171,48 @@ mod tests {
     }
 
     #[test]
+    fn refactor_into_reuses_buffers() {
+        let build = |scale: f64| {
+            csr_from_dense(&[
+                &[4.0 * scale, 1.0, 0.0],
+                &[1.0, 5.0 * scale, 2.0],
+                &[0.0, 2.0, 6.0 * scale],
+            ])
+        };
+        let (mut lu, symbolic) = SparseLu::factor_with_symbolic(&build(1.0)).unwrap();
+        let mut ws = LuWorkspace::new();
+        for k in 2..6 {
+            let m = build(k as f64);
+            lu.refactor_into(&symbolic, &m, &mut ws).unwrap();
+            assert!(lu.refactored());
+            let x_true = vec![1.0, -1.0, 0.5];
+            let mut rhs = m.mul_vec(&x_true);
+            let mut work = vec![0.0; 3];
+            lu.solve_into(&mut rhs, &mut work).unwrap();
+            for (xi, ti) in rhs.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_into_falls_back_and_recovers() {
+        let a = csr_from_dense(&[&[1.0, 1.0e-3], &[1.0e-3, 1.0]]);
+        let (mut lu, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        let mut ws = LuWorkspace::new();
+        // Degraded pivot: the in-place call must fall back to fresh pivoting.
+        let b = csr_from_dense(&[&[1.0e-12, 1.0], &[1.0, 1.0e-12]]);
+        lu.refactor_into(&symbolic, &b, &mut ws).unwrap();
+        assert!(!lu.refactored());
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+        // The fallback's own pattern keeps working for further refactors.
+        let symbolic2 = lu.extract_symbolic();
+        lu.refactor_into(&symbolic2, &b, &mut ws).unwrap();
+        assert!(lu.refactored());
+    }
+
+    #[test]
     fn refactor_handles_fill_in_pattern() {
         // Arrow matrix with fill-in: the reused pattern must include fill.
         let n = 8;
@@ -787,6 +1278,16 @@ mod tests {
             SparseLu::refactor(&symbolic, &b),
             Err(SolveError::NotSquare { .. })
         ));
+        // The in-place form reports the same error and leaves the receiver
+        // usable.
+        let (mut lu1, sym1) = SparseLu::factor_with_symbolic(&a).unwrap();
+        let mut ws = LuWorkspace::new();
+        assert!(matches!(
+            lu1.refactor_into(&sym1, &b, &mut ws),
+            Err(SolveError::NotSquare { .. })
+        ));
+        let x = lu1.solve(&[2.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-15);
     }
 
     #[test]
@@ -796,6 +1297,128 @@ mod tests {
         assert_eq!(symbolic.dim(), 2);
         assert_eq!(symbolic.fill_nnz(), lu.factor_nnz());
         assert_eq!(symbolic.pivot_order().len(), 2);
+        // Natural-order factorizations record the identity column order.
+        assert_eq!(symbolic.column_order(), &[0, 1]);
+    }
+
+    #[test]
+    fn ordered_factor_solves_correctly() {
+        // Arrow matrix where the hub is listed first: natural order fills in
+        // completely, min degree defers the hub to the end.
+        let n = 9;
+        let mut t = TripletMatrix::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 5.0 + i as f64);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.5);
+            }
+        }
+        let a = t.to_csr();
+        let order = min_degree_order(&a);
+        let (lu, symbolic) = SparseLu::factor_with_symbolic_ordered(&a, &order).unwrap();
+        assert_eq!(symbolic.column_order(), &order[..]);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let b = a.mul_vec(&x_true);
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+        // The fill advantage the ordering exists for.
+        let (_, natural) = SparseLu::factor_with_symbolic(&a).unwrap();
+        assert!(symbolic.fill_nnz() < natural.fill_nnz());
+    }
+
+    #[test]
+    fn ordered_refactor_roundtrip() {
+        let n = 9;
+        let build = |scale: f64| {
+            let mut t = TripletMatrix::<f64>::new(n, n);
+            for i in 0..n {
+                t.push(i, i, (5.0 + i as f64) * scale);
+                if i > 0 {
+                    t.push(0, i, 1.0 * scale);
+                    t.push(i, 0, 1.5);
+                }
+            }
+            t.to_csr()
+        };
+        let first = build(1.0);
+        let order = min_degree_order(&first);
+        let (mut lu, symbolic) = SparseLu::factor_with_symbolic_ordered(&first, &order).unwrap();
+        let mut ws = LuWorkspace::new();
+        for k in 2..5 {
+            let m = build(k as f64);
+            lu.refactor_into(&symbolic, &m, &mut ws).unwrap();
+            assert!(lu.refactored(), "ordered pattern must be reusable");
+            let x_true: Vec<f64> = (0..n).map(|i| 1.0 - 0.2 * i as f64).collect();
+            let mut rhs = m.mul_vec(&x_true);
+            let mut work = vec![0.0; n];
+            lu.solve_into(&mut rhs, &mut work).unwrap();
+            for (xi, ti) in rhs.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_fallback_keeps_fill_reducing_order() {
+        // The symbolic analysis carries a non-identity column order; when new
+        // values degrade the recorded pivots, the fallback must re-pivot
+        // *within the same column order* instead of regressing to natural
+        // order (which would drag higher fill through the rest of a sweep).
+        let a = csr_from_dense(&[&[1.0, 1.0e-3], &[1.0e-3, 1.0]]);
+        let order = vec![1, 0];
+        let (mut lu, symbolic) = SparseLu::factor_with_symbolic_ordered(&a, &order).unwrap();
+        let b = csr_from_dense(&[&[1.0e-12, 1.0], &[1.0, 1.0e-12]]);
+        let mut ws = LuWorkspace::new();
+        lu.refactor_into(&symbolic, &b, &mut ws).unwrap();
+        assert!(!lu.refactored(), "degraded pivot must force a fresh factor");
+        assert_eq!(
+            lu.extract_symbolic().column_order(),
+            &order[..],
+            "the fallback must retain the fill-reducing column order"
+        );
+        let x = lu.solve(&[1.0, 2.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordered_threshold_forces_row_swap_when_needed() {
+        // The ordering prefers the diagonal, but the diagonal entry of the
+        // first eliminated column is 1e6 times smaller than the off-diagonal
+        // candidate: the threshold test must swap rows, not accept it.
+        let a = csr_from_dense(&[&[1.0e-6, 1.0], &[1.0, 1.0]]);
+        let order = vec![0, 1];
+        let (lu, _) = SparseLu::factor_with_symbolic_ordered(&a, &order).unwrap();
+        let x_true = vec![3.0, -2.0];
+        let b = a.mul_vec(&x_true);
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+        // Row 1 must have been promoted to pivot for column 0.
+        assert_eq!(lu.extract_symbolic().pivot_order()[0], 1);
+    }
+
+    #[test]
+    fn ordered_factor_handles_zero_diagonal() {
+        // MNA-style: voltage-source branch row with a structurally zero
+        // diagonal. The ordering's preferred row is never a candidate, so
+        // the threshold selection must fall through to an off-diagonal row.
+        let a = csr_from_dense(&[&[0.0, 1.0], &[1.0, 1e-3]]);
+        let order = vec![0, 1];
+        let (lu, _) = SparseLu::factor_with_symbolic_ordered(&a, &order).unwrap();
+        let x = lu.solve(&[5.0, 2.0]).unwrap();
+        assert!((x[1] - 5.0).abs() < 1e-12);
+        assert!((x[0] - (2.0 - 5e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn ordered_factor_rejects_non_permutation() {
+        let a = csr_from_dense(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let _ = SparseLu::factor_ordered(&a, &[0, 0]);
     }
 
     #[test]

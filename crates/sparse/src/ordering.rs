@@ -1,0 +1,234 @@
+//! Fill-reducing elimination orderings for sparse LU factorization.
+//!
+//! The amount of fill-in an LU factorization produces — and therefore the
+//! cost of every numeric refactorization that reuses its pattern — depends
+//! dramatically on the order in which unknowns are eliminated. Plain partial
+//! pivoting picks pivots purely by magnitude, which on banded or mesh-like
+//! MNA matrices can be far from fill-optimal.
+//!
+//! This module computes a **minimum-degree ordering on the pattern of
+//! `A + Aᵀ`** ([`min_degree_order`]), the same family of symmetric
+//! fill-reducing orderings (AMD) that KLU applies to circuit matrices before
+//! its threshold-pivoting factorization. MNA patterns are structurally
+//! symmetric (every element stamp touches `(i, j)` and `(j, i)`), so a
+//! symmetric ordering is the natural fit.
+//!
+//! The ordering is purely structural: it looks only at the sparsity pattern,
+//! never at values, so it can be computed once per circuit structure and
+//! reused for every matrix assembled over that structure. Numeric safety is
+//! restored at factorization time by
+//! [`SparseLu::factor_with_symbolic_ordered`](crate::SparseLu::factor_with_symbolic_ordered),
+//! which follows the ordering **unless a pivot fails a relative magnitude
+//! threshold**, in which case it swaps rows exactly like partial pivoting
+//! would.
+//!
+//! # Example
+//!
+//! ```
+//! use loopscope_sparse::{ordering, SparseLu, TripletMatrix};
+//!
+//! // An "arrow" matrix: natural-order elimination fills in completely,
+//! // eliminating the dense row/column last keeps the factors sparse.
+//! let n = 8;
+//! let mut t = TripletMatrix::<f64>::new(n, n);
+//! for i in 0..n {
+//!     t.push(i, i, 4.0);
+//!     if i + 1 < n {
+//!         t.push(i, 0, 1.0);
+//!         t.push(0, i + 1, 1.0);
+//!     }
+//! }
+//! let m = t.to_csr();
+//! let order = ordering::min_degree_order(&m);
+//! let (_, ordered) = SparseLu::factor_with_symbolic_ordered(&m, &order)?;
+//! let (_, natural) = SparseLu::factor_with_symbolic(&m)?;
+//! // Deferring the dense hub to the end eliminates the fill-in entirely.
+//! assert_eq!(ordered.fill_nnz(), m.nnz());
+//! assert!(ordered.fill_nnz() < natural.fill_nnz());
+//! # Ok::<(), loopscope_sparse::SolveError>(())
+//! ```
+
+use crate::csr::CsrMatrix;
+use crate::scalar::Scalar;
+use std::collections::BTreeSet;
+
+/// Computes a fill-reducing elimination order by the minimum-degree
+/// heuristic on the pattern of `A + Aᵀ`.
+///
+/// Returns a permutation `order` of `0..n` where `order[k]` is the original
+/// row/column index to eliminate at step `k`. Feed it to
+/// [`SparseLu::factor_ordered`](crate::SparseLu::factor_ordered) or
+/// [`SparseLu::factor_with_symbolic_ordered`](crate::SparseLu::factor_with_symbolic_ordered).
+///
+/// The algorithm maintains the elimination graph explicitly: at each step the
+/// uneliminated vertex of smallest degree is removed and its neighbours are
+/// connected into a clique (the structural effect of one elimination step on
+/// a symmetric pattern). Ties break toward the smallest index, so the order
+/// is deterministic. The cost is `O(n²)` in the selection scans plus the size
+/// of the fill it predicts — negligible next to factorization for circuit
+/// matrices, and only paid once per circuit structure.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn min_degree_order<T: Scalar>(matrix: &CsrMatrix<T>) -> Vec<usize> {
+    assert_eq!(
+        matrix.rows(),
+        matrix.cols(),
+        "fill-reducing ordering requires a square matrix"
+    );
+    let n = matrix.rows();
+    // Adjacency of A + Aᵀ, diagonal excluded.
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for r in 0..n {
+        for &c in matrix.row_pattern(r) {
+            if r != c {
+                adj[r].insert(c);
+                adj[c].insert(r);
+            }
+        }
+    }
+
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Smallest degree, smallest index on ties: deterministic and cheap.
+        let mut pivot = usize::MAX;
+        let mut pivot_deg = usize::MAX;
+        for (v, nbrs) in adj.iter().enumerate() {
+            if !eliminated[v] && nbrs.len() < pivot_deg {
+                pivot_deg = nbrs.len();
+                pivot = v;
+            }
+        }
+        debug_assert!(pivot < n, "selection must find an uneliminated vertex");
+        eliminated[pivot] = true;
+        order.push(pivot);
+
+        // Eliminating `pivot` connects its remaining neighbours into a
+        // clique; `pivot` itself leaves the graph.
+        let nbrs: Vec<usize> = adj[pivot].iter().copied().collect();
+        for &u in &nbrs {
+            adj[u].remove(&pivot);
+        }
+        for (i, &u) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                adj[u].insert(w);
+                adj[w].insert(u);
+            }
+        }
+        adj[pivot].clear();
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SparseLu, TripletMatrix};
+
+    fn tridiagonal(n: usize) -> CsrMatrix<f64> {
+        let mut t = TripletMatrix::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// 5-point-stencil grid Laplacian on a p×p mesh (plus a diagonal shift to
+    /// keep it non-singular) — the classic case where banded elimination fills
+    /// in O(n·p) entries but minimum degree does far better.
+    fn mesh(p: usize) -> CsrMatrix<f64> {
+        let n = p * p;
+        let mut t = TripletMatrix::<f64>::new(n, n);
+        for i in 0..p {
+            for j in 0..p {
+                let u = i * p + j;
+                t.push(u, u, 4.1);
+                if i + 1 < p {
+                    t.push(u, u + p, -1.0);
+                    t.push(u + p, u, -1.0);
+                }
+                if j + 1 < p {
+                    t.push(u, u + 1, -1.0);
+                    t.push(u + 1, u, -1.0);
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    fn is_permutation(order: &[usize], n: usize) -> bool {
+        let mut seen = vec![false; n];
+        order.len() == n
+            && order.iter().all(|&v| {
+                if v >= n || seen[v] {
+                    false
+                } else {
+                    seen[v] = true;
+                    true
+                }
+            })
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let m = mesh(7);
+        let order = min_degree_order(&m);
+        assert!(is_permutation(&order, m.rows()));
+    }
+
+    #[test]
+    fn tridiagonal_order_produces_no_extra_fill() {
+        // A path graph eliminates without fill under min degree (endpoints
+        // always have degree 1), matching the natural order's zero fill.
+        let m = tridiagonal(40);
+        let order = min_degree_order(&m);
+        let (_, ordered) = SparseLu::factor_with_symbolic_ordered(&m, &order).unwrap();
+        let (_, natural) = SparseLu::factor_with_symbolic(&m).unwrap();
+        assert!(
+            ordered.fill_nnz() <= natural.fill_nnz(),
+            "ordered fill {} must not exceed natural fill {}",
+            ordered.fill_nnz(),
+            natural.fill_nnz()
+        );
+        // Zero fill on a tridiagonal: pattern size equals input nnz.
+        assert_eq!(ordered.fill_nnz(), m.nnz());
+    }
+
+    #[test]
+    fn mesh_order_beats_natural_order() {
+        let m = mesh(12);
+        let order = min_degree_order(&m);
+        let (_, ordered) = SparseLu::factor_with_symbolic_ordered(&m, &order).unwrap();
+        let (_, natural) = SparseLu::factor_with_symbolic(&m).unwrap();
+        assert!(
+            ordered.fill_nnz() < natural.fill_nnz(),
+            "mesh: ordered fill {} must beat natural fill {}",
+            ordered.fill_nnz(),
+            natural.fill_nnz()
+        );
+    }
+
+    #[test]
+    fn empty_and_single_matrices() {
+        let m = CsrMatrix::<f64>::zeros(0, 0);
+        assert!(min_degree_order(&m).is_empty());
+        let mut t = TripletMatrix::<f64>::new(1, 1);
+        t.push(0, 0, 1.0);
+        assert_eq!(min_degree_order(&t.to_csr()), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        let m = CsrMatrix::<f64>::zeros(2, 3);
+        min_degree_order(&m);
+    }
+}

@@ -5,8 +5,11 @@
 //! residual `A·x̂ − b` is small. Diagonal dominance is enforced on the random
 //! matrices to keep the condition number bounded so the tolerance can be tight.
 
+use loopscope_math::dense::{CMatrix, DMatrix};
 use loopscope_math::Complex64;
-use loopscope_sparse::{solve_once, CsrMatrix, SparseLu, TripletMatrix};
+use loopscope_sparse::{
+    ordering::min_degree_order, solve_once, CsrMatrix, LuWorkspace, SparseLu, TripletMatrix,
+};
 use proptest::prelude::*;
 
 /// Builds a random, diagonally dominant sparse matrix from proptest inputs.
@@ -187,6 +190,126 @@ proptest! {
         let x = lu.solve(&rhs).expect("solve");
         for (xi, ti) in x.iter().zip(&x_true) {
             prop_assert!((xi - ti).abs() < 1e-8 * (1.0 + ti.abs()));
+        }
+    }
+
+    /// The fill-reducing ordered, threshold-pivoted factorization must agree
+    /// with a dense partial-pivoting reference solve on any reasonably
+    /// conditioned real system.
+    #[test]
+    fn ordered_real_factor_matches_dense_reference(
+        n in 2usize..20,
+        entries in prop::collection::vec((0usize..20, 0usize..20, -4.0f64..4.0), 0..100),
+        xseed in prop::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let a = build_real(n, &entries);
+        let order = min_degree_order(&a);
+        let (lu, symbolic) = SparseLu::factor_with_symbolic_ordered(&a, &order)
+            .expect("diagonally dominant matrix must factor");
+        prop_assert_eq!(symbolic.column_order(), &order[..]);
+        let x_true: Vec<f64> = xseed.iter().take(n).copied().collect();
+        let b = a.mul_vec(&x_true);
+        let x = lu.solve(&b).expect("solve");
+        // Dense reference over the same values.
+        let mut dense = DMatrix::zeros(n, n);
+        for (r, c, v) in a.iter() {
+            dense[(r, c)] = v;
+        }
+        let reference = dense.solve(&b).expect("dense reference must factor");
+        for ((xi, ri), ti) in x.iter().zip(&reference).zip(&x_true) {
+            prop_assert!((xi - ri).abs() < 1e-8 * (1.0 + ri.abs()),
+                "ordered vs dense: {} vs {}", xi, ri);
+            prop_assert!((xi - ti).abs() < 1e-8 * (1.0 + ti.abs()),
+                "ordered vs truth: {} vs {}", xi, ti);
+        }
+    }
+
+    /// The same property over the complex field (the AC-analysis scalar).
+    #[test]
+    fn ordered_complex_factor_matches_dense_reference(
+        n in 2usize..12,
+        entries in prop::collection::vec(
+            (0usize..12, 0usize..12, -3.0f64..3.0, -3.0f64..3.0), 0..60),
+        bseed in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 12),
+    ) {
+        let mut t = TripletMatrix::<Complex64>::new(n, n);
+        let mut row_sum = vec![0.0; n];
+        for &(r, c, re, im) in &entries {
+            let (r, c) = (r % n, c % n);
+            if r == c { continue; }
+            let v = Complex64::new(re, im);
+            t.push(r, c, v);
+            row_sum[r] += v.abs();
+        }
+        for (i, s) in row_sum.iter().enumerate() {
+            t.push(i, i, Complex64::new(s + 1.0, 0.5));
+        }
+        let a = t.to_csr();
+        let order = min_degree_order(&a);
+        let lu = SparseLu::factor_ordered(&a, &order).expect("must factor");
+        let b: Vec<Complex64> = bseed.iter().take(n)
+            .map(|&(re, im)| Complex64::new(re, im)).collect();
+        let x = lu.solve(&b).expect("solve");
+        let mut dense = CMatrix::zeros(n, n);
+        for (r, c, v) in a.iter() {
+            dense[(r, c)] = v;
+        }
+        let reference = dense.solve(&b).expect("dense reference must factor");
+        for (xi, ri) in x.iter().zip(&reference) {
+            prop_assert!((*xi - *ri).abs() < 1e-8 * (1.0 + ri.abs()),
+                "{:?} vs {:?}", xi, ri);
+        }
+    }
+
+    /// Refactorization over an *ordered* symbolic pattern (the production
+    /// configuration of `CachedMna`) must match a fresh factorization on any
+    /// same-pattern system, through the allocation-free in-place path.
+    #[test]
+    fn ordered_refactor_into_matches_fresh_factor(
+        n in 2usize..20,
+        entries in prop::collection::vec((0usize..20, 0usize..20, -4.0f64..4.0), 0..100),
+        xseed in prop::collection::vec(-10.0f64..10.0, 20),
+        scale in 0.2f64..5.0,
+    ) {
+        let first = build_real(n, &entries);
+        let order = min_degree_order(&first);
+        let (mut lu, symbolic) = SparseLu::factor_with_symbolic_ordered(&first, &order)
+            .expect("diagonally dominant matrix must factor");
+        let second = build_real_scaled(n, &entries, scale);
+        prop_assert!(first.same_pattern(&second));
+        let mut ws = LuWorkspace::new();
+        lu.refactor_into(&symbolic, &second, &mut ws).expect("refactor");
+        prop_assert!(lu.refactored(), "diagonally dominant refactor must not fall back");
+        let x_true: Vec<f64> = xseed.iter().take(n).copied().collect();
+        let b = second.mul_vec(&x_true);
+        let mut rhs = b.clone();
+        let mut work = vec![0.0; n];
+        lu.solve_into(&mut rhs, &mut work).expect("solve");
+        let fresh = solve_once(&second, &b).expect("fresh factor");
+        for ((xi, fi), ti) in rhs.iter().zip(&fresh).zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-8 * (1.0 + ti.abs()),
+                "refactor vs truth: {} vs {}", xi, ti);
+            prop_assert!((xi - fi).abs() < 1e-8 * (1.0 + fi.abs()),
+                "refactor vs fresh: {} vs {}", xi, fi);
+        }
+    }
+
+    /// `solve_into` and the allocating `solve` are the same computation.
+    #[test]
+    fn solve_into_matches_solve(
+        n in 2usize..16,
+        entries in prop::collection::vec((0usize..16, 0usize..16, -3.0f64..3.0), 0..80),
+        bseed in prop::collection::vec(-10.0f64..10.0, 16),
+    ) {
+        let a = build_real(n, &entries);
+        let lu = SparseLu::factor(&a).expect("must factor");
+        let b: Vec<f64> = bseed.iter().take(n).copied().collect();
+        let alloc = lu.solve(&b).expect("solve");
+        let mut rhs = b.clone();
+        let mut work = vec![0.0; n];
+        lu.solve_into(&mut rhs, &mut work).expect("solve_into");
+        for (a, b) in alloc.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() == 0.0, "identical sweeps must agree bitwise");
         }
     }
 

@@ -20,9 +20,12 @@
 //! Across frequency points the heavy lifting is shared through
 //! [`crate::assembly::CachedMna`]: the sparsity pattern and value-slot map
 //! are built at the first frequency, every later point restamps values in
-//! place, and the LU pivot order/fill pattern is computed once and reused by
-//! numeric-only refactorization. A whole sweep therefore performs exactly one
-//! symbolic analysis (see [`AcAnalysis::solve_stats`]).
+//! place, and the fill-reducing LU ordering/fill pattern is computed once and
+//! reused by numeric-only refactorization into cache-owned buffers. A whole
+//! sweep therefore performs exactly one symbolic analysis (see
+//! [`AcAnalysis::solve_stats`]), and the per-node solves of the all-nodes
+//! scan run through [`loopscope_sparse::SparseLu::solve_into`] with shared
+//! buffers — zero heap allocations in the inner loop.
 
 use crate::assembly::{AssembleMna, CachedMna, SolveStats};
 use crate::dc::OperatingPoint;
@@ -36,6 +39,28 @@ use loopscope_sparse::CsrMatrix;
 use std::sync::Mutex;
 
 /// Results of an AC sweep: complex node voltages over frequency.
+///
+/// ```
+/// use loopscope_math::FrequencyGrid;
+/// use loopscope_netlist::{Circuit, SourceSpec};
+/// use loopscope_spice::{ac::AcAnalysis, dc::solve_dc};
+///
+/// // RC low-pass driven by a 1 V AC source.
+/// let mut ckt = Circuit::new("rc");
+/// let vin = ckt.node("in");
+/// let vout = ckt.node("out");
+/// ckt.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc_ac(0.0, 1.0, 0.0));
+/// ckt.add_resistor("R1", vin, vout, 1.0e3);
+/// ckt.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-6);
+/// let op = solve_dc(&ckt)?;
+/// let ac = AcAnalysis::new(&ckt, &op)?;
+/// let sweep = ac.sweep(&FrequencyGrid::log_decade(1.0, 1.0e4, 10))?;
+/// assert_eq!(sweep.len(), sweep.freqs().len());
+/// // −3 dB at the RC corner, 1/(2πRC) ≈ 159.2 Hz.
+/// let corner = sweep.magnitude_at(vout, 159.155);
+/// assert!((corner - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+/// # Ok::<(), loopscope_spice::SpiceError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct AcSweep {
     freqs: Vec<f64>,
@@ -308,15 +333,18 @@ impl<'c> AcAnalysis<'c> {
     pub fn sweep(&self, grid: &FrequencyGrid) -> Result<AcSweep, SpiceError> {
         let mut solver = self.solver.lock().expect("solver lock");
         let mut data = Vec::with_capacity(grid.len());
+        let mut work = vec![Complex64::ZERO; self.layout.dim()];
         for &f in grid.freqs() {
             let job = AcSystem {
                 analysis: self,
                 freq_hz: f,
                 use_circuit_sources: true,
             };
-            let rhs = solver.assemble(&self.layout, &job);
+            // The assembled RHS becomes the solution in place.
+            let mut solution = solver.assemble(&self.layout, &job);
             let lu = solver.factor().map_err(SpiceError::Linear)?;
-            let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
+            lu.solve_into(&mut solution, &mut work)
+                .map_err(SpiceError::Linear)?;
             data.push(self.solve_into_node_row(&solution));
         }
         Ok(AcSweep {
@@ -351,7 +379,8 @@ impl<'c> AcAnalysis<'c> {
         }
         let mut solver = self.solver.lock().expect("solver lock");
         let mut out = Vec::with_capacity(grid.len());
-        let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
+        let mut x = vec![Complex64::ZERO; self.layout.dim()];
+        let mut work = vec![Complex64::ZERO; self.layout.dim()];
         for &f in grid.freqs() {
             let job = AcSystem {
                 analysis: self,
@@ -360,10 +389,12 @@ impl<'c> AcAnalysis<'c> {
             };
             let _ = solver.assemble(&self.layout, &job);
             let lu = solver.factor().map_err(SpiceError::Linear)?;
-            rhs[var] = Complex64::ONE;
-            let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
-            rhs[var] = Complex64::ZERO;
-            out.push(solution[var]);
+            // Unit current injection at `node`, solved in place.
+            x.fill(Complex64::ZERO);
+            x[var] = Complex64::ONE;
+            lu.solve_into(&mut x, &mut work)
+                .map_err(SpiceError::Linear)?;
+            out.push(x[var]);
         }
         Ok(out)
     }
@@ -384,7 +415,11 @@ impl<'c> AcAnalysis<'c> {
         let nodes = self.circuit.signal_nodes();
         let mut solver = self.solver.lock().expect("solver lock");
         let mut out = vec![Vec::with_capacity(grid.len()); nodes.len()];
-        let mut rhs = vec![Complex64::ZERO; self.layout.dim()];
+        // Buffers shared by every (frequency, node) solve: the inner loop —
+        // one solve per node per frequency — performs zero heap allocations
+        // (`out` rows are at capacity, `solve_into` works in place).
+        let mut x = vec![Complex64::ZERO; self.layout.dim()];
+        let mut work = vec![Complex64::ZERO; self.layout.dim()];
         for &f in grid.freqs() {
             let job = AcSystem {
                 analysis: self,
@@ -395,10 +430,11 @@ impl<'c> AcAnalysis<'c> {
             let lu = solver.factor().map_err(SpiceError::Linear)?;
             for (k, node) in nodes.iter().enumerate() {
                 let var = self.layout.node_var(*node).expect("signal node");
-                rhs[var] = Complex64::ONE;
-                let solution = lu.solve(&rhs).map_err(SpiceError::Linear)?;
-                rhs[var] = Complex64::ZERO;
-                out[k].push(solution[var]);
+                x.fill(Complex64::ZERO);
+                x[var] = Complex64::ONE;
+                lu.solve_into(&mut x, &mut work)
+                    .map_err(SpiceError::Linear)?;
+                out[k].push(x[var]);
             }
         }
         Ok(out)

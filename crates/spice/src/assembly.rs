@@ -11,7 +11,8 @@
 //!
 //! [`CachedMna`] is the structured pipeline:
 //!
-//! 1. **First assembly** runs the element stamps into a [`TripletMatrix`] and
+//! 1. **First assembly** runs the element stamps into a
+//!    [`TripletMatrix`](loopscope_sparse::TripletMatrix) and
 //!    converts to CSR — exactly the naive path — and keeps the CSR as the
 //!    pattern.
 //! 2. **Later assemblies** zero the CSR values and replay the same stamps
@@ -19,17 +20,21 @@
 //!    binary search within the row. No allocation, no sorting, no BTreeMap.
 //!    If a stamp misses the pattern (a nonlinear device changed operating
 //!    region, say), the assembly transparently rebuilds the pattern.
-//! 3. **Factorization** captures a [`SymbolicLu`] on first use and runs the
-//!    numeric-only [`SparseLu::refactor`] afterwards, re-analyzing only when
-//!    the refactorization reports a degraded pivot or the pattern was
-//!    rebuilt.
+//! 3. **Factorization** computes a fill-reducing (minimum-degree) column
+//!    order on first use and captures the resulting threshold-pivoted
+//!    [`SymbolicLu`]; afterwards it runs the numeric-only, allocation-free
+//!    [`SparseLu::refactor_into`] over buffers owned by the cache,
+//!    re-analyzing only when the refactorization reports a degraded pivot or
+//!    the pattern was rebuilt.
 //!
 //! [`SolveStats`] counts what actually happened, which is how the tests (and
 //! the `solver_refactor` bench) assert that e.g. a whole AC sweep performs
 //! exactly one symbolic analysis.
 
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
-use loopscope_sparse::{CsrMatrix, Scalar, SolveError, SparseLu, SymbolicLu};
+use loopscope_sparse::{
+    ordering, CsrMatrix, LuWorkspace, Scalar, SolveError, SparseLu, SymbolicLu,
+};
 
 /// A circuit-assembly job: stamps one MNA system into any matrix sink.
 ///
@@ -100,12 +105,67 @@ impl SolveStats {
 /// Create one per analysis run (or store it for the lifetime of the circuit —
 /// the cache detects pattern changes) and drive every solve through
 /// [`assemble`](CachedMna::assemble) followed by
-/// [`factor`](CachedMna::factor).
-#[derive(Debug, Default)]
+/// [`factor`](CachedMna::factor), or the [`solve`](CachedMna::solve)
+/// convenience wrapper. The first factorization computes a minimum-degree
+/// fill-reducing ordering and a threshold-pivoted symbolic analysis; every
+/// later one is a numeric-only refactorization into buffers the cache owns,
+/// so the steady state performs no factorization-side heap allocation.
+///
+/// ```
+/// use loopscope_netlist::{Circuit, SourceSpec};
+/// use loopscope_spice::assembly::CachedMna;
+/// use loopscope_spice::mna::{MatrixSink, MnaLayout, Stamper};
+///
+/// // A conductance-divider job: same pattern at every drive level.
+/// struct Divider {
+///     g: f64,
+/// }
+/// impl loopscope_spice::assembly::AssembleMna<f64> for Divider {
+///     fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+///         st.add_var_var(0, 0, self.g + 1.0e-3);
+///         st.add_var_var(0, 1, -self.g);
+///         st.add_var_var(1, 0, -self.g);
+///         st.add_var_var(1, 1, self.g);
+///         st.add_rhs_var(0, 1.0e-3);
+///     }
+/// }
+///
+/// let mut c = Circuit::new("divider");
+/// let a = c.node("a");
+/// let b = c.node("b");
+/// c.add_resistor("R1", a, Circuit::GROUND, 1.0e3);
+/// c.add_resistor("R2", a, b, 1.0e3);
+/// c.add_isource("I1", Circuit::GROUND, a, SourceSpec::dc(1.0e-3));
+/// let layout = MnaLayout::new(&c);
+///
+/// let mut cache = CachedMna::<f64>::new();
+/// for k in 1..=4 {
+///     let x = cache.solve(&layout, &Divider { g: 1.0e-3 * k as f64 })?;
+///     assert!(x[0].is_finite());
+/// }
+/// // One symbolic analysis serves the whole series of solves.
+/// assert_eq!(cache.stats().symbolic, 1);
+/// assert_eq!(cache.stats().numeric_refactor, 3);
+/// # Ok::<(), loopscope_sparse::SolveError>(())
+/// ```
+#[derive(Debug)]
 pub struct CachedMna<T: Scalar> {
     csr: Option<CsrMatrix<T>>,
     symbolic: Option<SymbolicLu>,
+    /// The factorization whose L/U value buffers every refactorization
+    /// reuses; handed out by reference from [`factor`](CachedMna::factor).
+    lu: Option<SparseLu<T>>,
+    /// Scratch buffers of the allocation-free refactorization path.
+    workspace: LuWorkspace<T>,
+    /// Scratch for [`solve`](CachedMna::solve)'s substitution sweeps.
+    solve_work: Vec<T>,
     stats: SolveStats,
+}
+
+impl<T: Scalar> Default for CachedMna<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T: Scalar> CachedMna<T> {
@@ -114,6 +174,9 @@ impl<T: Scalar> CachedMna<T> {
         Self {
             csr: None,
             symbolic: None,
+            lu: None,
+            workspace: LuWorkspace::new(),
+            solve_work: Vec::new(),
             stats: SolveStats::default(),
         }
     }
@@ -137,10 +200,12 @@ impl<T: Scalar> CachedMna<T> {
                 return rhs;
             }
             // The structure changed under us: drop the pattern (and the
-            // symbolic analysis tied to it) and rebuild below.
+            // symbolic analysis and factorization tied to it) and rebuild
+            // below.
             self.stats.pattern_rebuilds += 1;
             self.csr = None;
             self.symbolic = None;
+            self.lu = None;
         }
 
         let mut stamper = Stamper::new(layout);
@@ -165,6 +230,14 @@ impl<T: Scalar> CachedMna<T> {
     /// Factors the most recently assembled matrix, reusing the symbolic
     /// analysis whenever one is available and still numerically healthy.
     ///
+    /// The returned reference stays valid until the next mutating call; the
+    /// underlying L/U value buffers are owned by the cache and reused across
+    /// calls, so a steady-state refactorization allocates nothing. The first
+    /// factorization of a pattern computes a minimum-degree fill-reducing
+    /// ordering (see [`loopscope_sparse::ordering`]) and factors with
+    /// KLU-style threshold pivoting, which keeps the reused fill pattern —
+    /// and with it every later refactorization — small.
+    ///
     /// # Errors
     ///
     /// Returns the underlying [`SolveError`] when the system is singular or
@@ -173,13 +246,20 @@ impl<T: Scalar> CachedMna<T> {
     /// # Panics
     ///
     /// Panics when called before any assembly.
-    pub fn factor(&mut self) -> Result<SparseLu<T>, SolveError> {
+    pub fn factor(&mut self) -> Result<&SparseLu<T>, SolveError> {
         let csr = self
             .csr
             .as_ref()
             .expect("CachedMna::assemble must run first");
-        if let Some(symbolic) = self.symbolic.as_ref() {
-            let lu = SparseLu::refactor(symbolic, csr)?;
+        if self.symbolic.is_some() && self.lu.is_some() {
+            let symbolic = self.symbolic.as_ref().expect("checked above");
+            let lu = self.lu.as_mut().expect("checked above");
+            if let Err(e) = lu.refactor_into(symbolic, csr, &mut self.workspace) {
+                // A failed refactorization leaves the factors unusable; drop
+                // them so the next attempt re-analyzes from scratch.
+                self.lu = None;
+                return Err(e);
+            }
             if lu.refactored() {
                 self.stats.numeric_refactor += 1;
             } else {
@@ -187,14 +267,24 @@ impl<T: Scalar> CachedMna<T> {
                 // fresh pivoting factorization — adopt its pattern so the
                 // next solve refactors again instead of re-analyzing.
                 self.stats.fresh_fallback += 1;
-                self.symbolic = Some(lu.extract_symbolic());
+                self.symbolic = Some(self.lu.as_ref().expect("still present").extract_symbolic());
             }
-            return Ok(lu);
+            return Ok(self.lu.as_ref().expect("refactored in place"));
         }
-        let (lu, symbolic) = SparseLu::factor_with_symbolic(csr)?;
+        // First factorization over this pattern: order for fill, then factor
+        // with threshold pivoting so the order survives unless numerics
+        // object.
+        let order = ordering::min_degree_order(csr);
+        let (lu, symbolic) = SparseLu::factor_with_symbolic_ordered(csr, &order)?;
         self.symbolic = Some(symbolic);
         self.stats.symbolic += 1;
-        Ok(lu)
+        Ok(self.lu.insert(lu))
+    }
+
+    /// The symbolic analysis currently serving refactorizations, if any —
+    /// a fill/ordering diagnostic (e.g. `fill_nnz` for the bench tables).
+    pub fn symbolic(&self) -> Option<&SymbolicLu> {
+        self.symbolic.as_ref()
     }
 
     /// Convenience wrapper: assemble, factor, and solve with the assembled
@@ -208,8 +298,16 @@ impl<T: Scalar> CachedMna<T> {
         layout: &MnaLayout,
         job: &impl AssembleMna<T>,
     ) -> Result<Vec<T>, SolveError> {
-        let rhs = self.assemble(layout, job);
-        self.factor()?.solve(&rhs)
+        let mut rhs = self.assemble(layout, job);
+        self.factor()?;
+        let lu = self.lu.as_ref().expect("factor just succeeded");
+        // Size-only adjustment: `solve_into` overwrites every work slot in
+        // its forward sweep, so no zeroing is needed.
+        if self.solve_work.len() != lu.dim() {
+            self.solve_work.resize(lu.dim(), T::ZERO);
+        }
+        lu.solve_into(&mut rhs, &mut self.solve_work)?;
+        Ok(rhs)
     }
 }
 

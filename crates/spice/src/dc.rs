@@ -218,6 +218,9 @@ fn newton(
     let node_count = circuit.node_count();
     let mut voltages = initial_voltages.to_vec();
     let mut solution = vec![0.0; layout.dim()];
+    // Reused across iterations: ground (index 0) stays zero, every other
+    // entry is rewritten below.
+    let mut new_voltages = vec![0.0; node_count];
     let has_nonlinear = circuit.elements().iter().any(Element::is_nonlinear);
 
     for iteration in 1..=opts.max_iterations {
@@ -232,7 +235,6 @@ fn newton(
 
         // Extract and damp the node-voltage update.
         let mut max_delta: f64 = 0.0;
-        let mut new_voltages = vec![0.0; node_count];
         for idx in 1..node_count {
             let node = NodeId::from_index(idx);
             let var = layout.node_var(node).expect("non-ground node");
@@ -250,7 +252,7 @@ fn newton(
             delta <= opts.vntol + opts.reltol * new_solution[var].abs()
         });
 
-        voltages = new_voltages;
+        std::mem::swap(&mut voltages, &mut new_voltages);
         solution = new_solution;
 
         if converged || !has_nonlinear {

@@ -164,9 +164,14 @@ impl<'c> TransientAnalysis<'c> {
         // one cache serves every Newton iteration of every timestep.
         let mut solver = CachedMna::new();
 
+        // Newton trial state, reused across every iteration of every step
+        // (ground stays zero; all other entries are rewritten per iteration).
+        let mut trial = voltages.clone();
+        let mut next = vec![0.0; node_count];
+
         for step in 1..=steps {
             let t = step as f64 * dt;
-            let mut trial = voltages.clone();
+            trial.copy_from_slice(&voltages);
             let mut solution = vec![0.0; self.layout.dim()];
             let mut converged = false;
 
@@ -186,14 +191,13 @@ impl<'c> TransientAnalysis<'c> {
                     .map_err(SpiceError::Linear)?;
 
                 let mut max_delta: f64 = 0.0;
-                let mut next = vec![0.0; node_count];
                 for node in self.circuit.signal_nodes() {
                     let var = self.layout.node_var(node).expect("signal node");
                     let v = solution[var];
                     max_delta = max_delta.max((v - trial[node.index()]).abs());
                     next[node.index()] = v;
                 }
-                trial = next;
+                std::mem::swap(&mut trial, &mut next);
                 if max_delta < self.options.vntol
                     || !self.circuit.elements().iter().any(Element::is_nonlinear)
                 {
@@ -226,7 +230,7 @@ impl<'c> TransientAnalysis<'c> {
                 }
             }
             branch_currents.copy_from_slice(&solution);
-            voltages = trial;
+            std::mem::swap(&mut voltages, &mut trial);
             times.push(t);
             data.push(voltages.clone());
         }
