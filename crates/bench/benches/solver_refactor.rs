@@ -8,17 +8,21 @@
 //! ([`loopscope_sparse::SparseLu::refactor`]) instead of running a fresh
 //! pivoting factorization per point, compares the **minimum-degree ordered,
 //! threshold-pivoted** pattern against the natural partial-pivoting one
-//! (nnz(L+U) and refactor throughput), and prints the sweep-level counters
-//! proving a whole scan performs exactly one symbolic analysis.
+//! (nnz(L+U) and refactor throughput), prints the sweep-level counters
+//! proving a whole scan performs exactly one symbolic analysis, and (S3)
+//! measures the thread scaling of the `SweepPlan`/`SolveContext` parallel
+//! sweep executor at 1/2/4 workers.
 //!
 //! Regenerate with `cargo bench -p loopscope-bench --bench solver_refactor`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope_circuits::blocks::rc_ladder;
 use loopscope_circuits::{mos_two_stage_buffer, two_stage_buffer, OpAmpParams};
 use loopscope_math::{Complex64, FrequencyGrid};
 use loopscope_sparse::{ordering, CsrMatrix, LuWorkspace, SparseLu, SymbolicLu, TripletMatrix};
 use loopscope_spice::ac::AcAnalysis;
 use loopscope_spice::dc::solve_dc;
+use loopscope_spice::par;
 use std::time::Instant;
 
 /// Builds the complex MNA admittance matrix of an N-stage RC ladder at a
@@ -229,6 +233,103 @@ fn print_sweep_counters() {
         stats.symbolic, 1,
         "a whole scan must run exactly one symbolic analysis"
     );
+    // Every point must be a value-only assembly + numeric refactorization —
+    // the per-point invariant ARCHITECTURE.md documents as bench-gated.
+    assert_eq!(stats.numeric_refactor, grid.len(), "{stats:?}");
+    assert_eq!(stats.cached_assemblies, grid.len(), "{stats:?}");
+    assert_eq!(stats.fresh_fallback, 0, "{stats:?}");
+}
+
+/// Experiment S3 — thread scaling of the `SweepPlan`/`SolveContext` sweep
+/// executor: wall-clock of two paper-scale sweep workloads at 1/2/4 workers.
+///
+/// Worker counts are pinned through the `LOOPSCOPE_THREADS` knob (re-read
+/// at every sweep call) so the table is reproducible on any machine; the
+/// speedup assertion only arms when the hardware actually has ≥ 4 cores —
+/// on fewer cores extra workers can only tread water, and the table simply
+/// documents that.
+fn print_thread_scaling() {
+    let hw = par::available_workers();
+    println!(
+        "\n=== S3: thread scaling — chunked sweeps over the shared SweepPlan ({hw} hardware core(s)) ==="
+    );
+
+    // Workload A: the 121-point all-nodes stability scan (one refactor per
+    // frequency, one solve per node per frequency) of the two-stage buffer.
+    let (scan_ckt, _) = two_stage_buffer(&OpAmpParams::default());
+    let scan_op = solve_dc(&scan_ckt).expect("operating point");
+    let scan_grid = FrequencyGrid::log_decade(1.0e3, 1.0e9, 20);
+    assert_eq!(scan_grid.len(), 121, "the paper-scale scan is 121 points");
+
+    // Workload B (the large case): a 121-point classical AC sweep of a
+    // 400-stage RC ladder — a ~400-unknown system restamped and refactored
+    // at every frequency point.
+    let (ladder_ckt, _) = rc_ladder(400, 1.0e3, 1.0e-9);
+    let ladder_op = solve_dc(&ladder_ckt).expect("ladder operating point");
+    let ladder_grid = FrequencyGrid::log_decade(1.0e2, 1.0e8, 20);
+
+    // Pin worker counts for the table, then restore whatever the user had —
+    // later benches in this process must still honor a caller-set knob.
+    let saved_threads = std::env::var(par::THREADS_ENV).ok();
+    let mut table: Vec<(usize, f64, f64)> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        std::env::set_var(par::THREADS_ENV, workers.to_string());
+
+        let scan_ac = AcAnalysis::new(&scan_ckt, &scan_op).expect("valid analysis");
+        let _ = scan_ac
+            .driving_point_all_nodes(&scan_grid)
+            .expect("warm-up scan builds the plan");
+        let scan_ns = time_ns(8, || {
+            std::hint::black_box(
+                scan_ac
+                    .driving_point_all_nodes(&scan_grid)
+                    .expect("all-nodes scan"),
+            );
+        });
+
+        let ladder_ac = AcAnalysis::new(&ladder_ckt, &ladder_op).expect("valid analysis");
+        let _ = ladder_ac
+            .sweep(&ladder_grid)
+            .expect("warm-up sweep builds the plan");
+        let ladder_ns = time_ns(8, || {
+            std::hint::black_box(ladder_ac.sweep(&ladder_grid).expect("ladder sweep"));
+        });
+
+        table.push((workers, scan_ns, ladder_ns));
+    }
+    match saved_threads {
+        Some(v) => std::env::set_var(par::THREADS_ENV, v),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+
+    let (_, scan_serial, ladder_serial) = table[0];
+    println!(
+        "{:<10} {:>22} {:>9} {:>24} {:>9}",
+        "workers", "all-nodes 121pt [ms]", "speedup", "ladder-400 sweep [ms]", "speedup"
+    );
+    for &(workers, scan_ns, ladder_ns) in &table {
+        println!(
+            "{workers:<10} {:>22.3} {:>8.2}x {:>24.3} {:>8.2}x",
+            scan_ns / 1.0e6,
+            scan_serial / scan_ns,
+            ladder_ns / 1.0e6,
+            ladder_serial / ladder_ns,
+        );
+    }
+
+    let (_, _, ladder_4) = table[2];
+    let speedup_4 = ladder_serial / ladder_4;
+    if hw >= 4 {
+        assert!(
+            speedup_4 >= 1.5,
+            "4 workers must reach ≥ 1.5x on the 400-stage ladder sweep on a \
+             ≥ 4-core machine, measured {speedup_4:.2}x"
+        );
+    } else {
+        println!(
+            "(speedup assertion skipped: {hw} hardware core(s) < 4 — extra workers cannot scale here)"
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -266,6 +367,8 @@ fn bench(c: &mut Criterion) {
     );
     // On a 2-D mesh the ordering must strictly beat the natural order.
     print_ordering_table(&format!("mesh_{mesh_p}x{mesh_p}"), &meshes, 40, true);
+
+    print_thread_scaling();
     println!();
 
     let mut group = c.benchmark_group("solver_refactor");

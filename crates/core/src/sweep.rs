@@ -82,12 +82,17 @@ impl NodeSweep {
 /// Runs the single-node stability analysis on every labelled circuit variant.
 ///
 /// Each variant is analysed independently (its own operating point, its own
-/// sweep), exactly as the original tool re-runs the simulation per corner.
+/// sweep), exactly as the original tool re-runs the simulation per corner —
+/// which makes corners embarrassingly parallel: the variants are chunked
+/// across worker threads through the same executor the frequency sweeps use
+/// ([`loopscope_spice::par::sweep_chunks`], `LOOPSCOPE_THREADS` knob).
+/// Results come back in input order and are identical at any worker count.
 ///
 /// # Errors
 ///
-/// Returns the first [`StabilityError`] encountered; a corner whose circuit
-/// fails to converge aborts the sweep so the failure is not silently dropped.
+/// Returns the first (in input order) [`StabilityError`] encountered; a
+/// corner whose circuit fails to converge aborts the sweep so the failure is
+/// not silently dropped.
 pub fn sweep_node<I>(
     variants: I,
     node_name: &str,
@@ -96,18 +101,22 @@ pub fn sweep_node<I>(
 where
     I: IntoIterator<Item = (String, Circuit)>,
 {
-    let mut points = Vec::new();
-    for (label, circuit) in variants {
-        let analyzer = StabilityAnalyzer::new(circuit, options)?;
-        let result = analyzer.single_node_by_name(node_name)?;
-        points.push(SweepPoint {
-            label,
-            estimate: result.estimate,
-        });
-    }
+    let variants: Vec<(String, Circuit)> = variants.into_iter().collect();
+    let (points, _) = loopscope_spice::par::sweep_chunks_owned(
+        variants,
+        || (),
+        |(), _idx, (label, circuit)| -> Result<SweepPoint, StabilityError> {
+            let analyzer = StabilityAnalyzer::new(circuit, options)?;
+            let result = analyzer.single_node_by_name(node_name)?;
+            Ok(SweepPoint {
+                label,
+                estimate: result.estimate,
+            })
+        },
+    );
     Ok(NodeSweep {
         node_name: node_name.to_string(),
-        points,
+        points: points?,
     })
 }
 

@@ -243,6 +243,19 @@ impl<T: Scalar> LuWorkspace<T> {
         }
     }
 
+    /// Creates a workspace pre-sized for matrices of dimension `n`, so even
+    /// the **first** [`SparseLu::refactor_into`] call over it performs no
+    /// heap allocation. This is what per-worker solve contexts use: every
+    /// allocation happens when the context is minted, none in the sweep loop.
+    pub fn for_dim(n: usize) -> Self {
+        Self {
+            work: vec![T::ZERO; n],
+            marked: vec![usize::MAX; n],
+            stamp: 0,
+            col_max: vec![0.0; n],
+        }
+    }
+
     /// Prepares the scatter buffers for a matrix of dimension `n`. The work
     /// row needs no zeroing (every slot is zeroed by the per-step scatter
     /// before it is read) and the markers are invalidated by bumping the
@@ -616,6 +629,31 @@ impl<T: Scalar> SparseLu<T> {
         }
     }
 
+    /// Creates an **unfactored shell** over a previously captured symbolic
+    /// analysis: the permutations and fill pattern are shared (not copied)
+    /// with `symbolic`, and the L/U value buffers are pre-allocated to the
+    /// pattern size but still empty.
+    ///
+    /// This is the buffer-ownership half of the plan/context split used by
+    /// parallel sweeps: a shared, immutable plan holds the `SymbolicLu`, and
+    /// every worker mints its own `SparseLu` shell from it — no symbolic
+    /// analysis is re-run, and the first
+    /// [`refactor_into`](SparseLu::refactor_into) over the shell fills the
+    /// pre-allocated buffers without heap allocation (pair it with
+    /// [`LuWorkspace::for_dim`] for a fully allocation-free worker loop).
+    ///
+    /// The shell is **not** a valid factorization until a `refactor_into`
+    /// call over it succeeds; [`solve_into`](SparseLu::solve_into) /
+    /// [`solve`](SparseLu::solve) panic on an unfilled shell.
+    pub fn from_symbolic(symbolic: &SymbolicLu) -> Self {
+        Self {
+            pattern: Arc::clone(&symbolic.pattern),
+            l_vals: Vec::with_capacity(symbolic.pattern.l_cols.len()),
+            u_vals: Vec::with_capacity(symbolic.pattern.u_cols.len()),
+            refactored: false,
+        }
+    }
+
     /// Factors a matrix **reusing the permutations and fill pattern** of a
     /// previous factorization of a matrix with the same structure.
     ///
@@ -869,8 +907,18 @@ impl<T: Scalar> SparseLu<T> {
     ///
     /// Returns [`SolveError::RhsLength`] when `rhs.len()` or `work.len()`
     /// does not match the matrix dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an unfilled [`from_symbolic`](SparseLu::from_symbolic)
+    /// shell (no successful refactorization has run yet).
     pub fn solve_into(&self, rhs: &mut [T], work: &mut [T]) -> Result<(), SolveError> {
         let p = &*self.pattern;
+        assert_eq!(
+            self.u_vals.len(),
+            p.u_cols.len(),
+            "solve on an unfactored SparseLu shell: refactor_into must succeed first"
+        );
         if rhs.len() != p.n {
             return Err(SolveError::RhsLength {
                 expected: p.n,
@@ -1288,6 +1336,46 @@ mod tests {
         ));
         let x = lu1.solve(&[2.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_symbolic_shell_refactors_like_a_fresh_refactor() {
+        let build = |scale: f64| {
+            csr_from_dense(&[
+                &[4.0 * scale, 1.0, 0.0],
+                &[1.0, 5.0 * scale, 2.0],
+                &[0.0, 2.0, 6.0 * scale],
+            ])
+        };
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&build(1.0)).unwrap();
+        // The shell never saw the factorization that produced the symbolic
+        // analysis — only its pattern.
+        let mut shell = SparseLu::from_symbolic(&symbolic);
+        assert!(!shell.refactored());
+        assert_eq!(shell.dim(), 3);
+        let mut ws = LuWorkspace::for_dim(3);
+        for k in 2..5 {
+            let m = build(k as f64);
+            shell.refactor_into(&symbolic, &m, &mut ws).unwrap();
+            assert!(shell.refactored());
+            let reference = SparseLu::refactor(&symbolic, &m).unwrap();
+            let b = m.mul_vec(&[1.0, -2.0, 0.5]);
+            let xs = shell.solve(&b).unwrap();
+            let xr = reference.solve(&b).unwrap();
+            // Same pattern, same values, same op order: bitwise identical.
+            for (a, b) in xs.iter().zip(&xr) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unfactored SparseLu shell")]
+    fn solving_an_unfilled_shell_panics() {
+        let a = csr_from_dense(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        let shell = SparseLu::<f64>::from_symbolic(&symbolic);
+        let _ = shell.solve(&[1.0, 2.0]);
     }
 
     #[test]

@@ -111,6 +111,35 @@ fn refactor_and_solve_hot_loop_is_allocation_free() {
         matrices.len() * n
     );
 
+    // The plan/context split of the parallel sweep executor: a worker mints
+    // a `SparseLu` shell from the shared symbolic analysis plus a pre-sized
+    // workspace (the mint cost, paid once per worker, outside the loop), and
+    // its ENTIRE loop — including the very first refactor, which fills the
+    // pre-allocated shell buffers — must not allocate.
+    let mut worker_lu = SparseLu::from_symbolic(&symbolic);
+    let mut worker_ws = LuWorkspace::for_dim(n);
+    let before = allocation_count();
+    for m in &matrices {
+        worker_lu
+            .refactor_into(&symbolic, m, &mut worker_ws)
+            .expect("refactor");
+        assert!(worker_lu.refactored(), "worker loop must not fall back");
+        for node in 0..n {
+            rhs.fill(0.0);
+            rhs[node] = 1.0;
+            worker_lu.solve_into(&mut rhs, &mut work).expect("solve");
+            assert!(rhs[node].is_finite());
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "a freshly minted worker context must run its whole sweep loop \
+         (first refactor included) without allocating, saw {} allocations",
+        after - before
+    );
+
     // Sanity-check that the counter really counts (the allocating
     // convenience `solve` must bump it), so the zero above is meaningful.
     let probe = allocation_count();

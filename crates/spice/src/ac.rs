@@ -17,26 +17,35 @@
 //! injection node at a given frequency, which is what makes whole-circuit
 //! stability scans cheap compared to running one full simulation per node.
 //!
-//! Across frequency points the heavy lifting is shared through
-//! [`crate::assembly::CachedMna`]: the sparsity pattern and value-slot map
-//! are built at the first frequency, every later point restamps values in
-//! place, and the fill-reducing LU ordering/fill pattern is computed once and
-//! reused by numeric-only refactorization into cache-owned buffers. A whole
-//! sweep therefore performs exactly one symbolic analysis (see
-//! [`AcAnalysis::solve_stats`]), and the per-node solves of the all-nodes
-//! scan run through [`loopscope_sparse::SparseLu::solve_into`] with shared
-//! buffers — zero heap allocations in the inner loop.
+//! Across frequency points the heavy lifting is shared through a
+//! [`SweepPlan`]: the sparsity pattern,
+//! value-slot map and fill-reducing LU symbolic analysis are built **once
+//! per analysis** and shared — read-only — by every solve. Frequency points
+//! are embarrassingly parallel, so all three sweep entry points
+//! ([`AcAnalysis::sweep`], [`AcAnalysis::driving_point_response`],
+//! [`AcAnalysis::driving_point_all_nodes`]) chunk their grid across worker
+//! threads via [`crate::par::sweep_chunks`] (`LOOPSCOPE_THREADS` knob,
+//! default = available parallelism). Each worker mints its own
+//! [`SolveContext`] from the shared plan:
+//! value buffers, numeric L/U, scratch — restamped in place, refactored
+//! numerically, solved through
+//! [`loopscope_sparse::SparseLu::solve_into`] with zero heap allocations in
+//! the per-node inner loop. Results are assembled in frequency order and
+//! are **bitwise identical at any worker count**; a whole sweep still
+//! performs exactly one symbolic analysis (see
+//! [`AcAnalysis::solve_stats`]).
 
-use crate::assembly::{AssembleMna, CachedMna, SolveStats};
+use crate::assembly::{AssembleMna, SolveContext, SolveStats, SweepPlan};
 use crate::dc::OperatingPoint;
 use crate::devices;
 use crate::error::SpiceError;
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
+use crate::par;
 use crate::GMIN;
 use loopscope_math::{interp, Complex64, FrequencyGrid, TWO_PI};
 use loopscope_netlist::{Circuit, Element, NodeId};
 use loopscope_sparse::CsrMatrix;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Results of an AC sweep: complex node voltages over frequency.
 ///
@@ -115,9 +124,17 @@ impl AcSweep {
 
     /// Magnitude of a node response, linearly interpolated at `freq_hz`.
     ///
-    /// Interpolates directly over the stored sweep data (clamping outside the
-    /// swept range, like [`interp::lerp_at`]) without materializing the full
-    /// magnitude vector.
+    /// Out-of-range queries **clamp to the endpoint values** — a frequency
+    /// below the first swept point returns the first sample's magnitude and
+    /// one above the last returns the last sample's, never an extrapolation
+    /// (this is [`interp::lerp_at_by`]'s documented contract, asserted by
+    /// this type's below-first/above-last unit tests). Interpolates directly
+    /// over the stored sweep data without materializing the full magnitude
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sweep.
     pub fn magnitude_at(&self, node: NodeId, freq_hz: f64) -> f64 {
         let idx = node.index();
         interp::lerp_at_by(&self.freqs, freq_hz, |i| self.data[i][idx].abs())
@@ -130,13 +147,17 @@ pub struct AcAnalysis<'c> {
     circuit: &'c Circuit,
     layout: MnaLayout,
     op_voltages: Vec<f64>,
-    /// Shared assembly/factorization cache: the Y(jω) sparsity pattern and LU
-    /// pivot order are identical at every frequency (and for both sweep and
-    /// driving-point excitations, which differ only in the right-hand side),
-    /// so one cache serves every solve this analysis performs. A `Mutex`
-    /// (never contended — each solve path locks once) rather than `RefCell`
-    /// so the analysis stays `Sync` for future parallel scans.
-    solver: Mutex<CachedMna<Complex64>>,
+    /// The shared sweep plan, built lazily at the first solve: the Y(jω)
+    /// sparsity pattern, slot map and LU symbolic analysis are identical at
+    /// every frequency (and for both sweep and driving-point excitations,
+    /// which differ only in the right-hand side), so one plan serves every
+    /// solve this analysis ever performs — shared read-only across the
+    /// worker threads of a chunked sweep. The `Mutex` only guards lazy
+    /// construction; workers hold `Arc` clones.
+    plan: Mutex<Option<Arc<SweepPlan<Complex64>>>>,
+    /// Sweep-level counter totals: the plan build plus every worker
+    /// context's counters, merged after each sweep.
+    stats: Mutex<SolveStats>,
 }
 
 /// Assembly job for the complex admittance system at one frequency.
@@ -174,7 +195,8 @@ impl<'c> AcAnalysis<'c> {
             circuit,
             layout: MnaLayout::new(circuit),
             op_voltages: op.node_voltages().to_vec(),
-            solver: Mutex::new(CachedMna::new()),
+            plan: Mutex::new(None),
+            stats: Mutex::new(SolveStats::default()),
         })
     }
 
@@ -183,12 +205,41 @@ impl<'c> AcAnalysis<'c> {
         &self.layout
     }
 
-    /// Counters describing how this analysis served its linear solves so far:
-    /// how many symbolic analyses, numeric refactorizations and in-place
-    /// assemblies ran. A fresh analysis performs exactly one symbolic
-    /// analysis for an entire sweep.
+    /// Counters describing how this analysis served its linear solves so
+    /// far: how many symbolic analyses, numeric refactorizations and
+    /// in-place assemblies ran, summed over the plan build and every worker
+    /// context (sums are chunking-independent, so the totals are identical
+    /// at any worker count). A fresh analysis performs exactly one symbolic
+    /// analysis for an entire sweep — or any number of sweeps.
     pub fn solve_stats(&self) -> SolveStats {
-        self.solver.lock().expect("solver lock").stats()
+        *self.stats.lock().expect("stats lock")
+    }
+
+    /// The shared sweep plan, built at the first solve from the system at
+    /// `first_freq` (representative values for the threshold-pivoted
+    /// ordering) and reused — read-only — for every later solve.
+    fn plan_for(&self, first_freq: f64) -> Result<Arc<SweepPlan<Complex64>>, SpiceError> {
+        let mut guard = self.plan.lock().expect("plan lock");
+        if let Some(plan) = guard.as_ref() {
+            return Ok(Arc::clone(plan));
+        }
+        let job = AcSystem {
+            analysis: self,
+            freq_hz: first_freq,
+            use_circuit_sources: false,
+        };
+        let plan = Arc::new(SweepPlan::build(&self.layout, &job).map_err(SpiceError::Linear)?);
+        self.stats.lock().expect("stats lock").merge(&plan.stats());
+        *guard = Some(Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Folds the counters of finished worker contexts into the totals.
+    fn absorb_worker_stats(&self, worker_stats: impl IntoIterator<Item = SolveStats>) {
+        let mut stats = self.stats.lock().expect("stats lock");
+        for s in worker_stats {
+            stats.merge(&s);
+        }
     }
 
     /// Assembles and returns the complex admittance matrix at `freq_hz`
@@ -326,30 +377,48 @@ impl<'c> AcAnalysis<'c> {
 
     /// Runs a classical AC sweep using the circuit's own AC sources.
     ///
+    /// Frequency points are chunked across worker threads (see
+    /// [`crate::par`]); results come back in frequency order and are
+    /// bitwise identical at any worker count.
+    ///
     /// # Errors
     ///
     /// Returns [`SpiceError::Linear`] when the linearized system is singular
-    /// at some frequency.
+    /// at some frequency (the lowest failing frequency wins).
     pub fn sweep(&self, grid: &FrequencyGrid) -> Result<AcSweep, SpiceError> {
-        let mut solver = self.solver.lock().expect("solver lock");
-        let mut data = Vec::with_capacity(grid.len());
-        let mut work = vec![Complex64::ZERO; self.layout.dim()];
-        for &f in grid.freqs() {
-            let job = AcSystem {
-                analysis: self,
-                freq_hz: f,
-                use_circuit_sources: true,
-            };
-            // The assembled RHS becomes the solution in place.
-            let mut solution = solver.assemble(&self.layout, &job);
-            let lu = solver.factor().map_err(SpiceError::Linear)?;
-            lu.solve_into(&mut solution, &mut work)
-                .map_err(SpiceError::Linear)?;
-            data.push(self.solve_into_node_row(&solution));
+        let freqs = grid.freqs();
+        if freqs.is_empty() {
+            return Ok(AcSweep {
+                freqs: Vec::new(),
+                data: Vec::new(),
+            });
         }
+        let plan = self.plan_for(freqs[0])?;
+        let (result, workers) = par::sweep_chunks(
+            freqs,
+            || plan.context(),
+            |ctx: &mut SolveContext<'_, Complex64>,
+             _idx,
+             &f|
+             -> Result<Vec<Complex64>, SpiceError> {
+                let job = AcSystem {
+                    analysis: self,
+                    freq_hz: f,
+                    use_circuit_sources: true,
+                };
+                // The assembled RHS becomes the solution in place.
+                let mut solution = ctx.assemble(&job);
+                ctx.factor().map_err(SpiceError::Linear)?;
+                ctx.solve_in_place(&mut solution)
+                    .map_err(SpiceError::Linear)?;
+                Ok(self.solve_into_node_row(&solution))
+            },
+        );
+        // Counters survive failures: merge before propagating any error.
+        self.absorb_worker_stats(workers.iter().map(|c| c.stats()));
         Ok(AcSweep {
-            freqs: grid.freqs().to_vec(),
-            data,
+            freqs: freqs.to_vec(),
+            data: result?,
         })
     }
 
@@ -377,31 +446,44 @@ impl<'c> AcAnalysis<'c> {
                 node.index()
             )));
         }
-        let mut solver = self.solver.lock().expect("solver lock");
-        let mut out = Vec::with_capacity(grid.len());
-        let mut x = vec![Complex64::ZERO; self.layout.dim()];
-        let mut work = vec![Complex64::ZERO; self.layout.dim()];
-        for &f in grid.freqs() {
-            let job = AcSystem {
-                analysis: self,
-                freq_hz: f,
-                use_circuit_sources: false,
-            };
-            let _ = solver.assemble(&self.layout, &job);
-            let lu = solver.factor().map_err(SpiceError::Linear)?;
-            // Unit current injection at `node`, solved in place.
-            x.fill(Complex64::ZERO);
-            x[var] = Complex64::ONE;
-            lu.solve_into(&mut x, &mut work)
-                .map_err(SpiceError::Linear)?;
-            out.push(x[var]);
+        let freqs = grid.freqs();
+        if freqs.is_empty() {
+            return Ok(Vec::new());
         }
-        Ok(out)
+        let plan = self.plan_for(freqs[0])?;
+        let dim = self.layout.dim();
+        let (out, workers) = par::sweep_chunks(
+            freqs,
+            // Per-worker state: a solve context plus the injection vector.
+            || (plan.context(), vec![Complex64::ZERO; dim]),
+            |(ctx, x): &mut (SolveContext<'_, Complex64>, Vec<Complex64>),
+             _idx,
+             &f|
+             -> Result<Complex64, SpiceError> {
+                let job = AcSystem {
+                    analysis: self,
+                    freq_hz: f,
+                    use_circuit_sources: false,
+                };
+                let _ = ctx.assemble(&job);
+                ctx.factor().map_err(SpiceError::Linear)?;
+                // Unit current injection at `node`, solved in place.
+                x.fill(Complex64::ZERO);
+                x[var] = Complex64::ONE;
+                ctx.solve_in_place(x).map_err(SpiceError::Linear)?;
+                Ok(x[var])
+            },
+        );
+        self.absorb_worker_stats(workers.iter().map(|(c, _)| c.stats()));
+        out
     }
 
     /// Driving-point responses for **every** non-ground node: the workhorse of
     /// the tool's "All Nodes" mode. At each frequency the admittance matrix is
-    /// factored once and re-used for all injection nodes.
+    /// factored once and re-used for all injection nodes, and frequencies are
+    /// chunked across worker threads — the machine-saturating scan the
+    /// plan/context split exists for. Results are assembled in frequency
+    /// order and are bitwise identical at any worker count.
     ///
     /// Returns one vector per signal node, in [`Circuit::signal_nodes`] order.
     ///
@@ -413,28 +495,47 @@ impl<'c> AcAnalysis<'c> {
         grid: &FrequencyGrid,
     ) -> Result<Vec<Vec<Complex64>>, SpiceError> {
         let nodes = self.circuit.signal_nodes();
-        let mut solver = self.solver.lock().expect("solver lock");
-        let mut out = vec![Vec::with_capacity(grid.len()); nodes.len()];
-        // Buffers shared by every (frequency, node) solve: the inner loop —
-        // one solve per node per frequency — performs zero heap allocations
-        // (`out` rows are at capacity, `solve_into` works in place).
-        let mut x = vec![Complex64::ZERO; self.layout.dim()];
-        let mut work = vec![Complex64::ZERO; self.layout.dim()];
-        for &f in grid.freqs() {
-            let job = AcSystem {
-                analysis: self,
-                freq_hz: f,
-                use_circuit_sources: false,
-            };
-            let _ = solver.assemble(&self.layout, &job);
-            let lu = solver.factor().map_err(SpiceError::Linear)?;
-            for (k, node) in nodes.iter().enumerate() {
-                let var = self.layout.node_var(*node).expect("signal node");
-                x.fill(Complex64::ZERO);
-                x[var] = Complex64::ONE;
-                lu.solve_into(&mut x, &mut work)
-                    .map_err(SpiceError::Linear)?;
-                out[k].push(x[var]);
+        let freqs = grid.freqs();
+        if freqs.is_empty() {
+            return Ok(vec![Vec::new(); nodes.len()]);
+        }
+        let plan = self.plan_for(freqs[0])?;
+        let dim = self.layout.dim();
+        // One row of node responses per frequency; the per-node inner loop
+        // reuses the worker's injection vector and solve scratch — one solve
+        // per node per frequency with zero heap allocations.
+        let (rows, workers) = par::sweep_chunks(
+            freqs,
+            || (plan.context(), vec![Complex64::ZERO; dim]),
+            |(ctx, x): &mut (SolveContext<'_, Complex64>, Vec<Complex64>),
+             _idx,
+             &f|
+             -> Result<Vec<Complex64>, SpiceError> {
+                let job = AcSystem {
+                    analysis: self,
+                    freq_hz: f,
+                    use_circuit_sources: false,
+                };
+                let _ = ctx.assemble(&job);
+                ctx.factor().map_err(SpiceError::Linear)?;
+                let mut row = Vec::with_capacity(nodes.len());
+                for node in &nodes {
+                    let var = self.layout.node_var(*node).expect("signal node");
+                    x.fill(Complex64::ZERO);
+                    x[var] = Complex64::ONE;
+                    ctx.solve_in_place(x).map_err(SpiceError::Linear)?;
+                    row.push(x[var]);
+                }
+                Ok(row)
+            },
+        );
+        self.absorb_worker_stats(workers.iter().map(|(c, _)| c.stats()));
+        // Transpose frequency-major worker rows into the node-major layout
+        // the stability report consumes.
+        let mut out = vec![Vec::with_capacity(freqs.len()); nodes.len()];
+        for row in rows? {
+            for (k, v) in row.into_iter().enumerate() {
+                out[k].push(v);
             }
         }
         Ok(out)
@@ -607,6 +708,41 @@ mod tests {
         let sweep = ac.sweep(&grid).unwrap();
         let gain = sweep.magnitude(vd)[0];
         assert!((gain - 4.0).abs() < 0.1, "gain = {gain}");
+    }
+
+    #[test]
+    fn magnitude_at_clamps_below_first_point() {
+        let (c, _, vout) = rc_lowpass();
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        // Sweep starts at 10 Hz: querying below must return the 10 Hz value,
+        // not a left-extrapolation of the first segment's slope.
+        let grid = FrequencyGrid::log_decade(10.0, 1.0e5, 10);
+        let sweep = ac.sweep(&grid).unwrap();
+        let first = sweep.magnitude(vout)[0];
+        assert_eq!(sweep.magnitude_at(vout, 10.0), first);
+        assert_eq!(sweep.magnitude_at(vout, 1.0), first);
+        assert_eq!(sweep.magnitude_at(vout, 0.0), first);
+        assert_eq!(sweep.magnitude_at(vout, -5.0), first);
+    }
+
+    #[test]
+    fn magnitude_at_clamps_above_last_point() {
+        let (c, _, vout) = rc_lowpass();
+        let op = solve_dc(&c).unwrap();
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let grid = FrequencyGrid::log_decade(10.0, 1.0e4, 10);
+        let sweep = ac.sweep(&grid).unwrap();
+        let last = *sweep.magnitude(vout).last().unwrap();
+        // Above the last point the −20 dB/dec rolloff would extrapolate far
+        // below the last sample; the contract is to clamp instead.
+        assert_eq!(sweep.magnitude_at(vout, 1.0e4), last);
+        assert_eq!(sweep.magnitude_at(vout, 1.0e6), last);
+        assert_eq!(sweep.magnitude_at(vout, f64::MAX), last);
+        // Interior queries still interpolate (strictly between neighbours).
+        let mid = sweep.magnitude_at(vout, 200.0);
+        assert!(mid < sweep.magnitude_at(vout, 100.0));
+        assert!(mid > last);
     }
 
     #[test]

@@ -30,11 +30,26 @@
 //! [`SolveStats`] counts what actually happened, which is how the tests (and
 //! the `solver_refactor` bench) assert that e.g. a whole AC sweep performs
 //! exactly one symbolic analysis.
+//!
+//! # Two drivers over the same machinery
+//!
+//! * [`CachedMna`] is the **adaptive serial cache**: it owns pattern,
+//!   symbolic analysis and factors in one mutable bundle, rebuilding and
+//!   re-adopting them as the matrix structure or numerics drift. That is the
+//!   right shape for DC Newton loops and transient stepping, where operating
+//!   regions change and each solve depends on the previous one.
+//! * [`SweepPlan`] / [`SolveContext`] are the **parallel sweep engine**: the
+//!   same pipeline split into an immutable, shareable plan (slot maps, CSR
+//!   pattern, symbolic analysis) and a per-worker context holding every
+//!   mutable buffer. Frequency sweeps are embarrassingly parallel, and the
+//!   split is what lets [`crate::par::sweep_chunks`] chunk a sweep across
+//!   worker threads with bitwise-identical results at any worker count.
 
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
 use loopscope_sparse::{
     ordering, CsrMatrix, LuWorkspace, Scalar, SolveError, SparseLu, SymbolicLu,
 };
+use std::sync::Arc;
 
 /// A circuit-assembly job: stamps one MNA system into any matrix sink.
 ///
@@ -97,6 +112,22 @@ impl SolveStats {
     /// Total number of factorizations of any kind.
     pub fn factorizations(&self) -> usize {
         self.symbolic + self.numeric_refactor + self.fresh_fallback
+    }
+
+    /// Accumulates another counter set into this one.
+    ///
+    /// The parallel sweep executor hands every worker its own
+    /// [`SolveContext`] (and with it its own `SolveStats`); merging the
+    /// workers' counters into the plan-level totals keeps sweep invariants —
+    /// "one symbolic analysis per sweep", "every point was a numeric
+    /// refactorization" — assertable under any thread count, because sums
+    /// are independent of how the points were chunked.
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.symbolic += other.symbolic;
+        self.numeric_refactor += other.numeric_refactor;
+        self.fresh_fallback += other.fresh_fallback;
+        self.pattern_rebuilds += other.pattern_rebuilds;
+        self.cached_assemblies += other.cached_assemblies;
     }
 }
 
@@ -311,6 +342,309 @@ impl<T: Scalar> CachedMna<T> {
     }
 }
 
+/// The **immutable, shareable half** of a sweep's solver state: everything
+/// that is a function of the circuit *structure* (and of the representative
+/// values the plan was built from), nothing that mutates during a solve.
+///
+/// A plan holds the [`MnaLayout`]'s slot assignment, the CSR sparsity
+/// pattern (values zeroed) whose slot map every assembly reuses, and the
+/// [`SymbolicLu`] — row/column permutations plus fill pattern — captured by
+/// one fill-reducing ordered factorization at build time. All of it is
+/// read-only, so a plan is `Sync` and can be shared by reference (or
+/// `Arc`) across any number of worker threads.
+///
+/// The mutable half lives in [`SolveContext`], minted per worker by
+/// [`context`](SweepPlan::context): value buffers, L/U numeric buffers,
+/// scratch and counters. The split is what makes frequency sweeps
+/// embarrassingly parallel — workers share the expensive analysis and own
+/// everything they write to:
+///
+/// ```text
+///            SweepPlan (built once, immutable, shared)
+///      layout slot maps · CSR pattern · Arc<SymbolicLu> (perm, cperm, fill)
+///            │ context()          │ context()            │ context()
+///            ▼                    ▼                      ▼
+///      SolveContext #1      SolveContext #2        SolveContext #3
+///      csr values, L/U      csr values, L/U        csr values, L/U
+///      workspace, stats     workspace, stats       workspace, stats
+/// ```
+///
+/// Because every context always refactors against the *same* plan symbolic
+/// (never adopting a per-worker pattern mid-sweep), the values a context
+/// produces at a point depend only on the job at that point — results are
+/// bitwise identical no matter how points are chunked across workers.
+///
+/// ```
+/// use loopscope_netlist::{Circuit, SourceSpec};
+/// use loopscope_spice::assembly::{AssembleMna, SweepPlan};
+/// use loopscope_spice::mna::{MatrixSink, MnaLayout, Stamper};
+///
+/// struct Divider {
+///     g: f64,
+/// }
+/// impl AssembleMna<f64> for Divider {
+///     fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+///         st.add_var_var(0, 0, self.g + 1.0e-3);
+///         st.add_var_var(0, 1, -self.g);
+///         st.add_var_var(1, 0, -self.g);
+///         st.add_var_var(1, 1, self.g);
+///         st.add_rhs_var(0, 1.0e-3);
+///     }
+/// }
+///
+/// let mut c = Circuit::new("divider");
+/// let a = c.node("a");
+/// let b = c.node("b");
+/// c.add_resistor("R1", a, Circuit::GROUND, 1.0e3);
+/// c.add_resistor("R2", a, b, 1.0e3);
+/// c.add_isource("I1", Circuit::GROUND, a, SourceSpec::dc(1.0e-3));
+/// let layout = MnaLayout::new(&c);
+///
+/// // One symbolic analysis at build time, shared by every context.
+/// let plan = SweepPlan::build(&layout, &Divider { g: 1.0e-3 })?;
+/// let mut ctx = plan.context();
+/// for k in 1..=4 {
+///     let x = ctx.solve(&Divider { g: 1.0e-3 * k as f64 })?;
+///     assert!(x[0].is_finite());
+/// }
+/// assert_eq!(plan.stats().symbolic, 1);
+/// assert_eq!(ctx.stats().numeric_refactor, 4);
+/// assert_eq!(ctx.stats().symbolic, 0);
+/// # Ok::<(), loopscope_sparse::SolveError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepPlan<T: Scalar> {
+    layout: MnaLayout,
+    /// The shared sparsity pattern with zeroed values: every context clones
+    /// it once at mint time and restamps values into its own copy.
+    pattern: CsrMatrix<T>,
+    /// Permutations + fill pattern shared by every context (`SymbolicLu` is
+    /// itself `Arc`-backed, so the extra `Arc` keeps the plan cheaply
+    /// clonable as a whole).
+    symbolic: Arc<SymbolicLu>,
+    /// Counters of the build itself (exactly one symbolic analysis).
+    build_stats: SolveStats,
+}
+
+impl<T: Scalar> SweepPlan<T> {
+    /// Builds a plan by assembling `job` from scratch (triplets → CSR) and
+    /// running one fill-reducing ordered factorization over it to capture
+    /// the symbolic analysis.
+    ///
+    /// `job` should stamp **representative values** (e.g. the first
+    /// frequency point of the sweep): the threshold-pivoted ordering is
+    /// computed from them, and every context refactorization reuses it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] when the representative system
+    /// is singular.
+    pub fn build(layout: &MnaLayout, job: &impl AssembleMna<T>) -> Result<Self, SolveError> {
+        let mut stamper = Stamper::new(layout);
+        job.stamp(&mut stamper);
+        let (triplets, _rhs) = stamper.finish();
+        let mut pattern = triplets.to_csr();
+        let order = ordering::min_degree_order(&pattern);
+        let (_, symbolic) = SparseLu::factor_with_symbolic_ordered(&pattern, &order)?;
+        pattern.zero_values();
+        Ok(Self {
+            layout: layout.clone(),
+            pattern,
+            symbolic: Arc::new(symbolic),
+            build_stats: SolveStats {
+                symbolic: 1,
+                ..SolveStats::default()
+            },
+        })
+    }
+
+    /// The MNA layout whose slot assignment the plan's pattern was built for.
+    pub fn layout(&self) -> &MnaLayout {
+        &self.layout
+    }
+
+    /// Matrix dimension of the planned system.
+    pub fn dim(&self) -> usize {
+        self.symbolic.dim()
+    }
+
+    /// The symbolic analysis (permutations + fill pattern) every context
+    /// refactorization reuses.
+    pub fn symbolic(&self) -> &SymbolicLu {
+        &self.symbolic
+    }
+
+    /// Counters of the plan build itself: exactly one symbolic analysis.
+    /// Merge with the workers' [`SolveContext::stats`] for sweep totals.
+    pub fn stats(&self) -> SolveStats {
+        self.build_stats
+    }
+
+    /// Mints a fresh per-worker [`SolveContext`]: its own value CSR (cloned
+    /// from the shared pattern), an unfilled L/U shell over the shared
+    /// symbolic analysis, a pre-sized workspace and solve scratch. All
+    /// allocation happens here; the context's sweep loop is allocation-free
+    /// on the factor/solve side from its very first point.
+    pub fn context(&self) -> SolveContext<'_, T> {
+        let n = self.dim();
+        SolveContext {
+            plan: self,
+            csr: self.pattern.clone(),
+            lu: SparseLu::from_symbolic(&self.symbolic),
+            workspace: LuWorkspace::for_dim(n),
+            solve_work: vec![T::ZERO; n],
+            off_pattern: None,
+            factored: false,
+            stats: SolveStats::default(),
+        }
+    }
+}
+
+/// The **mutable, per-worker half** of a sweep's solver state: everything a
+/// solve writes to, owned exclusively by one worker.
+///
+/// Minted by [`SweepPlan::context`]; drive each point through
+/// [`assemble`](SolveContext::assemble) → [`factor`](SolveContext::factor) →
+/// [`solve_in_place`](SolveContext::solve_in_place) (one factor, many
+/// right-hand sides — the all-nodes scan), or the
+/// [`solve`](SolveContext::solve) convenience wrapper.
+///
+/// Unlike [`CachedMna`], a context never adopts a new pattern or pivot
+/// order mid-sweep: every point refactors against the plan's fixed
+/// symbolic analysis, and a numerically degraded point falls back to a
+/// fresh factorization **for that point only**. Results at a point are
+/// therefore a pure function of the job — independent of the points the
+/// context processed before — which is what makes chunked parallel sweeps
+/// bitwise identical to the serial run.
+#[derive(Debug)]
+pub struct SolveContext<'p, T: Scalar> {
+    plan: &'p SweepPlan<T>,
+    /// Worker-owned value buffer over the plan's sparsity pattern.
+    csr: CsrMatrix<T>,
+    /// Worker-owned L/U numeric buffers (pattern shared with the plan).
+    lu: SparseLu<T>,
+    workspace: LuWorkspace<T>,
+    solve_work: Vec<T>,
+    /// A from-scratch matrix built when a stamp missed the shared pattern;
+    /// consumed by the next [`factor`](SolveContext::factor) as a one-point
+    /// fallback (the plan and the context's slot map stay untouched).
+    off_pattern: Option<CsrMatrix<T>>,
+    factored: bool,
+    stats: SolveStats,
+}
+
+impl<'p, T: Scalar> SolveContext<'p, T> {
+    /// The plan this context was minted from.
+    pub fn plan(&self) -> &'p SweepPlan<T> {
+        self.plan
+    }
+
+    /// Counters accumulated by this context since it was minted.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Assembles the MNA system for `job` into the context's value buffer
+    /// (value-only restamp over the plan's slot map) and returns the
+    /// right-hand side.
+    ///
+    /// A job stamping outside the shared pattern — which cannot happen for
+    /// the frequency sweeps the plan exists for, whose pattern is
+    /// frequency-independent — is handled per point: the system is rebuilt
+    /// from scratch and the next [`factor`](SolveContext::factor) runs a
+    /// fresh analysis for this point only, leaving the shared plan (and
+    /// later points) untouched.
+    pub fn assemble(&mut self, job: &impl AssembleMna<T>) -> Vec<T> {
+        self.off_pattern = None;
+        self.factored = false;
+        self.csr.zero_values();
+        let mut stamper = Stamper::with_sink(self.plan.layout(), SlotSink::new(&mut self.csr));
+        job.stamp(&mut stamper);
+        let (sink, rhs) = stamper.into_parts();
+        if !sink.missed() {
+            self.stats.cached_assemblies += 1;
+            return rhs;
+        }
+        self.stats.pattern_rebuilds += 1;
+        let mut stamper = Stamper::new(self.plan.layout());
+        job.stamp(&mut stamper);
+        let (triplets, rhs) = stamper.finish();
+        self.off_pattern = Some(triplets.to_csr());
+        rhs
+    }
+
+    /// Factors the most recently assembled system: a numeric-only
+    /// refactorization against the plan's symbolic analysis (the hot path),
+    /// or a fresh one-point factorization when the assembly went off
+    /// pattern or a pivot degraded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] when the system is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before any [`assemble`](SolveContext::assemble).
+    pub fn factor(&mut self) -> Result<&SparseLu<T>, SolveError> {
+        if let Some(matrix) = self.off_pattern.take() {
+            // One-point fallback: a full analysis of the off-plan matrix.
+            let order = ordering::min_degree_order(&matrix);
+            let (lu, _) = SparseLu::factor_with_symbolic_ordered(&matrix, &order)?;
+            self.stats.symbolic += 1;
+            self.lu = lu;
+            self.factored = true;
+            return Ok(&self.lu);
+        }
+        self.lu
+            .refactor_into(&self.plan.symbolic, &self.csr, &mut self.workspace)?;
+        if self.lu.refactored() {
+            self.stats.numeric_refactor += 1;
+        } else {
+            // Degraded pivot at this point: `refactor_into` already fell
+            // back to a fresh factorization. Unlike `CachedMna` the new
+            // pattern is NOT adopted — the next point refactors against the
+            // shared plan again, so no point's result ever depends on chunk
+            // boundaries or on which points this worker saw before.
+            self.stats.fresh_fallback += 1;
+        }
+        self.factored = true;
+        Ok(&self.lu)
+    }
+
+    /// Solves the factored system in place: `rhs` holds `b` on entry and
+    /// `x` on return, using the context's own scratch (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::RhsLength`] when `rhs` does not match the
+    /// system dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no successful [`factor`](SolveContext::factor) call has
+    /// run since the last assembly.
+    pub fn solve_in_place(&mut self, rhs: &mut [T]) -> Result<(), SolveError> {
+        assert!(
+            self.factored,
+            "SolveContext::factor must succeed before solving"
+        );
+        self.lu.solve_into(rhs, &mut self.solve_work)
+    }
+
+    /// Convenience wrapper: assemble, factor, and solve with the assembled
+    /// right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] when the system is singular.
+    pub fn solve(&mut self, job: &impl AssembleMna<T>) -> Result<Vec<T>, SolveError> {
+        let mut rhs = self.assemble(job);
+        self.factor()?;
+        self.solve_in_place(&mut rhs)?;
+        Ok(rhs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +766,128 @@ mod tests {
         assert_eq!(stats.numeric_refactor, 4);
         assert_eq!(stats.fresh_fallback, 0);
         assert_eq!(stats.factorizations(), 5);
+    }
+
+    #[test]
+    fn plan_contexts_are_independent_and_deterministic() {
+        let (_c, layout) = two_node_layout();
+        let job0 = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        let plan = SweepPlan::<f64>::build(&layout, &job0).unwrap();
+        assert_eq!(plan.stats().symbolic, 1);
+        assert_eq!(plan.dim(), layout.dim());
+
+        // Two contexts solving the same jobs must agree bitwise — and both
+        // must match a context that solved them in a different order.
+        let jobs: Vec<LadderJob> = (1..=5)
+            .map(|k| LadderJob {
+                g1: 1.0e-3 * k as f64,
+                g2: 2.0e-3 / k as f64,
+                extra_entry: false,
+            })
+            .collect();
+        let mut ctx_a = plan.context();
+        let mut ctx_b = plan.context();
+        let forward: Vec<Vec<f64>> = jobs.iter().map(|j| ctx_a.solve(j).unwrap()).collect();
+        let backward: Vec<Vec<f64>> = jobs.iter().rev().map(|j| ctx_b.solve(j).unwrap()).collect();
+        for (i, x) in forward.iter().enumerate() {
+            let y = &backward[jobs.len() - 1 - i];
+            assert_eq!(x, y, "job {i} must not depend on processing order");
+        }
+        // Every point was a numeric refactorization over the shared plan.
+        assert_eq!(ctx_a.stats().symbolic, 0);
+        assert_eq!(ctx_a.stats().numeric_refactor, jobs.len());
+        assert_eq!(ctx_a.stats().cached_assemblies, jobs.len());
+        assert_eq!(ctx_a.stats().pattern_rebuilds, 0);
+    }
+
+    #[test]
+    fn plan_context_matches_cached_mna() {
+        let (_c, layout) = two_node_layout();
+        let jobs: Vec<LadderJob> = (1..=4)
+            .map(|k| LadderJob {
+                g1: 0.5e-3 * k as f64,
+                g2: 1.5e-3,
+                extra_entry: false,
+            })
+            .collect();
+        let plan = SweepPlan::<f64>::build(&layout, &jobs[0]).unwrap();
+        let mut ctx = plan.context();
+        let mut cache = CachedMna::<f64>::new();
+        for job in &jobs {
+            let from_plan = ctx.solve(job).unwrap();
+            let from_cache = cache.solve(&layout, job).unwrap();
+            for (a, b) in from_plan.iter().zip(&from_cache) {
+                assert!((a - b).abs() <= 1e-15 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn off_pattern_point_falls_back_without_poisoning_later_points() {
+        let (_c, layout) = two_node_layout();
+        // Plan built over a diagonal-only pattern...
+        struct DiagOnly;
+        impl AssembleMna<f64> for DiagOnly {
+            fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+                st.add_var_var(0, 0, 1.0);
+                st.add_var_var(1, 1, 2.0);
+                st.add_rhs_var(0, 1.0);
+            }
+        }
+        let plan = SweepPlan::<f64>::build(&layout, &DiagOnly).unwrap();
+        let mut ctx = plan.context();
+        // ...hit with an off-diagonal job: the point must still solve right.
+        let off = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        let x = ctx.solve(&off).unwrap();
+        let mut st = Stamper::new(&layout);
+        off.stamp(&mut st);
+        let (trip, rhs) = st.finish();
+        let reference = loopscope_sparse::solve_once(&trip.to_csr(), &rhs).unwrap();
+        for (a, b) in x.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        assert_eq!(ctx.stats().pattern_rebuilds, 1);
+        assert_eq!(ctx.stats().symbolic, 1);
+        // An on-plan point afterwards goes back to the shared fast path and
+        // matches a context that never saw the off-pattern job.
+        let on = DiagOnly;
+        let after = ctx.solve(&on).unwrap();
+        let fresh = plan.context().solve(&on).unwrap();
+        assert_eq!(after, fresh);
+        assert_eq!(ctx.stats().numeric_refactor, 1);
+    }
+
+    #[test]
+    fn merged_stats_are_chunking_invariant() {
+        let mut a = SolveStats {
+            symbolic: 1,
+            numeric_refactor: 3,
+            fresh_fallback: 0,
+            pattern_rebuilds: 0,
+            cached_assemblies: 4,
+        };
+        let b = SolveStats {
+            symbolic: 0,
+            numeric_refactor: 5,
+            fresh_fallback: 1,
+            pattern_rebuilds: 2,
+            cached_assemblies: 6,
+        };
+        a.merge(&b);
+        assert_eq!(a.symbolic, 1);
+        assert_eq!(a.numeric_refactor, 8);
+        assert_eq!(a.fresh_fallback, 1);
+        assert_eq!(a.pattern_rebuilds, 2);
+        assert_eq!(a.cached_assemblies, 10);
+        assert_eq!(a.factorizations(), 10);
     }
 
     #[test]

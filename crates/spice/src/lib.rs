@@ -14,11 +14,16 @@
 //!
 //! The MNA formulation, element stamps and device companion models live in
 //! [`mna`] and [`devices`]; measurement helpers (overshoot, gain/phase
-//! margins, crossovers) live in [`measure`]. All three analyses drive their
-//! linear solves through [`assembly::CachedMna`], which builds the sparsity
-//! pattern and the LU pivot order once per circuit structure and then
-//! restamps values in place and refactors numerically for every further
-//! frequency point, Newton iteration or timestep.
+//! margins, crossovers) live in [`measure`]. The solver pipeline builds the
+//! sparsity pattern and the LU pivot order once per circuit structure and
+//! then restamps values in place and refactors numerically for every
+//! further frequency point, Newton iteration or timestep — in two shapes:
+//! the sequential analyses (DC Newton, transient stepping) use the adaptive
+//! [`assembly::CachedMna`] cache, while the frequency sweeps split the same
+//! state into a shared immutable [`assembly::SweepPlan`] plus per-worker
+//! [`assembly::SolveContext`]s and run their grids across scoped worker
+//! threads through [`par::sweep_chunks`] (`LOOPSCOPE_THREADS` knob, results
+//! bitwise identical at any worker count).
 //!
 //! # Example
 //!
@@ -54,10 +59,11 @@ pub mod devices;
 pub mod error;
 pub mod measure;
 pub mod mna;
+pub mod par;
 pub mod tran;
 
 pub use ac::{AcAnalysis, AcSweep};
-pub use assembly::{AssembleMna, CachedMna, SlotSink, SolveStats};
+pub use assembly::{AssembleMna, CachedMna, SlotSink, SolveContext, SolveStats, SweepPlan};
 pub use dc::{solve_dc, DcOptions, OperatingPoint};
 pub use error::SpiceError;
 pub use tran::{TransientAnalysis, TransientOptions, TransientResult};

@@ -4,8 +4,47 @@
 use loopscope_math::FrequencyGrid;
 use loopscope_netlist::{Circuit, SourceSpec};
 use loopscope_spice::ac::AcAnalysis;
+use loopscope_spice::assembly::{AssembleMna, CachedMna, SweepPlan};
 use loopscope_spice::dc::solve_dc;
+use loopscope_spice::mna::{MatrixSink, MnaLayout, Stamper};
 use proptest::prelude::*;
+
+/// A conductance-chain assembly job over raw MNA variables — the same
+/// pattern at every parameter set, like one frequency point of a sweep.
+struct ChainJob {
+    gs: Vec<f64>,
+    shunt: f64,
+}
+
+impl AssembleMna<f64> for ChainJob {
+    fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+        let n = self.gs.len();
+        for (i, &g) in self.gs.iter().enumerate() {
+            st.add_var_var(i, i, g + self.shunt);
+            if i + 1 < n {
+                st.add_var_var(i, i + 1, -g);
+                st.add_var_var(i + 1, i, -g);
+                st.add_var_var(i + 1, i + 1, g);
+            }
+        }
+        st.add_rhs_var(0, 1.0e-3);
+    }
+}
+
+/// A resistor chain whose `MnaLayout` has exactly `n` variables (no branch
+/// currents), so [`ChainJob`] can address them directly.
+fn chain_layout(n: usize) -> MnaLayout {
+    let mut c = Circuit::new("chain layout");
+    let mut prev = Circuit::GROUND;
+    for k in 0..n {
+        let node = c.node(&format!("n{k}"));
+        c.add_resistor(&format!("R{k}"), prev, node, 1.0);
+        prev = node;
+    }
+    let layout = MnaLayout::new(&c);
+    assert_eq!(layout.dim(), n);
+    layout
+}
 
 /// Builds a random ladder of resistors with capacitors to ground, driven by a
 /// DC + AC source. Always a valid, passive, connected circuit.
@@ -72,6 +111,51 @@ proptest! {
                 prev_mag = mag;
             }
         }
+    }
+
+    /// Plan/context split vs the adaptive cache: solving a series of
+    /// same-pattern systems through a `SweepPlan`-built `SolveContext` must
+    /// agree with a fresh `CachedMna` (which runs its own symbolic analysis
+    /// per value set it first sees) and with a from-scratch factorization,
+    /// and a second context over the same plan must reproduce the first
+    /// bitwise.
+    #[test]
+    fn sweep_plan_contexts_agree_with_cached_mna(
+        gs0 in prop::collection::vec(1.0e-6f64..1.0e-1, 2..9),
+        scales in prop::collection::vec(0.05f64..20.0, 1..6),
+        shunt in 1.0e-9f64..1.0e-3,
+    ) {
+        let layout = chain_layout(gs0.len());
+        let plan = SweepPlan::<f64>::build(&layout, &ChainJob { gs: gs0.clone(), shunt })
+            .expect("representative chain factors");
+        let mut ctx = plan.context();
+        let mut ctx2 = plan.context();
+        let mut cache = CachedMna::<f64>::new();
+        for scale in scales {
+            let job = ChainJob {
+                gs: gs0.iter().map(|g| g * scale).collect(),
+                shunt,
+            };
+            let from_plan = ctx.solve(&job).expect("context solves");
+            let from_cache = cache.solve(&layout, &job).expect("cache solves");
+            // From-scratch reference: fresh triplets, fresh factorization.
+            let mut st = Stamper::new(&layout);
+            job.stamp(&mut st);
+            let (trip, rhs) = st.finish();
+            let fresh = loopscope_sparse::solve_once(&trip.to_csr(), &rhs).expect("solvable");
+            for ((a, b), c) in from_plan.iter().zip(&from_cache).zip(&fresh) {
+                let scale_ref = c.abs().max(1e-30);
+                prop_assert!((a - c).abs() / scale_ref < 1e-9, "plan vs fresh: {a} vs {c}");
+                prop_assert!((b - c).abs() / scale_ref < 1e-9, "cache vs fresh: {b} vs {c}");
+            }
+            // Contexts over one plan are deterministic replicas of each other.
+            let replay = ctx2.solve(&job).expect("context solves");
+            prop_assert_eq!(from_plan, replay);
+        }
+        // The plan ran the only symbolic analysis on its side of the fence.
+        prop_assert_eq!(plan.stats().symbolic, 1);
+        prop_assert_eq!(ctx.stats().symbolic, 0);
+        prop_assert_eq!(ctx.stats().pattern_rebuilds, 0);
     }
 
     /// Driving-point impedance of a passive one-port has a non-negative real

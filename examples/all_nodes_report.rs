@@ -2,19 +2,27 @@
 //! report in the format of the paper's Table 2 — every node's stability peak
 //! and natural frequency, grouped into loops and sorted by frequency.
 //!
+//! The scan's frequency points are chunked across worker threads (set
+//! `LOOPSCOPE_THREADS` to pin the count; the default uses every hardware
+//! core) — the report is bitwise identical at any worker count.
+//!
 //! Run with `cargo run --release --example all_nodes_report`.
 
 use loopscope::prelude::*;
 use loopscope_circuits::opamp_with_bias;
+use loopscope_spice::par;
 
 fn main() -> Result<(), StabilityError> {
     let (circuit, opamp_nodes, bias_nodes) =
         opamp_with_bias(&OpAmpParams::default(), &BiasParams::default());
     println!(
-        "circuit `{}`: {} nodes, {} elements",
+        "circuit `{}`: {} nodes, {} elements — scanning with {} sweep worker(s) \
+         (set {} to override)",
         circuit.title(),
         circuit.node_count(),
-        circuit.elements().len()
+        circuit.elements().len(),
+        par::configured_workers(),
+        par::THREADS_ENV,
     );
 
     let options = StabilityOptions {
