@@ -9,14 +9,23 @@
 //! pivoting factorization per point, compares the **minimum-degree ordered,
 //! threshold-pivoted** pattern against the natural partial-pivoting one
 //! (nnz(L+U) and refactor throughput), prints the sweep-level counters
-//! proving a whole scan performs exactly one symbolic analysis, and (S3)
+//! proving a whole scan performs exactly one symbolic analysis, (S3)
 //! measures the thread scaling of the `SweepPlan`/`SolveContext` parallel
-//! sweep executor at 1/2/4 workers.
+//! sweep executor at 1/2/4 workers, and (S4) measures the KLU-style
+//! block-triangular factorization (fill vs the whole-matrix ordering, with
+//! the block count) and the blocked multi-RHS all-nodes scan against the
+//! per-RHS path.
+//!
+//! Every scenario's ns/op — plus nnz(L+U) and BTF block count where they
+//! apply — is also written as machine-readable JSON to
+//! `target/BENCH_solver.json`, so the performance trajectory can be tracked
+//! across PRs (CI runs the bench in quick mode — `BENCH_QUICK=1`, fewer
+//! iterations, same assertions — and uploads the JSON as an artifact).
 //!
 //! Regenerate with `cargo bench -p loopscope-bench --bench solver_refactor`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use loopscope_circuits::blocks::rc_ladder;
+use loopscope_circuits::blocks::{opamp_cascade, rc_ladder};
 use loopscope_circuits::{mos_two_stage_buffer, two_stage_buffer, OpAmpParams};
 use loopscope_math::{Complex64, FrequencyGrid};
 use loopscope_sparse::{ordering, CsrMatrix, LuWorkspace, SparseLu, SymbolicLu, TripletMatrix};
@@ -24,6 +33,100 @@ use loopscope_spice::ac::AcAnalysis;
 use loopscope_spice::dc::solve_dc;
 use loopscope_spice::par;
 use std::time::Instant;
+
+/// `BENCH_QUICK=1` (any non-empty value but `0`) cuts iteration counts for
+/// CI: same scenarios, same assertions, a fraction of the wall clock.
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Scales a full-run iteration count down in quick mode.
+fn iters(full: usize) -> usize {
+    if quick_mode() {
+        (full / 10).max(2)
+    } else {
+        full
+    }
+}
+
+/// Wall-clock ratio assertions are hard in a full run but demoted to
+/// warnings in quick mode: CI runs on shared, noisy-neighbor vCPUs with
+/// minimal repetitions, where a scheduling hiccup could fail a timing
+/// ratio with no code change. Structural assertions (fill, block counts,
+/// solve counters) are deterministic and stay hard everywhere.
+fn assert_timing(condition: bool, message: &str) {
+    if condition {
+        return;
+    }
+    if quick_mode() {
+        println!("WARNING (BENCH_QUICK: timing assertion demoted to warning): {message}");
+    } else {
+        panic!("{message}");
+    }
+}
+
+/// One scenario line of the machine-readable `BENCH_solver.json`.
+struct Record {
+    name: String,
+    ns_per_op: f64,
+    nnz_lu: Option<usize>,
+    blocks: Option<usize>,
+}
+
+impl Record {
+    fn new(name: impl Into<String>, ns_per_op: f64) -> Self {
+        Self {
+            name: name.into(),
+            ns_per_op,
+            nnz_lu: None,
+            blocks: None,
+        }
+    }
+
+    fn with_structure(mut self, nnz_lu: usize, blocks: usize) -> Self {
+        self.nnz_lu = Some(nnz_lu);
+        self.blocks = Some(blocks);
+        self
+    }
+}
+
+/// Writes the collected scenario records to `target/BENCH_solver.json`
+/// (hand-rolled JSON — the workspace is offline and dependency-free).
+fn write_bench_json(records: &[Record]) {
+    // Benches run with the package directory as cwd; resolve the WORKSPACE
+    // target directory so CI can pick the file up at target/BENCH_solver.json.
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
+    let path = std::path::Path::new(&target).join("BENCH_solver.json");
+    let mut out = String::from("{\n  \"bench\": \"solver_refactor\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let nnz = r
+            .nnz_lu
+            .map_or_else(|| "null".to_string(), |v| v.to_string());
+        let blocks = r
+            .blocks
+            .map_or_else(|| "null".to_string(), |v| v.to_string());
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}, \"nnz_lu\": {}, \"blocks\": {}}}{}\n",
+            r.name,
+            r.ns_per_op,
+            nnz,
+            blocks,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::create_dir_all(&target).and_then(|()| std::fs::write(&path, &out)) {
+        Ok(()) => println!(
+            "\nwrote {} scenario record(s) to {}",
+            records.len(),
+            path.display()
+        ),
+        Err(e) => println!("\nWARNING: could not write {}: {e}", path.display()),
+    }
+}
 
 /// Builds the complex MNA admittance matrix of an N-stage RC ladder at a
 /// given angular-frequency scale (same pattern for every scale).
@@ -58,16 +161,17 @@ fn print_speedup_table(
     label: &str,
     matrices: &[CsrMatrix<Complex64>],
     symbolic: &SymbolicLu,
-    iters: usize,
+    reps: usize,
+    records: &mut Vec<Record>,
 ) {
     let mut k = 0usize;
-    let fresh_ns = time_ns(iters, || {
+    let fresh_ns = time_ns(reps, || {
         let m = &matrices[k % matrices.len()];
         k += 1;
         std::hint::black_box(SparseLu::factor(m).expect("factor"));
     });
     let mut k = 0usize;
-    let refactor_ns = time_ns(iters, || {
+    let refactor_ns = time_ns(reps, || {
         let m = &matrices[k % matrices.len()];
         k += 1;
         let lu = SparseLu::refactor(symbolic, m).expect("refactor");
@@ -79,6 +183,11 @@ fn print_speedup_table(
         fresh_ns / 1.0e3,
         refactor_ns / 1.0e3,
         fresh_ns / refactor_ns
+    );
+    records.push(Record::new(format!("{label}_fresh_factor"), fresh_ns));
+    records.push(
+        Record::new(format!("{label}_refactor"), refactor_ns)
+            .with_structure(symbolic.fill_nnz(), symbolic.block_count()),
     );
 }
 
@@ -123,12 +232,12 @@ fn g_of(i: usize, j: usize) -> f64 {
 
 /// Mean refactor time over the matrix set using the in-place
 /// (allocation-free) hot path, in nanoseconds.
-fn refactor_ns(matrices: &[CsrMatrix<Complex64>], symbolic: &SymbolicLu, iters: usize) -> f64 {
+fn refactor_ns(matrices: &[CsrMatrix<Complex64>], symbolic: &SymbolicLu, reps: usize) -> f64 {
     let mut lu = SparseLu::refactor(symbolic, &matrices[0]).expect("refactor");
     assert!(lu.refactored(), "bench matrices must not force a fallback");
     let mut ws = LuWorkspace::new();
     let mut k = 0usize;
-    time_ns(iters, || {
+    time_ns(reps, || {
         let m = &matrices[k % matrices.len()];
         k += 1;
         lu.refactor_into(symbolic, m, &mut ws).expect("refactor");
@@ -142,16 +251,17 @@ fn refactor_ns(matrices: &[CsrMatrix<Complex64>], symbolic: &SymbolicLu, iters: 
 fn print_ordering_table(
     label: &str,
     matrices: &[CsrMatrix<Complex64>],
-    iters: usize,
+    reps: usize,
     require_strictly_less_fill: bool,
-) -> (usize, usize) {
+    records: &mut Vec<Record>,
+) {
     let (_, natural) = SparseLu::factor_with_symbolic(&matrices[0]).expect("factors");
     let order = ordering::min_degree_order(&matrices[0]);
     let (_, ordered) =
         SparseLu::factor_with_symbolic_ordered(&matrices[0], &order).expect("factors");
 
-    let natural_ns = refactor_ns(matrices, &natural, iters);
-    let ordered_ns = refactor_ns(matrices, &ordered, iters);
+    let natural_ns = refactor_ns(matrices, &natural, reps);
+    let ordered_ns = refactor_ns(matrices, &ordered, reps);
     println!(
         "{label:<18} nnz(L+U) natural {:>8}   ordered {:>8} ({:>5.2}x less fill)   refactor natural {:>9.2} µs   ordered {:>9.2} µs ({:>5.2}x)",
         natural.fill_nnz(),
@@ -160,6 +270,14 @@ fn print_ordering_table(
         natural_ns / 1.0e3,
         ordered_ns / 1.0e3,
         natural_ns / ordered_ns,
+    );
+    records.push(
+        Record::new(format!("{label}_natural_refactor"), natural_ns)
+            .with_structure(natural.fill_nnz(), natural.block_count()),
+    );
+    records.push(
+        Record::new(format!("{label}_ordered_refactor"), ordered_ns)
+            .with_structure(ordered.fill_nnz(), ordered.block_count()),
     );
     if require_strictly_less_fill {
         assert!(
@@ -181,11 +299,12 @@ fn print_ordering_table(
     // regression backstop, with a generous cushion so wall-clock noise on a
     // loaded machine cannot fail the bench (the deterministic guarantee is
     // the fill assertion above — less fill is systematically less work).
-    assert!(
+    assert_timing(
         ordered_ns <= natural_ns * 1.5,
-        "{label}: ordered refactor ({ordered_ns:.0} ns) grossly slower than natural ({natural_ns:.0} ns)"
+        &format!(
+            "{label}: ordered refactor ({ordered_ns:.0} ns) grossly slower than natural ({natural_ns:.0} ns)"
+        ),
     );
-    (ordered.fill_nnz(), natural.fill_nnz())
 }
 
 fn opamp_matrices() -> (Vec<CsrMatrix<Complex64>>, SymbolicLu) {
@@ -210,6 +329,21 @@ fn ladder_matrices(stages: usize) -> (Vec<CsrMatrix<Complex64>>, SymbolicLu) {
         .collect();
     let (_, symbolic) = SparseLu::factor_with_symbolic(&matrices[0]).expect("ladder factors");
     (matrices, symbolic)
+}
+
+/// Admittance matrices of the buffered op-amp cascade — the genuinely
+/// block-structured circuit scenario (one BTF block per stage plus the
+/// source block).
+fn cascade_matrices(stages: usize) -> Vec<CsrMatrix<Complex64>> {
+    let (circuit, _outs) = opamp_cascade(stages);
+    let op = solve_dc(&circuit).expect("cascade operating point");
+    let ac = AcAnalysis::new(&circuit, &op).expect("valid analysis");
+    let freqs = FrequencyGrid::log_decade(1.0e4, 1.0e6, 8);
+    freqs
+        .freqs()
+        .iter()
+        .map(|&f| ac.admittance_matrix(f))
+        .collect()
 }
 
 fn print_sweep_counters() {
@@ -248,7 +382,7 @@ fn print_sweep_counters() {
 /// speedup assertion only arms when the hardware actually has ≥ 4 cores —
 /// on fewer cores extra workers can only tread water, and the table simply
 /// documents that.
-fn print_thread_scaling() {
+fn print_thread_scaling(records: &mut Vec<Record>) {
     let hw = par::available_workers();
     println!(
         "\n=== S3: thread scaling — chunked sweeps over the shared SweepPlan ({hw} hardware core(s)) ==="
@@ -271,6 +405,7 @@ fn print_thread_scaling() {
     // Pin worker counts for the table, then restore whatever the user had —
     // later benches in this process must still honor a caller-set knob.
     let saved_threads = std::env::var(par::THREADS_ENV).ok();
+    let reps = iters(8);
     let mut table: Vec<(usize, f64, f64)> = Vec::new();
     for workers in [1usize, 2, 4] {
         std::env::set_var(par::THREADS_ENV, workers.to_string());
@@ -279,7 +414,7 @@ fn print_thread_scaling() {
         let _ = scan_ac
             .driving_point_all_nodes(&scan_grid)
             .expect("warm-up scan builds the plan");
-        let scan_ns = time_ns(8, || {
+        let scan_ns = time_ns(reps, || {
             std::hint::black_box(
                 scan_ac
                     .driving_point_all_nodes(&scan_grid)
@@ -291,11 +426,19 @@ fn print_thread_scaling() {
         let _ = ladder_ac
             .sweep(&ladder_grid)
             .expect("warm-up sweep builds the plan");
-        let ladder_ns = time_ns(8, || {
+        let ladder_ns = time_ns(reps, || {
             std::hint::black_box(ladder_ac.sweep(&ladder_grid).expect("ladder sweep"));
         });
 
         table.push((workers, scan_ns, ladder_ns));
+        records.push(Record::new(
+            format!("all_nodes_scan_121pt_{workers}w"),
+            scan_ns,
+        ));
+        records.push(Record::new(
+            format!("ladder400_sweep_121pt_{workers}w"),
+            ladder_ns,
+        ));
     }
     match saved_threads {
         Some(v) => std::env::set_var(par::THREADS_ENV, v),
@@ -320,10 +463,12 @@ fn print_thread_scaling() {
     let (_, _, ladder_4) = table[2];
     let speedup_4 = ladder_serial / ladder_4;
     if hw >= 4 {
-        assert!(
+        assert_timing(
             speedup_4 >= 1.5,
-            "4 workers must reach ≥ 1.5x on the 400-stage ladder sweep on a \
-             ≥ 4-core machine, measured {speedup_4:.2}x"
+            &format!(
+                "4 workers must reach ≥ 1.5x on the 400-stage ladder sweep on a \
+                 ≥ 4-core machine, measured {speedup_4:.2}x"
+            ),
         );
     } else {
         println!(
@@ -332,7 +477,127 @@ fn print_thread_scaling() {
     }
 }
 
+/// Experiment S4a — BTF block-triangular factorization: nnz(L+U) (including
+/// the raw off-diagonal block entries) and refactor throughput of the
+/// per-block factorization vs the whole-matrix min-degree ordered one,
+/// plus the block count BTF discovered.
+fn print_btf_table(
+    label: &str,
+    matrices: &[CsrMatrix<Complex64>],
+    reps: usize,
+    records: &mut Vec<Record>,
+) {
+    let order = ordering::min_degree_order(&matrices[0]);
+    let (_, ordered) =
+        SparseLu::factor_with_symbolic_ordered(&matrices[0], &order).expect("factors");
+    let (_, btf) = SparseLu::factor_with_symbolic_btf(&matrices[0]).expect("factors");
+
+    let ordered_ns = refactor_ns(matrices, &ordered, reps);
+    let btf_ns = refactor_ns(matrices, &btf, reps);
+    println!(
+        "{label:<22} blocks {:>4}   nnz(L+U) whole-matrix {:>8}   BTF {:>8}   refactor whole {:>9.2} µs   BTF {:>9.2} µs ({:>5.2}x)",
+        btf.block_count(),
+        ordered.fill_nnz(),
+        btf.fill_nnz(),
+        ordered_ns / 1.0e3,
+        btf_ns / 1.0e3,
+        ordered_ns / btf_ns,
+    );
+    records.push(
+        Record::new(format!("{label}_whole_matrix_refactor"), ordered_ns)
+            .with_structure(ordered.fill_nnz(), ordered.block_count()),
+    );
+    records.push(
+        Record::new(format!("{label}_btf_refactor"), btf_ns)
+            .with_structure(btf.fill_nnz(), btf.block_count()),
+    );
+    // The headline structural guarantee: restricting elimination to the
+    // diagonal blocks (off-diagonal entries stored raw, zero fill) can
+    // never store more than the whole-matrix ordered factorization does.
+    assert!(
+        btf.fill_nnz() <= ordered.fill_nnz(),
+        "{label}: BTF fill {} must not exceed the whole-matrix ordered fill {}",
+        btf.fill_nnz(),
+        ordered.fill_nnz()
+    );
+}
+
+/// Experiment S4b — the blocked multi-RHS all-nodes scan: the 121-point
+/// scan of a 400-stage RC ladder with the per-node injections solved one
+/// RHS at a time (`LOOPSCOPE_PANEL=1`, the pre-batching path) vs batched
+/// into default-width panels sharing each L/U traversal. Single worker, so
+/// the ratio isolates the blocked solve itself.
+fn print_blocked_scan(records: &mut Vec<Record>) {
+    println!("\n=== S4b: blocked multi-RHS all-nodes scan — panels vs per-RHS solves ===");
+    let saved_threads = std::env::var(par::THREADS_ENV).ok();
+    let saved_panel = std::env::var(par::PANEL_ENV).ok();
+    std::env::set_var(par::THREADS_ENV, "1");
+
+    let (ckt, _) = rc_ladder(400, 1.0e3, 1.0e-9);
+    let op = solve_dc(&ckt).expect("ladder operating point");
+    let grid = FrequencyGrid::log_decade(1.0e2, 1.0e8, 20);
+    assert_eq!(grid.len(), 121, "the paper-scale grid is 121 points");
+    let reps = iters(6);
+
+    std::env::set_var(par::PANEL_ENV, "1");
+    let per_rhs_ac = AcAnalysis::new(&ckt, &op).expect("valid analysis");
+    let _ = per_rhs_ac
+        .driving_point_all_nodes(&grid)
+        .expect("warm-up scan builds the plan");
+    let per_rhs_ns = time_ns(reps, || {
+        std::hint::black_box(
+            per_rhs_ac
+                .driving_point_all_nodes(&grid)
+                .expect("per-RHS scan"),
+        );
+    });
+
+    std::env::remove_var(par::PANEL_ENV);
+    let blocked_ac = AcAnalysis::new(&ckt, &op).expect("valid analysis");
+    let _ = blocked_ac
+        .driving_point_all_nodes(&grid)
+        .expect("warm-up scan builds the plan");
+    let blocked_ns = time_ns(reps, || {
+        std::hint::black_box(
+            blocked_ac
+                .driving_point_all_nodes(&grid)
+                .expect("blocked scan"),
+        );
+    });
+
+    match saved_panel {
+        Some(v) => std::env::set_var(par::PANEL_ENV, v),
+        None => std::env::remove_var(par::PANEL_ENV),
+    }
+    match saved_threads {
+        Some(v) => std::env::set_var(par::THREADS_ENV, v),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+
+    let speedup = per_rhs_ns / blocked_ns;
+    println!(
+        "ladder-400 all-nodes 121pt   per-RHS {:>9.1} ms   blocked (panel {: >2}) {:>9.1} ms   speedup {:>5.2}x",
+        per_rhs_ns / 1.0e6,
+        par::DEFAULT_PANEL_WIDTH,
+        blocked_ns / 1.0e6,
+        speedup
+    );
+    records.push(Record::new("all_nodes_ladder400_per_rhs", per_rhs_ns));
+    records.push(Record::new("all_nodes_ladder400_blocked", blocked_ns));
+    assert_timing(
+        speedup >= 1.3,
+        &format!(
+            "the blocked all-nodes scan must be ≥ 1.3x the per-RHS scan on the \
+             400-stage ladder, measured {speedup:.2}x"
+        ),
+    );
+}
+
 fn bench(c: &mut Criterion) {
+    let mut records: Vec<Record> = Vec::new();
+    if quick_mode() {
+        println!("\n(BENCH_QUICK set: reduced iteration counts, same assertions)");
+    }
     println!("\n=== S1: symbolic/numeric split — factor once, refactor per frequency ===");
     let (opamp, opamp_sym) = opamp_matrices();
     println!(
@@ -341,11 +606,17 @@ fn bench(c: &mut Criterion) {
         opamp[0].nnz(),
         opamp_sym.fill_nnz()
     );
-    print_speedup_table("opamp_mna", &opamp, &opamp_sym, 400);
+    print_speedup_table("opamp_mna", &opamp, &opamp_sym, iters(400), &mut records);
 
     for &stages in &[100usize, 400] {
         let (ladder, ladder_sym) = ladder_matrices(stages);
-        print_speedup_table(&format!("rc_ladder_{stages}"), &ladder, &ladder_sym, 200);
+        print_speedup_table(
+            &format!("rc_ladder_{stages}"),
+            &ladder,
+            &ladder_sym,
+            iters(200),
+            &mut records,
+        );
     }
     print_sweep_counters();
 
@@ -355,7 +626,7 @@ fn bench(c: &mut Criterion) {
     let (ladder, _) = ladder_matrices(400);
     // A tridiagonal ladder is already fill-free in natural order: the
     // ordered pattern must match it (and refactor at least as fast).
-    print_ordering_table("rc_ladder_400", &ladder, 200, false);
+    print_ordering_table("rc_ladder_400", &ladder, iters(200), false, &mut records);
     let mesh_p = 33; // 33×33 = 1089 unknowns
     let meshes: Vec<_> = (0..16)
         .map(|k| mesh_matrix(mesh_p, 1.0e3 * 10f64.powf(k as f64 * 0.25)))
@@ -366,9 +637,51 @@ fn bench(c: &mut Criterion) {
         meshes[0].nnz()
     );
     // On a 2-D mesh the ordering must strictly beat the natural order.
-    print_ordering_table(&format!("mesh_{mesh_p}x{mesh_p}"), &meshes, 40, true);
+    print_ordering_table(
+        &format!("mesh_{mesh_p}x{mesh_p}"),
+        &meshes,
+        iters(40),
+        true,
+        &mut records,
+    );
 
-    print_thread_scaling();
+    print_thread_scaling(&mut records);
+
+    println!(
+        "\n=== S4a: block-triangular factorization — per-block LU vs whole-matrix ordering ==="
+    );
+    // The mesh is irreducible: BTF must degenerate to one block and cost
+    // nothing (identical fill to the whole-matrix ordering).
+    print_btf_table(
+        &format!("mesh_{mesh_p}x{mesh_p}"),
+        &meshes,
+        iters(40),
+        &mut records,
+    );
+    // The buffered op-amp cascade is the block-structured case: one block
+    // per stage plus the source block, inter-stage couplings stored raw.
+    let cascade_stages = 24;
+    let cascade = cascade_matrices(cascade_stages);
+    println!(
+        "opamp_cascade_{cascade_stages}: {} unknowns, {} nonzeros",
+        cascade[0].rows(),
+        cascade[0].nnz()
+    );
+    print_btf_table(
+        &format!("opamp_cascade_{cascade_stages}"),
+        &cascade,
+        iters(200),
+        &mut records,
+    );
+    let (_, cascade_btf) = SparseLu::factor_with_symbolic_btf(&cascade[0]).expect("factors");
+    assert!(
+        cascade_btf.block_count() > cascade_stages,
+        "the {cascade_stages}-stage cascade must split into more than \
+         {cascade_stages} BTF blocks, found {}",
+        cascade_btf.block_count()
+    );
+
+    print_blocked_scan(&mut records);
     println!();
 
     let mut group = c.benchmark_group("solver_refactor");
@@ -408,6 +721,8 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    write_bench_json(&records);
 }
 
 criterion_group!(benches, bench);

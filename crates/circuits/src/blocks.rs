@@ -36,6 +36,65 @@ pub fn rc_ladder(sections: usize, r_ohms: f64, c_farads: f64) -> (Circuit, Vec<N
     (c, nodes)
 }
 
+/// Builds a cascade of `stages` buffered two-pole op-amp gain cells — the
+/// canonical **block-structured** circuit: signal flows strictly forward.
+///
+/// Each stage is an ideal-input amplifier (a VCVS sensing the previous
+/// stage's output without loading it) driving two cascaded RC poles. The
+/// VCVS input draws no current, so no stage ever couples back into the one
+/// before it: the MNA admittance matrix is block upper-triangular with one
+/// strongly coupled diagonal block per stage (plus the source block), and
+/// the BTF analysis (`loopscope-sparse`'s `btf` module) recovers exactly that
+/// partition. This is the scenario where KLU-style block factorization
+/// beats whole-matrix ordering: every block factors independently and the
+/// inter-stage couplings contribute zero fill.
+///
+/// The RC values are staggered per stage so the matrix values (not just
+/// the pattern) differ from block to block.
+///
+/// Returns the circuit and each stage's output node, in signal order.
+///
+/// # Panics
+///
+/// Panics if `stages == 0`.
+pub fn opamp_cascade(stages: usize) -> (Circuit, Vec<NodeId>) {
+    assert!(stages > 0, "need at least one gain stage");
+    let mut c = Circuit::new(format!("{stages}-stage buffered op-amp cascade"));
+    let input = c.node("in");
+    c.add_vsource(
+        "Vin",
+        input,
+        Circuit::GROUND,
+        SourceSpec::dc_ac(0.0, 1.0, 0.0),
+    );
+    let mut prev_out = input;
+    let mut outputs = Vec::with_capacity(stages);
+    for k in 0..stages {
+        let drive = c.node(&format!("s{k}_drive"));
+        let mid = c.node(&format!("s{k}_mid"));
+        let out = c.node(&format!("s{k}_out"));
+        // Ideal-input gain element: senses `prev_out` without loading it.
+        c.add_vcvs(
+            &format!("E{k}"),
+            drive,
+            Circuit::GROUND,
+            prev_out,
+            Circuit::GROUND,
+            2.0,
+        );
+        // Two staggered RC poles per stage.
+        let r = 1.0e3 * (1.0 + 0.1 * (k % 7) as f64);
+        let cap = 1.0e-9 * (1.0 + 0.2 * (k % 5) as f64);
+        c.add_resistor(&format!("R{k}a"), drive, mid, r);
+        c.add_capacitor(&format!("C{k}a"), mid, Circuit::GROUND, cap);
+        c.add_resistor(&format!("R{k}b"), mid, out, 2.0 * r);
+        c.add_capacitor(&format!("C{k}b"), out, Circuit::GROUND, 0.5 * cap);
+        outputs.push(out);
+        prev_out = out;
+    }
+    (c, outputs)
+}
+
 /// Builds a series RLC divider (output across the capacitor): the canonical
 /// second-order low-pass with
 ///
@@ -226,6 +285,31 @@ mod tests {
         let (c2, out2) = source_follower(10.0e-12, 50.0e-9);
         let op2 = solve_dc(&c2).unwrap();
         assert!((op2.voltage(out2) - vo).abs() < 0.05);
+    }
+
+    #[test]
+    fn opamp_cascade_is_block_structured() {
+        use loopscope_spice::ac::AcAnalysis;
+
+        let stages = 4;
+        let (c, outs) = opamp_cascade(stages);
+        c.validate().unwrap();
+        assert_eq!(outs.len(), stages);
+        let op = solve_dc(&c).unwrap();
+        // Zero DC input: the whole cascade idles at 0 V.
+        for &o in &outs {
+            assert!(op.voltage(o).abs() < 1e-9);
+        }
+        // The admittance pattern must split into one block per stage plus
+        // the source block — the structure the bench's BTF scenario relies
+        // on.
+        let ac = AcAnalysis::new(&c, &op).unwrap();
+        let structure = ac.solver_structure(1.0e3).unwrap();
+        assert!(
+            structure.block_count > stages,
+            "expected more than {stages} BTF blocks, found {}",
+            structure.block_count
+        );
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //!   the `A + Aᵀ` pattern, as KLU applies to circuit matrices). Computed once
 //!   per circuit structure, they keep the LU fill — and therefore the cost of
 //!   every numeric refactorization — near the structural optimum.
+//! * [`btf`] — block upper-triangular form (maximum transversal + Tarjan
+//!   SCC, KLU's outermost structural move). Block-structured circuits —
+//!   cascaded stages, buffered sub-circuits — factor as many small diagonal
+//!   blocks via [`SparseLu::factor_with_symbolic_btf`], with the cross-block
+//!   entries stored raw (zero fill) for the block back-substitution;
+//!   irreducible patterns degenerate to the plain ordered factorization.
+//!   [`SparseLu::solve_block_into`] solves a whole panel of right-hand
+//!   sides per traversal — bitwise identical, column for column, to
+//!   independent [`SparseLu::solve_into`] calls.
 //! * [`SparseLu`] — flat-storage LU. [`SparseLu::factor`] runs partial
 //!   pivoting in natural column order;
 //!   [`SparseLu::factor_ordered`] eliminates columns in a fill-reducing order
@@ -67,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod btf;
 mod csr;
 mod lu;
 pub mod ordering;

@@ -58,7 +58,11 @@ use std::sync::Arc;
 /// Error produced by factorization or solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolveError {
-    /// The matrix is singular (no usable pivot) at the given elimination step.
+    /// The matrix is singular: no usable pivot exists for the given column.
+    /// The payload is always the **original** (un-permuted) matrix column
+    /// index, whatever fill-reducing or block-triangular permutations the
+    /// factorization applied internally — the index a caller can map back
+    /// to a circuit unknown.
     Singular(usize),
     /// The matrix is not square.
     NotSquare {
@@ -79,7 +83,7 @@ pub enum SolveError {
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SolveError::Singular(k) => write!(f, "matrix is singular at elimination step {k}"),
+            SolveError::Singular(c) => write!(f, "matrix is singular in column {c}"),
             SolveError::NotSquare { rows, cols } => {
                 write!(f, "matrix is not square ({rows}x{cols})")
             }
@@ -153,6 +157,30 @@ struct LuPattern {
     /// elimination coordinates (apply `cperm` to map back).
     u_ptr: Vec<usize>,
     u_cols: Vec<usize>,
+    /// Elimination-step boundaries of the BTF diagonal blocks:
+    /// `block_ptr[b]..block_ptr[b + 1]` is block `b`. `[0, n]` (one block)
+    /// for every non-BTF factorization.
+    block_ptr: Vec<usize>,
+    /// CSR-style pattern of the off-diagonal (later-block) entries per
+    /// elimination row — the raw matrix entries of pivot row `perm[i]` in
+    /// columns of blocks after `i`'s own, in ascending elimination-column
+    /// order. Empty for single-block factorizations. These entries are
+    /// never eliminated: block back-substitution consumes them as-is.
+    f_ptr: Vec<usize>,
+    f_cols: Vec<usize>,
+}
+
+impl LuPattern {
+    /// The trivial single-block partition of a dimension-`n` pattern.
+    fn single_block(n: usize) -> Vec<usize> {
+        vec![0, n]
+    }
+
+    /// An empty off-diagonal pattern for a dimension-`n` single-block
+    /// factorization.
+    fn empty_f(n: usize) -> Vec<usize> {
+        vec![0; n + 1]
+    }
 }
 
 impl SymbolicLu {
@@ -161,9 +189,26 @@ impl SymbolicLu {
         self.pattern.n
     }
 
-    /// Total number of pattern entries in L and U (fill-in included).
+    /// Total number of pattern entries the factorization stores: L and U
+    /// (fill-in included) plus, for block-triangular factorizations, the
+    /// raw off-diagonal block entries the block back-substitution consumes.
     pub fn fill_nnz(&self) -> usize {
-        self.pattern.l_cols.len() + self.pattern.u_cols.len()
+        self.pattern.l_cols.len() + self.pattern.u_cols.len() + self.pattern.f_cols.len()
+    }
+
+    /// Number of diagonal blocks of the block-triangular partition: 1 for
+    /// every factorization produced without BTF analysis (or when the
+    /// pattern is irreducible and BTF degenerates).
+    pub fn block_count(&self) -> usize {
+        self.pattern.block_ptr.len() - 1
+    }
+
+    /// The block partition in elimination-step coordinates:
+    /// `block_boundaries()[b]..block_boundaries()[b + 1]` spans diagonal
+    /// block `b`; the slice has [`block_count`](SymbolicLu::block_count)` + 1`
+    /// entries (`[0, n]` for single-block factorizations).
+    pub fn block_boundaries(&self) -> &[usize] {
+        &self.pattern.block_ptr
     }
 
     /// The pivot (row) order: element `k` is the original row eliminated at
@@ -292,6 +337,9 @@ pub struct SparseLu<T: Scalar> {
     pattern: Arc<LuPattern>,
     l_vals: Vec<T>,
     u_vals: Vec<T>,
+    /// Raw off-diagonal block values (pattern `f_ptr`/`f_cols`); empty for
+    /// single-block factorizations.
+    f_vals: Vec<T>,
     /// Whether this factorization was produced by pattern-reusing
     /// refactorization (`true`) or fresh pivoting (`false`).
     refactored: bool,
@@ -457,9 +505,12 @@ impl<T: Scalar> SparseLu<T> {
                 }
                 best
             }
-            .ok_or(SolveError::Singular(k))?;
+            // Report singularity against the ORIGINAL column index: callers
+            // see the unknown they can map back to the circuit, not the
+            // position some fill-reducing permutation moved it to.
+            .ok_or(SolveError::Singular(cperm[k]))?;
             if pivot_mod <= col_max[k] * SINGULARITY_RELATIVE || pivot_mod == 0.0 {
-                return Err(SolveError::Singular(k));
+                return Err(SolveError::Singular(cperm[k]));
             }
             let pivot_row = active.swap_remove(active_idx);
             let pivot = std::mem::take(&mut rows[pivot_row]);
@@ -518,9 +569,13 @@ impl<T: Scalar> SparseLu<T> {
                 l_cols,
                 u_ptr,
                 u_cols,
+                block_ptr: LuPattern::single_block(n),
+                f_ptr: LuPattern::empty_f(n),
+                f_cols: Vec::new(),
             }),
             l_vals,
             u_vals,
+            f_vals: Vec::new(),
             refactored: false,
         })
     }
@@ -615,6 +670,202 @@ impl<T: Scalar> SparseLu<T> {
         Ok((lu, symbolic))
     }
 
+    /// Factors a matrix **KLU-style**: permute to block upper-triangular
+    /// form ([`crate::btf`]), then run a minimum-degree ordered, threshold-
+    /// pivoted factorization **per diagonal block** — fill never crosses a
+    /// block boundary, and the off-diagonal block entries are stored raw
+    /// for the block back-substitution instead of being eliminated.
+    ///
+    /// When the pattern is irreducible (one strongly connected component —
+    /// typical for a single feedback loop), the analysis degenerates to a
+    /// single block with identity BTF permutations and this is **exactly**
+    /// [`factor_with_symbolic_ordered`](SparseLu::factor_with_symbolic_ordered)
+    /// over a [`crate::ordering::min_degree_order`]. For block-structured
+    /// circuits (cascaded stages, buffered sub-circuits) the factors shrink:
+    /// each block orders and pivots independently, and the cross-block
+    /// entries contribute zero fill.
+    ///
+    /// The captured [`SymbolicLu`] records the composed permutations, the
+    /// per-block L/U patterns, the off-diagonal pattern and the block
+    /// partition, so [`refactor_into`](SparseLu::refactor_into) and
+    /// [`solve_into`](SparseLu::solve_into) stay numeric-only and
+    /// allocation-free over it.
+    ///
+    /// ```
+    /// use loopscope_sparse::{SparseLu, TripletMatrix};
+    ///
+    /// // Two strongly coupled unknowns feeding a third (no feedback).
+    /// let mut t = TripletMatrix::<f64>::new(3, 3);
+    /// t.push(0, 0, 2.0);
+    /// t.push(0, 1, 1.0);
+    /// t.push(1, 0, 1.0);
+    /// t.push(1, 1, 3.0);
+    /// t.push(2, 0, 1.0);
+    /// t.push(2, 2, 4.0);
+    /// let (lu, symbolic) = SparseLu::factor_with_symbolic_btf(&t.to_csr())?;
+    /// assert_eq!(symbolic.block_count(), 2);
+    /// let x = lu.solve(&[5.0, 10.0, 6.0])?;
+    /// assert!((x[0] - 1.0).abs() < 1e-12);
+    /// assert!((x[1] - 3.0).abs() < 1e-12);
+    /// assert!((x[2] - 1.25).abs() < 1e-12);
+    /// # Ok::<(), loopscope_sparse::SolveError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for rectangular input and
+    /// [`SolveError::Singular`] — carrying the **original** column index —
+    /// when the pattern is structurally singular or a block has no
+    /// acceptable pivot.
+    pub fn factor_with_symbolic_btf(
+        matrix: &CsrMatrix<T>,
+    ) -> Result<(Self, SymbolicLu), SolveError> {
+        let n = matrix.rows();
+        if matrix.cols() != n {
+            return Err(SolveError::NotSquare {
+                rows: n,
+                cols: matrix.cols(),
+            });
+        }
+        let form = crate::btf::analyze(matrix)?;
+        if form.is_single_block() {
+            // Degenerate (irreducible) case: identical to the plain ordered
+            // factorization — no permutation shuffling, no F storage.
+            let order = crate::ordering::min_degree_order(matrix);
+            return Self::factor_with_symbolic_ordered(matrix, &order);
+        }
+        // Position of every original column in the BTF order.
+        let mut btf_cpos = vec![0usize; n];
+        for (k, &c) in form.col_perm().iter().enumerate() {
+            btf_cpos[c] = k;
+        }
+
+        let mut perm = Vec::with_capacity(n);
+        let mut cperm = Vec::with_capacity(n);
+        let mut l_ptr = Vec::with_capacity(n + 1);
+        let mut l_cols = Vec::new();
+        let mut l_vals = Vec::new();
+        let mut u_ptr = Vec::with_capacity(n + 1);
+        let mut u_cols = Vec::new();
+        let mut u_vals = Vec::new();
+        l_ptr.push(0);
+        u_ptr.push(0);
+        for b in 0..form.block_count() {
+            let range = form.block_range(b);
+            let (start, end) = (range.start, range.end);
+            let dim = end - start;
+            // The diagonal block in block-local coordinates. Entries in
+            // later blocks are collected afterwards as the off-diagonal F
+            // pattern; entries in earlier blocks cannot exist — the BTF
+            // analysis of this very matrix guarantees upper form.
+            let mut triplets = crate::triplet::TripletMatrix::new(dim, dim);
+            for local_row in 0..dim {
+                let row = form.row_perm()[start + local_row];
+                for (c, v) in matrix.row_entries(row) {
+                    let p = btf_cpos[c];
+                    debug_assert!(p >= start, "BTF left an entry below its diagonal block");
+                    if p < end {
+                        triplets.push(local_row, p - start, v);
+                    }
+                }
+            }
+            let local = triplets.to_csr();
+            let order = crate::ordering::min_degree_order(&local);
+            let block_lu = Self::factor_ordered(&local, &order).map_err(|err| match err {
+                // Map the block-local column index back to the original one.
+                SolveError::Singular(local_col) => {
+                    SolveError::Singular(form.col_perm()[start + local_col])
+                }
+                other => other,
+            })?;
+            let bp = &block_lu.pattern;
+            for k in 0..dim {
+                perm.push(form.row_perm()[start + bp.perm[k]]);
+                cperm.push(form.col_perm()[start + bp.cperm[k]]);
+                for t in bp.l_ptr[k]..bp.l_ptr[k + 1] {
+                    l_cols.push(start + bp.l_cols[t]);
+                    l_vals.push(block_lu.l_vals[t]);
+                }
+                l_ptr.push(l_cols.len());
+                for t in bp.u_ptr[k]..bp.u_ptr[k + 1] {
+                    u_cols.push(start + bp.u_cols[t]);
+                    u_vals.push(block_lu.u_vals[t]);
+                }
+                u_ptr.push(u_cols.len());
+            }
+        }
+
+        // Composed inverse column permutation, then the off-diagonal block
+        // pattern: the raw entries of each pivot row in later blocks, in
+        // ascending elimination-column order.
+        let mut cpos = vec![0usize; n];
+        for (k, &c) in cperm.iter().enumerate() {
+            cpos[c] = k;
+        }
+        let mut block_end_of_step = vec![0usize; n];
+        for b in 0..form.block_count() {
+            let range = form.block_range(b);
+            for step in range.clone() {
+                block_end_of_step[step] = range.end;
+            }
+        }
+        let mut f_ptr = Vec::with_capacity(n + 1);
+        let mut f_cols = Vec::new();
+        let mut f_vals = Vec::new();
+        f_ptr.push(0);
+        let mut f_row: Vec<(usize, T)> = Vec::new();
+        for (step, &pivot_row) in perm.iter().enumerate() {
+            f_row.clear();
+            let end = block_end_of_step[step];
+            for (c, v) in matrix.row_entries(pivot_row) {
+                let p = cpos[c];
+                if p >= end {
+                    f_row.push((p, v));
+                }
+            }
+            f_row.sort_unstable_by_key(|&(p, _)| p);
+            for &(p, v) in &f_row {
+                f_cols.push(p);
+                f_vals.push(v);
+            }
+            f_ptr.push(f_cols.len());
+        }
+
+        let lu = Self {
+            pattern: Arc::new(LuPattern {
+                n,
+                perm,
+                cperm,
+                cpos,
+                l_ptr,
+                l_cols,
+                u_ptr,
+                u_cols,
+                block_ptr: form.block_ptr().to_vec(),
+                f_ptr,
+                f_cols,
+            }),
+            l_vals,
+            u_vals,
+            f_vals,
+            refactored: false,
+        };
+        let symbolic = lu.extract_symbolic();
+        Ok((lu, symbolic))
+    }
+
+    /// Convenience form of
+    /// [`factor_with_symbolic_btf`](SparseLu::factor_with_symbolic_btf)
+    /// discarding the symbolic analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`factor_with_symbolic_btf`](SparseLu::factor_with_symbolic_btf).
+    pub fn factor_btf(matrix: &CsrMatrix<T>) -> Result<Self, SolveError> {
+        Ok(Self::factor_with_symbolic_btf(matrix)?.0)
+    }
+
     /// Captures this factorization's permutations and fill pattern — the same
     /// data [`factor_with_symbolic`](SparseLu::factor_with_symbolic) returns.
     ///
@@ -650,6 +901,7 @@ impl<T: Scalar> SparseLu<T> {
             pattern: Arc::clone(&symbolic.pattern),
             l_vals: Vec::with_capacity(symbolic.pattern.l_cols.len()),
             u_vals: Vec::with_capacity(symbolic.pattern.u_cols.len()),
+            f_vals: Vec::with_capacity(symbolic.pattern.f_cols.len()),
             refactored: false,
         }
     }
@@ -698,11 +950,20 @@ impl<T: Scalar> SparseLu<T> {
         let mut ws = LuWorkspace::new();
         let mut l_vals = Vec::new();
         let mut u_vals = Vec::new();
-        match Self::refactor_core(&symbolic.pattern, matrix, &mut ws, &mut l_vals, &mut u_vals) {
+        let mut f_vals = Vec::new();
+        match Self::refactor_core(
+            &symbolic.pattern,
+            matrix,
+            &mut ws,
+            &mut l_vals,
+            &mut u_vals,
+            &mut f_vals,
+        ) {
             Ok(()) => Ok(Self {
                 pattern: Arc::clone(&symbolic.pattern),
                 l_vals,
                 u_vals,
+                f_vals,
                 refactored: true,
             }),
             Err(RefactorFailure::Degraded | RefactorFailure::PatternMismatch) => {
@@ -754,13 +1015,22 @@ impl<T: Scalar> SparseLu<T> {
     ) -> Result<(), SolveError> {
         let mut l_vals = std::mem::take(&mut self.l_vals);
         let mut u_vals = std::mem::take(&mut self.u_vals);
-        match Self::refactor_core(&symbolic.pattern, matrix, ws, &mut l_vals, &mut u_vals) {
+        let mut f_vals = std::mem::take(&mut self.f_vals);
+        match Self::refactor_core(
+            &symbolic.pattern,
+            matrix,
+            ws,
+            &mut l_vals,
+            &mut u_vals,
+            &mut f_vals,
+        ) {
             Ok(()) => {
                 if !Arc::ptr_eq(&self.pattern, &symbolic.pattern) {
                     self.pattern = Arc::clone(&symbolic.pattern);
                 }
                 self.l_vals = l_vals;
                 self.u_vals = u_vals;
+                self.f_vals = f_vals;
                 self.refactored = true;
                 Ok(())
             }
@@ -773,6 +1043,7 @@ impl<T: Scalar> SparseLu<T> {
                 // the factors so `self` stays valid.
                 self.l_vals = l_vals;
                 self.u_vals = u_vals;
+                self.f_vals = f_vals;
                 Err(e)
             }
         }
@@ -789,6 +1060,7 @@ impl<T: Scalar> SparseLu<T> {
         ws: &mut LuWorkspace<T>,
         l_vals: &mut Vec<T>,
         u_vals: &mut Vec<T>,
+        f_vals: &mut Vec<T>,
     ) -> Result<(), RefactorFailure> {
         let n = pattern.n;
         if matrix.rows() != n || matrix.cols() != n {
@@ -809,6 +1081,8 @@ impl<T: Scalar> SparseLu<T> {
         l_vals.reserve(pattern.l_cols.len());
         u_vals.clear();
         u_vals.reserve(pattern.u_cols.len());
+        f_vals.clear();
+        f_vals.reserve(pattern.f_cols.len());
 
         // Loop over elimination steps; col_max is only consulted for the
         // pivot check, so enumerate() would obscure the structure.
@@ -816,11 +1090,16 @@ impl<T: Scalar> SparseLu<T> {
         for i in 0..n {
             let l_range = pattern.l_ptr[i]..pattern.l_ptr[i + 1];
             let u_range = pattern.u_ptr[i]..pattern.u_ptr[i + 1];
+            let f_range = pattern.f_ptr[i]..pattern.f_ptr[i + 1];
             for &c in &pattern.l_cols[l_range.clone()] {
                 ws.work[c] = T::ZERO;
                 ws.marked[c] = mark + i;
             }
             for &c in &pattern.u_cols[u_range.clone()] {
+                ws.work[c] = T::ZERO;
+                ws.marked[c] = mark + i;
+            }
+            for &c in &pattern.f_cols[f_range.clone()] {
                 ws.work[c] = T::ZERO;
                 ws.marked[c] = mark + i;
             }
@@ -853,6 +1132,12 @@ impl<T: Scalar> SparseLu<T> {
                 row_max = row_max.max(v.modulus());
                 u_vals.push(v);
             }
+            // Off-diagonal block entries pass through untouched: elimination
+            // never reaches across a block boundary, so these are the raw
+            // scattered matrix values for the block back-substitution.
+            for s in f_range {
+                f_vals.push(ws.work[pattern.f_cols[s]]);
+            }
             let pivot_mod = u_vals[diag_at].modulus();
             if pivot_mod == 0.0
                 || pivot_mod <= ws.col_max[i] * SINGULARITY_RELATIVE
@@ -875,10 +1160,17 @@ impl<T: Scalar> SparseLu<T> {
         self.refactored
     }
 
-    /// Total number of stored entries in the L and U factors (a fill-in
-    /// diagnostic).
+    /// Total number of stored entries in the factorization: L and U (a
+    /// fill-in diagnostic) plus, for block-triangular factorizations, the
+    /// raw off-diagonal block entries.
     pub fn factor_nnz(&self) -> usize {
-        self.l_vals.len() + self.u_vals.len()
+        self.l_vals.len() + self.u_vals.len() + self.f_vals.len()
+    }
+
+    /// Number of diagonal blocks of the block-triangular partition (1 when
+    /// the factorization ran without BTF or the pattern is irreducible).
+    pub fn block_count(&self) -> usize {
+        self.pattern.block_ptr.len() - 1
     }
 
     /// Solves `A·x = b` **in place**: `rhs` holds `b` on entry and `x` on
@@ -931,29 +1223,170 @@ impl<T: Scalar> SparseLu<T> {
                 got: work.len(),
             });
         }
-        // Forward substitution on the unit-lower factor, rows in elimination
-        // order: work[i] = y[i] = b[perm[i]] − Σ L[i][k]·y[k].
-        for i in 0..p.n {
-            let mut acc = rhs[p.perm[i]];
-            for t in p.l_ptr[i]..p.l_ptr[i + 1] {
-                acc -= self.l_vals[t] * work[p.l_cols[t]];
+        // Block back-substitution, last block first: by the time block b
+        // runs, every later block's solution already sits in `work`, so the
+        // raw off-diagonal entries (F) fold the cross-block coupling into
+        // the right-hand side before the within-block L/U sweeps. For a
+        // single-block factorization the F loop is empty and this is a
+        // plain forward-then-backward substitution.
+        for b in (0..p.block_ptr.len() - 1).rev() {
+            let (bs, be) = (p.block_ptr[b], p.block_ptr[b + 1]);
+            // Forward substitution on the unit-lower factor, rows in
+            // elimination order: work[i] = y[i] = r[perm[i]] − Σ L[i][k]·y[k]
+            // with r = b − F·x(later blocks).
+            for i in bs..be {
+                let mut acc = rhs[p.perm[i]];
+                for t in p.f_ptr[i]..p.f_ptr[i + 1] {
+                    acc -= self.f_vals[t] * work[p.f_cols[t]];
+                }
+                for t in p.l_ptr[i]..p.l_ptr[i + 1] {
+                    acc -= self.l_vals[t] * work[p.l_cols[t]];
+                }
+                work[i] = acc;
             }
-            work[i] = acc;
-        }
-        // Back substitution on U (diagonal first in each row), in place over
-        // the work row: slots above i already hold solution values.
-        for i in (0..p.n).rev() {
-            let start = p.u_ptr[i];
-            let mut acc = work[i];
-            for t in (start + 1)..p.u_ptr[i + 1] {
-                acc -= self.u_vals[t] * work[p.u_cols[t]];
+            // Back substitution on U (diagonal first in each row), in place
+            // over the work row: slots above i already hold solutions.
+            for i in (bs..be).rev() {
+                let start = p.u_ptr[i];
+                let mut acc = work[i];
+                for t in (start + 1)..p.u_ptr[i + 1] {
+                    acc -= self.u_vals[t] * work[p.u_cols[t]];
+                }
+                work[i] = acc / self.u_vals[start];
             }
-            work[i] = acc / self.u_vals[start];
         }
         // Undo the column permutation: elimination slot i is original
         // unknown cperm[i].
         for i in 0..p.n {
             rhs[p.cperm[i]] = work[i];
+        }
+        Ok(())
+    }
+
+    /// Solves `A·X = B` for `k` right-hand sides **in one L/U traversal per
+    /// block**, in place over a column-major panel: `rhs` holds the `k`
+    /// columns of `B` back to back (`rhs[j·n..(j+1)·n]` is column `j`) on
+    /// entry and the solution columns on return; `work` is caller-held
+    /// scratch of the same `k·n` length.
+    ///
+    /// Per column the arithmetic — every product, subtraction and division,
+    /// in the same order — is **identical** to a
+    /// [`solve_into`](SparseLu::solve_into) call on that column alone, so
+    /// the results are bitwise equal to `k` independent solves at any panel
+    /// width. What the blocking changes is the *traversal*: the L/U index
+    /// structure is walked once per factor row instead of once per factor
+    /// row per right-hand side, and each factor value loaded once streams
+    /// over `k` contiguous work slots. That amortization is what makes the
+    /// all-nodes stability scan's one-injection-per-node inner loop cheap
+    /// on large circuits.
+    ///
+    /// Performs no heap allocation.
+    ///
+    /// ```
+    /// use loopscope_sparse::{SparseLu, TripletMatrix};
+    ///
+    /// let mut t = TripletMatrix::<f64>::new(2, 2);
+    /// t.push(0, 0, 2.0);
+    /// t.push(0, 1, 1.0);
+    /// t.push(1, 0, 1.0);
+    /// t.push(1, 1, 3.0);
+    /// let lu = SparseLu::factor(&t.to_csr())?;
+    /// // Two right-hand sides, column-major: [5, 10] and [3, 4].
+    /// let mut panel = vec![5.0, 10.0, 3.0, 4.0];
+    /// let mut work = vec![0.0; 4];
+    /// lu.solve_block_into(&mut panel, 2, &mut work)?;
+    /// assert!((panel[0] - 1.0).abs() < 1e-12 && (panel[1] - 3.0).abs() < 1e-12);
+    /// assert!((panel[2] - 1.0).abs() < 1e-12 && (panel[3] - 1.0).abs() < 1e-12);
+    /// # Ok::<(), loopscope_sparse::SolveError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::RhsLength`] when `rhs.len()` or `work.len()`
+    /// differs from `k` times the matrix dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an unfilled
+    /// [`from_symbolic`](SparseLu::from_symbolic) shell (no successful
+    /// refactorization has run yet).
+    pub fn solve_block_into(
+        &self,
+        rhs: &mut [T],
+        k: usize,
+        work: &mut [T],
+    ) -> Result<(), SolveError> {
+        let p = &*self.pattern;
+        assert_eq!(
+            self.u_vals.len(),
+            p.u_cols.len(),
+            "solve on an unfactored SparseLu shell: refactor_into must succeed first"
+        );
+        let expected = p.n * k;
+        if rhs.len() != expected {
+            return Err(SolveError::RhsLength {
+                expected,
+                got: rhs.len(),
+            });
+        }
+        if work.len() != expected {
+            return Err(SolveError::RhsLength {
+                expected,
+                got: work.len(),
+            });
+        }
+        // The work panel is interleaved — the k slots of elimination row i
+        // are contiguous at i·k — so the inner per-column loops stream over
+        // adjacent memory while the factor entry (index + value) is loaded
+        // exactly once.
+        for b in (0..p.block_ptr.len() - 1).rev() {
+            let (bs, be) = (p.block_ptr[b], p.block_ptr[b + 1]);
+            for i in bs..be {
+                let pr = p.perm[i];
+                let row = i * k;
+                for j in 0..k {
+                    work[row + j] = rhs[j * p.n + pr];
+                }
+                for t in p.f_ptr[i]..p.f_ptr[i + 1] {
+                    let v = self.f_vals[t];
+                    let src = p.f_cols[t] * k;
+                    for j in 0..k {
+                        let sub = v * work[src + j];
+                        work[row + j] -= sub;
+                    }
+                }
+                for t in p.l_ptr[i]..p.l_ptr[i + 1] {
+                    let v = self.l_vals[t];
+                    let src = p.l_cols[t] * k;
+                    for j in 0..k {
+                        let sub = v * work[src + j];
+                        work[row + j] -= sub;
+                    }
+                }
+            }
+            for i in (bs..be).rev() {
+                let start = p.u_ptr[i];
+                let row = i * k;
+                for t in (start + 1)..p.u_ptr[i + 1] {
+                    let v = self.u_vals[t];
+                    let src = p.u_cols[t] * k;
+                    for j in 0..k {
+                        let sub = v * work[src + j];
+                        work[row + j] -= sub;
+                    }
+                }
+                let diag = self.u_vals[start];
+                for j in 0..k {
+                    work[row + j] = work[row + j] / diag;
+                }
+            }
+        }
+        for i in 0..p.n {
+            let c = p.cperm[i];
+            let row = i * k;
+            for j in 0..k {
+                rhs[j * p.n + c] = work[row + j];
+            }
         }
         Ok(())
     }
@@ -983,13 +1416,30 @@ impl<T: Scalar> SparseLu<T> {
     }
 }
 
-/// Convenience helper: factor `matrix` and solve for a single right-hand side.
+/// The factorization [`solve_once`] runs: minimum-degree ordered with
+/// threshold pivoting, so even one-shot callers get the fill-reducing path
+/// (its fill advantage is asserted by the `solve_once_*` unit tests below).
+fn fill_reducing_factor<T: Scalar>(matrix: &CsrMatrix<T>) -> Result<SparseLu<T>, SolveError> {
+    if matrix.cols() != matrix.rows() {
+        return Err(SolveError::NotSquare {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+        });
+    }
+    let order = crate::ordering::min_degree_order(matrix);
+    SparseLu::factor_ordered(matrix, &order)
+}
+
+/// Convenience helper: factor `matrix` and solve for a single right-hand
+/// side. The factorization runs the same fill-reducing path the cached
+/// solvers use — a minimum-degree order with KLU-style threshold pivoting —
+/// not the fill-oblivious natural-order pivoting.
 ///
 /// # Errors
 ///
 /// Propagates any [`SolveError`] from factorization or solve.
 pub fn solve_once<T: Scalar>(matrix: &CsrMatrix<T>, b: &[T]) -> Result<Vec<T>, SolveError> {
-    SparseLu::factor(matrix)?.solve(b)
+    fill_reducing_factor(matrix)?.solve(b)
 }
 
 #[cfg(test)]
@@ -1510,10 +1960,264 @@ mod tests {
     }
 
     #[test]
+    fn singular_error_reports_original_column_not_elimination_step() {
+        // Original column 0 is structurally empty. Whatever order the
+        // columns are eliminated in, the error must name column 0 — the
+        // index a caller can map back to a circuit unknown — not the
+        // permuted elimination step at which the failure surfaced.
+        let a = csr_from_dense(&[&[0.0, 1.0], &[0.0, 2.0]]);
+        assert!(matches!(SparseLu::factor(&a), Err(SolveError::Singular(0))));
+        // Under the order [1, 0] the empty column is eliminated at STEP 1;
+        // the un-mapped error would have been Singular(1).
+        assert!(matches!(
+            SparseLu::factor_ordered(&a, &[1, 0]),
+            Err(SolveError::Singular(0))
+        ));
+        // The BTF path reports structural singularity the same way.
+        assert!(matches!(
+            SparseLu::factor_with_symbolic_btf(&a),
+            Err(SolveError::Singular(0))
+        ));
+    }
+
+    #[test]
+    fn solve_once_runs_the_fill_reducing_path() {
+        // Arrow matrix with the hub first: natural-order pivoting fills in
+        // completely, the min-degree order solve_once now routes through
+        // defers the hub and eliminates the fill.
+        let n = 10;
+        let mut t = TripletMatrix::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 5.0 + i as f64);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.5);
+            }
+        }
+        let a = t.to_csr();
+        let ordered = fill_reducing_factor(&a).unwrap();
+        let natural = SparseLu::factor(&a).unwrap();
+        assert!(
+            ordered.factor_nnz() < natural.factor_nnz(),
+            "solve_once's factorization ({} nnz) must carry less fill than \
+             natural-order pivoting ({} nnz)",
+            ordered.factor_nnz(),
+            natural.factor_nnz()
+        );
+        // No-fill optimum on the arrow pattern.
+        assert_eq!(ordered.factor_nnz(), a.nnz());
+        // And the solve itself stays correct through the public entry point.
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 - 0.1 * i as f64).collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve_once(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+        // The squareness contract is preserved.
+        let mut rect = TripletMatrix::<f64>::new(2, 3);
+        rect.push(0, 0, 1.0);
+        assert!(matches!(
+            solve_once(&rect.to_csr(), &[1.0, 2.0]),
+            Err(SolveError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    /// A 3-block cascade: two strongly coupled pairs and a singleton, with
+    /// one-way coupling (later rows read earlier columns), plus a value
+    /// knob that keeps the pattern fixed.
+    fn cascade(scale: f64) -> CsrMatrix<f64> {
+        let mut t = TripletMatrix::<f64>::new(5, 5);
+        for b in 0..2 {
+            let s = 2 * b;
+            t.push(s, s, 3.0 * scale + s as f64);
+            t.push(s, s + 1, 1.0);
+            t.push(s + 1, s, 1.0 * scale);
+            t.push(s + 1, s + 1, 4.0);
+            if s > 0 {
+                t.push(s, s - 1, 0.5 * scale);
+            }
+        }
+        t.push(4, 3, 0.25);
+        t.push(4, 4, 2.0 * scale);
+        t.to_csr()
+    }
+
+    #[test]
+    fn btf_factor_splits_blocks_and_solves_correctly() {
+        let a = cascade(1.0);
+        let (lu, symbolic) = SparseLu::factor_with_symbolic_btf(&a).unwrap();
+        assert_eq!(symbolic.block_count(), 3);
+        assert_eq!(lu.block_count(), 3);
+        assert_eq!(
+            symbolic.block_boundaries().len(),
+            symbolic.block_count() + 1
+        );
+        // Off-diagonal entries are stored raw, never eliminated: the total
+        // pattern matches the input exactly (each 2x2 block is dense and
+        // the cascade couplings produce no fill).
+        assert_eq!(symbolic.fill_nnz(), a.nnz());
+        let x_true = vec![1.0, -2.0, 0.5, 3.0, -1.5];
+        let b = a.mul_vec(&x_true);
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn btf_single_block_degenerates_to_plain_ordered_factorization() {
+        // Tridiagonal: irreducible, so BTF must produce the *identical*
+        // factorization the plain min-degree ordered path produces.
+        let n = 12;
+        let mut t = TripletMatrix::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.5);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        let a = t.to_csr();
+        let (btf_lu, btf_sym) = SparseLu::factor_with_symbolic_btf(&a).unwrap();
+        assert_eq!(btf_sym.block_count(), 1);
+        let order = min_degree_order(&a);
+        let (plain_lu, plain_sym) = SparseLu::factor_with_symbolic_ordered(&a, &order).unwrap();
+        assert_eq!(btf_sym.pivot_order(), plain_sym.pivot_order());
+        assert_eq!(btf_sym.column_order(), plain_sym.column_order());
+        assert_eq!(btf_sym.fill_nnz(), plain_sym.fill_nnz());
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
+        let xb = btf_lu.solve(&b).unwrap();
+        let xp = plain_lu.solve(&b).unwrap();
+        for (a, b) in xb.iter().zip(&xp) {
+            assert_eq!(a, b, "degenerate BTF must be bitwise the ordered path");
+        }
+    }
+
+    #[test]
+    fn btf_refactor_into_reuses_the_block_pattern() {
+        let (mut lu, symbolic) = SparseLu::factor_with_symbolic_btf(&cascade(1.0)).unwrap();
+        let mut ws = LuWorkspace::for_dim(5);
+        for k in 2..6 {
+            let m = cascade(k as f64);
+            lu.refactor_into(&symbolic, &m, &mut ws).unwrap();
+            assert!(lu.refactored(), "block pattern must be reusable");
+            assert_eq!(lu.block_count(), 3);
+            let x_true = vec![0.5, 1.0, -1.0, 2.0, 0.25];
+            let mut rhs = m.mul_vec(&x_true);
+            let mut work = vec![0.0; 5];
+            lu.solve_into(&mut rhs, &mut work).unwrap();
+            for (xi, ti) in rhs.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-12, "{xi} vs {ti}");
+            }
+            // The refactorization must agree bitwise with a fresh BTF
+            // factorization of the same values (same pattern, same ops).
+            let fresh = SparseLu::factor_btf(&m).unwrap();
+            let b = m.mul_vec(&x_true);
+            let xf = fresh.solve(&b).unwrap();
+            let mut xr = b.clone();
+            lu.solve_into(&mut xr, &mut work).unwrap();
+            for (a, b) in xr.iter().zip(&xf) {
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn btf_pattern_mismatch_falls_back() {
+        let (mut lu, symbolic) = SparseLu::factor_with_symbolic_btf(&cascade(1.0)).unwrap();
+        // Feedback entry (0, 4) merges the blocks: off the recorded pattern.
+        let mut t = TripletMatrix::<f64>::new(5, 5);
+        for (r, c, v) in cascade(1.0).iter() {
+            t.push(r, c, v);
+        }
+        t.push(0, 4, 0.5);
+        let m = t.to_csr();
+        let mut ws = LuWorkspace::new();
+        lu.refactor_into(&symbolic, &m, &mut ws).unwrap();
+        assert!(!lu.refactored(), "off-pattern entry must force a fallback");
+        let x_true = vec![1.0, 1.0, 1.0, 1.0, 1.0];
+        let b = m.mul_vec(&x_true);
+        let x = lu.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_block_into_matches_independent_solves_bitwise() {
+        // Cover both a multi-block (BTF) and a single-block factorization.
+        let cases: Vec<SparseLu<f64>> = vec![
+            SparseLu::factor_btf(&cascade(1.3)).unwrap(),
+            SparseLu::factor(&csr_from_dense(&[
+                &[4.0, 1.0, 0.0],
+                &[1.0, 5.0, 2.0],
+                &[0.0, 2.0, 6.0],
+            ]))
+            .unwrap(),
+        ];
+        for lu in &cases {
+            let n = lu.dim();
+            for k in 1..=4usize {
+                // Column-major panel of k distinct right-hand sides.
+                let mut panel: Vec<f64> = (0..n * k)
+                    .map(|i| ((i * 7 + 3) % 11) as f64 - 5.0)
+                    .collect();
+                let reference: Vec<Vec<f64>> = (0..k)
+                    .map(|j| {
+                        let mut rhs = panel[j * n..(j + 1) * n].to_vec();
+                        let mut work = vec![0.0; n];
+                        lu.solve_into(&mut rhs, &mut work).unwrap();
+                        rhs
+                    })
+                    .collect();
+                let mut work = vec![0.0; n * k];
+                lu.solve_block_into(&mut panel, k, &mut work).unwrap();
+                for (j, reference_col) in reference.iter().enumerate() {
+                    for (a, b) in panel[j * n..(j + 1) * n].iter().zip(reference_col) {
+                        assert_eq!(
+                            a, b,
+                            "panel width {k}, column {j}: blocked solve must be \
+                             bitwise identical to the per-RHS solve"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_block_into_rejects_bad_panel_lengths() {
+        let a = csr_from_dense(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let mut short = vec![0.0; 3];
+        let mut work = vec![0.0; 4];
+        assert!(matches!(
+            lu.solve_block_into(&mut short, 2, &mut work),
+            Err(SolveError::RhsLength {
+                expected: 4,
+                got: 3
+            })
+        ));
+        let mut panel = vec![0.0; 4];
+        let mut short_work = vec![0.0; 2];
+        assert!(matches!(
+            lu.solve_block_into(&mut panel, 2, &mut short_work),
+            Err(SolveError::RhsLength {
+                expected: 4,
+                got: 2
+            })
+        ));
+        // A zero-width panel is a no-op.
+        lu.solve_block_into(&mut [], 0, &mut []).unwrap();
+    }
+
+    #[test]
     fn solve_error_display() {
         assert_eq!(
             SolveError::Singular(2).to_string(),
-            "matrix is singular at elimination step 2"
+            "matrix is singular in column 2"
         );
         assert_eq!(
             SolveError::NotSquare { rows: 2, cols: 3 }.to_string(),

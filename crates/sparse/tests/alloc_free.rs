@@ -140,6 +140,47 @@ fn refactor_and_solve_hot_loop_is_allocation_free() {
         after - before
     );
 
+    // The blocked multi-RHS path of the all-nodes scan: one refactor per
+    // "frequency", then the injections batched into panels of K solved by
+    // one `solve_block_into` traversal each. Panel and scratch are minted
+    // once (context mint time); the loop itself — fill, blocked solve,
+    // gather, including the final short panel — must not allocate.
+    // 200 % 16 != 0, so the loop also covers the final SHORT panel, which
+    // reuses the same buffers sliced down.
+    let panel_k = 16;
+    let mut panel = vec![0.0f64; n * panel_k];
+    let mut panel_work = vec![0.0f64; n * panel_k];
+    let nodes: Vec<usize> = (0..n).collect();
+    let before = allocation_count();
+    for m in &matrices {
+        worker_lu
+            .refactor_into(&symbolic, m, &mut worker_ws)
+            .expect("refactor");
+        assert!(worker_lu.refactored(), "panel loop must not fall back");
+        for chunk in nodes.chunks(panel_k) {
+            let cols = chunk.len();
+            let active = &mut panel[..n * cols];
+            active.fill(0.0);
+            for (j, &node) in chunk.iter().enumerate() {
+                active[j * n + node] = 1.0;
+            }
+            worker_lu
+                .solve_block_into(active, cols, &mut panel_work[..n * cols])
+                .expect("blocked solve");
+            for (j, &node) in chunk.iter().enumerate() {
+                assert!(active[j * n + node].is_finite());
+            }
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "the blocked panel loop (refactor_into + solve_block_into) must not \
+         allocate, saw {} allocations",
+        after - before
+    );
+
     // Sanity-check that the counter really counts (the allocating
     // convenience `solve` must bump it), so the zero above is meaningful.
     let probe = allocation_count();

@@ -14,8 +14,12 @@
 //!   the complex-pole signature the stability plot extracts.
 //!
 //! For the all-nodes mode the factorization of `Y(jω)` is reused for every
-//! injection node at a given frequency, which is what makes whole-circuit
-//! stability scans cheap compared to running one full simulation per node.
+//! injection node at a given frequency — and the injections themselves are
+//! batched into panels of K right-hand sides solved in one blocked L/U
+//! traversal each ([`loopscope_sparse::SparseLu::solve_block_into`];
+//! `LOOPSCOPE_PANEL` knob, bitwise identical at any width) — which is what
+//! makes whole-circuit stability scans cheap compared to running one full
+//! simulation per node.
 //!
 //! Across frequency points the heavy lifting is shared through a
 //! [`SweepPlan`]: the sparsity pattern,
@@ -141,6 +145,23 @@ impl AcSweep {
     }
 }
 
+/// Structural diagnostics of the shared solver plan an [`AcAnalysis`] runs
+/// on, reported by [`AcAnalysis::solver_structure`]: how the block-
+/// triangular analysis partitioned the admittance matrix and how much fill
+/// the per-block factorization carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStructure {
+    /// MNA system dimension (node voltages + branch currents).
+    pub dim: usize,
+    /// Diagonal blocks of the block-triangular (BTF) partition: 1 when the
+    /// admittance pattern is irreducible (a single feedback loop couples
+    /// everything), more for block-structured circuits such as cascades.
+    pub block_count: usize,
+    /// Stored factor entries — L and U fill plus raw off-diagonal block
+    /// entries.
+    pub fill_nnz: usize,
+}
+
 /// Small-signal AC analysis of a circuit linearized at an operating point.
 #[derive(Debug)]
 pub struct AcAnalysis<'c> {
@@ -213,6 +234,29 @@ impl<'c> AcAnalysis<'c> {
     /// analysis for an entire sweep — or any number of sweeps.
     pub fn solve_stats(&self) -> SolveStats {
         *self.stats.lock().expect("stats lock")
+    }
+
+    /// Structural diagnostics of the shared solver plan: the BTF block
+    /// partition and factor fill of the admittance system. Builds the plan
+    /// from the system at `representative_freq_hz` if no solve has run yet
+    /// (the structure is frequency-independent, so any in-band frequency
+    /// serves); afterwards the same shared plan is reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Linear`] when the representative system is
+    /// singular.
+    pub fn solver_structure(
+        &self,
+        representative_freq_hz: f64,
+    ) -> Result<SolverStructure, SpiceError> {
+        let plan = self.plan_for(representative_freq_hz)?;
+        let symbolic = plan.symbolic();
+        Ok(SolverStructure {
+            dim: symbolic.dim(),
+            block_count: symbolic.block_count(),
+            fill_nnz: symbolic.fill_nnz(),
+        })
     }
 
     /// The shared sweep plan, built at the first solve from the system at
@@ -480,10 +524,16 @@ impl<'c> AcAnalysis<'c> {
 
     /// Driving-point responses for **every** non-ground node: the workhorse of
     /// the tool's "All Nodes" mode. At each frequency the admittance matrix is
-    /// factored once and re-used for all injection nodes, and frequencies are
+    /// factored once and re-used for all injection nodes, the per-node unit
+    /// injections are batched into **panels of K right-hand sides** solved in
+    /// one L/U traversal each (K from [`par::configured_panel_width`], knob
+    /// `LOOPSCOPE_PANEL`, default [`par::DEFAULT_PANEL_WIDTH`];
+    /// `LOOPSCOPE_PANEL=1` forces the per-RHS path), and frequencies are
     /// chunked across worker threads — the machine-saturating scan the
     /// plan/context split exists for. Results are assembled in frequency
-    /// order and are bitwise identical at any worker count.
+    /// order and are bitwise identical at any worker count **and any panel
+    /// width**: the blocked solve's per-column arithmetic is identical to an
+    /// independent solve per node.
     ///
     /// Returns one vector per signal node, in [`Circuit::signal_nodes`] order.
     ///
@@ -501,13 +551,24 @@ impl<'c> AcAnalysis<'c> {
         }
         let plan = self.plan_for(freqs[0])?;
         let dim = self.layout.dim();
-        // One row of node responses per frequency; the per-node inner loop
-        // reuses the worker's injection vector and solve scratch — one solve
-        // per node per frequency with zero heap allocations.
+        let vars: Vec<usize> = nodes
+            .iter()
+            .map(|&n| self.layout.node_var(n).expect("signal node"))
+            .collect();
+        let panel_width = par::configured_panel_width().min(vars.len().max(1));
+        // One row of node responses per frequency. The worker owns a panel
+        // buffer of `panel_width` injection columns next to its context's
+        // pre-sized blocked-solve scratch, so the whole inner loop — fill,
+        // blocked solve, gather — performs zero heap allocations.
         let (rows, workers) = par::sweep_chunks(
             freqs,
-            || (plan.context(), vec![Complex64::ZERO; dim]),
-            |(ctx, x): &mut (SolveContext<'_, Complex64>, Vec<Complex64>),
+            || {
+                (
+                    plan.context_with_panel(panel_width),
+                    vec![Complex64::ZERO; dim * panel_width],
+                )
+            },
+            |(ctx, panel): &mut (SolveContext<'_, Complex64>, Vec<Complex64>),
              _idx,
              &f|
              -> Result<Vec<Complex64>, SpiceError> {
@@ -518,13 +579,31 @@ impl<'c> AcAnalysis<'c> {
                 };
                 let _ = ctx.assemble(&job);
                 ctx.factor().map_err(SpiceError::Linear)?;
-                let mut row = Vec::with_capacity(nodes.len());
-                for node in &nodes {
-                    let var = self.layout.node_var(*node).expect("signal node");
-                    x.fill(Complex64::ZERO);
-                    x[var] = Complex64::ONE;
-                    ctx.solve_in_place(x).map_err(SpiceError::Linear)?;
-                    row.push(x[var]);
+                let mut row = Vec::with_capacity(vars.len());
+                if panel_width == 1 {
+                    // Per-RHS reference path (`LOOPSCOPE_PANEL=1`): one
+                    // solve per node, the pre-batching inner loop.
+                    for &var in &vars {
+                        let x = &mut panel[..dim];
+                        x.fill(Complex64::ZERO);
+                        x[var] = Complex64::ONE;
+                        ctx.solve_in_place(x).map_err(SpiceError::Linear)?;
+                        row.push(x[var]);
+                    }
+                } else {
+                    for chunk in vars.chunks(panel_width) {
+                        let cols = chunk.len();
+                        let active = &mut panel[..dim * cols];
+                        active.fill(Complex64::ZERO);
+                        for (j, &var) in chunk.iter().enumerate() {
+                            active[j * dim + var] = Complex64::ONE;
+                        }
+                        ctx.solve_panel_in_place(active, cols)
+                            .map_err(SpiceError::Linear)?;
+                        for (j, &var) in chunk.iter().enumerate() {
+                            row.push(active[j * dim + var]);
+                        }
+                    }
                 }
                 Ok(row)
             },

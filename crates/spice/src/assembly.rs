@@ -46,9 +46,7 @@
 //!   worker threads with bitwise-identical results at any worker count.
 
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
-use loopscope_sparse::{
-    ordering, CsrMatrix, LuWorkspace, Scalar, SolveError, SparseLu, SymbolicLu,
-};
+use loopscope_sparse::{CsrMatrix, LuWorkspace, Scalar, SolveError, SparseLu, SymbolicLu};
 use std::sync::Arc;
 
 /// A circuit-assembly job: stamps one MNA system into any matrix sink.
@@ -302,11 +300,11 @@ impl<T: Scalar> CachedMna<T> {
             }
             return Ok(self.lu.as_ref().expect("refactored in place"));
         }
-        // First factorization over this pattern: order for fill, then factor
-        // with threshold pivoting so the order survives unless numerics
-        // object.
-        let order = ordering::min_degree_order(csr);
-        let (lu, symbolic) = SparseLu::factor_with_symbolic_ordered(csr, &order)?;
+        // First factorization over this pattern: block-triangular analysis,
+        // then a min-degree order and threshold-pivoted factorization per
+        // diagonal block (KLU-style; irreducible patterns degenerate to one
+        // block and the plain ordered factorization).
+        let (lu, symbolic) = SparseLu::factor_with_symbolic_btf(csr)?;
         self.symbolic = Some(symbolic);
         self.stats.symbolic += 1;
         Ok(self.lu.insert(lu))
@@ -444,8 +442,7 @@ impl<T: Scalar> SweepPlan<T> {
         job.stamp(&mut stamper);
         let (triplets, _rhs) = stamper.finish();
         let mut pattern = triplets.to_csr();
-        let order = ordering::min_degree_order(&pattern);
-        let (_, symbolic) = SparseLu::factor_with_symbolic_ordered(&pattern, &order)?;
+        let (_, symbolic) = SparseLu::factor_with_symbolic_btf(&pattern)?;
         pattern.zero_values();
         Ok(Self {
             layout: layout.clone(),
@@ -493,10 +490,23 @@ impl<T: Scalar> SweepPlan<T> {
             lu: SparseLu::from_symbolic(&self.symbolic),
             workspace: LuWorkspace::for_dim(n),
             solve_work: vec![T::ZERO; n],
+            panel_work: Vec::new(),
             off_pattern: None,
             factored: false,
             stats: SolveStats::default(),
         }
+    }
+
+    /// Like [`context`](SweepPlan::context), additionally pre-sizing the
+    /// blocked-solve scratch for panels of up to `panel_width` right-hand
+    /// sides, so even the first
+    /// [`solve_panel_in_place`](SolveContext::solve_panel_in_place) call
+    /// over the context performs no heap allocation. This is what the
+    /// all-nodes scan's frequency workers use.
+    pub fn context_with_panel(&self, panel_width: usize) -> SolveContext<'_, T> {
+        let mut ctx = self.context();
+        ctx.panel_work = vec![T::ZERO; self.dim() * panel_width];
+        ctx
     }
 }
 
@@ -525,6 +535,10 @@ pub struct SolveContext<'p, T: Scalar> {
     lu: SparseLu<T>,
     workspace: LuWorkspace<T>,
     solve_work: Vec<T>,
+    /// Scratch of the blocked multi-RHS solve path
+    /// ([`solve_panel_in_place`](SolveContext::solve_panel_in_place)); grown
+    /// on demand, pre-sized by [`SweepPlan::context_with_panel`].
+    panel_work: Vec<T>,
     /// A from-scratch matrix built when a stamp missed the shared pattern;
     /// consumed by the next [`factor`](SolveContext::factor) as a one-point
     /// fallback (the plan and the context's slot map stay untouched).
@@ -588,8 +602,7 @@ impl<'p, T: Scalar> SolveContext<'p, T> {
     pub fn factor(&mut self) -> Result<&SparseLu<T>, SolveError> {
         if let Some(matrix) = self.off_pattern.take() {
             // One-point fallback: a full analysis of the off-plan matrix.
-            let order = ordering::min_degree_order(&matrix);
-            let (lu, _) = SparseLu::factor_with_symbolic_ordered(&matrix, &order)?;
+            let (lu, _) = SparseLu::factor_with_symbolic_btf(&matrix)?;
             self.stats.symbolic += 1;
             self.lu = lu;
             self.factored = true;
@@ -629,6 +642,39 @@ impl<'p, T: Scalar> SolveContext<'p, T> {
             "SolveContext::factor must succeed before solving"
         );
         self.lu.solve_into(rhs, &mut self.solve_work)
+    }
+
+    /// Solves the factored system for `k` right-hand sides in one blocked
+    /// traversal (see
+    /// [`SparseLu::solve_block_into`]): `rhs` holds the `k` columns back to
+    /// back (column-major) on entry and the solutions on return. Per column
+    /// the result is **bitwise identical** to
+    /// [`solve_in_place`](SolveContext::solve_in_place) on that column, so
+    /// any batching of a scan's injections produces the same numbers.
+    ///
+    /// Allocation-free once the context's panel scratch has reached `k`
+    /// columns — mint the context with [`SweepPlan::context_with_panel`] to
+    /// pre-size it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::RhsLength`] when `rhs.len()` is not `k` times
+    /// the system dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no successful [`factor`](SolveContext::factor) call has
+    /// run since the last assembly.
+    pub fn solve_panel_in_place(&mut self, rhs: &mut [T], k: usize) -> Result<(), SolveError> {
+        assert!(
+            self.factored,
+            "SolveContext::factor must succeed before solving"
+        );
+        if self.panel_work.len() < rhs.len() {
+            self.panel_work.resize(rhs.len(), T::ZERO);
+        }
+        self.lu
+            .solve_block_into(rhs, k, &mut self.panel_work[..rhs.len()])
     }
 
     /// Convenience wrapper: assemble, factor, and solve with the assembled

@@ -56,6 +56,26 @@ type ChunkResult<R, S, E> = (Vec<R>, S, Option<(usize, E)>);
 /// (any integer ≥ 1; unset or invalid falls back to available parallelism).
 pub const THREADS_ENV: &str = "LOOPSCOPE_THREADS";
 
+/// Environment variable naming the **panel width** of blocked multi-RHS
+/// solves — how many right-hand sides the all-nodes stability scan batches
+/// into one L/U traversal (any integer ≥ 1; unset or invalid falls back to
+/// [`DEFAULT_PANEL_WIDTH`]). `LOOPSCOPE_PANEL=1` forces the per-RHS solve
+/// path. Results are bitwise identical at any width — the knob only trades
+/// traversal amortization against panel memory.
+pub const PANEL_ENV: &str = "LOOPSCOPE_PANEL";
+
+/// Default panel width of blocked multi-RHS solves: wide enough to amortize
+/// the L/U index traversal across injections, small enough that a panel of
+/// complex vectors stays cache-resident for paper-scale circuits.
+pub const DEFAULT_PANEL_WIDTH: usize = 16;
+
+/// The panel width blocked multi-RHS solves run with: [`PANEL_ENV`] when
+/// set to an integer ≥ 1, otherwise [`DEFAULT_PANEL_WIDTH`]. Read afresh on
+/// every call, so tests and benches can switch it between runs.
+pub fn configured_panel_width() -> usize {
+    parse_workers(std::env::var(PANEL_ENV).ok().as_deref()).unwrap_or(DEFAULT_PANEL_WIDTH)
+}
+
 thread_local! {
     /// `true` while this thread IS a spawned sweep worker. Sweeps nest —
     /// `core`'s corner sweep runs whole stability analyses per point, each
@@ -313,6 +333,15 @@ mod tests {
     fn configured_workers_is_at_least_one() {
         assert!(configured_workers() >= 1);
         assert!(available_workers() >= 1);
+    }
+
+    #[test]
+    fn configured_panel_width_is_at_least_one() {
+        // NOTE: does not mutate the environment (other tests in this binary
+        // run concurrently); the parsing rules themselves are covered by
+        // `parse_workers_accepts_integers_and_rejects_garbage`, which this
+        // knob shares.
+        assert!(configured_panel_width() >= 1);
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! Worker-count invariance of the parallel sweep executor: the all-nodes
-//! stability scan (and the classical AC sweep) must produce **bitwise
-//! identical** results at `LOOPSCOPE_THREADS=1`, `=3` and `=4`, and the
-//! merged solve counters must be identical too.
+//! Worker-count AND panel-width invariance of the parallel sweep executor:
+//! the all-nodes stability scan (and the classical AC sweep) must produce
+//! **bitwise identical** results at `LOOPSCOPE_THREADS=1`, `=3` and `=4`
+//! and at any `LOOPSCOPE_PANEL` width (1 = the per-RHS solve path, wider =
+//! blocked multi-RHS panels), and the merged solve counters must be
+//! identical too.
 //!
-//! NOTE: this file mutates the process environment (`LOOPSCOPE_THREADS` is
-//! deliberately re-read on every sweep call so benches and tests can switch
-//! it), so it holds exactly ONE `#[test]` in its own test binary: tests in
-//! one binary run on parallel threads, and a sibling test reading the
-//! environment between this test's set/remove calls would be racy.
+//! NOTE: this file mutates the process environment (`LOOPSCOPE_THREADS` and
+//! `LOOPSCOPE_PANEL` are deliberately re-read on every sweep call so
+//! benches and tests can switch them), so it holds exactly ONE `#[test]` in
+//! its own test binary: tests in one binary run on parallel threads, and a
+//! sibling test reading the environment between this test's set/remove
+//! calls would be racy.
 
 use loopscope_math::{Complex64, FrequencyGrid};
 use loopscope_netlist::{Circuit, SourceSpec};
@@ -54,9 +57,16 @@ fn all_nodes_with_threads(threads: &str) -> (Vec<Vec<Complex64>>, SolveStats) {
 
 #[test]
 fn sweeps_are_bitwise_identical_at_any_worker_count() {
-    // --- All-nodes scan: serial reference vs 3 and 4 workers -------------
+    // --- All-nodes scan: serial per-RHS reference vs parallel + panels ---
+    // The reference runs one worker with LOOPSCOPE_PANEL=1: the pre-panel
+    // per-RHS inner loop. Every other (threads × panel) combination —
+    // including panels wider than the node count — must reproduce it bit
+    // for bit: a panel only changes how solves are batched, never their
+    // per-column arithmetic.
+    std::env::set_var(par::PANEL_ENV, "1");
     let (serial, serial_stats) = all_nodes_with_threads("1");
-    for threads in ["3", "4"] {
+    for (threads, panel) in [("1", "3"), ("1", "64"), ("3", "1"), ("3", "4"), ("4", "16")] {
+        std::env::set_var(par::PANEL_ENV, panel);
         let (parallel, parallel_stats) = all_nodes_with_threads(threads);
         assert_eq!(serial.len(), parallel.len());
         for (node, (s, p)) in serial.iter().zip(&parallel).enumerate() {
@@ -64,13 +74,26 @@ fn sweeps_are_bitwise_identical_at_any_worker_count() {
             for (i, (a, b)) in s.iter().zip(p).enumerate() {
                 assert!(
                     a.re == b.re && a.im == b.im,
-                    "node {node}, point {i}: {a:?} != {b:?} at LOOPSCOPE_THREADS={threads}"
+                    "node {node}, point {i}: {a:?} != {b:?} at \
+                     LOOPSCOPE_THREADS={threads}, LOOPSCOPE_PANEL={panel}"
                 );
             }
         }
         // Counter totals are sums over plan + workers: chunking-independent.
-        assert_eq!(serial_stats, parallel_stats, "threads = {threads}");
+        assert_eq!(
+            serial_stats, parallel_stats,
+            "threads = {threads}, panel = {panel}"
+        );
     }
+    // The default panel width (env unset) must match too.
+    std::env::remove_var(par::PANEL_ENV);
+    let (default_panel, default_stats) = all_nodes_with_threads("2");
+    for (s, p) in serial.iter().zip(&default_panel) {
+        for (a, b) in s.iter().zip(p) {
+            assert!(a.re == b.re && a.im == b.im, "default panel width diverged");
+        }
+    }
+    assert_eq!(serial_stats, default_stats);
 
     // --- Classical AC sweep: serial vs 4 workers -------------------------
     let run = |threads: &str| {

@@ -4,12 +4,15 @@
 //!
 //! The scan's frequency points are chunked across worker threads (set
 //! `LOOPSCOPE_THREADS` to pin the count; the default uses every hardware
-//! core) — the report is bitwise identical at any worker count.
+//! core) and the per-node injections are batched into panels of
+//! `LOOPSCOPE_PANEL` right-hand sides per L/U traversal — the report is
+//! bitwise identical at any worker count and any panel width.
 //!
 //! Run with `cargo run --release --example all_nodes_report`.
 
 use loopscope::prelude::*;
 use loopscope_circuits::opamp_with_bias;
+use loopscope_spice::ac::AcAnalysis;
 use loopscope_spice::par;
 
 fn main() -> Result<(), StabilityError> {
@@ -17,12 +20,14 @@ fn main() -> Result<(), StabilityError> {
         opamp_with_bias(&OpAmpParams::default(), &BiasParams::default());
     println!(
         "circuit `{}`: {} nodes, {} elements — scanning with {} sweep worker(s) \
-         (set {} to override)",
+         (set {} to override), solve panels of {} RHS (set {} to override)",
         circuit.title(),
         circuit.node_count(),
         circuit.elements().len(),
         par::configured_workers(),
         par::THREADS_ENV,
+        par::configured_panel_width(),
+        par::PANEL_ENV,
     );
 
     let options = StabilityOptions {
@@ -32,6 +37,17 @@ fn main() -> Result<(), StabilityError> {
         ..Default::default()
     };
     let analyzer = StabilityAnalyzer::new(circuit, options)?;
+
+    // Solver structure of the admittance system the scan factors at every
+    // frequency: the BTF block partition and the factor fill.
+    let ac = AcAnalysis::new(analyzer.circuit(), analyzer.operating_point())?;
+    let structure = ac.solver_structure(analyzer.options().f_start)?;
+    println!(
+        "solver structure: {} unknowns, {} BTF diagonal block(s), {} factor entries",
+        structure.dim, structure.block_count, structure.fill_nnz
+    );
+    drop(ac);
+
     let report = analyzer.all_nodes()?;
 
     println!("\n{}", report.to_text());
