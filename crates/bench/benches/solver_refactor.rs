@@ -28,7 +28,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use loopscope_circuits::blocks::{opamp_cascade, rc_ladder};
 use loopscope_circuits::{mos_two_stage_buffer, two_stage_buffer, OpAmpParams};
 use loopscope_math::{Complex64, FrequencyGrid};
-use loopscope_sparse::{ordering, CsrMatrix, LuWorkspace, SparseLu, SymbolicLu, TripletMatrix};
+use loopscope_sparse::{
+    kernels, ordering, CsrMatrix, KernelBackend, LuWorkspace, SparseLu, SymbolicLu, TripletMatrix,
+};
 use loopscope_spice::ac::AcAnalysis;
 use loopscope_spice::dc::solve_dc;
 use loopscope_spice::par;
@@ -593,6 +595,148 @@ fn print_blocked_scan(records: &mut Vec<Record>) {
     );
 }
 
+/// Mean wall-clock of one "frequency point" of the blocked all-nodes scan —
+/// refactor once, then solve one unit injection per unknown in panels of
+/// `panel` right-hand sides — over the matrix set, in nanoseconds.
+fn panel_scan_ns(
+    matrices: &[CsrMatrix<Complex64>],
+    symbolic: &SymbolicLu,
+    panel: usize,
+    reps: usize,
+) -> f64 {
+    let n = matrices[0].rows();
+    let mut lu = SparseLu::from_symbolic(symbolic);
+    let mut ws = LuWorkspace::for_dim(n);
+    let mut rhs = vec![Complex64::ZERO; n * panel];
+    let mut work = vec![Complex64::ZERO; n * panel];
+    let mut k = 0usize;
+    time_ns(reps, || {
+        let m = &matrices[k % matrices.len()];
+        k += 1;
+        lu.refactor_into(symbolic, m, &mut ws).expect("refactor");
+        assert!(lu.refactored(), "bench matrices must not force a fallback");
+        for start in (0..n).step_by(panel) {
+            let cols = panel.min(n - start);
+            let active = &mut rhs[..n * cols];
+            active.fill(Complex64::ZERO);
+            for j in 0..cols {
+                active[j * n + start + j] = Complex64::ONE;
+            }
+            lu.solve_block_into(active, cols, &mut work[..n * cols])
+                .expect("blocked solve");
+            std::hint::black_box(&mut *active);
+        }
+    })
+}
+
+/// Experiment S5 — explicit SIMD kernels: scalar-kernel vs SIMD-kernel
+/// refactor throughput and blocked panel-scan throughput over the same
+/// symbolic analysis (backends pinned per pattern via
+/// `SymbolicLu::with_kernel_backend`, so both run in one process). A
+/// bitwise cross-check of one panel solve guards the table: the backends
+/// must agree bit for bit before any timing is reported.
+fn print_kernel_table(
+    label: &str,
+    matrices: &[CsrMatrix<Complex64>],
+    reps: usize,
+    records: &mut Vec<Record>,
+    require_refactor_speedup: bool,
+) {
+    let (_, symbolic) = SparseLu::factor_with_symbolic_btf(&matrices[0]).expect("factors");
+    let sym_scalar = symbolic.with_kernel_backend(KernelBackend::Scalar);
+    let simd_backend = if kernels::simd_available() {
+        KernelBackend::Avx2
+    } else {
+        KernelBackend::Scalar
+    };
+    let sym_simd = symbolic.with_kernel_backend(simd_backend);
+    let n = matrices[0].rows();
+
+    // Hard bitwise gate (deterministic, never demoted): the two backends
+    // must produce identical factors and panel solutions.
+    {
+        let mut ws = LuWorkspace::for_dim(n);
+        let mut lu_a = SparseLu::from_symbolic(&sym_scalar);
+        lu_a.refactor_into(&sym_scalar, &matrices[1 % matrices.len()], &mut ws)
+            .expect("refactor");
+        let mut lu_b = SparseLu::from_symbolic(&sym_simd);
+        lu_b.refactor_into(&sym_simd, &matrices[1 % matrices.len()], &mut ws)
+            .expect("refactor");
+        let k = 16.min(n);
+        let mut rhs_a = vec![Complex64::ZERO; n * k];
+        for (j, slot) in rhs_a.iter_mut().enumerate() {
+            *slot = Complex64::new(1.0 + (j % 7) as f64, 0.25 * (j % 5) as f64);
+        }
+        let mut rhs_b = rhs_a.clone();
+        let mut work = vec![Complex64::ZERO; n * k];
+        lu_a.solve_block_into(&mut rhs_a, k, &mut work)
+            .expect("solve");
+        lu_b.solve_block_into(&mut rhs_b, k, &mut work)
+            .expect("solve");
+        for (a, b) in rhs_a.iter().zip(&rhs_b) {
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "{label}: scalar and {simd_backend} kernels must be bitwise identical"
+            );
+        }
+    }
+
+    let scalar_refactor = refactor_ns(matrices, &sym_scalar, reps);
+    let simd_refactor = refactor_ns(matrices, &sym_simd, reps);
+    let scan_reps = (reps / 8).max(2);
+    let scalar_scan = panel_scan_ns(matrices, &sym_scalar, par::DEFAULT_PANEL_WIDTH, scan_reps);
+    let simd_scan = panel_scan_ns(matrices, &sym_simd, par::DEFAULT_PANEL_WIDTH, scan_reps);
+    println!(
+        "{label:<18} refactor scalar {:>9.2} µs   {simd_backend} {:>9.2} µs ({:>5.2}x)   \
+         panel scan scalar {:>9.2} µs   {simd_backend} {:>9.2} µs ({:>5.2}x)",
+        scalar_refactor / 1.0e3,
+        simd_refactor / 1.0e3,
+        scalar_refactor / simd_refactor,
+        scalar_scan / 1.0e3,
+        simd_scan / 1.0e3,
+        scalar_scan / simd_scan,
+    );
+    records.push(Record::new(
+        format!("{label}_refactor_scalar_kernel"),
+        scalar_refactor,
+    ));
+    records.push(Record::new(
+        format!("{label}_refactor_{simd_backend}_kernel"),
+        simd_refactor,
+    ));
+    records.push(Record::new(
+        format!("{label}_panel_scan_scalar_kernel"),
+        scalar_scan,
+    ));
+    records.push(Record::new(
+        format!("{label}_panel_scan_{simd_backend}_kernel"),
+        simd_scan,
+    ));
+
+    if require_refactor_speedup && simd_backend.is_simd() {
+        assert_timing(
+            simd_refactor * 1.2 <= scalar_refactor,
+            &format!(
+                "{label}: the SIMD refactor ({simd_refactor:.0} ns) must be ≥ 1.2x the \
+                 scalar-kernel refactor ({scalar_refactor:.0} ns) with AVX2 detected, \
+                 measured {:.2}x",
+                scalar_refactor / simd_refactor
+            ),
+        );
+    }
+    if simd_backend.is_simd() {
+        // The panel solve is the SIMD-shaped loop (k contiguous lanes per
+        // factor entry): it must at minimum not regress.
+        assert_timing(
+            simd_scan <= scalar_scan * 1.05,
+            &format!(
+                "{label}: the SIMD panel scan ({simd_scan:.0} ns) must not be slower than \
+                 the scalar-kernel one ({scalar_scan:.0} ns)"
+            ),
+        );
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let mut records: Vec<Record> = Vec::new();
     if quick_mode() {
@@ -682,6 +826,25 @@ fn bench(c: &mut Criterion) {
     );
 
     print_blocked_scan(&mut records);
+
+    println!(
+        "\n=== S5: explicit SIMD kernels — scalar vs {} (AVX2 {}) ===",
+        kernels::selected_backend(),
+        if kernels::simd_available() {
+            "detected"
+        } else {
+            "NOT available; table degenerates to scalar-vs-scalar"
+        }
+    );
+    let (ladder_c, _) = ladder_matrices(400);
+    print_kernel_table("rc_ladder_400", &ladder_c, iters(200), &mut records, true);
+    print_kernel_table(
+        &format!("mesh_{mesh_p}x{mesh_p}"),
+        &meshes,
+        iters(40),
+        &mut records,
+        false,
+    );
     println!();
 
     let mut group = c.benchmark_group("solver_refactor");

@@ -55,7 +55,7 @@ pub fn transient_overshoot(
     let op = solve_dc(circuit)?;
     let tran = TransientAnalysis::new(circuit, TransientOptions::new(dt, t_stop))?;
     let result = tran.run(&op)?;
-    let wave = result.waveform(node);
+    let wave = result.waveform(node)?;
     let initial = wave.first().copied().unwrap_or(0.0);
     let final_value = settled_value(&wave, 0.05);
     let percent = overshoot_percent(&wave, initial, final_value);

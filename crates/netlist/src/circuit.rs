@@ -119,7 +119,14 @@ impl Circuit {
 
     /// All non-ground nodes, in creation order.
     pub fn signal_nodes(&self) -> Vec<NodeId> {
-        (1..self.node_names.len()).map(NodeId).collect()
+        self.signal_nodes_iter().collect()
+    }
+
+    /// Iterator form of [`signal_nodes`](Circuit::signal_nodes), for hot
+    /// loops that must not allocate (MNA stamping runs once per Newton
+    /// iteration of every transient timestep and once per sweep point).
+    pub fn signal_nodes_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.node_names.len()).map(NodeId)
     }
 
     /// The ordered list of elements.

@@ -1,0 +1,663 @@
+//! Explicitly vectorized inner-loop primitives for the LU hot paths.
+//!
+//! Profiling the sweep workloads leaves three inner loops holding almost all
+//! of the numeric work once the symbolic machinery is amortized:
+//!
+//! 1. the **scatter/gather axpy** of the numeric refactorization
+//!    (`work[cols[i]] -= mult · vals[i]` over a U row's fill pattern),
+//! 2. the **per-entry fold** of the single-RHS substitution sweeps
+//!    (`acc -= vals[i] · work[cols[i]]`, strictly in order), and
+//! 3. the **k-wide panel update** of the blocked multi-RHS solve
+//!    (`dst[j] -= v · src[j]` / `dst[j] = dst[j] / diag` over `k` contiguous
+//!    right-hand-side lanes).
+//!
+//! This module implements each primitive twice — a portable scalar reference
+//! ([`scalar`]) and an AVX2 split-lane `(re, im)` form over
+//! `core::arch::x86_64` — and exposes safe per-type dispatchers
+//! ([`axpy_indexed_c64`], [`panel_axpy_f64`], …) that select between them
+//! with a [`KernelBackend`] value. The solver records the backend **once per
+//! symbolic analysis** (see [`selected_backend`] and
+//! [`crate::SymbolicLu::kernel_backend`]), so a whole sweep runs one
+//! consistent code path.
+//!
+//! # The bitwise contract
+//!
+//! Every vector implementation performs **the same IEEE-754 multiplies,
+//! additions, subtractions and divisions, in the same per-element order, as
+//! the scalar reference**: no FMA contraction, no reassociation across fill
+//! entries, no blocked accumulators. Lanes only ever span *independent*
+//! elements (distinct scatter targets, or distinct right-hand-side columns
+//! of a panel), and sequential dependences — the substitution fold's
+//! accumulator — stay sequential with only the independent products
+//! vectorized. Consequently the two backends produce bit-identical results
+//! on finite data, the property the `proptest_kernels` suite pins and the
+//! reason every pre-existing determinism test (refactor-vs-fresh,
+//! blocked-vs-single-RHS, `par_determinism`) holds with the SIMD path
+//! active.
+//!
+//! # Backend selection
+//!
+//! [`selected_backend`] picks AVX2 when `is_x86_feature_detected!` reports
+//! it and the portable scalar path otherwise; the `LOOPSCOPE_KERNEL`
+//! environment knob ([`KERNEL_ENV`]) overrides the choice (`scalar` forces
+//! the fallback everywhere, `avx2` asks for SIMD and still falls back when
+//! the CPU lacks it). The knob is read when a factorization's symbolic
+//! analysis is built, so with a fixed environment the selection is
+//! deterministic for the whole process — and benches/tests can pin a
+//! specific backend per pattern through
+//! [`crate::SymbolicLu::with_kernel_backend`] without touching the
+//! environment.
+//!
+//! This module is the only place in the crate allowed to use `unsafe`
+//! (`core::arch` intrinsics and the split-lane slice reinterpretation); the
+//! rest of the crate stays `deny(unsafe_code)`.
+
+use crate::scalar::Scalar;
+use loopscope_math::Complex64;
+use std::fmt;
+
+/// Environment variable naming the kernel backend (`scalar` forces the
+/// portable fallback, `avx2` requests SIMD — honored only when the CPU has
+/// it; anything else, or unset, auto-detects). Read when a symbolic
+/// analysis is built, so every factorization over one pattern runs one
+/// backend.
+pub const KERNEL_ENV: &str = "LOOPSCOPE_KERNEL";
+
+/// Which implementation of the vectorized inner-loop primitives a
+/// factorization runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The portable scalar reference path — always available, and the
+    /// definition of correct results for the SIMD path.
+    Scalar,
+    /// Split-lane `(re, im)` AVX2 over `core::arch::x86_64`; bit-identical
+    /// to [`KernelBackend::Scalar`] on finite data (same ops, same order,
+    /// no FMA).
+    Avx2,
+}
+
+impl KernelBackend {
+    /// Short lowercase name (`"scalar"` / `"avx2"`), the same tokens the
+    /// [`KERNEL_ENV`] knob accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+        }
+    }
+
+    /// `true` for explicitly vectorized backends.
+    pub fn is_simd(self) -> bool {
+        matches!(self, KernelBackend::Avx2)
+    }
+}
+
+impl fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `true` when the running CPU supports the AVX2 kernel path.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Pure selection rule behind [`selected_backend`], exposed so tests can pin
+/// it: an explicit `scalar` always wins, an explicit `avx2` (or no request)
+/// takes SIMD only when the hardware has it, and unknown values fall back to
+/// auto-detection. Matching is case-insensitive and whitespace-tolerant.
+pub fn backend_for(request: Option<&str>, simd_available: bool) -> KernelBackend {
+    let auto = if simd_available {
+        KernelBackend::Avx2
+    } else {
+        KernelBackend::Scalar
+    };
+    match request.map(str::trim) {
+        Some(s) if s.eq_ignore_ascii_case("scalar") => KernelBackend::Scalar,
+        Some(s) if s.eq_ignore_ascii_case("avx2") => auto,
+        _ => auto,
+    }
+}
+
+/// The backend new symbolic analyses record: [`KERNEL_ENV`] applied to the
+/// hardware detection by [`backend_for`]. With a fixed environment the
+/// result is the same for every call in a process.
+pub fn selected_backend() -> KernelBackend {
+    backend_for(std::env::var(KERNEL_ENV).ok().as_deref(), simd_available())
+}
+
+/// Portable scalar reference implementations of the kernel primitives.
+///
+/// These loops **define** the arithmetic the SIMD backends must reproduce
+/// bit-for-bit; they are also the dispatch target for scalar types other
+/// than `f64`/[`Complex64`] and for hardware without AVX2.
+pub mod scalar {
+    use super::Scalar;
+
+    /// `work[cols[i]] -= mult * vals[i]` for every `i`. Targets must be
+    /// distinct per call site invariant-wise, but duplicates are processed
+    /// sequentially and stay well-defined.
+    #[inline]
+    pub fn axpy_indexed<T: Scalar>(mult: T, vals: &[T], cols: &[usize], work: &mut [T]) {
+        for (v, &c) in vals.iter().zip(cols) {
+            work[c] -= mult * *v;
+        }
+    }
+
+    /// Returns `acc - Σ vals[i]·work[cols[i]]`, subtracting strictly in
+    /// index order (the substitution sweeps' sequential accumulator).
+    #[inline]
+    pub fn fold_sub_indexed<T: Scalar>(mut acc: T, vals: &[T], cols: &[usize], work: &[T]) -> T {
+        for (v, &c) in vals.iter().zip(cols) {
+            acc -= *v * work[c];
+        }
+        acc
+    }
+
+    /// `dst[j] -= v * src[j]` over the common length — the k-lane panel
+    /// update (lane = right-hand-side column).
+    #[inline]
+    pub fn panel_axpy<T: Scalar>(v: T, src: &[T], dst: &mut [T]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d -= v * *s;
+        }
+    }
+
+    /// `dst[j] = dst[j] / diag` for every lane.
+    #[inline]
+    pub fn panel_div<T: Scalar>(diag: T, dst: &mut [T]) {
+        for d in dst {
+            *d = *d / diag;
+        }
+    }
+}
+
+/// AVX2 split-lane implementations. Every function performs exactly the
+/// scalar reference arithmetic per element: products via `vmulpd`, the
+/// complex cross terms combined with `vaddsubpd` (never FMA), scattered
+/// elements addressed through bounds-checked references. Functions are
+/// `unsafe` with a single obligation — AVX2 must be available on the
+/// running CPU — which the dispatchers discharge by construction
+/// ([`KernelBackend::Avx2`] is only selected after runtime detection).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use core::arch::x86_64::{
+        __m128d, __m256d, _mm256_addsub_pd, _mm256_castpd256_pd128, _mm256_div_pd,
+        _mm256_extractf128_pd, _mm256_loadu_pd, _mm256_movedup_pd, _mm256_mul_pd,
+        _mm256_permute_pd, _mm256_set1_pd, _mm256_set_m128d, _mm256_storeu_pd, _mm256_sub_pd,
+        _mm256_xor_pd, _mm_loadu_pd, _mm_storeu_pd, _mm_sub_pd,
+    };
+    use loopscope_math::Complex64;
+
+    /// One 128-bit load of a single complex element through its
+    /// bounds-checked reference (`Complex64` is `repr(C)` `[re, im]`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_c64(z: &Complex64) -> __m128d {
+        _mm_loadu_pd((z as *const Complex64).cast::<f64>())
+    }
+
+    /// 128-bit store back into a single complex element.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_c64(z: &mut Complex64, v: __m128d) {
+        _mm_storeu_pd((z as *mut Complex64).cast::<f64>(), v)
+    }
+
+    /// `mult * v` for two complex lanes at once, with exactly the scalar
+    /// operation order: `re = m.re·v.re − m.im·v.im`,
+    /// `im = m.re·v.im + m.im·v.re` (multiplies then one `vaddsubpd`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_broadcast_c64(mre: __m256d, mim: __m256d, v: __m256d) -> __m256d {
+        let t1 = _mm256_mul_pd(mre, v);
+        let t2 = _mm256_mul_pd(mim, _mm256_permute_pd::<0b0101>(v));
+        _mm256_addsub_pd(t1, t2)
+    }
+
+    /// See [`super::scalar::axpy_indexed`]; bit-identical on finite data.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_indexed_c64(
+        mult: Complex64,
+        vals: &[Complex64],
+        cols: &[usize],
+        work: &mut [Complex64],
+    ) {
+        let n = vals.len().min(cols.len());
+        let mre = _mm256_set1_pd(mult.re);
+        let mim = _mm256_set1_pd(mult.im);
+        let mut i = 0;
+        while i + 2 <= n {
+            // Two contiguous factor values, multiplied in one shot...
+            let v = _mm256_loadu_pd(vals[i..i + 2].as_ptr().cast::<f64>());
+            let prod = mul_broadcast_c64(mre, mim, v);
+            let lo = _mm256_castpd256_pd128(prod);
+            let hi = _mm256_extractf128_pd::<1>(prod);
+            // ...then scattered sequentially (a duplicated target sees the
+            // first store before the second load, exactly like the scalar
+            // loop).
+            let c0 = cols[i];
+            let c1 = cols[i + 1];
+            let w0 = load_c64(&work[c0]);
+            store_c64(&mut work[c0], _mm_sub_pd(w0, lo));
+            let w1 = load_c64(&work[c1]);
+            store_c64(&mut work[c1], _mm_sub_pd(w1, hi));
+            i += 2;
+        }
+        if i < n {
+            work[cols[i]] -= mult * vals[i];
+        }
+    }
+
+    /// See [`super::scalar::fold_sub_indexed`]: products are computed two
+    /// lanes at a time, the accumulator is updated strictly in order.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fold_sub_indexed_c64(
+        mut acc: Complex64,
+        vals: &[Complex64],
+        cols: &[usize],
+        work: &[Complex64],
+    ) -> Complex64 {
+        let n = vals.len().min(cols.len());
+        let mut i = 0;
+        while i + 2 <= n {
+            let va = _mm256_loadu_pd(vals[i..i + 2].as_ptr().cast::<f64>());
+            let b0 = load_c64(&work[cols[i]]);
+            let b1 = load_c64(&work[cols[i + 1]]);
+            let vb = _mm256_set_m128d(b1, b0);
+            // Pairwise complex products a·b: re = a.re·b.re − a.im·b.im,
+            // im = a.re·b.im + a.im·b.re — multiplies then one vaddsubpd.
+            let t1 = _mm256_mul_pd(_mm256_movedup_pd(va), vb);
+            let t2 = _mm256_mul_pd(
+                _mm256_permute_pd::<0b1111>(va),
+                _mm256_permute_pd::<0b0101>(vb),
+            );
+            let prod = _mm256_addsub_pd(t1, t2);
+            let mut pair = [Complex64::ZERO; 2];
+            _mm256_storeu_pd(pair.as_mut_ptr().cast::<f64>(), prod);
+            // The accumulator chain stays sequential: no lane reassociation.
+            acc -= pair[0];
+            acc -= pair[1];
+            i += 2;
+        }
+        if i < n {
+            acc -= vals[i] * work[cols[i]];
+        }
+        acc
+    }
+
+    /// See [`super::scalar::panel_axpy`] — the fully contiguous case: two
+    /// complex lanes (= two right-hand-side columns) per vector op.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn panel_axpy_c64(v: Complex64, src: &[Complex64], dst: &mut [Complex64]) {
+        let n = dst.len().min(src.len());
+        let vre = _mm256_set1_pd(v.re);
+        let vim = _mm256_set1_pd(v.im);
+        let mut j = 0;
+        while j + 2 <= n {
+            let s = _mm256_loadu_pd(src[j..j + 2].as_ptr().cast::<f64>());
+            let prod = mul_broadcast_c64(vre, vim, s);
+            let dp = dst[j..j + 2].as_mut_ptr().cast::<f64>();
+            let d = _mm256_loadu_pd(dp);
+            _mm256_storeu_pd(dp, _mm256_sub_pd(d, prod));
+            j += 2;
+        }
+        if j < n {
+            dst[j] -= v * src[j];
+        }
+    }
+
+    /// See [`super::scalar::panel_div`]: the denominator `|diag|²` is
+    /// computed once in scalar (same expression as `Complex64::norm_sqr`),
+    /// the per-lane numerators with multiplies and one sign-flipped
+    /// `vaddsubpd` (`x − (−y)` is IEEE-identical to `x + y`), then one
+    /// `vdivpd`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn panel_div_c64(diag: Complex64, dst: &mut [Complex64]) {
+        let n = dst.len();
+        let den = _mm256_set1_pd(diag.norm_sqr());
+        let dre = _mm256_set1_pd(diag.re);
+        let dim = _mm256_set1_pd(diag.im);
+        let sign = _mm256_set1_pd(-0.0);
+        let mut j = 0;
+        while j + 2 <= n {
+            let dp = dst[j..j + 2].as_mut_ptr().cast::<f64>();
+            let a = _mm256_loadu_pd(dp);
+            // num = [a.re·d.re + a.im·d.im, a.im·d.re − a.re·d.im]:
+            // addsub with the second operand negated turns its even-lane
+            // subtract into the required add and vice versa.
+            let t1 = _mm256_mul_pd(a, dre);
+            let t2 = _mm256_mul_pd(_mm256_permute_pd::<0b0101>(a), dim);
+            let num = _mm256_addsub_pd(t1, _mm256_xor_pd(t2, sign));
+            _mm256_storeu_pd(dp, _mm256_div_pd(num, den));
+            j += 2;
+        }
+        if j < n {
+            dst[j] /= diag;
+        }
+    }
+
+    /// Real-lane form of [`axpy_indexed_c64`]: four products per vector op,
+    /// scattered sequentially.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_indexed_f64(
+        mult: f64,
+        vals: &[f64],
+        cols: &[usize],
+        work: &mut [f64],
+    ) {
+        let n = vals.len().min(cols.len());
+        let m = _mm256_set1_pd(mult);
+        let mut i = 0;
+        while i + 4 <= n {
+            let prod = _mm256_mul_pd(m, _mm256_loadu_pd(vals[i..].as_ptr()));
+            let mut p = [0.0f64; 4];
+            _mm256_storeu_pd(p.as_mut_ptr(), prod);
+            for (k, &pk) in p.iter().enumerate() {
+                work[cols[i + k]] -= pk;
+            }
+            i += 4;
+        }
+        while i < n {
+            work[cols[i]] -= mult * vals[i];
+            i += 1;
+        }
+    }
+
+    /// Real-lane form of [`fold_sub_indexed_c64`].
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fold_sub_indexed_f64(
+        mut acc: f64,
+        vals: &[f64],
+        cols: &[usize],
+        work: &[f64],
+    ) -> f64 {
+        let n = vals.len().min(cols.len());
+        let mut i = 0;
+        while i + 4 <= n {
+            let mut b = [0.0f64; 4];
+            for (k, bk) in b.iter_mut().enumerate() {
+                *bk = work[cols[i + k]];
+            }
+            let prod = _mm256_mul_pd(
+                _mm256_loadu_pd(vals[i..].as_ptr()),
+                _mm256_loadu_pd(b.as_ptr()),
+            );
+            let mut p = [0.0f64; 4];
+            _mm256_storeu_pd(p.as_mut_ptr(), prod);
+            // Sequential accumulation, same order as the scalar loop.
+            for &pk in &p {
+                acc -= pk;
+            }
+            i += 4;
+        }
+        while i < n {
+            acc -= vals[i] * work[cols[i]];
+            i += 1;
+        }
+        acc
+    }
+
+    /// Real-lane form of [`panel_axpy_c64`]: four lanes per vector op.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn panel_axpy_f64(v: f64, src: &[f64], dst: &mut [f64]) {
+        let n = dst.len().min(src.len());
+        let vv = _mm256_set1_pd(v);
+        let mut j = 0;
+        while j + 4 <= n {
+            let prod = _mm256_mul_pd(vv, _mm256_loadu_pd(src[j..].as_ptr()));
+            let dp = dst[j..].as_mut_ptr();
+            _mm256_storeu_pd(dp, _mm256_sub_pd(_mm256_loadu_pd(dp), prod));
+            j += 4;
+        }
+        while j < n {
+            dst[j] -= v * src[j];
+            j += 1;
+        }
+    }
+
+    /// Real-lane form of [`panel_div_c64`]: one `vdivpd` per four lanes.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn panel_div_f64(diag: f64, dst: &mut [f64]) {
+        let n = dst.len();
+        let dv = _mm256_set1_pd(diag);
+        let mut j = 0;
+        while j + 4 <= n {
+            let dp = dst[j..].as_mut_ptr();
+            _mm256_storeu_pd(dp, _mm256_div_pd(_mm256_loadu_pd(dp), dv));
+            j += 4;
+        }
+        while j < n {
+            dst[j] /= diag;
+            j += 1;
+        }
+    }
+}
+
+/// Expands to one safe per-type dispatcher per primitive: the scalar arm
+/// inlines the reference loop, the AVX2 arm calls into the
+/// `target_feature` function. The AVX2 arm re-checks [`simd_available`]
+/// (a cached feature probe) before entering the `unsafe` call: `Avx2` is a
+/// freely constructible public value, so soundness must hold even for a
+/// caller that never went through [`selected_backend`] — on hardware
+/// without AVX2 (and on non-x86_64 builds) the arm silently degrades to
+/// the scalar reference, which is bit-identical anyway.
+macro_rules! dispatchers {
+    ($ty:ty, $lanes:expr, $axpy:ident, $fold:ident, $paxpy:ident, $pdiv:ident,
+     $axpy_simd:ident, $fold_simd:ident, $paxpy_simd:ident, $pdiv_simd:ident) => {
+        /// `work[cols[i]] -= mult * vals[i]` on the chosen backend
+        /// (see [`scalar::axpy_indexed`] for the exact semantics). Slices
+        /// shorter than one vector width take the inlined scalar loop even
+        /// on the SIMD backend — the results are identical by the bitwise
+        /// contract, and skipping the `target_feature` call keeps short
+        /// fill rows (e.g. a tridiagonal ladder's single-entry updates)
+        /// free of dispatch overhead.
+        #[inline]
+        pub fn $axpy(
+            backend: KernelBackend,
+            mult: $ty,
+            vals: &[$ty],
+            cols: &[usize],
+            work: &mut [$ty],
+        ) {
+            if vals.len() < $lanes {
+                return scalar::axpy_indexed(mult, vals, cols, work);
+            }
+            match backend {
+                KernelBackend::Scalar => scalar::axpy_indexed(mult, vals, cols, work),
+                KernelBackend::Avx2 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if simd_available() {
+                        // SAFETY: AVX2 presence was just verified; scattered
+                        // accesses are bounds-checked inside the kernel.
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            avx2::$axpy_simd(mult, vals, cols, work)
+                        }
+                    } else {
+                        scalar::axpy_indexed(mult, vals, cols, work)
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    scalar::axpy_indexed(mult, vals, cols, work)
+                }
+            }
+        }
+
+        /// `acc - Σ vals[i]·work[cols[i]]`, accumulated strictly in order,
+        /// on the chosen backend (see [`scalar::fold_sub_indexed`]).
+        #[inline]
+        pub fn $fold(
+            backend: KernelBackend,
+            acc: $ty,
+            vals: &[$ty],
+            cols: &[usize],
+            work: &[$ty],
+        ) -> $ty {
+            if vals.len() < $lanes {
+                return scalar::fold_sub_indexed(acc, vals, cols, work);
+            }
+            match backend {
+                KernelBackend::Scalar => scalar::fold_sub_indexed(acc, vals, cols, work),
+                KernelBackend::Avx2 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if simd_available() {
+                        // SAFETY: AVX2 presence was just verified.
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            return avx2::$fold_simd(acc, vals, cols, work);
+                        }
+                    }
+                    scalar::fold_sub_indexed(acc, vals, cols, work)
+                }
+            }
+        }
+
+        /// `dst[j] -= v * src[j]` over the common length on the chosen
+        /// backend (see [`scalar::panel_axpy`]).
+        #[inline]
+        pub fn $paxpy(backend: KernelBackend, v: $ty, src: &[$ty], dst: &mut [$ty]) {
+            if dst.len() < $lanes {
+                return scalar::panel_axpy(v, src, dst);
+            }
+            match backend {
+                KernelBackend::Scalar => scalar::panel_axpy(v, src, dst),
+                KernelBackend::Avx2 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if simd_available() {
+                        // SAFETY: AVX2 presence was just verified.
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            avx2::$paxpy_simd(v, src, dst)
+                        }
+                    } else {
+                        scalar::panel_axpy(v, src, dst)
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    scalar::panel_axpy(v, src, dst)
+                }
+            }
+        }
+
+        /// `dst[j] = dst[j] / diag` for every lane on the chosen backend
+        /// (see [`scalar::panel_div`]).
+        #[inline]
+        pub fn $pdiv(backend: KernelBackend, diag: $ty, dst: &mut [$ty]) {
+            if dst.len() < $lanes {
+                return scalar::panel_div(diag, dst);
+            }
+            match backend {
+                KernelBackend::Scalar => scalar::panel_div(diag, dst),
+                KernelBackend::Avx2 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if simd_available() {
+                        // SAFETY: AVX2 presence was just verified.
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            avx2::$pdiv_simd(diag, dst)
+                        }
+                    } else {
+                        scalar::panel_div(diag, dst)
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    scalar::panel_div(diag, dst)
+                }
+            }
+        }
+    };
+}
+
+dispatchers!(
+    Complex64,
+    2,
+    axpy_indexed_c64,
+    fold_sub_indexed_c64,
+    panel_axpy_c64,
+    panel_div_c64,
+    axpy_indexed_c64,
+    fold_sub_indexed_c64,
+    panel_axpy_c64,
+    panel_div_c64
+);
+
+dispatchers!(
+    f64,
+    4,
+    axpy_indexed_f64,
+    fold_sub_indexed_f64,
+    panel_axpy_f64,
+    panel_div_f64,
+    axpy_indexed_f64,
+    fold_sub_indexed_f64,
+    panel_axpy_f64,
+    panel_div_f64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_rule_honors_explicit_scalar() {
+        assert_eq!(backend_for(Some("scalar"), true), KernelBackend::Scalar);
+        assert_eq!(backend_for(Some(" SCALAR "), true), KernelBackend::Scalar);
+        assert_eq!(backend_for(Some("scalar"), false), KernelBackend::Scalar);
+    }
+
+    #[test]
+    fn backend_rule_auto_detects() {
+        assert_eq!(backend_for(None, true), KernelBackend::Avx2);
+        assert_eq!(backend_for(None, false), KernelBackend::Scalar);
+        assert_eq!(backend_for(Some("avx2"), true), KernelBackend::Avx2);
+        // An AVX2 request on hardware without it degrades, never crashes.
+        assert_eq!(backend_for(Some("avx2"), false), KernelBackend::Scalar);
+        // Unknown values fall back to auto-detection.
+        assert_eq!(backend_for(Some("banana"), true), KernelBackend::Avx2);
+    }
+
+    #[test]
+    fn selection_is_deterministic_per_process() {
+        let first = selected_backend();
+        for _ in 0..100 {
+            assert_eq!(selected_backend(), first);
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [KernelBackend::Scalar, KernelBackend::Avx2] {
+            assert_eq!(backend_for(Some(b.name()), true).name(), {
+                if b.is_simd() {
+                    "avx2"
+                } else {
+                    "scalar"
+                }
+            });
+            assert_eq!(b.to_string(), b.name());
+        }
+    }
+
+    #[test]
+    fn scalar_reference_semantics() {
+        let vals = [2.0f64, -3.0, 0.5];
+        let cols = [2usize, 0, 1];
+        let mut work = [10.0f64, 20.0, 30.0];
+        scalar::axpy_indexed(2.0, &vals, &cols, &mut work);
+        assert_eq!(work, [16.0, 19.0, 26.0]);
+        let acc = scalar::fold_sub_indexed(1.0, &vals, &cols, &work);
+        assert_eq!(acc, 1.0 - 2.0 * 26.0 + 3.0 * 16.0 - 0.5 * 19.0);
+        let mut dst = [8.0f64, 6.0];
+        scalar::panel_axpy(0.5, &[2.0, 4.0], &mut dst);
+        assert_eq!(dst, [7.0, 4.0]);
+        scalar::panel_div(2.0, &mut dst);
+        assert_eq!(dst, [3.5, 2.0]);
+    }
+}

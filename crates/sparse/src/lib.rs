@@ -43,7 +43,15 @@
 //!   allocation-free through [`SparseLu::solve_into`].
 //!
 //! The scalar abstraction [`Scalar`] is implemented for `f64` (DC and
-//! transient analyses) and [`Complex64`] (AC analysis).
+//! transient analyses) and [`Complex64`] (AC analysis). Its `kernel_*`
+//! surface routes the three numeric hot loops — the refactorization's
+//! scatter/gather axpy, the substitution fold and the blocked panel update —
+//! through [`kernels`], which provides an explicitly vectorized AVX2 backend
+//! next to the portable scalar reference. The backend is recorded per
+//! [`SymbolicLu`] at build time ([`kernels::selected_backend`], overridable
+//! with the `LOOPSCOPE_KERNEL` environment knob) and the two backends are
+//! bit-identical on finite data, so every determinism guarantee in the
+//! workspace holds with SIMD active.
 //!
 //! # Example
 //!
@@ -73,17 +81,22 @@
 //! # Ok::<(), loopscope_sparse::SolveError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the [`kernels`] module, which carries
+// the `core::arch` SIMD intrinsics behind a scoped `#[allow(unsafe_code)]`
+// (a crate-level `forbid` would make that exception impossible).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod btf;
 mod csr;
+pub mod kernels;
 mod lu;
 pub mod ordering;
 mod scalar;
 mod triplet;
 
 pub use csr::CsrMatrix;
+pub use kernels::KernelBackend;
 pub use lu::{solve_once, LuWorkspace, SolveError, SparseLu, SymbolicLu, ORDERED_PIVOT_THRESHOLD};
 pub use scalar::Scalar;
 pub use triplet::TripletMatrix;

@@ -51,6 +51,7 @@
 //! misclassified just because unrelated entries are large.
 
 use crate::csr::CsrMatrix;
+use crate::kernels::{self, KernelBackend};
 use crate::scalar::Scalar;
 use std::fmt;
 use std::sync::Arc;
@@ -136,7 +137,7 @@ pub struct SymbolicLu {
 
 /// The immutable permutations + fill-pattern data shared (via `Arc`) between
 /// a [`SymbolicLu`] and the factorizations built over it.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LuPattern {
     n: usize,
     /// `perm[k]` is the original row index used as pivot row at step `k`.
@@ -168,6 +169,10 @@ struct LuPattern {
     /// never eliminated: block back-substitution consumes them as-is.
     f_ptr: Vec<usize>,
     f_cols: Vec<usize>,
+    /// The kernel backend every numeric pass over this pattern runs
+    /// (recorded once when the symbolic analysis is built — see
+    /// [`kernels::selected_backend`] — so a whole sweep is one code path).
+    backend: KernelBackend,
 }
 
 impl LuPattern {
@@ -222,6 +227,38 @@ impl SymbolicLu {
     /// produced without a fill-reducing ordering.
     pub fn column_order(&self) -> &[usize] {
         &self.pattern.cperm
+    }
+
+    /// The kernel backend every numeric refactorization and solve over this
+    /// pattern runs — recorded once when the analysis was built, from
+    /// [`kernels::selected_backend`] (AVX2 when detected, overridable via
+    /// the `LOOPSCOPE_KERNEL` environment knob).
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.pattern.backend
+    }
+
+    /// A copy of this symbolic analysis pinned to an explicit kernel
+    /// backend — the A/B hook the scalar-vs-SIMD bitwise tests and the
+    /// kernel bench tables use, so two backends can be compared in one
+    /// process without touching the `LOOPSCOPE_KERNEL` environment. The
+    /// permutations and fill pattern are copied, not shared, so the
+    /// original analysis is untouched.
+    ///
+    /// Pinning [`KernelBackend::Avx2`] on hardware without AVX2 support
+    /// would make later factorizations/solves undefined; pass only backends
+    /// that [`kernels::simd_available`] (or [`kernels::selected_backend`])
+    /// vouches for. [`KernelBackend::Scalar`] is always safe.
+    pub fn with_kernel_backend(&self, backend: KernelBackend) -> SymbolicLu {
+        assert!(
+            !backend.is_simd() || kernels::simd_available(),
+            "cannot pin a SIMD kernel backend on hardware without it"
+        );
+        SymbolicLu {
+            pattern: Arc::new(LuPattern {
+                backend,
+                ..(*self.pattern).clone()
+            }),
+        }
     }
 }
 
@@ -572,6 +609,7 @@ impl<T: Scalar> SparseLu<T> {
                 block_ptr: LuPattern::single_block(n),
                 f_ptr: LuPattern::empty_f(n),
                 f_cols: Vec::new(),
+                backend: kernels::selected_backend(),
             }),
             l_vals,
             u_vals,
@@ -844,6 +882,7 @@ impl<T: Scalar> SparseLu<T> {
                 block_ptr: form.block_ptr().to_vec(),
                 f_ptr,
                 f_cols,
+                backend: kernels::selected_backend(),
             }),
             l_vals,
             u_vals,
@@ -1113,14 +1152,23 @@ impl<T: Scalar> SparseLu<T> {
                 ws.work[cc] = v;
             }
             // Left-looking elimination against the already-finished U rows.
+            // The scatter/gather axpy over each pivot row's fill pattern is
+            // the numeric hot loop of every sweep; it runs on the kernel
+            // backend the symbolic analysis recorded (bit-identical between
+            // backends — see `crate::kernels`).
             for t in l_range {
                 let k = pattern.l_cols[t];
                 let mult = ws.work[k] / u_vals[pattern.u_ptr[k]];
                 l_vals.push(mult);
                 if !mult.is_zero() {
-                    for s in (pattern.u_ptr[k] + 1)..pattern.u_ptr[k + 1] {
-                        ws.work[pattern.u_cols[s]] -= mult * u_vals[s];
-                    }
+                    let row = (pattern.u_ptr[k] + 1)..pattern.u_ptr[k + 1];
+                    T::kernel_axpy_indexed(
+                        pattern.backend,
+                        mult,
+                        &u_vals[row.clone()],
+                        &pattern.u_cols[row],
+                        &mut ws.work,
+                    );
                 }
             }
             // Gather the U row and check pivot quality. The pivot of step i
@@ -1171,6 +1219,13 @@ impl<T: Scalar> SparseLu<T> {
     /// the factorization ran without BTF or the pattern is irreducible).
     pub fn block_count(&self) -> usize {
         self.pattern.block_ptr.len() - 1
+    }
+
+    /// The kernel backend this factorization's numeric passes run (recorded
+    /// by the pattern it was built over — see
+    /// [`SymbolicLu::kernel_backend`]).
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.pattern.backend
     }
 
     /// Solves `A·x = b` **in place**: `rhs` holds `b` on entry and `x` on
@@ -1233,25 +1288,43 @@ impl<T: Scalar> SparseLu<T> {
             let (bs, be) = (p.block_ptr[b], p.block_ptr[b + 1]);
             // Forward substitution on the unit-lower factor, rows in
             // elimination order: work[i] = y[i] = r[perm[i]] − Σ L[i][k]·y[k]
-            // with r = b − F·x(later blocks).
+            // with r = b − F·x(later blocks). The per-entry updates run on
+            // the recorded kernel backend; the accumulator chain stays
+            // strictly sequential on every backend (only the independent
+            // products vectorize), so the result is bit-identical to the
+            // scalar loop.
             for i in bs..be {
                 let mut acc = rhs[p.perm[i]];
-                for t in p.f_ptr[i]..p.f_ptr[i + 1] {
-                    acc -= self.f_vals[t] * work[p.f_cols[t]];
-                }
-                for t in p.l_ptr[i]..p.l_ptr[i + 1] {
-                    acc -= self.l_vals[t] * work[p.l_cols[t]];
-                }
+                let fr = p.f_ptr[i]..p.f_ptr[i + 1];
+                acc = T::kernel_fold_sub_indexed(
+                    p.backend,
+                    acc,
+                    &self.f_vals[fr.clone()],
+                    &p.f_cols[fr],
+                    work,
+                );
+                let lr = p.l_ptr[i]..p.l_ptr[i + 1];
+                acc = T::kernel_fold_sub_indexed(
+                    p.backend,
+                    acc,
+                    &self.l_vals[lr.clone()],
+                    &p.l_cols[lr],
+                    work,
+                );
                 work[i] = acc;
             }
             // Back substitution on U (diagonal first in each row), in place
             // over the work row: slots above i already hold solutions.
             for i in (bs..be).rev() {
                 let start = p.u_ptr[i];
-                let mut acc = work[i];
-                for t in (start + 1)..p.u_ptr[i + 1] {
-                    acc -= self.u_vals[t] * work[p.u_cols[t]];
-                }
+                let ur = (start + 1)..p.u_ptr[i + 1];
+                let acc = T::kernel_fold_sub_indexed(
+                    p.backend,
+                    work[i],
+                    &self.u_vals[ur.clone()],
+                    &p.u_cols[ur],
+                    work,
+                );
                 work[i] = acc / self.u_vals[start];
             }
         }
@@ -1338,7 +1411,13 @@ impl<T: Scalar> SparseLu<T> {
         // The work panel is interleaved — the k slots of elimination row i
         // are contiguous at i·k — so the inner per-column loops stream over
         // adjacent memory while the factor entry (index + value) is loaded
-        // exactly once.
+        // exactly once. Each k-wide update runs as one panel kernel on the
+        // recorded backend (lane = RHS column, so per-column operation
+        // order — and therefore the bitwise guarantee against `solve_into`
+        // — is untouched). F and U sources live in later elimination rows
+        // than the destination, L sources in earlier ones, which is what
+        // makes the borrow splits below valid.
+        let backend = p.backend;
         for b in (0..p.block_ptr.len() - 1).rev() {
             let (bs, be) = (p.block_ptr[b], p.block_ptr[b + 1]);
             for i in bs..be {
@@ -1347,38 +1426,35 @@ impl<T: Scalar> SparseLu<T> {
                 for j in 0..k {
                     work[row + j] = rhs[j * p.n + pr];
                 }
-                for t in p.f_ptr[i]..p.f_ptr[i + 1] {
-                    let v = self.f_vals[t];
-                    let src = p.f_cols[t] * k;
-                    for j in 0..k {
-                        let sub = v * work[src + j];
-                        work[row + j] -= sub;
+                {
+                    // Off-diagonal block entries: sources in later blocks.
+                    let (head, tail) = work.split_at_mut(row + k);
+                    let dst = &mut head[row..];
+                    for t in p.f_ptr[i]..p.f_ptr[i + 1] {
+                        let src = p.f_cols[t] * k - (row + k);
+                        T::kernel_panel_axpy(backend, self.f_vals[t], &tail[src..src + k], dst);
                     }
                 }
-                for t in p.l_ptr[i]..p.l_ptr[i + 1] {
-                    let v = self.l_vals[t];
-                    let src = p.l_cols[t] * k;
-                    for j in 0..k {
-                        let sub = v * work[src + j];
-                        work[row + j] -= sub;
+                {
+                    // L entries: sources in earlier elimination rows.
+                    let (head, tail) = work.split_at_mut(row);
+                    let dst = &mut tail[..k];
+                    for t in p.l_ptr[i]..p.l_ptr[i + 1] {
+                        let src = p.l_cols[t] * k;
+                        T::kernel_panel_axpy(backend, self.l_vals[t], &head[src..src + k], dst);
                     }
                 }
             }
             for i in (bs..be).rev() {
                 let start = p.u_ptr[i];
                 let row = i * k;
+                let (head, tail) = work.split_at_mut(row + k);
+                let dst = &mut head[row..];
                 for t in (start + 1)..p.u_ptr[i + 1] {
-                    let v = self.u_vals[t];
-                    let src = p.u_cols[t] * k;
-                    for j in 0..k {
-                        let sub = v * work[src + j];
-                        work[row + j] -= sub;
-                    }
+                    let src = p.u_cols[t] * k - (row + k);
+                    T::kernel_panel_axpy(backend, self.u_vals[t], &tail[src..src + k], dst);
                 }
-                let diag = self.u_vals[start];
-                for j in 0..k {
-                    work[row + j] = work[row + j] / diag;
-                }
+                T::kernel_panel_div(backend, self.u_vals[start], dst);
             }
         }
         for i in 0..p.n {

@@ -1,5 +1,7 @@
-//! Scalar abstraction over real and complex arithmetic.
+//! Scalar abstraction over real and complex arithmetic, including the
+//! kernel dispatch surface the LU hot loops run on.
 
+use crate::kernels::{self, KernelBackend};
 use loopscope_math::Complex64;
 use std::fmt::Debug;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
@@ -8,6 +10,17 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 ///
 /// Implemented for `f64` (DC, transient) and [`Complex64`] (AC). The trait is
 /// sealed in spirit: downstream crates are not expected to implement it.
+///
+/// Besides the basic field operations, the trait carries the **kernel
+/// surface** of the LU hot loops: the `kernel_*` associated functions route
+/// the scatter/gather axpy of the numeric refactorization, the substitution
+/// fold and the blocked panel updates through [`crate::kernels`], where
+/// `f64` and [`Complex64`] dispatch to the explicitly vectorized AVX2 path
+/// when the factorization's recorded [`KernelBackend`] asks for it. The
+/// default implementations are the portable scalar reference loops, and the
+/// SIMD overrides are **bit-identical** to them on finite data (same IEEE
+/// operations, same per-element order — see the [`crate::kernels`] module
+/// docs for the contract).
 pub trait Scalar:
     Copy
     + Debug
@@ -36,6 +49,45 @@ pub trait Scalar:
     fn is_zero(self) -> bool {
         self == Self::ZERO
     }
+
+    /// `work[cols[i]] -= mult * vals[i]` for every `i` — the scatter/gather
+    /// axpy of the numeric refactorization's left-looking elimination.
+    #[inline]
+    fn kernel_axpy_indexed(
+        _backend: KernelBackend,
+        mult: Self,
+        vals: &[Self],
+        cols: &[usize],
+        work: &mut [Self],
+    ) {
+        kernels::scalar::axpy_indexed(mult, vals, cols, work);
+    }
+
+    /// Returns `acc − Σ vals[i]·work[cols[i]]`, subtracting strictly in
+    /// index order — the per-entry update of the substitution sweeps.
+    #[inline]
+    fn kernel_fold_sub_indexed(
+        _backend: KernelBackend,
+        acc: Self,
+        vals: &[Self],
+        cols: &[usize],
+        work: &[Self],
+    ) -> Self {
+        kernels::scalar::fold_sub_indexed(acc, vals, cols, work)
+    }
+
+    /// `dst[j] -= v * src[j]` over the common length — the k-wide panel
+    /// update of the blocked multi-RHS solve (lane = RHS column).
+    #[inline]
+    fn kernel_panel_axpy(_backend: KernelBackend, v: Self, src: &[Self], dst: &mut [Self]) {
+        kernels::scalar::panel_axpy(v, src, dst);
+    }
+
+    /// `dst[j] = dst[j] / diag` for every panel lane.
+    #[inline]
+    fn kernel_panel_div(_backend: KernelBackend, diag: Self, dst: &mut [Self]) {
+        kernels::scalar::panel_div(diag, dst);
+    }
 }
 
 impl Scalar for f64 {
@@ -51,6 +103,38 @@ impl Scalar for f64 {
     fn from_f64(x: f64) -> Self {
         x
     }
+
+    #[inline]
+    fn kernel_axpy_indexed(
+        backend: KernelBackend,
+        mult: Self,
+        vals: &[Self],
+        cols: &[usize],
+        work: &mut [Self],
+    ) {
+        kernels::axpy_indexed_f64(backend, mult, vals, cols, work);
+    }
+
+    #[inline]
+    fn kernel_fold_sub_indexed(
+        backend: KernelBackend,
+        acc: Self,
+        vals: &[Self],
+        cols: &[usize],
+        work: &[Self],
+    ) -> Self {
+        kernels::fold_sub_indexed_f64(backend, acc, vals, cols, work)
+    }
+
+    #[inline]
+    fn kernel_panel_axpy(backend: KernelBackend, v: Self, src: &[Self], dst: &mut [Self]) {
+        kernels::panel_axpy_f64(backend, v, src, dst);
+    }
+
+    #[inline]
+    fn kernel_panel_div(backend: KernelBackend, diag: Self, dst: &mut [Self]) {
+        kernels::panel_div_f64(backend, diag, dst);
+    }
 }
 
 impl Scalar for Complex64 {
@@ -65,6 +149,38 @@ impl Scalar for Complex64 {
     #[inline]
     fn from_f64(x: f64) -> Self {
         Complex64::from_real(x)
+    }
+
+    #[inline]
+    fn kernel_axpy_indexed(
+        backend: KernelBackend,
+        mult: Self,
+        vals: &[Self],
+        cols: &[usize],
+        work: &mut [Self],
+    ) {
+        kernels::axpy_indexed_c64(backend, mult, vals, cols, work);
+    }
+
+    #[inline]
+    fn kernel_fold_sub_indexed(
+        backend: KernelBackend,
+        acc: Self,
+        vals: &[Self],
+        cols: &[usize],
+        work: &[Self],
+    ) -> Self {
+        kernels::fold_sub_indexed_c64(backend, acc, vals, cols, work)
+    }
+
+    #[inline]
+    fn kernel_panel_axpy(backend: KernelBackend, v: Self, src: &[Self], dst: &mut [Self]) {
+        kernels::panel_axpy_c64(backend, v, src, dst);
+    }
+
+    #[inline]
+    fn kernel_panel_div(backend: KernelBackend, diag: Self, dst: &mut [Self]) {
+        kernels::panel_div_c64(backend, diag, dst);
     }
 }
 

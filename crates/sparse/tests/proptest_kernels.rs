@@ -1,0 +1,319 @@
+//! Property-based proof of the kernel layer's bitwise contract: the SIMD
+//! backend must produce **bit-identical** results to the portable scalar
+//! reference — same IEEE operations, same per-element order, no FMA, no
+//! reassociation — on random real and complex data, both at the primitive
+//! level and through the full refactor/solve pipeline at panel widths
+//! 1/3/16/64.
+//!
+//! On hardware without AVX2 the SIMD comparisons degrade to scalar-vs-scalar
+//! (trivially true) instead of being skipped silently, so the suite runs
+//! everywhere.
+
+use loopscope_math::Complex64;
+use loopscope_sparse::kernels::{self, KernelBackend};
+use loopscope_sparse::{LuWorkspace, SparseLu, TripletMatrix};
+use proptest::prelude::*;
+
+/// The backend to pit against [`KernelBackend::Scalar`]: AVX2 when the CPU
+/// has it, scalar otherwise (so every assertion below stays meaningful and
+/// none silently vanish on non-AVX2 hardware).
+fn simd_or_scalar() -> KernelBackend {
+    if kernels::simd_available() {
+        KernelBackend::Avx2
+    } else {
+        KernelBackend::Scalar
+    }
+}
+
+fn c64(pair: (f64, f64)) -> Complex64 {
+    Complex64::new(pair.0, pair.1)
+}
+
+fn assert_bits_f64(a: &[f64], b: &[f64], what: &str) -> Result<(), String> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{} diverges at {}: {} vs {}",
+            what,
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+fn assert_bits_c64(a: &[Complex64], b: &[Complex64], what: &str) -> Result<(), String> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert_eq!(
+            (x.re.to_bits(), x.im.to_bits()),
+            (y.re.to_bits(), y.im.to_bits()),
+            "{} diverges at {}: {} vs {}",
+            what,
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+/// The panel widths the blocked solve runs at in practice: the per-RHS
+/// degenerate case, an odd width exercising every tail path, the default,
+/// and a wide panel.
+const PANEL_WIDTHS: [usize; 4] = [1, 3, 16, 64];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Primitive level, complex lanes: axpy / fold / panel ops bit-agree
+    /// between the scalar reference and the SIMD backend on random data
+    /// (duplicate scatter targets included).
+    #[test]
+    fn complex_primitives_bit_agree(
+        mult in (-3.0f64..3.0, -3.0f64..3.0),
+        vals in prop::collection::vec((-4.0f64..4.0, -4.0f64..4.0), 0..40),
+        cols_seed in prop::collection::vec(0usize..64, 0..40),
+        work_seed in prop::collection::vec((-8.0f64..8.0, -8.0f64..8.0), 64),
+    ) {
+        let simd = simd_or_scalar();
+        let mult = c64(mult);
+        let vals: Vec<Complex64> = vals.into_iter().map(c64).collect();
+        let n = vals.len().min(cols_seed.len());
+        let cols: Vec<usize> = cols_seed[..n].to_vec();
+        let base: Vec<Complex64> = work_seed.into_iter().map(c64).collect();
+
+        let mut w_scalar = base.clone();
+        let mut w_simd = base.clone();
+        kernels::axpy_indexed_c64(KernelBackend::Scalar, mult, &vals[..n], &cols, &mut w_scalar);
+        kernels::axpy_indexed_c64(simd, mult, &vals[..n], &cols, &mut w_simd);
+        assert_bits_c64(&w_scalar, &w_simd, "axpy_indexed_c64")?;
+
+        let acc_scalar = kernels::fold_sub_indexed_c64(
+            KernelBackend::Scalar, mult, &vals[..n], &cols, &w_scalar);
+        let acc_simd = kernels::fold_sub_indexed_c64(simd, mult, &vals[..n], &cols, &w_scalar);
+        assert_bits_c64(&[acc_scalar], &[acc_simd], "fold_sub_indexed_c64")?;
+    }
+
+    /// Primitive level, real lanes.
+    #[test]
+    fn real_primitives_bit_agree(
+        mult in -3.0f64..3.0,
+        vals in prop::collection::vec(-4.0f64..4.0, 0..40),
+        cols_seed in prop::collection::vec(0usize..64, 0..40),
+        work_seed in prop::collection::vec(-8.0f64..8.0, 64),
+    ) {
+        let simd = simd_or_scalar();
+        let n = vals.len().min(cols_seed.len());
+        let cols: Vec<usize> = cols_seed[..n].to_vec();
+
+        let mut w_scalar = work_seed.clone();
+        let mut w_simd = work_seed.clone();
+        kernels::axpy_indexed_f64(KernelBackend::Scalar, mult, &vals[..n], &cols, &mut w_scalar);
+        kernels::axpy_indexed_f64(simd, mult, &vals[..n], &cols, &mut w_simd);
+        assert_bits_f64(&w_scalar, &w_simd, "axpy_indexed_f64")?;
+
+        let acc_scalar = kernels::fold_sub_indexed_f64(
+            KernelBackend::Scalar, mult, &vals[..n], &cols, &w_scalar);
+        let acc_simd = kernels::fold_sub_indexed_f64(simd, mult, &vals[..n], &cols, &w_scalar);
+        assert_bits_f64(&[acc_scalar], &[acc_simd], "fold_sub_indexed_f64")?;
+    }
+
+    /// Panel primitives at the practical widths 1/3/16/64 (lane = RHS
+    /// column), complex and real.
+    #[test]
+    fn panel_primitives_bit_agree_at_all_widths(
+        v in (-3.0f64..3.0, -3.0f64..3.0),
+        diag in (0.5f64..3.0, -2.0f64..2.0),
+        src_seed in prop::collection::vec((-6.0f64..6.0, -6.0f64..6.0), 64),
+        dst_seed in prop::collection::vec((-6.0f64..6.0, -6.0f64..6.0), 64),
+    ) {
+        let simd = simd_or_scalar();
+        let vc = c64(v);
+        let dc = c64(diag);
+        let src: Vec<Complex64> = src_seed.iter().copied().map(c64).collect();
+        let base: Vec<Complex64> = dst_seed.iter().copied().map(c64).collect();
+        let src_re: Vec<f64> = src_seed.iter().map(|p| p.0).collect();
+        let base_re: Vec<f64> = dst_seed.iter().map(|p| p.0).collect();
+
+        for &k in &PANEL_WIDTHS {
+            let mut a = base[..k].to_vec();
+            let mut b = base[..k].to_vec();
+            kernels::panel_axpy_c64(KernelBackend::Scalar, vc, &src[..k], &mut a);
+            kernels::panel_axpy_c64(simd, vc, &src[..k], &mut b);
+            assert_bits_c64(&a, &b, "panel_axpy_c64")?;
+            kernels::panel_div_c64(KernelBackend::Scalar, dc, &mut a);
+            kernels::panel_div_c64(simd, dc, &mut b);
+            assert_bits_c64(&a, &b, "panel_div_c64")?;
+
+            let mut a = base_re[..k].to_vec();
+            let mut b = base_re[..k].to_vec();
+            kernels::panel_axpy_f64(KernelBackend::Scalar, v.0, &src_re[..k], &mut a);
+            kernels::panel_axpy_f64(simd, v.0, &src_re[..k], &mut b);
+            assert_bits_f64(&a, &b, "panel_axpy_f64")?;
+            kernels::panel_div_f64(KernelBackend::Scalar, diag.0, &mut a);
+            kernels::panel_div_f64(simd, diag.0, &mut b);
+            assert_bits_f64(&a, &b, "panel_div_f64")?;
+        }
+    }
+
+    /// Full pipeline, complex: a BTF factorization refactored and
+    /// panel-solved on a scalar-pinned and a SIMD-pinned copy of the same
+    /// symbolic analysis must produce bit-identical factors and solutions
+    /// at every panel width.
+    #[test]
+    fn complex_refactor_and_panel_solve_bit_agree(
+        n in 2usize..12,
+        entries in prop::collection::vec(
+            (0usize..12, 0usize..12, -3.0f64..3.0, -3.0f64..3.0), 0..60),
+        rhs_seed in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 12 * 64),
+        scale in 0.2f64..5.0,
+    ) {
+        let build = |s: f64| {
+            let mut t = TripletMatrix::<Complex64>::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for &(r, c, re, im) in &entries {
+                let (r, c) = (r % n, c % n);
+                if r == c { continue; }
+                let v = Complex64::new(re * s, im * s);
+                t.push(r, c, v);
+                row_sum[r] += v.abs();
+            }
+            for (i, sum) in row_sum.iter().enumerate() {
+                t.push(i, i, Complex64::new(sum + 1.0 + i as f64 * 0.01, 0.5));
+            }
+            t.to_csr()
+        };
+        let first = build(1.0);
+        let (_, symbolic) = SparseLu::factor_with_symbolic_btf(&first)
+            .expect("diagonally dominant matrix must factor");
+        let sym_scalar = symbolic.with_kernel_backend(KernelBackend::Scalar);
+        let sym_simd = symbolic.with_kernel_backend(simd_or_scalar());
+
+        let second = build(scale);
+        let mut ws = LuWorkspace::for_dim(n);
+        let mut lu_scalar = SparseLu::from_symbolic(&sym_scalar);
+        lu_scalar.refactor_into(&sym_scalar, &second, &mut ws).expect("refactor");
+        prop_assert!(lu_scalar.refactored());
+        let mut lu_simd = SparseLu::from_symbolic(&sym_simd);
+        lu_simd.refactor_into(&sym_simd, &second, &mut ws).expect("refactor");
+        prop_assert!(lu_simd.refactored());
+        prop_assert_eq!(lu_scalar.kernel_backend(), KernelBackend::Scalar);
+
+        for &k in &PANEL_WIDTHS {
+            let panel: Vec<Complex64> = rhs_seed[..n * k].iter().copied().map(c64).collect();
+            let mut work = vec![Complex64::ZERO; n * k];
+            let mut a = panel.clone();
+            lu_scalar.solve_block_into(&mut a, k, &mut work).expect("solve");
+            let mut b = panel.clone();
+            lu_simd.solve_block_into(&mut b, k, &mut work).expect("solve");
+            assert_bits_c64(&a, &b, "solve_block_into (complex)")?;
+
+            // The single-RHS path must agree column for column, too.
+            let mut col0: Vec<Complex64> = panel[..n].to_vec();
+            lu_simd.solve_into(&mut col0, &mut work[..n]).expect("solve");
+            assert_bits_c64(&col0, &a[..n], "solve_into vs panel column 0")?;
+        }
+    }
+
+    /// Full pipeline, real lanes (the DC/transient scalar field).
+    #[test]
+    fn real_refactor_and_panel_solve_bit_agree(
+        n in 2usize..16,
+        entries in prop::collection::vec((0usize..16, 0usize..16, -4.0f64..4.0), 0..80),
+        rhs_seed in prop::collection::vec(-5.0f64..5.0, 16 * 64),
+        scale in 0.2f64..5.0,
+    ) {
+        let build = |s: f64| {
+            let mut t = TripletMatrix::<f64>::new(n, n);
+            let mut row_sum = vec![0.0; n];
+            for &(r, c, v) in &entries {
+                let (r, c) = (r % n, c % n);
+                if r == c { continue; }
+                t.push(r, c, v * s);
+                row_sum[r] += (v * s).abs();
+            }
+            for (i, sum) in row_sum.iter().enumerate() {
+                t.push(i, i, sum + 1.0 + i as f64 * 0.01);
+            }
+            t.to_csr()
+        };
+        let first = build(1.0);
+        let (_, symbolic) = SparseLu::factor_with_symbolic_btf(&first)
+            .expect("diagonally dominant matrix must factor");
+        let sym_scalar = symbolic.with_kernel_backend(KernelBackend::Scalar);
+        let sym_simd = symbolic.with_kernel_backend(simd_or_scalar());
+
+        let second = build(scale);
+        let mut ws = LuWorkspace::for_dim(n);
+        let mut lu_scalar = SparseLu::from_symbolic(&sym_scalar);
+        lu_scalar.refactor_into(&sym_scalar, &second, &mut ws).expect("refactor");
+        prop_assert!(lu_scalar.refactored());
+        let mut lu_simd = SparseLu::from_symbolic(&sym_simd);
+        lu_simd.refactor_into(&sym_simd, &second, &mut ws).expect("refactor");
+        prop_assert!(lu_simd.refactored());
+
+        for &k in &PANEL_WIDTHS {
+            let panel: Vec<f64> = rhs_seed[..n * k].to_vec();
+            let mut work = vec![0.0f64; n * k];
+            let mut a = panel.clone();
+            lu_scalar.solve_block_into(&mut a, k, &mut work).expect("solve");
+            let mut b = panel.clone();
+            lu_simd.solve_block_into(&mut b, k, &mut work).expect("solve");
+            assert_bits_f64(&a, &b, "solve_block_into (real)")?;
+        }
+    }
+}
+
+/// Backend selection must be stable for the whole process: every symbolic
+/// analysis built under one environment records the same backend, and it is
+/// consistent with what `selected_backend` reports.
+#[test]
+fn backend_selection_is_deterministic_per_process() {
+    let expected = kernels::selected_backend();
+    for trial in 0..20 {
+        assert_eq!(kernels::selected_backend(), expected, "trial {trial}");
+        let mut t = TripletMatrix::<f64>::new(2, 2);
+        t.push(0, 0, 2.0 + trial as f64);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 3.0);
+        let (lu, symbolic) = SparseLu::factor_with_symbolic_btf(&t.to_csr()).expect("factors");
+        assert_eq!(symbolic.kernel_backend(), expected);
+        assert_eq!(lu.kernel_backend(), expected);
+    }
+    // The environment knob's pure selection rule: `scalar` always wins, and
+    // feeding the live environment back through it reproduces the selection
+    // (whatever LOOPSCOPE_KERNEL this process runs under).
+    assert_eq!(
+        kernels::backend_for(Some("scalar"), kernels::simd_available()),
+        KernelBackend::Scalar
+    );
+    assert_eq!(
+        kernels::backend_for(
+            std::env::var(kernels::KERNEL_ENV).ok().as_deref(),
+            kernels::simd_available()
+        ),
+        expected
+    );
+}
+
+/// Pinning a backend never mutates the original analysis.
+#[test]
+fn with_kernel_backend_copies_not_shares() {
+    let mut t = TripletMatrix::<f64>::new(2, 2);
+    t.push(0, 0, 2.0);
+    t.push(0, 1, 1.0);
+    t.push(1, 0, 1.0);
+    t.push(1, 1, 3.0);
+    let (_, symbolic) = SparseLu::factor_with_symbolic_btf(&t.to_csr()).expect("factors");
+    let original = symbolic.kernel_backend();
+    let pinned = symbolic.with_kernel_backend(KernelBackend::Scalar);
+    assert_eq!(pinned.kernel_backend(), KernelBackend::Scalar);
+    assert_eq!(symbolic.kernel_backend(), original);
+    assert_eq!(pinned.dim(), symbolic.dim());
+    assert_eq!(pinned.fill_nnz(), symbolic.fill_nnz());
+}

@@ -48,7 +48,7 @@ use crate::par;
 use crate::GMIN;
 use loopscope_math::{interp, Complex64, FrequencyGrid, TWO_PI};
 use loopscope_netlist::{Circuit, Element, NodeId};
-use loopscope_sparse::CsrMatrix;
+use loopscope_sparse::{CsrMatrix, KernelBackend};
 use std::sync::{Arc, Mutex};
 
 /// Results of an AC sweep: complex node voltages over frequency.
@@ -147,8 +147,9 @@ impl AcSweep {
 
 /// Structural diagnostics of the shared solver plan an [`AcAnalysis`] runs
 /// on, reported by [`AcAnalysis::solver_structure`]: how the block-
-/// triangular analysis partitioned the admittance matrix and how much fill
-/// the per-block factorization carries.
+/// triangular analysis partitioned the admittance matrix, how much fill the
+/// per-block factorization carries, and which kernel backend the numeric
+/// inner loops run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverStructure {
     /// MNA system dimension (node voltages + branch currents).
@@ -160,6 +161,12 @@ pub struct SolverStructure {
     /// Stored factor entries — L and U fill plus raw off-diagonal block
     /// entries.
     pub fill_nnz: usize,
+    /// The kernel backend (scalar reference or explicit SIMD) every numeric
+    /// refactorization and solve over the plan runs — recorded once at plan
+    /// build time (see [`loopscope_sparse::kernels::selected_backend`] and
+    /// the `LOOPSCOPE_KERNEL` knob); results are bitwise identical either
+    /// way.
+    pub kernel: KernelBackend,
 }
 
 /// Small-signal AC analysis of a circuit linearized at an operating point.
@@ -256,6 +263,7 @@ impl<'c> AcAnalysis<'c> {
             dim: symbolic.dim(),
             block_count: symbolic.block_count(),
             fill_nnz: symbolic.fill_nnz(),
+            kernel: symbolic.kernel_backend(),
         })
     }
 
@@ -307,7 +315,7 @@ impl<'c> AcAnalysis<'c> {
         let w = TWO_PI * freq_hz;
         let jw = Complex64::new(0.0, w);
 
-        for node in self.circuit.signal_nodes() {
+        for node in self.circuit.signal_nodes_iter() {
             st.add_node_node(node, node, Complex64::from_real(GMIN));
         }
 
@@ -413,7 +421,7 @@ impl<'c> AcAnalysis<'c> {
 
     fn solve_into_node_row(&self, solution: &[Complex64]) -> Vec<Complex64> {
         let mut row = vec![Complex64::ZERO; self.circuit.node_count()];
-        for node in self.circuit.signal_nodes() {
+        for node in self.circuit.signal_nodes_iter() {
             row[node.index()] = self.layout.node_value(solution, node);
         }
         row

@@ -219,14 +219,36 @@ impl<T: Scalar> CachedMna<T> {
     /// possible, and returns the right-hand side (the matrix stays inside the
     /// cache for [`factor`](CachedMna::factor)).
     pub fn assemble(&mut self, layout: &MnaLayout, job: &impl AssembleMna<T>) -> Vec<T> {
+        let mut rhs = Vec::new();
+        self.assemble_into(layout, job, &mut rhs);
+        rhs
+    }
+
+    /// Like [`assemble`](CachedMna::assemble), but writing the right-hand
+    /// side into a caller-held buffer instead of allocating a fresh one: on
+    /// the cached (pattern-hit) path, once `rhs`'s capacity has reached the
+    /// layout dimension the assembly performs **zero heap allocations** —
+    /// the property the transient Newton loop relies on, where the same
+    /// buffer cycles through assemble → solve at every iteration of every
+    /// timestep. A pattern rebuild (structure change) still allocates, as
+    /// it must.
+    pub fn assemble_into(
+        &mut self,
+        layout: &MnaLayout,
+        job: &impl AssembleMna<T>,
+        rhs: &mut Vec<T>,
+    ) {
         if let Some(csr) = self.csr.as_mut() {
             csr.zero_values();
-            let mut stamper = Stamper::with_sink(layout, SlotSink::new(csr));
+            let buf = std::mem::take(rhs);
+            let mut stamper = Stamper::with_sink_reusing(layout, SlotSink::new(csr), buf);
             job.stamp(&mut stamper);
-            let (sink, rhs) = stamper.into_parts();
-            if !sink.missed() {
+            let (sink, out) = stamper.into_parts();
+            let missed = sink.missed();
+            *rhs = out;
+            if !missed {
                 self.stats.cached_assemblies += 1;
-                return rhs;
+                return;
             }
             // The structure changed under us: drop the pattern (and the
             // symbolic analysis and factorization tied to it) and rebuild
@@ -239,9 +261,9 @@ impl<T: Scalar> CachedMna<T> {
 
         let mut stamper = Stamper::new(layout);
         job.stamp(&mut stamper);
-        let (triplets, rhs) = stamper.finish();
+        let (triplets, out) = stamper.finish();
         self.csr = Some(triplets.to_csr());
-        rhs
+        *rhs = out;
     }
 
     /// The assembled matrix from the most recent
@@ -327,7 +349,30 @@ impl<T: Scalar> CachedMna<T> {
         layout: &MnaLayout,
         job: &impl AssembleMna<T>,
     ) -> Result<Vec<T>, SolveError> {
-        let mut rhs = self.assemble(layout, job);
+        let mut solution = Vec::new();
+        self.solve_in_place(layout, job, &mut solution)?;
+        Ok(solution)
+    }
+
+    /// Like [`solve`](CachedMna::solve), but cycling a caller-held buffer:
+    /// `solution` receives the assembled right-hand side and is solved in
+    /// place. On the cached-pattern path, once the buffer and the cache's
+    /// internal scratch are warm (after the first call) the entire
+    /// assemble → refactor → solve cycle performs **zero heap allocations**
+    /// — this is the entry point the transient Newton loop drives at every
+    /// iteration of every timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] when the system is singular
+    /// (the contents of `solution` are unspecified in that case).
+    pub fn solve_in_place(
+        &mut self,
+        layout: &MnaLayout,
+        job: &impl AssembleMna<T>,
+        solution: &mut Vec<T>,
+    ) -> Result<(), SolveError> {
+        self.assemble_into(layout, job, solution);
         self.factor()?;
         let lu = self.lu.as_ref().expect("factor just succeeded");
         // Size-only adjustment: `solve_into` overwrites every work slot in
@@ -335,8 +380,8 @@ impl<T: Scalar> CachedMna<T> {
         if self.solve_work.len() != lu.dim() {
             self.solve_work.resize(lu.dim(), T::ZERO);
         }
-        lu.solve_into(&mut rhs, &mut self.solve_work)?;
-        Ok(rhs)
+        lu.solve_into(solution, &mut self.solve_work)?;
+        Ok(())
     }
 }
 

@@ -62,10 +62,11 @@ pub mod mna;
 pub mod par;
 pub mod tran;
 
-pub use ac::{AcAnalysis, AcSweep};
+pub use ac::{AcAnalysis, AcSweep, SolverStructure};
 pub use assembly::{AssembleMna, CachedMna, SlotSink, SolveContext, SolveStats, SweepPlan};
 pub use dc::{solve_dc, DcOptions, OperatingPoint};
 pub use error::SpiceError;
+pub use loopscope_sparse::KernelBackend;
 pub use tran::{TransientAnalysis, TransientOptions, TransientResult};
 
 /// Thermal voltage kT/q at 300 K, in volts.

@@ -125,10 +125,23 @@ impl<'a, T: Scalar> Stamper<'a, T, TripletMatrix<T>> {
 impl<'a, T: Scalar, S: MatrixSink<T>> Stamper<'a, T, S> {
     /// Creates a stamper writing matrix entries into an explicit sink.
     pub fn with_sink(layout: &'a MnaLayout, sink: S) -> Self {
+        Self::with_sink_reusing(layout, sink, Vec::new())
+    }
+
+    /// Like [`with_sink`](Stamper::with_sink), but reusing a caller-supplied
+    /// right-hand-side buffer instead of allocating a fresh one: the buffer
+    /// is cleared and zero-filled to the layout dimension in place, so once
+    /// its capacity has reached `layout.dim()` no heap allocation happens.
+    /// This is what keeps repeated assemblies — e.g. every Newton iteration
+    /// of every transient timestep — allocation-free; the buffer comes back
+    /// out of [`into_parts`](Stamper::into_parts).
+    pub fn with_sink_reusing(layout: &'a MnaLayout, sink: S, mut rhs: Vec<T>) -> Self {
+        rhs.clear();
+        rhs.resize(layout.dim(), T::ZERO);
         Self {
             layout,
             matrix: sink,
-            rhs: vec![T::ZERO; layout.dim()],
+            rhs,
         }
     }
 

@@ -64,7 +64,10 @@ pub struct TransientResult {
 }
 
 impl TransientResult {
-    /// The simulation time points in seconds.
+    /// The simulation time points in seconds. The grid is `dt`-spaced with
+    /// the final step shortened so the last point lands **exactly** on the
+    /// requested `t_stop` (never past it — overshoot would corrupt
+    /// overshoot/settling measurements read off the tail).
     pub fn times(&self) -> &[f64] {
         &self.times
     }
@@ -79,15 +82,44 @@ impl TransientResult {
         self.times.is_empty()
     }
 
-    /// The waveform of a node across the whole run.
-    pub fn waveform(&self, node: NodeId) -> Vec<f64> {
-        self.data.iter().map(|row| row[node.index()]).collect()
+    /// Bounds-checks `node`'s index against the simulated circuit's node
+    /// count and returns its waveform index. (A `NodeId` minted by a
+    /// different circuit is only caught when its index is out of range —
+    /// node ids carry no circuit identity.)
+    fn node_index(&self, node: NodeId) -> Result<usize, SpiceError> {
+        let idx = node.index();
+        match self.data.first() {
+            Some(row) if idx < row.len() => Ok(idx),
+            _ => Err(SpiceError::UnknownReference(format!(
+                "node index {idx} outside the transient result"
+            ))),
+        }
     }
 
-    /// The node voltage linearly interpolated at time `t`.
-    pub fn value_at(&self, node: NodeId, t: f64) -> f64 {
-        let wave = self.waveform(node);
-        interp::lerp_at(&self.times, &wave, t)
+    /// The waveform of a node across the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownReference`] when `node`'s index lies
+    /// outside the simulated circuit's nodes (or the result is empty).
+    pub fn waveform(&self, node: NodeId) -> Result<Vec<f64>, SpiceError> {
+        let idx = self.node_index(node)?;
+        Ok(self.data.iter().map(|row| row[idx]).collect())
+    }
+
+    /// The node voltage linearly interpolated at time `t` (clamped to the
+    /// first/last sample outside the simulated range). Interpolates
+    /// directly over the stored rows via
+    /// [`interp::lerp_at_by`] — the node's waveform vector is **not**
+    /// materialized per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownReference`] when `node`'s index lies
+    /// outside the simulated circuit's nodes (or the result is empty).
+    pub fn value_at(&self, node: NodeId, t: f64) -> Result<f64, SpiceError> {
+        let idx = self.node_index(node)?;
+        Ok(interp::lerp_at_by(&self.times, t, |i| self.data[i][idx]))
     }
 }
 
@@ -113,10 +145,12 @@ impl<'c> TransientAnalysis<'c> {
                 "time step must be positive".to_string(),
             ));
         }
-        let stop_valid = options.t_stop.is_finite() && options.t_stop > options.dt;
+        // `t_stop == dt` is a perfectly valid single-step run; only a stop
+        // time short of one full step is inconsistent.
+        let stop_valid = options.t_stop.is_finite() && options.t_stop >= options.dt;
         if !stop_valid {
             return Err(SpiceError::InvalidOptions(
-                "stop time must exceed the time step".to_string(),
+                "stop time must be at least one time step".to_string(),
             ));
         }
         Ok(Self {
@@ -136,7 +170,23 @@ impl<'c> TransientAnalysis<'c> {
     pub fn run(&self, op: &OperatingPoint) -> Result<TransientResult, SpiceError> {
         let node_count = self.circuit.node_count();
         let dt = self.options.dt;
-        let steps = (self.options.t_stop / dt).ceil() as usize;
+        let t_stop = self.options.t_stop;
+        // Step count covering 0..=t_stop. `ceil` alone is not enough: when
+        // t_stop is not an exact multiple of dt the final full step would
+        // land PAST t_stop (e.g. dt = 0.4, t_stop = 1.0 → grid 0.4, 0.8,
+        // 1.2), and floating-point division rounds exact multiples UP a few
+        // ulps (10e-6 / 1e-6 = 10.000…002), which a bare `ceil` turns into
+        // a phantom ~1e-21-second step. Shaving a few ulps off the ratio
+        // before ceiling collapses those near-exact cases back to the exact
+        // grid; genuinely non-multiple stop times keep their extra step,
+        // which the loop below shortens to end exactly at t_stop. The
+        // `while` guard is a belt-and-suspenders floor so the shortened
+        // step's width is strictly positive in every remaining case.
+        let ratio = (t_stop / dt) * (1.0 - 8.0 * f64::EPSILON);
+        let mut steps = (ratio.ceil() as usize).max(1);
+        while steps > 1 && (steps - 1) as f64 * dt >= t_stop {
+            steps -= 1;
+        }
 
         // State carried between time points.
         let mut voltages = op.node_voltages().to_vec();
@@ -166,32 +216,44 @@ impl<'c> TransientAnalysis<'c> {
 
         // Newton trial state, reused across every iteration of every step
         // (ground stays zero; all other entries are rewritten per iteration).
+        // The solution buffer is hoisted too: `solve_in_place` cycles it
+        // through assemble → solve, so the steady-state Newton loop performs
+        // zero heap allocations (proven by `tests/alloc_transient.rs`).
         let mut trial = voltages.clone();
         let mut next = vec![0.0; node_count];
+        let mut solution = vec![0.0; self.layout.dim()];
 
         for step in 1..=steps {
-            let t = step as f64 * dt;
+            // The final step ends exactly at t_stop, shortened when t_stop
+            // is not a multiple of dt; the companion models integrate over
+            // the actual step width.
+            let last = step == steps;
+            let t = if last { t_stop } else { step as f64 * dt };
+            let dt_step = if last {
+                t_stop - (step - 1) as f64 * dt
+            } else {
+                dt
+            };
             trial.copy_from_slice(&voltages);
-            let mut solution = vec![0.0; self.layout.dim()];
             let mut converged = false;
 
             for _ in 0..self.options.max_newton {
                 let job = TimestepSystem {
                     analysis: self,
                     t,
-                    dt,
+                    dt: dt_step,
                     trial: &trial,
                     prev: &voltages,
                     prev_cap_current: &prev_cap_current,
                     prev_ind_voltage: &prev_ind_voltage,
                     prev_solution: &branch_currents,
                 };
-                solution = solver
-                    .solve(&self.layout, &job)
+                solver
+                    .solve_in_place(&self.layout, &job, &mut solution)
                     .map_err(SpiceError::Linear)?;
 
                 let mut max_delta: f64 = 0.0;
-                for node in self.circuit.signal_nodes() {
+                for node in self.circuit.signal_nodes_iter() {
                     let var = self.layout.node_var(node).expect("signal node");
                     let v = solution[var];
                     max_delta = max_delta.max((v - trial[node.index()]).abs());
@@ -216,9 +278,9 @@ impl<'c> TransientAnalysis<'c> {
                         let v_new = trial[c.a.index()] - trial[c.b.index()];
                         let v_old = voltages[c.a.index()] - voltages[c.b.index()];
                         let i_new = match self.options.method {
-                            Integration::BackwardEuler => c.farads / dt * (v_new - v_old),
+                            Integration::BackwardEuler => c.farads / dt_step * (v_new - v_old),
                             Integration::Trapezoidal => {
-                                2.0 * c.farads / dt * (v_new - v_old) - prev_cap_current[ei]
+                                2.0 * c.farads / dt_step * (v_new - v_old) - prev_cap_current[ei]
                             }
                         };
                         prev_cap_current[ei] = i_new;
@@ -253,7 +315,7 @@ impl<'c> TransientAnalysis<'c> {
     ) {
         let trapezoidal = self.options.method == Integration::Trapezoidal;
 
-        for node in self.circuit.signal_nodes() {
+        for node in self.circuit.signal_nodes_iter() {
             st.add_node_node(node, node, GMIN);
         }
 
@@ -408,10 +470,10 @@ mod tests {
         let tran = TransientAnalysis::new(&c, TransientOptions::new(10.0e-6, 5.0e-3)).unwrap();
         let result = tran.run(&op).unwrap();
         // After one time constant: 1 − e^-1 ≈ 0.632.
-        let v_tau = result.value_at(vout, 1.0e-3);
+        let v_tau = result.value_at(vout, 1.0e-3).unwrap();
         assert!((v_tau - 0.632).abs() < 0.01, "v(τ) = {v_tau}");
         // Fully settled by 5τ.
-        let v_end = result.value_at(vout, 5.0e-3);
+        let v_end = result.value_at(vout, 5.0e-3).unwrap();
         assert!((v_end - 1.0).abs() < 0.01, "v(5τ) = {v_end}");
     }
 
@@ -430,7 +492,7 @@ mod tests {
         // f0 ≈ 159 kHz → period ≈ 6.28 µs; run 40 µs at 20 ns.
         let tran = TransientAnalysis::new(&c, TransientOptions::new(20.0e-9, 40.0e-6)).unwrap();
         let result = tran.run(&op).unwrap();
-        let wave = result.waveform(vout);
+        let wave = result.waveform(vout).unwrap();
         let times = result.times();
         // Find the first two upward crossings of the final value 1.0.
         let mut crossings = Vec::new();
@@ -471,7 +533,7 @@ mod tests {
             let tran = TransientAnalysis::new(&c, opts).unwrap();
             let r = tran.run(&op).unwrap();
             let out = c.find_node("out").unwrap();
-            r.waveform(out).iter().cloned().fold(0.0, f64::max)
+            r.waveform(out).unwrap().iter().cloned().fold(0.0, f64::max)
         };
         let peak_trap = run(Integration::Trapezoidal);
         let peak_be = run(Integration::BackwardEuler);
@@ -505,7 +567,7 @@ mod tests {
         let op = solve_dc(&c).unwrap();
         let tran = TransientAnalysis::new(&c, TransientOptions::new(2.0e-6, 2.0e-3)).unwrap();
         let result = tran.run(&op).unwrap();
-        let wave = result.waveform(vout);
+        let wave = result.waveform(vout).unwrap();
         let min = wave.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = wave.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         // Positive peaks pass (minus a diode drop), negative half is clamped.
@@ -532,11 +594,125 @@ mod tests {
         let op = solve_dc(&c).unwrap();
         let tran = TransientAnalysis::new(&c, TransientOptions::new(1.0e-6, 10.0e-6)).unwrap();
         let r = tran.run(&op).unwrap();
-        // 10 steps of 1 µs plus the initial point (±1 for the floating-point
-        // ceiling of t_stop/dt).
-        assert!(r.len() == 11 || r.len() == 12, "len = {}", r.len());
+        // 10 steps of 1 µs plus the initial point — exactly, now that the
+        // grid clamps to t_stop instead of letting t_stop/dt ceiling
+        // overshoot.
+        assert_eq!(r.len(), 11);
         assert!(!r.is_empty());
+        assert_eq!(*r.times().last().unwrap(), 10.0e-6);
         assert_eq!(r.times().len(), r.len());
-        assert!((r.value_at(a, 5.0e-6) - 1.0).abs() < 1e-9);
+        assert!((r.value_at(a, 5.0e-6).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    /// A circuit whose transient response is trivially flat, for grid tests.
+    fn dc_circuit() -> (Circuit, NodeId) {
+        let mut c = Circuit::new("grid");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0e3);
+        c.add_capacitor("C1", a, Circuit::GROUND, 1.0e-9);
+        (c, a)
+    }
+
+    #[test]
+    fn grid_ends_exactly_at_t_stop_for_non_multiple_dt() {
+        let (c, _) = dc_circuit();
+        let op = solve_dc(&c).unwrap();
+        // 10 µs is NOT a multiple of 3 µs: the old `ceil` grid ended at
+        // 12 µs, past the requested stop time.
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(3.0e-6, 10.0e-6)).unwrap();
+        let r = tran.run(&op).unwrap();
+        let times = r.times();
+        assert_eq!(*times.last().unwrap(), 10.0e-6, "times = {times:?}");
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "times = {times:?}");
+        assert!(times.iter().all(|&t| t <= 10.0e-6), "times = {times:?}");
+        // 0, 3, 6, 9 µs plus the shortened final step to exactly 10 µs.
+        assert_eq!(r.len(), 5, "times = {times:?}");
+    }
+
+    #[test]
+    fn grid_handles_ratio_that_rounds_up() {
+        let (c, _) = dc_circuit();
+        let op = solve_dc(&c).unwrap();
+        // 0.3/0.1 computes as 2.9999…96 in f64 but other exact-multiple
+        // ratios round UP, creating a phantom step whose shortened width
+        // would be ≤ 0; either way the grid must end exactly at t_stop with
+        // strictly increasing times.
+        for (dt, t_stop) in [
+            (0.1e-3, 0.3e-3),
+            (1.0e-6, 10.0e-6),
+            (0.4, 1.0),
+            (7.0e-7, 9.1e-6),
+        ] {
+            let tran = TransientAnalysis::new(&c, TransientOptions::new(dt, t_stop)).unwrap();
+            let r = tran.run(&op).unwrap();
+            let times = r.times();
+            assert_eq!(
+                *times.last().unwrap(),
+                t_stop,
+                "dt={dt}, t_stop={t_stop}: times end at {:?}",
+                times.last()
+            );
+            assert!(
+                times.windows(2).all(|w| w[0] < w[1]),
+                "dt={dt}, t_stop={t_stop}: non-increasing grid {times:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_step_run_is_valid() {
+        let (c, a) = dc_circuit();
+        let op = solve_dc(&c).unwrap();
+        // t_stop == dt: exactly one step, previously rejected by validation.
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(2.0e-6, 2.0e-6)).unwrap();
+        let r = tran.run(&op).unwrap();
+        assert_eq!(r.times(), &[0.0, 2.0e-6]);
+        assert!((r.value_at(a, 2.0e-6).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_node_is_an_error_not_a_panic() {
+        let (c, _) = dc_circuit();
+        let op = solve_dc(&c).unwrap();
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(1.0e-6, 5.0e-6)).unwrap();
+        let r = tran.run(&op).unwrap();
+        // A node id minted by a BIGGER circuit does not exist in this result.
+        let mut big = Circuit::new("bigger");
+        let mut foreign = big.node("n0");
+        for i in 1..8 {
+            foreign = big.node(&format!("n{i}"));
+        }
+        assert!(foreign.index() >= c.node_count());
+        assert!(matches!(
+            r.waveform(foreign),
+            Err(SpiceError::UnknownReference(_))
+        ));
+        assert!(matches!(
+            r.value_at(foreign, 1.0e-6),
+            Err(SpiceError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn rc_charge_is_accurate_at_clamped_final_point() {
+        // τ = 1 ms; stop mid-curve at a non-multiple of dt so the final
+        // (shortened) step actually integrates: the value at t_stop must
+        // match the analytic exponential, proving the companion models used
+        // the shortened width rather than a full dt.
+        let mut c = Circuit::new("rc clamp");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+        c.add_resistor("R1", vin, vout, 1.0e3);
+        c.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-6);
+        let op = solve_dc(&c).unwrap();
+        let t_stop = 0.73e-3; // 73 steps of 10 µs
+        let tran = TransientAnalysis::new(&c, TransientOptions::new(10.1e-6, t_stop)).unwrap();
+        let r = tran.run(&op).unwrap();
+        assert_eq!(*r.times().last().unwrap(), t_stop);
+        let expected = 1.0 - (-t_stop / 1.0e-3_f64).exp();
+        let got = r.value_at(vout, t_stop).unwrap();
+        assert!((got - expected).abs() < 5e-3, "{got} vs {expected}");
     }
 }

@@ -160,7 +160,7 @@ fn nonlinear_dc_and_transient_still_converge_through_the_cache() {
     let op2 = solve_dc(&c2).unwrap();
     let tran = TransientAnalysis::new(&c2, TransientOptions::new(10.0e-6, 5.0e-3)).unwrap();
     let result = tran.run(&op2).unwrap();
-    let v_tau = result.value_at(vout, 1.0e-3);
+    let v_tau = result.value_at(vout, 1.0e-3).unwrap();
     assert!((v_tau - 0.632).abs() < 0.01, "v(τ) = {v_tau}");
 }
 

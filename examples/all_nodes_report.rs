@@ -43,8 +43,13 @@ fn main() -> Result<(), StabilityError> {
     let ac = AcAnalysis::new(analyzer.circuit(), analyzer.operating_point())?;
     let structure = ac.solver_structure(analyzer.options().f_start)?;
     println!(
-        "solver structure: {} unknowns, {} BTF diagonal block(s), {} factor entries",
-        structure.dim, structure.block_count, structure.fill_nnz
+        "solver structure: {} unknowns, {} BTF diagonal block(s), {} factor entries, \
+         `{}` kernel backend (set {} to override)",
+        structure.dim,
+        structure.block_count,
+        structure.fill_nnz,
+        structure.kernel,
+        loopscope_sparse::kernels::KERNEL_ENV,
     );
     drop(ac);
 
