@@ -29,7 +29,8 @@ use loopscope_circuits::blocks::{opamp_cascade, rc_ladder};
 use loopscope_circuits::{mos_two_stage_buffer, two_stage_buffer, OpAmpParams};
 use loopscope_math::{Complex64, FrequencyGrid};
 use loopscope_sparse::{
-    kernels, ordering, CsrMatrix, KernelBackend, LuWorkspace, SparseLu, SymbolicLu, TripletMatrix,
+    kernels, ordering, CsrMatrix, KernelBackend, LuWorkspace, RefineWorkspace, SparseLu,
+    SymbolicLu, TripletMatrix,
 };
 use loopscope_spice::ac::AcAnalysis;
 use loopscope_spice::dc::solve_dc;
@@ -157,6 +158,18 @@ fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
         f();
     }
     start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Minimum per-op time over `blocks` back-to-back [`time_ns`] blocks of
+/// `reps` runs each — the noise-robust variant for ratio assertions: the
+/// minimum strips scheduler interference on shared machines, and the ratio
+/// of two minima reflects what the code actually costs.
+fn time_ns_best<F: FnMut()>(blocks: usize, reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..blocks {
+        best = best.min(time_ns(reps, &mut f));
+    }
+    best
 }
 
 fn print_speedup_table(
@@ -737,6 +750,92 @@ fn print_kernel_table(
     }
 }
 
+/// Experiment S6 — robustness-layer overhead: the residual-verified refined
+/// solve ([`SparseLu::solve_refined_into`]) vs the plain triangular solve on
+/// a healthy system where refinement needs **zero** correction steps (the
+/// steady state of every sweep), plus the Hager 1-norm condition estimate.
+/// The overhead of the verified path is one `A·x` mat-vec and three norm
+/// reductions per solve — on the natural-order mesh (fill ≫ nnz(A), the
+/// solve-dominated regime sweeps run in) that must stay within 1.15x.
+fn print_refinement_table(records: &mut Vec<Record>) {
+    println!(
+        "\n=== S6: robustness overhead — verified (refined) solve vs plain solve, condition estimate ==="
+    );
+    // A 48×48 natural-order mesh: fill(L+U) ≫ nnz(A), the solve-dominated
+    // regime the verified sweep path runs in, so the verified solve's extra
+    // residual pass (one traversal of A plus a few vector norms) is diluted
+    // by the triangular sweeps the plain solve pays anyway.
+    let p = 48;
+    let a = mesh_matrix(p, 1.0e3);
+    let n = a.rows();
+    let (lu, _symbolic) = SparseLu::factor_with_symbolic(&a).expect("mesh factors");
+    let rhs0: Vec<Complex64> = (0..n)
+        .map(|j| Complex64::new(1.0 + (j % 7) as f64, 0.25 * (j % 5) as f64))
+        .collect();
+    let mut rhs = rhs0.clone();
+    let mut work = vec![Complex64::ZERO; n];
+    let blocks = iters(16);
+    let reps = 8;
+
+    let plain_ns = time_ns_best(blocks, reps, || {
+        rhs.copy_from_slice(&rhs0);
+        lu.solve_into(&mut rhs, &mut work).expect("plain solve");
+        std::hint::black_box(&mut rhs);
+    });
+
+    let mut ws = RefineWorkspace::for_dim(n);
+    rhs.copy_from_slice(&rhs0);
+    let quality = lu
+        .solve_refined_into(&a, &mut rhs, &mut ws)
+        .expect("refined solve");
+    assert_eq!(
+        quality.refinement_steps, 0,
+        "the well-conditioned mesh must verify without correction steps: {quality:?}"
+    );
+    assert!(quality.converged, "{quality:?}");
+    let refined_ns = time_ns_best(blocks, reps, || {
+        rhs.copy_from_slice(&rhs0);
+        std::hint::black_box(
+            lu.solve_refined_into(&a, &mut rhs, &mut ws)
+                .expect("refined solve"),
+        );
+    });
+
+    let kappa = lu.condition_estimate(&a).expect("condition estimate");
+    assert!(
+        kappa.is_finite() && kappa >= 1.0,
+        "condition estimate must be a finite κ ≥ 1, got {kappa}"
+    );
+    let cond_ns = time_ns(iters(20).min(6), || {
+        std::hint::black_box(lu.condition_estimate(&a).expect("condition estimate"));
+    });
+
+    let overhead = refined_ns / plain_ns;
+    println!(
+        "mesh_{p}x{p} ({n} unknowns)   plain solve {:>8.2} µs   verified solve {:>8.2} µs \
+         (overhead {overhead:.3}x, 0 refinement steps)   condition estimate {:>8.2} µs (κ₁ ≥ {kappa:.1})",
+        plain_ns / 1.0e3,
+        refined_ns / 1.0e3,
+        cond_ns / 1.0e3,
+    );
+    records.push(Record::new(format!("mesh_{p}x{p}_plain_solve"), plain_ns));
+    records.push(Record::new(
+        format!("mesh_{p}x{p}_verified_solve"),
+        refined_ns,
+    ));
+    records.push(Record::new(
+        format!("mesh_{p}x{p}_condition_estimate"),
+        cond_ns,
+    ));
+    assert_timing(
+        overhead <= 1.15,
+        &format!(
+            "the verified solve ({refined_ns:.0} ns) must stay within 1.15x of the plain \
+             solve ({plain_ns:.0} ns) when no refinement steps are needed, measured {overhead:.3}x"
+        ),
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let mut records: Vec<Record> = Vec::new();
     if quick_mode() {
@@ -845,6 +944,8 @@ fn bench(c: &mut Criterion) {
         &mut records,
         false,
     );
+
+    print_refinement_table(&mut records);
     println!();
 
     let mut group = c.benchmark_group("solver_refactor");

@@ -89,6 +89,8 @@
 
 pub mod btf;
 mod csr;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod kernels;
 mod lu;
 pub mod ordering;
@@ -97,7 +99,10 @@ mod triplet;
 
 pub use csr::CsrMatrix;
 pub use kernels::KernelBackend;
-pub use lu::{solve_once, LuWorkspace, SolveError, SparseLu, SymbolicLu, ORDERED_PIVOT_THRESHOLD};
+pub use lu::{
+    solve_once, LuWorkspace, RefineWorkspace, SolveError, SolveQuality, SparseLu, SymbolicLu,
+    ORDERED_PIVOT_THRESHOLD, REFINE_BACKWARD_TOLERANCE, REFINE_MAX_STEPS,
+};
 pub use scalar::Scalar;
 pub use triplet::TripletMatrix;
 

@@ -42,6 +42,32 @@ pub trait Scalar:
     /// Magnitude used for pivot selection and singularity checks.
     fn modulus(self) -> f64;
 
+    /// Squared magnitude — no square root / `hypot`, so it is the cheap form
+    /// the magnitude argmax scans run on. Unlike [`modulus`](Scalar::modulus)
+    /// it is subject to premature underflow (|z| ≲ 1e-154 squares to a
+    /// subnormal or zero) and overflow (|z| ≳ 1e154 squares to infinity);
+    /// callers must fall back to `modulus` when the winning square
+    /// degenerates.
+    fn modulus_sqr(self) -> f64;
+
+    /// `true` when every component of the value is finite (neither NaN nor
+    /// ±∞). Non-finite values silently escape magnitude scans and pivot
+    /// comparisons (every NaN comparison is false), so the factorizations
+    /// check this explicitly.
+    fn is_finite(self) -> bool;
+
+    /// Complex conjugate (the identity for real scalars) — used by the
+    /// adjoint substitution sweeps of the condition estimator.
+    fn conj(self) -> Self;
+
+    /// Cheap magnitude surrogate for norm *estimates*: `|re| + |im|` for
+    /// complex values, `|x|` for real ones. Within √2 of
+    /// [`modulus`](Scalar::modulus), with no `hypot` and no intermediate
+    /// under/overflow — good enough for the backward-error denominator of
+    /// the refined solves, where a constant-factor-accurate scale is all
+    /// that is needed.
+    fn modulus_l1(self) -> f64;
+
     /// Embeds a real number into the scalar field.
     fn from_f64(x: f64) -> Self;
 
@@ -100,6 +126,26 @@ impl Scalar for f64 {
     }
 
     #[inline]
+    fn modulus_sqr(self) -> f64 {
+        self * self
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[inline]
+    fn conj(self) -> Self {
+        self
+    }
+
+    #[inline]
+    fn modulus_l1(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
     fn from_f64(x: f64) -> Self {
         x
     }
@@ -144,6 +190,26 @@ impl Scalar for Complex64 {
     #[inline]
     fn modulus(self) -> f64 {
         self.abs()
+    }
+
+    #[inline]
+    fn modulus_sqr(self) -> f64 {
+        self.norm_sqr()
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        Complex64::is_finite(self)
+    }
+
+    #[inline]
+    fn conj(self) -> Self {
+        Complex64::conj(self)
+    }
+
+    #[inline]
+    fn modulus_l1(self) -> f64 {
+        self.re.abs() + self.im.abs()
     }
 
     #[inline]
@@ -196,6 +262,15 @@ mod tests {
         assert!(f64::ZERO.is_zero());
         assert!(!f64::ONE.is_zero());
         assert_eq!(f64::from_f64(2.5), 2.5);
+        assert_eq!((-3.0f64).modulus_sqr(), 9.0);
+        assert_eq!(Scalar::conj(-3.0f64), -3.0);
+        assert_eq!((-3.0f64).modulus_l1(), 3.0);
+        assert!(Scalar::is_finite(1.0f64));
+        assert!(!Scalar::is_finite(f64::NAN));
+        assert!(!Scalar::is_finite(f64::INFINITY));
+        // The documented hazard: modulus is exact where the square underflows.
+        assert_eq!((1.0e-200f64).modulus_sqr(), 0.0);
+        assert_eq!((1.0e-200f64).modulus(), 1.0e-200);
     }
 
     #[test]
@@ -204,5 +279,14 @@ mod tests {
         assert!(!Complex64::I.is_zero());
         assert!((Complex64::new(3.0, 4.0).modulus() - 5.0).abs() < 1e-15);
         assert_eq!(Complex64::from_f64(1.5), Complex64::new(1.5, 0.0));
+        assert_eq!(Complex64::new(3.0, 4.0).modulus_sqr(), 25.0);
+        assert_eq!(Complex64::new(3.0, -4.0).modulus_l1(), 7.0);
+        assert_eq!(
+            Scalar::conj(Complex64::new(3.0, 4.0)),
+            Complex64::new(3.0, -4.0)
+        );
+        assert!(Scalar::is_finite(Complex64::new(1.0, 2.0)));
+        assert!(!Scalar::is_finite(Complex64::new(1.0, f64::NAN)));
+        assert!(!Scalar::is_finite(Complex64::new(f64::INFINITY, 0.0)));
     }
 }

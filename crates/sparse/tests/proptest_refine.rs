@@ -1,0 +1,182 @@
+//! Property-based tests for iterative refinement
+//! ([`SparseLu::solve_refined_into`]): on any reasonably conditioned random
+//! system the refined solve must converge to a tiny backward error, and its
+//! residual must never exceed the plain (unrefined) solve's — the rollback
+//! rule guarantees refinement is monotone, not just usually helpful.
+
+use loopscope_math::Complex64;
+use loopscope_sparse::{
+    CsrMatrix, RefineWorkspace, SparseLu, TripletMatrix, REFINE_BACKWARD_TOLERANCE,
+};
+use proptest::prelude::*;
+
+/// Builds a random, strictly diagonally dominant real matrix (invertible,
+/// bounded condition number) from proptest inputs.
+fn build_real(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix<f64> {
+    let mut t = TripletMatrix::new(n, n);
+    let mut row_sum = vec![0.0; n];
+    for &(r, c, v) in entries {
+        let (r, c) = (r % n, c % n);
+        if r == c {
+            continue;
+        }
+        t.push(r, c, v);
+        row_sum[r] += v.abs();
+    }
+    for (i, s) in row_sum.iter().enumerate() {
+        t.push(i, i, s + 1.0 + i as f64 * 0.01);
+    }
+    t.to_csr()
+}
+
+/// Complex analogue of [`build_real`]: off-diagonals dominated by the
+/// diagonal modulus.
+fn build_complex(n: usize, entries: &[(usize, usize, f64, f64)]) -> CsrMatrix<Complex64> {
+    let mut t = TripletMatrix::<Complex64>::new(n, n);
+    let mut row_sum = vec![0.0; n];
+    for &(r, c, re, im) in entries {
+        let (r, c) = (r % n, c % n);
+        if r == c {
+            continue;
+        }
+        let v = Complex64::new(re, im);
+        t.push(r, c, v);
+        row_sum[r] += v.abs();
+    }
+    for (i, s) in row_sum.iter().enumerate() {
+        t.push(i, i, Complex64::new(s + 1.0 + i as f64 * 0.01, 0.25));
+    }
+    t.to_csr()
+}
+
+/// ∞-norm of the residual `A·x − b`.
+fn residual_inf_real(a: &CsrMatrix<f64>, x: &[f64], b: &[f64]) -> f64 {
+    a.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(ri, bi)| (ri - bi).abs())
+        .fold(0.0, f64::max)
+}
+
+fn residual_inf_complex(a: &CsrMatrix<Complex64>, x: &[Complex64], b: &[Complex64]) -> f64 {
+    a.mul_vec(x)
+        .iter()
+        .zip(b)
+        .map(|(ri, bi)| (*ri - *bi).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn real_refined_solve_converges_and_never_beats_plain(
+        n in 2usize..20,
+        entries in prop::collection::vec((0usize..20, 0usize..20, -4.0f64..4.0), 0..100),
+        bseed in prop::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        let a = build_real(n, &entries);
+        let b: Vec<f64> = bseed.iter().take(n).copied().collect();
+        let lu = SparseLu::factor(&a).expect("diagonally dominant matrix must factor");
+
+        let plain = lu.solve(&b).expect("plain solve");
+        let plain_res = residual_inf_real(&a, &plain, &b);
+
+        let mut refined = b.clone();
+        let mut ws = RefineWorkspace::new();
+        let quality = lu
+            .solve_refined_into(&a, &mut refined, &mut ws)
+            .expect("refined solve");
+
+        // Well-conditioned system: refinement must reach the backward-error
+        // target and report convergence.
+        prop_assert!(quality.converged, "quality = {quality:?}");
+        prop_assert!(
+            quality.backward_error <= REFINE_BACKWARD_TOLERANCE,
+            "backward error {} above tolerance", quality.backward_error
+        );
+        // The reported residual matches the recomputed one.
+        let refined_res = residual_inf_real(&a, &refined, &b);
+        prop_assert!(
+            (quality.residual_norm - refined_res).abs()
+                <= 1e-12 * (1.0 + refined_res),
+            "reported {} vs recomputed {refined_res}", quality.residual_norm
+        );
+        // Monotonicity: the rollback rule means refinement can never leave
+        // the solution with a larger residual than the plain solve.
+        prop_assert!(
+            refined_res <= plain_res * (1.0 + 1e-12) + f64::MIN_POSITIVE,
+            "refined residual {refined_res} exceeds plain {plain_res}"
+        );
+    }
+
+    #[test]
+    fn complex_refined_solve_converges_and_never_beats_plain(
+        n in 2usize..12,
+        entries in prop::collection::vec(
+            (0usize..12, 0usize..12, -3.0f64..3.0, -3.0f64..3.0), 0..60),
+        bseed in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 12),
+    ) {
+        let a = build_complex(n, &entries);
+        let b: Vec<Complex64> = bseed
+            .iter()
+            .take(n)
+            .map(|&(re, im)| Complex64::new(re, im))
+            .collect();
+        let lu = SparseLu::factor(&a).expect("diagonally dominant matrix must factor");
+
+        let plain = lu.solve(&b).expect("plain solve");
+        let plain_res = residual_inf_complex(&a, &plain, &b);
+
+        let mut refined = b.clone();
+        let mut ws = RefineWorkspace::new();
+        let quality = lu
+            .solve_refined_into(&a, &mut refined, &mut ws)
+            .expect("refined solve");
+
+        prop_assert!(quality.converged, "quality = {quality:?}");
+        prop_assert!(
+            quality.backward_error <= REFINE_BACKWARD_TOLERANCE,
+            "backward error {} above tolerance", quality.backward_error
+        );
+        let refined_res = residual_inf_complex(&a, &refined, &b);
+        prop_assert!(
+            refined_res <= plain_res * (1.0 + 1e-12) + f64::MIN_POSITIVE,
+            "refined residual {refined_res} exceeds plain {plain_res}"
+        );
+    }
+
+    #[test]
+    fn refinement_workspace_is_reusable_across_systems(
+        n in 2usize..10,
+        entries in prop::collection::vec((0usize..10, 0usize..10, -2.0f64..2.0), 0..40),
+        bseed in prop::collection::vec(-5.0f64..5.0, 10),
+    ) {
+        // One workspace driven across two different dimensions must produce
+        // the same answers as fresh workspaces (sizing is per-call).
+        let a_small = build_real(2, &entries);
+        let a = build_real(n, &entries);
+        let b: Vec<f64> = bseed.iter().take(n).copied().collect();
+
+        let mut shared = RefineWorkspace::for_dim(2);
+        let lu_small = SparseLu::factor(&a_small).expect("factor small");
+        let mut rhs_small = vec![1.0, -1.0];
+        lu_small
+            .solve_refined_into(&a_small, &mut rhs_small, &mut shared)
+            .expect("small refined solve");
+
+        let lu = SparseLu::factor(&a).expect("factor");
+        let mut via_shared = b.clone();
+        let q_shared = lu
+            .solve_refined_into(&a, &mut via_shared, &mut shared)
+            .expect("shared-workspace solve");
+        let mut via_fresh = b.clone();
+        let q_fresh = lu
+            .solve_refined_into(&a, &mut via_fresh, &mut RefineWorkspace::new())
+            .expect("fresh-workspace solve");
+
+        prop_assert_eq!(via_shared, via_fresh);
+        prop_assert_eq!(q_shared.refinement_steps, q_fresh.refinement_steps);
+        prop_assert_eq!(q_shared.residual_norm, q_fresh.residual_norm);
+    }
+}

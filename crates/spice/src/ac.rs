@@ -148,9 +148,9 @@ impl AcSweep {
 /// Structural diagnostics of the shared solver plan an [`AcAnalysis`] runs
 /// on, reported by [`AcAnalysis::solver_structure`]: how the block-
 /// triangular analysis partitioned the admittance matrix, how much fill the
-/// per-block factorization carries, and which kernel backend the numeric
-/// inner loops run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// per-block factorization carries, which kernel backend the numeric inner
+/// loops run, and how well-conditioned the representative system is.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolverStructure {
     /// MNA system dimension (node voltages + branch currents).
     pub dim: usize,
@@ -167,6 +167,12 @@ pub struct SolverStructure {
     /// the `LOOPSCOPE_KERNEL` knob); results are bitwise identical either
     /// way.
     pub kernel: KernelBackend,
+    /// Hager/Higham 1-norm condition estimate `κ₁(Y)` of the admittance
+    /// system at the representative frequency the structure was taken at
+    /// (see [`loopscope_sparse::SparseLu::condition_estimate`]). A lower
+    /// bound on the true condition number — large values warn that sweep
+    /// results near that frequency carry amplified rounding error.
+    pub condition_estimate: f64,
 }
 
 /// Small-signal AC analysis of a circuit linearized at an operating point.
@@ -244,26 +250,46 @@ impl<'c> AcAnalysis<'c> {
     }
 
     /// Structural diagnostics of the shared solver plan: the BTF block
-    /// partition and factor fill of the admittance system. Builds the plan
-    /// from the system at `representative_freq_hz` if no solve has run yet
-    /// (the structure is frequency-independent, so any in-band frequency
-    /// serves); afterwards the same shared plan is reported.
+    /// partition and factor fill of the admittance system, plus a condition
+    /// estimate of the system at `representative_freq_hz`. Builds the plan
+    /// from that system if no solve has run yet (the structure is
+    /// frequency-independent, so any in-band frequency serves); afterwards
+    /// the same shared plan is reported. The condition estimate always
+    /// factors the system at `representative_freq_hz` — a diagnostic
+    /// factorization in a throwaway context that is **not** folded into
+    /// [`solve_stats`](AcAnalysis::solve_stats), so sweep counter
+    /// invariants are unaffected.
     ///
     /// # Errors
     ///
-    /// Returns [`SpiceError::Linear`] when the representative system is
-    /// singular.
+    /// Returns the name-enriched solver error (e.g.
+    /// [`SpiceError::SingularSystem`]) when the representative system cannot
+    /// be factored.
     pub fn solver_structure(
         &self,
         representative_freq_hz: f64,
     ) -> Result<SolverStructure, SpiceError> {
         let plan = self.plan_for(representative_freq_hz)?;
         let symbolic = plan.symbolic();
+        let mut probe = plan.context();
+        let job = AcSystem {
+            analysis: self,
+            freq_hz: representative_freq_hz,
+            use_circuit_sources: false,
+        };
+        let _ = probe.assemble(&job);
+        probe
+            .factor()
+            .map_err(|e| SpiceError::from_solve(e, &self.layout))?;
+        let condition_estimate = probe
+            .condition_estimate()
+            .map_err(|e| SpiceError::from_solve(e, &self.layout))?;
         Ok(SolverStructure {
             dim: symbolic.dim(),
             block_count: symbolic.block_count(),
             fill_nnz: symbolic.fill_nnz(),
             kernel: symbolic.kernel_backend(),
+            condition_estimate,
         })
     }
 
@@ -458,11 +484,11 @@ impl<'c> AcAnalysis<'c> {
                     freq_hz: f,
                     use_circuit_sources: true,
                 };
-                // The assembled RHS becomes the solution in place.
+                // The assembled RHS becomes the solution in place; the
+                // verified path runs the per-point retry ladder and enriches
+                // failures with circuit names.
                 let mut solution = ctx.assemble(&job);
-                ctx.factor().map_err(SpiceError::Linear)?;
-                ctx.solve_in_place(&mut solution)
-                    .map_err(SpiceError::Linear)?;
+                ctx.solve_verified_in_place(&mut solution)?;
                 Ok(self.solve_into_node_row(&solution))
             },
         );
@@ -518,11 +544,11 @@ impl<'c> AcAnalysis<'c> {
                     use_circuit_sources: false,
                 };
                 let _ = ctx.assemble(&job);
-                ctx.factor().map_err(SpiceError::Linear)?;
-                // Unit current injection at `node`, solved in place.
+                // Unit current injection at `node`, solved in place through
+                // the verified retry ladder (which factors first).
                 x.fill(Complex64::ZERO);
                 x[var] = Complex64::ONE;
-                ctx.solve_in_place(x).map_err(SpiceError::Linear)?;
+                ctx.solve_verified_in_place(x)?;
                 Ok(x[var])
             },
         );
@@ -586,7 +612,8 @@ impl<'c> AcAnalysis<'c> {
                     use_circuit_sources: false,
                 };
                 let _ = ctx.assemble(&job);
-                ctx.factor().map_err(SpiceError::Linear)?;
+                ctx.factor()
+                    .map_err(|e| SpiceError::from_solve(e, &self.layout))?;
                 let mut row = Vec::with_capacity(vars.len());
                 if panel_width == 1 {
                     // Per-RHS reference path (`LOOPSCOPE_PANEL=1`): one
@@ -595,7 +622,8 @@ impl<'c> AcAnalysis<'c> {
                         let x = &mut panel[..dim];
                         x.fill(Complex64::ZERO);
                         x[var] = Complex64::ONE;
-                        ctx.solve_in_place(x).map_err(SpiceError::Linear)?;
+                        ctx.solve_in_place(x)
+                            .map_err(|e| SpiceError::from_solve(e, &self.layout))?;
                         row.push(x[var]);
                     }
                 } else {
@@ -607,7 +635,7 @@ impl<'c> AcAnalysis<'c> {
                             active[j * dim + var] = Complex64::ONE;
                         }
                         ctx.solve_panel_in_place(active, cols)
-                            .map_err(SpiceError::Linear)?;
+                            .map_err(|e| SpiceError::from_solve(e, &self.layout))?;
                         for (j, &var) in chunk.iter().enumerate() {
                             row.push(active[j * dim + var]);
                         }

@@ -45,9 +45,37 @@
 //!   split is what lets [`crate::par::sweep_chunks`] chunk a sweep across
 //!   worker threads with bitwise-identical results at any worker count.
 
+use crate::error::SpiceError;
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
-use loopscope_sparse::{CsrMatrix, LuWorkspace, Scalar, SolveError, SparseLu, SymbolicLu};
+use loopscope_sparse::{
+    CsrMatrix, LuWorkspace, RefineWorkspace, Scalar, SolveError, SolveQuality, SparseLu, SymbolicLu,
+};
 use std::sync::Arc;
+
+/// Per-point gmin bump schedule of the solve retry ladder: on its last rung
+/// the ladder adds each value in turn to every stored node-voltage diagonal
+/// and retries a fresh factorization, regularizing near-singular systems the
+/// way SPICE's gmin does. The schedule is a fixed constant — no randomness,
+/// no state carried between points — so the ladder's decisions at a sweep
+/// point are a pure function of that point's values and parallel sweeps stay
+/// bitwise reproducible.
+pub const GMIN_BUMP_LADDER: [f64; 2] = [1.0e-9, 1.0e-6];
+
+/// Adds `bump` to every stored node-voltage diagonal slot (`0..node_vars`),
+/// returning whether at least one such slot exists in the pattern. Branch
+/// rows (voltage sources, inductors) are never bumped — a shunt conductance
+/// there has no physical meaning.
+fn bump_node_diagonals<T: Scalar>(matrix: &mut CsrMatrix<T>, node_vars: usize, bump: f64) -> bool {
+    let limit = node_vars.min(matrix.rows()).min(matrix.cols());
+    let mut any = false;
+    for v in 0..limit {
+        if let Some(slot) = matrix.find_slot(v, v) {
+            matrix.values_mut()[slot] += T::from_f64(bump);
+            any = true;
+        }
+    }
+    any
+}
 
 /// A circuit-assembly job: stamps one MNA system into any matrix sink.
 ///
@@ -104,6 +132,16 @@ pub struct SolveStats {
     pub pattern_rebuilds: usize,
     /// In-place (value-only) assemblies served from the cached pattern.
     pub cached_assemblies: usize,
+    /// Retry-ladder escalations to a fresh threshold-pivoted factorization
+    /// after a residual-verified solve failed its backward-error check (the
+    /// fresh analysis itself is counted in `symbolic`). Healthy sweeps keep
+    /// this at zero.
+    pub residual_retries: usize,
+    /// Per-point gmin bumps applied by the retry ladder's last rung (each
+    /// followed by a fresh factorization, counted in `symbolic`). A nonzero
+    /// count means some solutions were computed on a deliberately
+    /// regularized system.
+    pub gmin_bumps: usize,
 }
 
 impl SolveStats {
@@ -126,6 +164,8 @@ impl SolveStats {
         self.fresh_fallback += other.fresh_fallback;
         self.pattern_rebuilds += other.pattern_rebuilds;
         self.cached_assemblies += other.cached_assemblies;
+        self.residual_retries += other.residual_retries;
+        self.gmin_bumps += other.gmin_bumps;
     }
 }
 
@@ -188,6 +228,12 @@ pub struct CachedMna<T: Scalar> {
     workspace: LuWorkspace<T>,
     /// Scratch for [`solve`](CachedMna::solve)'s substitution sweeps.
     solve_work: Vec<T>,
+    /// Scratch of the residual-verified solve path; grown on first use,
+    /// reused (allocation-free) afterwards.
+    refine_ws: RefineWorkspace<T>,
+    /// Pristine copy of the right-hand side, so retry-ladder escalations can
+    /// restart the solve from `b` after a failed attempt overwrote it.
+    rhs_backup: Vec<T>,
     stats: SolveStats,
 }
 
@@ -206,6 +252,8 @@ impl<T: Scalar> CachedMna<T> {
             lu: None,
             workspace: LuWorkspace::new(),
             solve_work: Vec::new(),
+            refine_ws: RefineWorkspace::new(),
+            rhs_backup: Vec::new(),
             stats: SolveStats::default(),
         }
     }
@@ -383,6 +431,212 @@ impl<T: Scalar> CachedMna<T> {
         lu.solve_into(solution, &mut self.solve_work)?;
         Ok(())
     }
+
+    /// Convenience wrapper over the retry ladder: assemble, then
+    /// [`verify_assembled`](CachedMna::verify_assembled). Returns the
+    /// residual-verified solution together with its [`SolveQuality`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the name-enriched [`SpiceError`] when every rung of the
+    /// ladder fails (see [`verify_assembled`](CachedMna::verify_assembled)).
+    pub fn solve_verified(
+        &mut self,
+        layout: &MnaLayout,
+        job: &impl AssembleMna<T>,
+    ) -> Result<(Vec<T>, SolveQuality), SpiceError> {
+        let mut solution = Vec::new();
+        let quality = self.solve_verified_into(layout, job, &mut solution)?;
+        Ok((solution, quality))
+    }
+
+    /// Like [`solve_verified`](CachedMna::solve_verified), but cycling a
+    /// caller-held buffer — the residual-verified analogue of
+    /// [`solve_in_place`](CachedMna::solve_in_place). Once the buffers are
+    /// warm and no ladder escalation fires, the cycle performs zero heap
+    /// allocations, so this is safe to drive from the transient Newton loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name-enriched [`SpiceError`] when every rung of the
+    /// ladder fails (see [`verify_assembled`](CachedMna::verify_assembled)).
+    pub fn solve_verified_into(
+        &mut self,
+        layout: &MnaLayout,
+        job: &impl AssembleMna<T>,
+        solution: &mut Vec<T>,
+    ) -> Result<SolveQuality, SpiceError> {
+        self.assemble_into(layout, job, solution);
+        self.verify_assembled(layout, solution)
+    }
+
+    /// Runs the structured **retry ladder** over the most recently assembled
+    /// system. `rhs` holds `b` on entry and the verified solution on
+    /// success. The rungs, in order:
+    ///
+    /// 1. factor (a pattern-reusing refactorization when possible, with the
+    ///    built-in fresh fallback on a degraded pivot) and solve with
+    ///    iterative refinement ([`SparseLu::solve_refined_into`]);
+    /// 2. if the backward error still fails its tolerance and the factors
+    ///    came from a reused pivot order, escalate to a fresh
+    ///    threshold-pivoted factorization of this exact system
+    ///    (`residual_retries` in [`SolveStats`]);
+    /// 3. if the system is singular or refinement still cannot converge,
+    ///    apply the deterministic per-point gmin bumps of
+    ///    [`GMIN_BUMP_LADDER`] to the node-voltage diagonals, re-factoring
+    ///    after each (`gmin_bumps` in [`SolveStats`]).
+    ///
+    /// Every escalation decision is a pure function of the assembled values,
+    /// so identical systems take identical ladders.
+    ///
+    /// # Errors
+    ///
+    /// Non-finite stamps abort immediately as
+    /// [`SpiceError::NonFiniteStamp`] (no rung can repair a NaN); a system
+    /// still singular after the gmin rung surfaces as
+    /// [`SpiceError::SingularSystem`]; a ladder that ran dry with finite
+    /// arithmetic returns [`SpiceError::ResidualCheckFailed`]. All carry
+    /// circuit names mapped through the [`MnaLayout`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before any assembly.
+    pub fn verify_assembled(
+        &mut self,
+        layout: &MnaLayout,
+        rhs: &mut [T],
+    ) -> Result<SolveQuality, SpiceError> {
+        let n = layout.dim();
+        if rhs.len() != n {
+            return Err(SpiceError::Linear(SolveError::RhsLength {
+                expected: n,
+                got: rhs.len(),
+            }));
+        }
+        self.rhs_backup.clear();
+        self.rhs_backup.extend_from_slice(rhs);
+        let mut pending_singular = None;
+        let mut last_quality: Option<SolveQuality> = None;
+
+        match self.factor() {
+            Ok(_) => {}
+            Err(e @ SolveError::Singular(_)) => pending_singular = Some(e),
+            Err(e) => return Err(SpiceError::from_solve(e, layout)),
+        }
+        if pending_singular.is_none() {
+            let q = self.refined_attempt(layout, rhs)?;
+            if q.converged {
+                return Ok(q);
+            }
+            last_quality = Some(q);
+            let reused_pivots = self.lu.as_ref().is_some_and(|lu| lu.refactored());
+            if reused_pivots {
+                self.stats.residual_retries += 1;
+                match self.fresh_factor_adopting() {
+                    Ok(()) => {
+                        rhs.copy_from_slice(&self.rhs_backup);
+                        let q = self.refined_attempt(layout, rhs)?;
+                        if q.converged {
+                            return Ok(q);
+                        }
+                        last_quality = Some(q);
+                    }
+                    Err(e @ SolveError::Singular(_)) => pending_singular = Some(e),
+                    Err(e) => return Err(SpiceError::from_solve(e, layout)),
+                }
+            }
+        }
+        let node_vars = layout.dim() - layout.branch_count();
+        let mut bumps = 0usize;
+        for &bump in GMIN_BUMP_LADDER.iter() {
+            let matrix = self.csr.as_mut().expect("assemble must run first");
+            if !bump_node_diagonals(matrix, node_vars, bump) {
+                break;
+            }
+            self.stats.gmin_bumps += 1;
+            bumps += 1;
+            match self.fresh_factor_adopting() {
+                Ok(()) => {
+                    rhs.copy_from_slice(&self.rhs_backup);
+                    let q = self.refined_attempt(layout, rhs)?;
+                    if q.converged {
+                        return Ok(q);
+                    }
+                    last_quality = Some(q);
+                    pending_singular = None;
+                }
+                Err(e @ SolveError::Singular(_)) => pending_singular = Some(e),
+                Err(e) => return Err(SpiceError::from_solve(e, layout)),
+            }
+        }
+        match pending_singular {
+            Some(e) => Err(SpiceError::from_solve(e, layout)),
+            None => Err(SpiceError::ResidualCheckFailed {
+                backward_error: last_quality.map_or(f64::INFINITY, |q| q.backward_error),
+                gmin_bumps: bumps,
+            }),
+        }
+    }
+
+    /// One residual-verified solve over the current factors and matrix.
+    fn refined_attempt(
+        &mut self,
+        layout: &MnaLayout,
+        rhs: &mut [T],
+    ) -> Result<SolveQuality, SpiceError> {
+        let csr = self.csr.as_ref().expect("assemble must run first");
+        let lu = self.lu.as_ref().expect("factor must succeed first");
+        lu.solve_refined_into(csr, rhs, &mut self.refine_ws)
+            .map_err(|e| SpiceError::from_solve(e, layout))
+    }
+
+    /// Fresh threshold-pivoted factorization of the current matrix, adopting
+    /// its pattern (counted in `symbolic`, like every full analysis).
+    fn fresh_factor_adopting(&mut self) -> Result<(), SolveError> {
+        let csr = self.csr.as_ref().expect("assemble must run first");
+        let (lu, symbolic) = SparseLu::factor_with_symbolic_btf(csr)?;
+        self.symbolic = Some(symbolic);
+        self.lu = Some(lu);
+        self.stats.symbolic += 1;
+        Ok(())
+    }
+
+    /// Hager/Higham 1-norm condition estimate of the most recently factored
+    /// system (see [`SparseLu::condition_estimate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] on a dimension mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no successful [`factor`](CachedMna::factor) call has run.
+    pub fn condition_estimate(&self) -> Result<f64, SolveError> {
+        let csr = self
+            .csr
+            .as_ref()
+            .expect("CachedMna::assemble must run first");
+        let lu = self
+            .lu
+            .as_ref()
+            .expect("CachedMna::factor must succeed first");
+        lu.condition_estimate(csr)
+    }
+
+    /// Mutable access to the assembled matrix values — the perturbation hook
+    /// the fault-injection test-suites use to poison stamped values between
+    /// assembly and solve. Compiled only for tests and under the
+    /// `fault-inject` feature; never part of the production surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before any assembly.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn matrix_mut(&mut self) -> &mut CsrMatrix<T> {
+        self.csr
+            .as_mut()
+            .expect("CachedMna::assemble must run first")
+    }
 }
 
 /// The **immutable, shareable half** of a sweep's solver state: everything
@@ -536,6 +790,8 @@ impl<T: Scalar> SweepPlan<T> {
             workspace: LuWorkspace::for_dim(n),
             solve_work: vec![T::ZERO; n],
             panel_work: Vec::new(),
+            refine_ws: RefineWorkspace::for_dim(n),
+            rhs_backup: Vec::with_capacity(n),
             off_pattern: None,
             factored: false,
             stats: SolveStats::default(),
@@ -584,9 +840,15 @@ pub struct SolveContext<'p, T: Scalar> {
     /// ([`solve_panel_in_place`](SolveContext::solve_panel_in_place)); grown
     /// on demand, pre-sized by [`SweepPlan::context_with_panel`].
     panel_work: Vec<T>,
+    /// Scratch of the residual-verified solve path, pre-sized at mint time.
+    refine_ws: RefineWorkspace<T>,
+    /// Pristine copy of the right-hand side, so retry-ladder escalations can
+    /// restart the solve from `b` after a failed attempt overwrote it.
+    rhs_backup: Vec<T>,
     /// A from-scratch matrix built when a stamp missed the shared pattern;
-    /// consumed by the next [`factor`](SolveContext::factor) as a one-point
-    /// fallback (the plan and the context's slot map stay untouched).
+    /// used by [`factor`](SolveContext::factor) and the verified-solve path
+    /// as a one-point fallback until the next assembly clears it (the plan
+    /// and the context's slot map stay untouched).
     off_pattern: Option<CsrMatrix<T>>,
     factored: bool,
     stats: SolveStats,
@@ -645,9 +907,11 @@ impl<'p, T: Scalar> SolveContext<'p, T> {
     ///
     /// Panics when called before any [`assemble`](SolveContext::assemble).
     pub fn factor(&mut self) -> Result<&SparseLu<T>, SolveError> {
-        if let Some(matrix) = self.off_pattern.take() {
+        if let Some(matrix) = self.off_pattern.as_ref() {
             // One-point fallback: a full analysis of the off-plan matrix.
-            let (lu, _) = SparseLu::factor_with_symbolic_btf(&matrix)?;
+            // The matrix stays around (until the next assembly) so the
+            // verified-solve path can compute residuals against it.
+            let (lu, _) = SparseLu::factor_with_symbolic_btf(matrix)?;
             self.stats.symbolic += 1;
             self.lu = lu;
             self.factored = true;
@@ -733,6 +997,168 @@ impl<'p, T: Scalar> SolveContext<'p, T> {
         self.factor()?;
         self.solve_in_place(&mut rhs)?;
         Ok(rhs)
+    }
+
+    /// Convenience wrapper over the retry ladder: assemble, then
+    /// [`solve_verified_in_place`](SolveContext::solve_verified_in_place).
+    /// Returns the residual-verified solution and its [`SolveQuality`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the name-enriched [`SpiceError`] when every rung of the
+    /// ladder fails.
+    pub fn solve_verified(
+        &mut self,
+        job: &impl AssembleMna<T>,
+    ) -> Result<(Vec<T>, SolveQuality), SpiceError> {
+        let mut rhs = self.assemble(job);
+        let quality = self.solve_verified_in_place(&mut rhs)?;
+        Ok((rhs, quality))
+    }
+
+    /// Runs the structured **retry ladder** over the most recently assembled
+    /// system: factor → residual-verified solve → fresh threshold-pivoted
+    /// factorization on a failed backward-error check → deterministic
+    /// per-point gmin bumps ([`GMIN_BUMP_LADDER`]). The same ladder as
+    /// [`CachedMna::verify_assembled`] — see there for the rung-by-rung
+    /// contract — with one sweep-critical difference: escalations here are
+    /// strictly **per point**. Nothing a rung does is adopted into the plan
+    /// or carried to the next point, so a context that escalated at point
+    /// `k` still produces bitwise-identical results at every other point,
+    /// whatever the chunking.
+    ///
+    /// `rhs` holds `b` on entry and the verified solution on success. When
+    /// [`factor`](SolveContext::factor) already ran since the last assembly
+    /// its factors are reused as rung 1; otherwise the ladder factors first.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NonFiniteStamp`] for NaN/∞ stamps,
+    /// [`SpiceError::SingularSystem`] for systems the gmin rung cannot
+    /// regularize, [`SpiceError::ResidualCheckFailed`] when the ladder runs
+    /// dry — all enriched with circuit names.
+    pub fn solve_verified_in_place(&mut self, rhs: &mut [T]) -> Result<SolveQuality, SpiceError> {
+        let n = self.plan.dim();
+        if rhs.len() != n {
+            return Err(SpiceError::Linear(SolveError::RhsLength {
+                expected: n,
+                got: rhs.len(),
+            }));
+        }
+        self.rhs_backup.clear();
+        self.rhs_backup.extend_from_slice(rhs);
+        let mut pending_singular = None;
+        let mut last_quality: Option<SolveQuality> = None;
+
+        if !self.factored {
+            match self.factor() {
+                Ok(_) => {}
+                Err(e @ SolveError::Singular(_)) => pending_singular = Some(e),
+                Err(e) => return Err(SpiceError::from_solve(e, self.plan.layout())),
+            }
+        }
+        if pending_singular.is_none() {
+            let q = self.refined_attempt(rhs)?;
+            if q.converged {
+                return Ok(q);
+            }
+            last_quality = Some(q);
+            if self.lu.refactored() {
+                self.stats.residual_retries += 1;
+                match self.fresh_factor_point() {
+                    Ok(()) => {
+                        rhs.copy_from_slice(&self.rhs_backup);
+                        let q = self.refined_attempt(rhs)?;
+                        if q.converged {
+                            return Ok(q);
+                        }
+                        last_quality = Some(q);
+                    }
+                    Err(e @ SolveError::Singular(_)) => pending_singular = Some(e),
+                    Err(e) => return Err(SpiceError::from_solve(e, self.plan.layout())),
+                }
+            }
+        }
+        let node_vars = self.plan.layout().dim() - self.plan.layout().branch_count();
+        let mut bumps = 0usize;
+        for &bump in GMIN_BUMP_LADDER.iter() {
+            let matrix = self.off_pattern.as_mut().unwrap_or(&mut self.csr);
+            if !bump_node_diagonals(matrix, node_vars, bump) {
+                break;
+            }
+            self.stats.gmin_bumps += 1;
+            bumps += 1;
+            match self.fresh_factor_point() {
+                Ok(()) => {
+                    rhs.copy_from_slice(&self.rhs_backup);
+                    let q = self.refined_attempt(rhs)?;
+                    if q.converged {
+                        return Ok(q);
+                    }
+                    last_quality = Some(q);
+                    pending_singular = None;
+                }
+                Err(e @ SolveError::Singular(_)) => pending_singular = Some(e),
+                Err(e) => return Err(SpiceError::from_solve(e, self.plan.layout())),
+            }
+        }
+        match pending_singular {
+            Some(e) => Err(SpiceError::from_solve(e, self.plan.layout())),
+            None => Err(SpiceError::ResidualCheckFailed {
+                backward_error: last_quality.map_or(f64::INFINITY, |q| q.backward_error),
+                gmin_bumps: bumps,
+            }),
+        }
+    }
+
+    /// One residual-verified solve over the current factors and matrix.
+    fn refined_attempt(&mut self, rhs: &mut [T]) -> Result<SolveQuality, SpiceError> {
+        let matrix = self.off_pattern.as_ref().unwrap_or(&self.csr);
+        self.lu
+            .solve_refined_into(matrix, rhs, &mut self.refine_ws)
+            .map_err(|e| SpiceError::from_solve(e, self.plan.layout()))
+    }
+
+    /// Fresh threshold-pivoted factorization of this point's matrix only —
+    /// unlike [`CachedMna`], the resulting pattern is **not** adopted; the
+    /// next point refactors against the shared plan as usual. Counted in
+    /// `symbolic`, like every full analysis.
+    fn fresh_factor_point(&mut self) -> Result<(), SolveError> {
+        let matrix = self.off_pattern.as_ref().unwrap_or(&self.csr);
+        let (lu, _) = SparseLu::factor_with_symbolic_btf(matrix)?;
+        self.lu = lu;
+        self.factored = true;
+        self.stats.symbolic += 1;
+        Ok(())
+    }
+
+    /// Hager/Higham 1-norm condition estimate of the most recently factored
+    /// system (see [`SparseLu::condition_estimate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] on a dimension mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no successful [`factor`](SolveContext::factor) call has
+    /// run since the last assembly.
+    pub fn condition_estimate(&self) -> Result<f64, SolveError> {
+        assert!(
+            self.factored,
+            "SolveContext::factor must succeed before estimating conditioning"
+        );
+        let matrix = self.off_pattern.as_ref().unwrap_or(&self.csr);
+        self.lu.condition_estimate(matrix)
+    }
+
+    /// Mutable access to the assembled matrix values — the perturbation hook
+    /// the fault-injection test-suites use to poison stamped values between
+    /// assembly and solve. Compiled only for tests and under the
+    /// `fault-inject` feature; never part of the production surface.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn matrix_mut(&mut self) -> &mut CsrMatrix<T> {
+        self.off_pattern.as_mut().unwrap_or(&mut self.csr)
     }
 }
 
@@ -964,6 +1390,8 @@ mod tests {
             fresh_fallback: 0,
             pattern_rebuilds: 0,
             cached_assemblies: 4,
+            residual_retries: 1,
+            gmin_bumps: 0,
         };
         let b = SolveStats {
             symbolic: 0,
@@ -971,6 +1399,8 @@ mod tests {
             fresh_fallback: 1,
             pattern_rebuilds: 2,
             cached_assemblies: 6,
+            residual_retries: 2,
+            gmin_bumps: 3,
         };
         a.merge(&b);
         assert_eq!(a.symbolic, 1);
@@ -978,7 +1408,198 @@ mod tests {
         assert_eq!(a.fresh_fallback, 1);
         assert_eq!(a.pattern_rebuilds, 2);
         assert_eq!(a.cached_assemblies, 10);
+        assert_eq!(a.residual_retries, 3);
+        assert_eq!(a.gmin_bumps, 3);
         assert_eq!(a.factorizations(), 10);
+    }
+
+    #[test]
+    fn verified_solve_on_healthy_system_takes_no_escalation() {
+        let (_c, layout) = two_node_layout();
+        let job = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        let plan = SweepPlan::<f64>::build(&layout, &job).unwrap();
+        let mut ctx = plan.context();
+        let plain = ctx.solve(&job).unwrap();
+        let (verified, q) = ctx.solve_verified(&job).unwrap();
+        assert!(q.converged);
+        assert_eq!(q.refinement_steps, 0);
+        assert_eq!(verified, plain);
+        assert_eq!(ctx.stats().residual_retries, 0);
+        assert_eq!(ctx.stats().gmin_bumps, 0);
+        assert_eq!(ctx.stats().symbolic, 0);
+
+        let mut cache = CachedMna::<f64>::new();
+        let (x, q) = cache.solve_verified(&layout, &job).unwrap();
+        assert!(q.converged);
+        assert_eq!(x, plain);
+        assert_eq!(cache.stats().residual_retries, 0);
+        assert_eq!(cache.stats().gmin_bumps, 0);
+        assert_eq!(cache.stats().symbolic, 1);
+    }
+
+    #[test]
+    fn stale_factors_escalate_to_a_fresh_point_factorization() {
+        let (_c, layout) = two_node_layout();
+        let job = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        let plan = SweepPlan::<f64>::build(&layout, &job).unwrap();
+        let mut ctx = plan.context();
+        // Factor honestly, then perturb the matrix under the factors: the
+        // refined solve sees a residual it cannot repair with stale factors
+        // and must climb to rung 2 (fresh factorization of this point).
+        let mut rhs = ctx.assemble(&job);
+        ctx.factor().unwrap();
+        let slot = ctx.matrix_mut().find_slot(0, 0).unwrap();
+        ctx.matrix_mut().values_mut()[slot] *= 1.0e6;
+        let q = ctx.solve_verified_in_place(&mut rhs).unwrap();
+        assert!(q.converged);
+        assert_eq!(ctx.stats().residual_retries, 1);
+        assert_eq!(ctx.stats().gmin_bumps, 0);
+        // The answer is the solution of the *perturbed* system.
+        let mut st = Stamper::new(&layout);
+        job.stamp(&mut st);
+        let (trip, b) = st.finish();
+        let mut csr = trip.to_csr();
+        let s = csr.find_slot(0, 0).unwrap();
+        csr.values_mut()[s] *= 1.0e6;
+        let reference = loopscope_sparse::solve_once(&csr, &b).unwrap();
+        for (a, r) in rhs.iter().zip(&reference) {
+            assert!((a - r).abs() <= 1e-12 * r.abs().max(1.0), "{a} vs {r}");
+        }
+    }
+
+    #[test]
+    fn dead_node_column_is_rescued_by_the_gmin_rung() {
+        let (_c, layout) = two_node_layout();
+        let job = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        let plan = SweepPlan::<f64>::build(&layout, &job).unwrap();
+        let mut ctx = plan.context();
+        let mut rhs = ctx.assemble(&job);
+        // Kill column 1 (node `b`): the system is exactly singular, so the
+        // factor rungs fail and only the per-point gmin bump can rescue it.
+        let m = ctx.matrix_mut();
+        for (r, c) in [(0usize, 1usize), (1, 1)] {
+            let slot = m.find_slot(r, c).unwrap();
+            m.values_mut()[slot] = 0.0;
+        }
+        let q = ctx.solve_verified_in_place(&mut rhs).unwrap();
+        assert!(q.converged);
+        assert_eq!(ctx.stats().gmin_bumps, 1);
+        assert!(rhs.iter().all(|v| v.is_finite()));
+        // v(b) floats up to the bump conductance's scale — large but finite
+        // and flagged through the `gmin_bumps` counter.
+        assert!(rhs[1].abs() > 1.0);
+    }
+
+    #[test]
+    fn singular_branch_column_exhausts_the_ladder_with_names() {
+        // A layout with one branch unknown: gmin bumps only touch node
+        // diagonals, so a dead branch column must surface as a name-enriched
+        // singular error after the ladder runs dry.
+        let mut c = Circuit::new("branch ladder");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0e3);
+        let layout = MnaLayout::new(&c);
+        struct VsrcJob;
+        impl AssembleMna<f64> for VsrcJob {
+            fn stamp<S: MatrixSink<f64>>(&self, st: &mut Stamper<'_, f64, S>) {
+                st.add_var_var(0, 0, 1.0e-3);
+                st.add_var_var(0, 1, 1.0);
+                st.add_var_var(1, 0, 1.0);
+                st.add_rhs_var(1, 1.0);
+            }
+        }
+        let plan = SweepPlan::<f64>::build(&layout, &VsrcJob).unwrap();
+        let mut ctx = plan.context();
+        let mut rhs = ctx.assemble(&VsrcJob);
+        // Kill the branch column (var 1 = I(V1)).
+        let m = ctx.matrix_mut();
+        let slot = m.find_slot(0, 1).unwrap();
+        m.values_mut()[slot] = 0.0;
+        let err = ctx.solve_verified_in_place(&mut rhs).unwrap_err();
+        assert_eq!(
+            err,
+            SpiceError::SingularSystem {
+                unknown: "I(V1)".into(),
+                column: 1
+            }
+        );
+        // Both bumps were tried (node diagonals exist) before giving up.
+        assert_eq!(ctx.stats().gmin_bumps, GMIN_BUMP_LADDER.len());
+    }
+
+    #[test]
+    fn nan_stamp_aborts_immediately_with_names() {
+        let (_c, layout) = two_node_layout();
+        let job = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        let plan = SweepPlan::<f64>::build(&layout, &job).unwrap();
+        let mut ctx = plan.context();
+        let mut rhs = ctx.assemble(&job);
+        let m = ctx.matrix_mut();
+        let slot = m.find_slot(0, 1).unwrap();
+        m.values_mut()[slot] = f64::NAN;
+        let err = ctx.solve_verified_in_place(&mut rhs).unwrap_err();
+        assert_eq!(
+            err,
+            SpiceError::NonFiniteStamp {
+                row: "V(a)".into(),
+                col: "V(b)".into(),
+                row_index: 0,
+                col_index: 1
+            }
+        );
+        // No rung can repair a NaN: the ladder must not have escalated.
+        assert_eq!(ctx.stats().residual_retries, 0);
+        assert_eq!(ctx.stats().gmin_bumps, 0);
+
+        // The cached driver takes the identical path.
+        let mut cache = CachedMna::<f64>::new();
+        let mut b = cache.assemble(&layout, &job);
+        let m = cache.matrix_mut();
+        let slot = m.find_slot(0, 1).unwrap();
+        m.values_mut()[slot] = f64::NAN;
+        let cache_err = cache.verify_assembled(&layout, &mut b).unwrap_err();
+        assert_eq!(cache_err, err);
+    }
+
+    #[test]
+    fn cached_mna_gmin_rescue_adopts_and_recovers() {
+        let (_c, layout) = two_node_layout();
+        let job = LadderJob {
+            g1: 1.0e-3,
+            g2: 2.0e-3,
+            extra_entry: false,
+        };
+        let mut cache = CachedMna::<f64>::new();
+        let mut rhs = cache.assemble(&layout, &job);
+        let m = cache.matrix_mut();
+        for (r, c) in [(0usize, 1usize), (1, 1)] {
+            let slot = m.find_slot(r, c).unwrap();
+            m.values_mut()[slot] = 0.0;
+        }
+        let q = cache.verify_assembled(&layout, &mut rhs).unwrap();
+        assert!(q.converged);
+        assert_eq!(cache.stats().gmin_bumps, 1);
+        // A later healthy solve recovers the normal fast path.
+        let (x, q2) = cache.solve_verified(&layout, &job).unwrap();
+        assert!(q2.converged);
+        assert!(x.iter().all(|v| v.is_finite()));
     }
 
     #[test]

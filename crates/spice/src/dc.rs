@@ -51,12 +51,106 @@ impl Default for DcOptions {
     }
 }
 
+impl DcOptions {
+    /// Checks the options for internal consistency before any work happens:
+    /// at least one Newton iteration, finite positive tolerances and damping
+    /// step, and at least one source-stepping ramp point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidOptions`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        if self.max_iterations == 0 {
+            return Err(SpiceError::InvalidOptions(
+                "max_iterations must be at least 1".into(),
+            ));
+        }
+        for (name, value) in [
+            ("vntol", self.vntol),
+            ("reltol", self.reltol),
+            ("max_step", self.max_step),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Err(SpiceError::InvalidOptions(format!(
+                    "{name} must be finite and positive (got {value})"
+                )));
+            }
+        }
+        if self.source_steps == 0 {
+            return Err(SpiceError::InvalidOptions(
+                "source_steps must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The convergence strategy a [`StageReport`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcPhase {
+    /// Plain Newton-Raphson from the initial guess.
+    Newton,
+    /// Gmin stepping: a decade-by-decade reduction of an extra shunt
+    /// conductance from every node to ground.
+    GminStepping,
+    /// Source stepping: independent DC sources ramped from 0 to 100 %.
+    SourceStepping,
+}
+
+/// One Newton run inside the operating-point search: which phase and stage
+/// it served, how many iterations it used and where its convergence metric
+/// ended up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// The convergence strategy this run belonged to.
+    pub phase: DcPhase,
+    /// Stage index within the phase: 0 for plain Newton; the gmin decade
+    /// (with the final no-shunt re-solve last) for gmin stepping; the ramp
+    /// point (1-based) for source stepping.
+    pub stage: usize,
+    /// Newton iterations the stage used.
+    pub iterations: usize,
+    /// Largest node-voltage update at the last iteration — the convergence
+    /// residual the tolerances are tested against.
+    pub final_delta: f64,
+    /// Whether the stage converged (a failed stage triggers the next phase,
+    /// or the overall error when no phase is left).
+    pub converged: bool,
+}
+
+/// How the DC operating point converged: every Newton run the search
+/// performed, in order, across the plain / gmin-stepping / source-stepping
+/// phases. Carried by [`OperatingPoint::convergence`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceReport {
+    stages: Vec<StageReport>,
+}
+
+impl ConvergenceReport {
+    /// Every Newton run of the search, in execution order.
+    pub fn stages(&self) -> &[StageReport] {
+        &self.stages
+    }
+
+    /// The phase that produced the final (converged) solution — the phase
+    /// the search had to escalate to.
+    pub fn phase(&self) -> DcPhase {
+        self.stages.last().map_or(DcPhase::Newton, |s| s.phase)
+    }
+
+    /// Total Newton iterations across all stages, including failed attempts.
+    pub fn total_iterations(&self) -> usize {
+        self.stages.iter().map(|s| s.iterations).sum()
+    }
+}
+
 /// The DC operating point of a circuit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OperatingPoint {
     node_voltages: Vec<f64>,
     branch_currents: HashMap<String, f64>,
     iterations: usize,
+    convergence: ConvergenceReport,
 }
 
 impl OperatingPoint {
@@ -76,9 +170,16 @@ impl OperatingPoint {
         self.branch_currents.get(element_name).copied()
     }
 
-    /// Total Newton iterations spent converging (across all stepping phases).
+    /// Total Newton iterations spent converging (across all stepping phases,
+    /// including attempts that failed and forced an escalation).
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// Stage-by-stage convergence report: which phase the search reached and
+    /// the iterations and final residual of every Newton run along the way.
+    pub fn convergence(&self) -> &ConvergenceReport {
+        &self.convergence
     }
 }
 
@@ -203,8 +304,29 @@ fn apply_nonlinear<S: MatrixSink<f64>>(
     }
 }
 
-/// Runs Newton-Raphson from the supplied initial node voltages. Returns the
-/// converged unknown vector and the number of iterations used.
+/// A converged Newton run: the final node voltages, the full unknown vector
+/// and the iterations it took.
+struct NewtonRun {
+    voltages: Vec<f64>,
+    solution: Vec<f64>,
+    iterations: usize,
+    final_delta: f64,
+}
+
+/// Outcome of one Newton run. Non-convergence is an ordinary outcome here —
+/// the caller escalates to the next continuation phase — while hard solver
+/// failures (singular system, non-finite stamp, exhausted retry ladder)
+/// surface as `Err` and abort the whole operating-point search.
+enum NewtonOutcome {
+    Converged(NewtonRun),
+    NoConvergence { iterations: usize, final_delta: f64 },
+}
+
+/// Runs Newton-Raphson from the supplied initial node voltages.
+///
+/// Every linear solve goes through the residual-verified retry ladder
+/// ([`CachedMna::solve_verified_into`]), so solver failures arrive
+/// name-enriched and are genuine hard errors, not convergence noise.
 #[allow(clippy::too_many_arguments)]
 fn newton(
     circuit: &Circuit,
@@ -214,7 +336,7 @@ fn newton(
     source_scale: f64,
     gshunt: f64,
     opts: &DcOptions,
-) -> Result<(Vec<f64>, Vec<f64>, usize), SpiceError> {
+) -> Result<NewtonOutcome, SpiceError> {
     let node_count = circuit.node_count();
     let mut voltages = initial_voltages.to_vec();
     let mut solution = vec![0.0; layout.dim()];
@@ -222,6 +344,7 @@ fn newton(
     // entry is rewritten below.
     let mut new_voltages = vec![0.0; node_count];
     let has_nonlinear = circuit.elements().iter().any(Element::is_nonlinear);
+    let mut last_delta = f64::INFINITY;
 
     for iteration in 1..=opts.max_iterations {
         let job = DcSystem {
@@ -231,29 +354,29 @@ fn newton(
             source_scale,
             gshunt,
         };
-        let new_solution = solver.solve(layout, &job).map_err(SpiceError::Linear)?;
+        solver.solve_verified_into(layout, &job, &mut solution)?;
 
         // Extract and damp the node-voltage update.
         let mut max_delta: f64 = 0.0;
         for idx in 1..node_count {
             let node = NodeId::from_index(idx);
             let var = layout.node_var(node).expect("non-ground node");
-            let target = new_solution[var];
+            let target = solution[var];
             let delta = target - voltages[idx];
             let limited = delta.clamp(-opts.max_step, opts.max_step);
             new_voltages[idx] = voltages[idx] + limited;
             max_delta = max_delta.max(delta.abs());
         }
+        last_delta = max_delta;
 
         let converged = (1..node_count).all(|idx| {
             let node = NodeId::from_index(idx);
             let var = layout.node_var(node).expect("non-ground node");
-            let delta = (new_solution[var] - voltages[idx]).abs();
-            delta <= opts.vntol + opts.reltol * new_solution[var].abs()
+            let delta = (solution[var] - voltages[idx]).abs();
+            delta <= opts.vntol + opts.reltol * solution[var].abs()
         });
 
         std::mem::swap(&mut voltages, &mut new_voltages);
-        solution = new_solution;
 
         if converged || !has_nonlinear {
             // Linear circuits converge in a single iteration by construction.
@@ -264,14 +387,18 @@ fn newton(
                     .expect("non-ground node");
                 *v = solution[var];
             }
-            return Ok((voltages, solution, iteration));
+            return Ok(NewtonOutcome::Converged(NewtonRun {
+                voltages,
+                solution,
+                iterations: iteration,
+                final_delta: max_delta,
+            }));
         }
-        let _ = max_delta;
     }
 
-    Err(SpiceError::DcNoConvergence {
+    Ok(NewtonOutcome::NoConvergence {
         iterations: opts.max_iterations,
-        max_delta: f64::NAN,
+        final_delta: last_delta,
     })
 }
 
@@ -279,8 +406,10 @@ fn newton(
 ///
 /// # Errors
 ///
-/// Returns [`SpiceError::Netlist`] if the circuit fails validation,
-/// [`SpiceError::Linear`] if the MNA matrix is singular, and
+/// Returns [`SpiceError::Netlist`] if the circuit fails validation; a hard
+/// solver failure ([`SpiceError::SingularSystem`],
+/// [`SpiceError::NonFiniteStamp`], [`SpiceError::ResidualCheckFailed`] or
+/// [`SpiceError::Linear`]) if the MNA system cannot be solved; and
 /// [`SpiceError::DcNoConvergence`] if Newton iteration (including gmin and
 /// source stepping) fails to converge.
 pub fn solve_dc(circuit: &Circuit) -> Result<OperatingPoint, SpiceError> {
@@ -291,31 +420,47 @@ pub fn solve_dc(circuit: &Circuit) -> Result<OperatingPoint, SpiceError> {
 ///
 /// # Errors
 ///
-/// See [`solve_dc`].
+/// See [`solve_dc`]; additionally returns [`SpiceError::InvalidOptions`] if
+/// `opts` fails [`DcOptions::validate`].
 pub fn solve_dc_with(circuit: &Circuit, opts: &DcOptions) -> Result<OperatingPoint, SpiceError> {
+    opts.validate()?;
     circuit.validate().map_err(SpiceError::Netlist)?;
     let layout = MnaLayout::new(circuit);
     let zero = vec![0.0; circuit.node_count()];
-    let mut total_iterations = 0;
+    let mut report = ConvergenceReport::default();
     // One assembly/factorization cache for the entire operating-point search:
     // gmin and source stepping only change values, never the pattern.
     let mut solver = CachedMna::new();
 
-    // Attempt 1: plain Newton from a zero initial guess.
-    let direct = newton(circuit, &layout, &mut solver, &zero, 1.0, 0.0, opts);
+    // Attempt 1: plain Newton from a zero initial guess. Hard solver failures
+    // (`Err`) abort the whole search; only non-convergence escalates.
+    let direct = newton(circuit, &layout, &mut solver, &zero, 1.0, 0.0, opts)?;
     let (voltages, solution) = match direct {
-        Ok((v, s, it)) => {
-            total_iterations += it;
-            (v, s)
+        NewtonOutcome::Converged(run) => {
+            report.stages.push(StageReport {
+                phase: DcPhase::Newton,
+                stage: 0,
+                iterations: run.iterations,
+                final_delta: run.final_delta,
+                converged: true,
+            });
+            (run.voltages, run.solution)
         }
-        Err(SpiceError::Linear(e)) => return Err(SpiceError::Linear(e)),
-        Err(_) => {
-            // Attempt 2: gmin stepping.
-            match gmin_stepping(circuit, &layout, &mut solver, opts, &mut total_iterations) {
-                Ok(pair) => pair,
-                Err(_) => {
-                    source_stepping(circuit, &layout, &mut solver, opts, &mut total_iterations)?
-                }
+        NewtonOutcome::NoConvergence {
+            iterations,
+            final_delta,
+        } => {
+            report.stages.push(StageReport {
+                phase: DcPhase::Newton,
+                stage: 0,
+                iterations,
+                final_delta,
+                converged: false,
+            });
+            // Attempt 2: gmin stepping; attempt 3: source stepping.
+            match gmin_stepping(circuit, &layout, &mut solver, opts, &mut report)? {
+                Some(pair) => pair,
+                None => source_stepping(circuit, &layout, &mut solver, opts, &mut report)?,
             }
         }
     };
@@ -329,55 +474,111 @@ pub fn solve_dc_with(circuit: &Circuit, opts: &DcOptions) -> Result<OperatingPoi
     Ok(OperatingPoint {
         node_voltages: voltages,
         branch_currents,
-        iterations: total_iterations,
+        iterations: report.total_iterations(),
+        convergence: report,
     })
 }
 
 type DcSolution = (Vec<f64>, Vec<f64>);
 
+/// Gmin-stepping continuation. `Ok(None)` means a stage failed to converge
+/// and the caller should fall through to source stepping; `Err` is a hard
+/// solver failure that aborts the search.
 fn gmin_stepping(
     circuit: &Circuit,
     layout: &MnaLayout,
     solver: &mut CachedMna<f64>,
     opts: &DcOptions,
-    total_iterations: &mut usize,
-) -> Result<DcSolution, SpiceError> {
+    report: &mut ConvergenceReport,
+) -> Result<Option<DcSolution>, SpiceError> {
     let mut guess = vec![0.0; circuit.node_count()];
-    let mut last = None;
-    for step in 0..=opts.gmin_decades {
-        let gshunt = 1.0e-2 * 10f64.powi(-(step as i32));
-        let (v, s, it) = newton(circuit, layout, solver, &guess, 1.0, gshunt, opts)?;
-        *total_iterations += it;
-        guess = v.clone();
-        last = Some((v, s));
+    for step in 0..=opts.gmin_decades + 1 {
+        // Decades of shrinking shunt conductance, then a final solve with no
+        // extra shunt at all.
+        let gshunt = if step <= opts.gmin_decades {
+            1.0e-2 * 10f64.powi(-(step as i32))
+        } else {
+            0.0
+        };
+        let outcome = newton(circuit, layout, solver, &guess, 1.0, gshunt, opts)?;
+        match outcome {
+            NewtonOutcome::Converged(run) => {
+                report.stages.push(StageReport {
+                    phase: DcPhase::GminStepping,
+                    stage: step,
+                    iterations: run.iterations,
+                    final_delta: run.final_delta,
+                    converged: true,
+                });
+                guess = run.voltages;
+                if step > opts.gmin_decades {
+                    return Ok(Some((guess, run.solution)));
+                }
+            }
+            NewtonOutcome::NoConvergence {
+                iterations,
+                final_delta,
+            } => {
+                report.stages.push(StageReport {
+                    phase: DcPhase::GminStepping,
+                    stage: step,
+                    iterations,
+                    final_delta,
+                    converged: false,
+                });
+                return Ok(None);
+            }
+        }
     }
-    // Final solve with no extra shunt at all.
-    let (v, s, it) = newton(circuit, layout, solver, &guess, 1.0, 0.0, opts)?;
-    *total_iterations += it;
-    let _ = last;
-    Ok((v, s))
+    unreachable!("the zero-shunt stage always returns")
 }
 
+/// Source-stepping continuation — the last phase, so a stage that fails to
+/// converge is the overall [`SpiceError::DcNoConvergence`] (with the real
+/// iteration count and final voltage update of the failing stage).
 fn source_stepping(
     circuit: &Circuit,
     layout: &MnaLayout,
     solver: &mut CachedMna<f64>,
     opts: &DcOptions,
-    total_iterations: &mut usize,
+    report: &mut ConvergenceReport,
 ) -> Result<DcSolution, SpiceError> {
     let mut guess = vec![0.0; circuit.node_count()];
     let mut result = None;
     for step in 1..=opts.source_steps {
         let scale = step as f64 / opts.source_steps as f64;
-        let (v, s, it) = newton(circuit, layout, solver, &guess, scale, 0.0, opts)?;
-        *total_iterations += it;
-        guess = v.clone();
-        result = Some((v, s));
+        let outcome = newton(circuit, layout, solver, &guess, scale, 0.0, opts)?;
+        match outcome {
+            NewtonOutcome::Converged(run) => {
+                report.stages.push(StageReport {
+                    phase: DcPhase::SourceStepping,
+                    stage: step,
+                    iterations: run.iterations,
+                    final_delta: run.final_delta,
+                    converged: true,
+                });
+                guess = run.voltages.clone();
+                result = Some((run.voltages, run.solution));
+            }
+            NewtonOutcome::NoConvergence {
+                iterations,
+                final_delta,
+            } => {
+                report.stages.push(StageReport {
+                    phase: DcPhase::SourceStepping,
+                    stage: step,
+                    iterations,
+                    final_delta,
+                    converged: false,
+                });
+                return Err(SpiceError::DcNoConvergence {
+                    iterations,
+                    max_delta: final_delta,
+                });
+            }
+        }
     }
-    result.ok_or(SpiceError::DcNoConvergence {
-        iterations: 0,
-        max_delta: f64::NAN,
-    })
+    Ok(result.expect("source_steps >= 1 is enforced by DcOptions::validate"))
 }
 
 #[cfg(test)]
@@ -656,5 +857,133 @@ mod tests {
         assert!(op.branch_current("R1").is_none());
         assert!(op.branch_current("V1").is_some());
         assert_eq!(op.voltage(Circuit::GROUND), 0.0);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_up_front() {
+        let mut c = Circuit::new("opts");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 1.0);
+
+        let check = |opts: DcOptions, needle: &str| {
+            let err = solve_dc_with(&c, &opts).unwrap_err();
+            match err {
+                SpiceError::InvalidOptions(msg) => {
+                    assert!(msg.contains(needle), "message `{msg}` missing `{needle}`")
+                }
+                other => panic!("expected InvalidOptions, got {other:?}"),
+            }
+        };
+
+        check(
+            DcOptions {
+                max_iterations: 0,
+                ..Default::default()
+            },
+            "max_iterations",
+        );
+        check(
+            DcOptions {
+                vntol: f64::NAN,
+                ..Default::default()
+            },
+            "vntol",
+        );
+        check(
+            DcOptions {
+                reltol: 0.0,
+                ..Default::default()
+            },
+            "reltol",
+        );
+        check(
+            DcOptions {
+                max_step: f64::INFINITY,
+                ..Default::default()
+            },
+            "max_step",
+        );
+        check(
+            DcOptions {
+                source_steps: 0,
+                ..Default::default()
+            },
+            "source_steps",
+        );
+        assert!(DcOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn convergence_report_for_a_linear_circuit_is_one_newton_stage() {
+        let mut c = Circuit::new("divider");
+        let vin = c.node("in");
+        let mid = c.node("mid");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::dc(10.0));
+        c.add_resistor("R1", vin, mid, 3.0e3);
+        c.add_resistor("R2", mid, Circuit::GROUND, 1.0e3);
+        let op = solve_dc(&c).unwrap();
+        let report = op.convergence();
+        assert_eq!(report.phase(), DcPhase::Newton);
+        assert_eq!(report.stages().len(), 1);
+        let stage = &report.stages()[0];
+        assert!(stage.converged);
+        assert_eq!(stage.stage, 0);
+        assert_eq!(stage.iterations, 1);
+        assert!(stage.final_delta.is_finite());
+        assert_eq!(report.total_iterations(), op.iterations());
+    }
+
+    #[test]
+    fn convergence_report_tracks_nonlinear_newton_iterations() {
+        let mut c = Circuit::new("diode report");
+        let a = c.node("a");
+        let k = c.node("k");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(5.0));
+        c.add_resistor("R1", a, k, 1.0e3);
+        c.add_diode("D1", k, Circuit::GROUND, DiodeModel::default());
+        let op = solve_dc(&c).unwrap();
+        let report = op.convergence();
+        // Direct Newton converges here, so there is exactly one stage, and a
+        // nonlinear circuit takes more than one iteration.
+        assert_eq!(report.phase(), DcPhase::Newton);
+        assert_eq!(report.stages().len(), 1);
+        assert!(report.stages()[0].converged);
+        assert!(report.stages()[0].iterations > 1);
+        // The final delta at convergence is below the combined tolerance
+        // envelope (vntol + reltol·|v| with |v| < 5 V here).
+        let opts = DcOptions::default();
+        assert!(report.stages()[0].final_delta <= opts.vntol + opts.reltol * 5.0);
+        assert_eq!(report.total_iterations(), op.iterations());
+    }
+
+    #[test]
+    fn no_convergence_error_carries_real_iteration_data() {
+        // A diode circuit given a single Newton iteration cannot converge;
+        // the search runs through every phase and the final error must carry
+        // the true iteration count and a finite final delta (never NaN).
+        let mut c = Circuit::new("starved");
+        let a = c.node("a");
+        let k = c.node("k");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(5.0));
+        c.add_resistor("R1", a, k, 1.0e3);
+        c.add_diode("D1", k, Circuit::GROUND, DiodeModel::default());
+        let opts = DcOptions {
+            max_iterations: 1,
+            gmin_decades: 2,
+            source_steps: 2,
+            ..Default::default()
+        };
+        match solve_dc_with(&c, &opts) {
+            Err(SpiceError::DcNoConvergence {
+                iterations,
+                max_delta,
+            }) => {
+                assert_eq!(iterations, 1);
+                assert!(max_delta.is_finite(), "max_delta = {max_delta}");
+                assert!(max_delta > 0.0);
+            }
+            other => panic!("expected DcNoConvergence, got {other:?}"),
+        }
     }
 }

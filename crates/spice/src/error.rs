@@ -1,5 +1,6 @@
 //! Simulator error type.
 
+use crate::mna::MnaLayout;
 use loopscope_netlist::NetlistError;
 use loopscope_sparse::SolveError;
 use std::fmt;
@@ -12,6 +13,40 @@ pub enum SpiceError {
     /// The MNA matrix could not be factored (singular system), typically a
     /// floating node or an inconsistent source loop.
     Linear(SolveError),
+    /// The MNA matrix is singular at a *named* circuit unknown — the
+    /// name-enriched form of [`SolveError::Singular`], produced by
+    /// [`SpiceError::from_solve`]. Typically a floating node (`V(name)`) or an
+    /// inconsistent voltage-source / inductor loop (`I(element)`).
+    SingularSystem {
+        /// Human-readable unknown: `V(node)` or `I(element)`.
+        unknown: String,
+        /// Original (un-permuted) MNA matrix column index.
+        column: usize,
+    },
+    /// A NaN or infinite value was stamped into the MNA matrix — the
+    /// name-enriched form of [`SolveError::NonFinite`], produced by
+    /// [`SpiceError::from_solve`]. Usually a device model evaluated outside
+    /// its domain or a corrupted parameter.
+    NonFiniteStamp {
+        /// Human-readable unknown of the offending row.
+        row: String,
+        /// Human-readable unknown of the offending column.
+        col: String,
+        /// Original row index of the non-finite entry.
+        row_index: usize,
+        /// Original column index of the non-finite entry.
+        col_index: usize,
+    },
+    /// The solve retry ladder ran out of rungs: refinement, a fresh
+    /// threshold-pivoted factorization and the per-point gmin bumps all
+    /// failed to produce a residual-verified solution.
+    ResidualCheckFailed {
+        /// Backward error of the best solution the ladder produced
+        /// (see [`loopscope_sparse::SolveQuality::backward_error`]).
+        backward_error: f64,
+        /// Number of per-point gmin bumps that were applied before giving up.
+        gmin_bumps: usize,
+    },
     /// The Newton-Raphson operating-point iteration did not converge.
     DcNoConvergence {
         /// Number of iterations attempted.
@@ -23,6 +58,11 @@ pub enum SpiceError {
     TransientNoConvergence {
         /// Simulation time at which convergence failed, in seconds.
         time: f64,
+        /// Timestep index (1-based, matching the output sample index).
+        step: usize,
+        /// Name of the node with the largest voltage update at the last
+        /// Newton iteration — the unknown that refused to settle.
+        worst_node: String,
     },
     /// A reference (node or element) passed to an analysis does not belong to
     /// the circuit.
@@ -31,11 +71,70 @@ pub enum SpiceError {
     InvalidOptions(String),
 }
 
+impl SpiceError {
+    /// Enriches a sparse-solver error with circuit names: singular columns
+    /// and non-finite coordinates are mapped through the MNA `layout` to
+    /// `V(node)` / `I(element)` labels ([`SpiceError::SingularSystem`],
+    /// [`SpiceError::NonFiniteStamp`]); every other [`SolveError`] passes
+    /// through as [`SpiceError::Linear`].
+    pub fn from_solve(e: SolveError, layout: &MnaLayout) -> Self {
+        match e {
+            SolveError::Singular(column) => SpiceError::SingularSystem {
+                unknown: layout.unknown_name(column),
+                column,
+            },
+            SolveError::NonFinite { row, col } => SpiceError::NonFiniteStamp {
+                row: layout.unknown_name(row),
+                col: layout.unknown_name(col),
+                row_index: row,
+                col_index: col,
+            },
+            other => SpiceError::Linear(other),
+        }
+    }
+
+    /// Whether this error is a hard linear-solver failure (as opposed to a
+    /// Newton non-convergence that a continuation strategy such as gmin or
+    /// source stepping might still rescue).
+    pub fn is_solver_failure(&self) -> bool {
+        matches!(
+            self,
+            SpiceError::Linear(_)
+                | SpiceError::SingularSystem { .. }
+                | SpiceError::NonFiniteStamp { .. }
+                | SpiceError::ResidualCheckFailed { .. }
+        )
+    }
+}
+
 impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpiceError::Netlist(e) => write!(f, "netlist error: {e}"),
             SpiceError::Linear(e) => write!(f, "linear solve failed: {e}"),
+            SpiceError::SingularSystem { unknown, column } => write!(
+                f,
+                "MNA matrix is singular at {unknown} (column {column}): \
+                 check for floating nodes or voltage-source/inductor loops"
+            ),
+            SpiceError::NonFiniteStamp {
+                row,
+                col,
+                row_index,
+                col_index,
+            } => write!(
+                f,
+                "non-finite value stamped at ({row}, {col}) \
+                 [matrix entry ({row_index}, {col_index})]"
+            ),
+            SpiceError::ResidualCheckFailed {
+                backward_error,
+                gmin_bumps,
+            } => write!(
+                f,
+                "solve retry ladder exhausted: backward error {backward_error:.3e} \
+                 after {gmin_bumps} gmin bump(s)"
+            ),
             SpiceError::DcNoConvergence {
                 iterations,
                 max_delta,
@@ -43,8 +142,16 @@ impl fmt::Display for SpiceError {
                 f,
                 "DC operating point did not converge after {iterations} iterations (last |ΔV| = {max_delta:.3e})"
             ),
-            SpiceError::TransientNoConvergence { time } => {
-                write!(f, "transient Newton iteration failed to converge at t = {time:.3e} s")
+            SpiceError::TransientNoConvergence {
+                time,
+                step,
+                worst_node,
+            } => {
+                write!(
+                    f,
+                    "transient Newton iteration failed to converge at t = {time:.3e} s \
+                     (step {step}, worst node {worst_node})"
+                )
             }
             SpiceError::UnknownReference(name) => {
                 write!(f, "unknown node or element reference `{name}`")
@@ -79,6 +186,7 @@ impl From<SolveError> for SpiceError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use loopscope_netlist::{Circuit, SourceSpec};
     use std::error::Error;
 
     #[test]
@@ -100,11 +208,67 @@ mod tests {
         assert!(SpiceError::UnknownReference("foo".into())
             .to_string()
             .contains("foo"));
-        assert!(SpiceError::TransientNoConvergence { time: 1e-6 }
-            .to_string()
-            .contains("transient"));
+        let t = SpiceError::TransientNoConvergence {
+            time: 1e-6,
+            step: 42,
+            worst_node: "V(out)".into(),
+        };
+        assert!(t.to_string().contains("transient"));
+        assert!(t.to_string().contains("step 42"));
+        assert!(t.to_string().contains("V(out)"));
         assert!(SpiceError::InvalidOptions("dt".into())
             .to_string()
             .contains("dt"));
+    }
+
+    #[test]
+    fn from_solve_enriches_with_circuit_names() {
+        let mut c = Circuit::new("enrich");
+        let a = c.node("in");
+        let b = c.node("out");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceSpec::dc(1.0));
+        c.add_resistor("R1", a, b, 1e3);
+        let layout = MnaLayout::new(&c);
+
+        let singular = SpiceError::from_solve(SolveError::Singular(1), &layout);
+        assert_eq!(
+            singular,
+            SpiceError::SingularSystem {
+                unknown: "V(out)".into(),
+                column: 1
+            }
+        );
+        assert!(singular.is_solver_failure());
+
+        let nan = SpiceError::from_solve(SolveError::NonFinite { row: 0, col: 2 }, &layout);
+        assert_eq!(
+            nan,
+            SpiceError::NonFiniteStamp {
+                row: "V(in)".into(),
+                col: "I(V1)".into(),
+                row_index: 0,
+                col_index: 2
+            }
+        );
+
+        let passthrough = SpiceError::from_solve(
+            SolveError::RhsLength {
+                expected: 2,
+                got: 3,
+            },
+            &layout,
+        );
+        assert!(matches!(passthrough, SpiceError::Linear(_)));
+
+        let soft = SpiceError::DcNoConvergence {
+            iterations: 5,
+            max_delta: 0.1,
+        };
+        assert!(!soft.is_solver_failure());
+        assert!(SpiceError::ResidualCheckFailed {
+            backward_error: 1e-3,
+            gmin_bumps: 2
+        }
+        .is_solver_failure());
     }
 }

@@ -64,7 +64,9 @@ pub mod tran;
 
 pub use ac::{AcAnalysis, AcSweep, SolverStructure};
 pub use assembly::{AssembleMna, CachedMna, SlotSink, SolveContext, SolveStats, SweepPlan};
-pub use dc::{solve_dc, DcOptions, OperatingPoint};
+pub use dc::{
+    solve_dc, solve_dc_with, ConvergenceReport, DcOptions, DcPhase, OperatingPoint, StageReport,
+};
 pub use error::SpiceError;
 pub use loopscope_sparse::KernelBackend;
 pub use tran::{TransientAnalysis, TransientOptions, TransientResult};

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct MnaLayout {
     node_count: usize,
+    node_names: Vec<String>,
     branch_names: Vec<String>,
     branch_index: HashMap<String, usize>,
 }
@@ -38,8 +39,13 @@ impl MnaLayout {
                 branch_names.push(el.name().to_string());
             }
         }
+        let node_names = circuit
+            .signal_nodes_iter()
+            .map(|n| circuit.node_name(n).to_string())
+            .collect();
         Self {
             node_count: circuit.node_count(),
+            node_names,
             branch_names,
             branch_index,
         }
@@ -69,6 +75,19 @@ impl MnaLayout {
         self.branch_index
             .get(element_name)
             .map(|&i| (self.node_count - 1) + i)
+    }
+
+    /// Human-readable name of an unknown, for error enrichment: node-voltage
+    /// unknowns render as `V(name)`, branch-current unknowns as `I(element)`,
+    /// and out-of-range indices fall back to the raw `x[var]` position.
+    pub fn unknown_name(&self, var: usize) -> String {
+        if let Some(node) = self.node_names.get(var) {
+            format!("V({node})")
+        } else if let Some(branch) = self.branch_names.get(var - self.node_names.len()) {
+            format!("I({branch})")
+        } else {
+            format!("x[{var}]")
+        }
     }
 
     /// Extracts the voltage of `node` from a solution vector (0 for ground).
@@ -253,6 +272,19 @@ mod tests {
         assert_eq!(layout.branch_var("L1"), Some(4));
         assert_eq!(layout.branch_var("E1"), Some(5));
         assert_eq!(layout.branch_var("R1"), None);
+    }
+
+    #[test]
+    fn unknown_names_cover_nodes_branches_and_overflow() {
+        let ckt = sample_circuit();
+        let layout = MnaLayout::new(&ckt);
+        assert_eq!(layout.unknown_name(0), "V(a)");
+        assert_eq!(layout.unknown_name(1), "V(b)");
+        assert_eq!(layout.unknown_name(2), "V(d)");
+        assert_eq!(layout.unknown_name(3), "I(V1)");
+        assert_eq!(layout.unknown_name(4), "I(L1)");
+        assert_eq!(layout.unknown_name(5), "I(E1)");
+        assert_eq!(layout.unknown_name(6), "x[6]");
     }
 
     #[test]

@@ -136,13 +136,24 @@ impl<'c> TransientAnalysis<'c> {
     ///
     /// # Errors
     ///
-    /// Returns [`SpiceError::InvalidOptions`] for non-positive `dt`/`t_stop`
-    /// and [`SpiceError::Netlist`] if the circuit fails validation.
+    /// Returns [`SpiceError::InvalidOptions`] for non-positive `dt`/`t_stop`,
+    /// a zero `max_newton`, a non-finite or non-positive `vntol`, and
+    /// [`SpiceError::Netlist`] if the circuit fails validation.
     pub fn new(circuit: &'c Circuit, options: TransientOptions) -> Result<Self, SpiceError> {
         circuit.validate().map_err(SpiceError::Netlist)?;
         if !(options.dt > 0.0 && options.dt.is_finite()) {
             return Err(SpiceError::InvalidOptions(
                 "time step must be positive".to_string(),
+            ));
+        }
+        if options.max_newton == 0 {
+            return Err(SpiceError::InvalidOptions(
+                "max_newton must be at least 1".to_string(),
+            ));
+        }
+        if !(options.vntol > 0.0 && options.vntol.is_finite()) {
+            return Err(SpiceError::InvalidOptions(
+                "vntol must be finite and positive".to_string(),
             ));
         }
         // `t_stop == dt` is a perfectly valid single-step run; only a stop
@@ -164,9 +175,11 @@ impl<'c> TransientAnalysis<'c> {
     ///
     /// # Errors
     ///
-    /// Returns [`SpiceError::Linear`] if a time-point system is singular or
-    /// [`SpiceError::TransientNoConvergence`] if the per-step Newton loop
-    /// fails.
+    /// Returns a hard solver failure ([`SpiceError::SingularSystem`],
+    /// [`SpiceError::NonFiniteStamp`], [`SpiceError::ResidualCheckFailed`] or
+    /// [`SpiceError::Linear`]) if a time-point system cannot be solved, or
+    /// [`SpiceError::TransientNoConvergence`] — naming the time point, step
+    /// index and worst-residual node — if the per-step Newton loop fails.
     pub fn run(&self, op: &OperatingPoint) -> Result<TransientResult, SpiceError> {
         let node_count = self.circuit.node_count();
         let dt = self.options.dt;
@@ -216,9 +229,11 @@ impl<'c> TransientAnalysis<'c> {
 
         // Newton trial state, reused across every iteration of every step
         // (ground stays zero; all other entries are rewritten per iteration).
-        // The solution buffer is hoisted too: `solve_in_place` cycles it
-        // through assemble → solve, so the steady-state Newton loop performs
-        // zero heap allocations (proven by `tests/alloc_transient.rs`).
+        // The solution buffer is hoisted too: `solve_verified_into` cycles it
+        // through assemble → verified solve (the retry ladder's refinement
+        // workspace and rhs backup live inside the solver and are warm after
+        // the first step), so the steady-state Newton loop performs zero heap
+        // allocations (proven by `tests/alloc_transient.rs`).
         let mut trial = voltages.clone();
         let mut next = vec![0.0; node_count];
         let mut solution = vec![0.0; self.layout.dim()];
@@ -236,6 +251,10 @@ impl<'c> TransientAnalysis<'c> {
             };
             trial.copy_from_slice(&voltages);
             let mut converged = false;
+            // Node with the largest voltage update at the most recent Newton
+            // iteration — named in the non-convergence error so the user
+            // knows which unknown refused to settle.
+            let mut worst_node = None;
 
             for _ in 0..self.options.max_newton {
                 let job = TimestepSystem {
@@ -248,15 +267,17 @@ impl<'c> TransientAnalysis<'c> {
                     prev_ind_voltage: &prev_ind_voltage,
                     prev_solution: &branch_currents,
                 };
-                solver
-                    .solve_in_place(&self.layout, &job, &mut solution)
-                    .map_err(SpiceError::Linear)?;
+                solver.solve_verified_into(&self.layout, &job, &mut solution)?;
 
                 let mut max_delta: f64 = 0.0;
                 for node in self.circuit.signal_nodes_iter() {
                     let var = self.layout.node_var(node).expect("signal node");
                     let v = solution[var];
-                    max_delta = max_delta.max((v - trial[node.index()]).abs());
+                    let delta = (v - trial[node.index()]).abs();
+                    if delta >= max_delta {
+                        max_delta = delta;
+                        worst_node = Some(node);
+                    }
                     next[node.index()] = v;
                 }
                 std::mem::swap(&mut trial, &mut next);
@@ -268,7 +289,14 @@ impl<'c> TransientAnalysis<'c> {
                 }
             }
             if !converged {
-                return Err(SpiceError::TransientNoConvergence { time: t });
+                let worst = worst_node
+                    .map(|n| self.circuit.node_name(n).to_string())
+                    .unwrap_or_else(|| "<none>".to_string());
+                return Err(SpiceError::TransientNoConvergence {
+                    time: t,
+                    step,
+                    worst_node: worst,
+                });
             }
 
             // Update capacitor / inductor state for the next step.
@@ -583,6 +611,51 @@ mod tests {
         c.add_capacitor("C1", a, Circuit::GROUND, 1e-9);
         assert!(TransientAnalysis::new(&c, TransientOptions::new(0.0, 1.0)).is_err());
         assert!(TransientAnalysis::new(&c, TransientOptions::new(1.0, 0.5)).is_err());
+        let mut zero_newton = TransientOptions::new(1.0e-6, 1.0e-3);
+        zero_newton.max_newton = 0;
+        assert!(matches!(
+            TransientAnalysis::new(&c, zero_newton),
+            Err(SpiceError::InvalidOptions(msg)) if msg.contains("max_newton")
+        ));
+        let mut bad_vntol = TransientOptions::new(1.0e-6, 1.0e-3);
+        bad_vntol.vntol = f64::NAN;
+        assert!(matches!(
+            TransientAnalysis::new(&c, bad_vntol),
+            Err(SpiceError::InvalidOptions(msg)) if msg.contains("vntol")
+        ));
+    }
+
+    #[test]
+    fn no_convergence_error_names_time_step_and_node() {
+        use loopscope_netlist::DiodeModel;
+        // A hard-driven diode with a single Newton iteration per step cannot
+        // settle; the failure must name the time point, step index and the
+        // node whose update was largest.
+        let mut c = Circuit::new("stiff");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 5.0, 0.0));
+        c.add_resistor("R1", vin, vout, 1.0e3);
+        c.add_diode("D1", vout, Circuit::GROUND, DiodeModel::default());
+        let op = solve_dc(&c).unwrap();
+        let mut opts = TransientOptions::new(1.0e-6, 10.0e-6);
+        opts.max_newton = 1;
+        let tran = TransientAnalysis::new(&c, opts).unwrap();
+        match tran.run(&op) {
+            Err(SpiceError::TransientNoConvergence {
+                time,
+                step,
+                worst_node,
+            }) => {
+                assert!(time > 0.0 && time <= 10.0e-6);
+                assert!(step >= 1);
+                assert!(
+                    worst_node == "out" || worst_node == "in",
+                    "worst_node = {worst_node}"
+                );
+            }
+            other => panic!("expected TransientNoConvergence, got {other:?}"),
+        }
     }
 
     #[test]

@@ -44,12 +44,14 @@ fn main() -> Result<(), StabilityError> {
     let structure = ac.solver_structure(analyzer.options().f_start)?;
     println!(
         "solver structure: {} unknowns, {} BTF diagonal block(s), {} factor entries, \
-         `{}` kernel backend (set {} to override)",
+         `{}` kernel backend (set {} to override), κ₁ ≥ {:.3e} at {:.0} Hz",
         structure.dim,
         structure.block_count,
         structure.fill_nnz,
         structure.kernel,
         loopscope_sparse::kernels::KERNEL_ENV,
+        structure.condition_estimate,
+        analyzer.options().f_start,
     );
     drop(ac);
 
