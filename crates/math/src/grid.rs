@@ -61,6 +61,12 @@ pub enum SweepKind {
         /// Total number of frequency points.
         points: usize,
     },
+    /// Explicitly listed sample points (golden-data validation pins exact
+    /// frequencies so comparisons carry no interpolation error).
+    Points {
+        /// Total number of frequency points.
+        points: usize,
+    },
 }
 
 /// A frequency grid: sweep bounds plus realized sample points in hertz.
@@ -113,6 +119,50 @@ impl FrequencyGrid {
             stop,
             kind: SweepKind::Linear { points },
             freqs: linspace(start, stop, points),
+        }
+    }
+
+    /// Creates a grid from explicitly listed sample points in hertz.
+    ///
+    /// The points must be finite, positive and strictly ascending. Unlike
+    /// the swept constructors a single point is allowed — golden-data
+    /// validation pins individual frequencies and solves exactly there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, contains a non-finite or non-positive
+    /// value, or is not strictly ascending.
+    ///
+    /// ```
+    /// use loopscope_math::{FrequencyGrid, SweepKind};
+    /// let grid = FrequencyGrid::from_points(vec![10.0, 159.155, 2.0e4]);
+    /// assert_eq!(grid.len(), 3);
+    /// assert_eq!(grid.kind(), SweepKind::Points { points: 3 });
+    /// assert_eq!(grid.freqs()[1], 159.155);
+    /// ```
+    pub fn from_points(points: Vec<Hertz>) -> Self {
+        assert!(!points.is_empty(), "need at least one frequency point");
+        for f in &points {
+            assert!(
+                f.is_finite() && *f > 0.0,
+                "frequency points must be finite and positive, got {f}"
+            );
+        }
+        for w in points.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "frequency points must be strictly ascending ({} then {})",
+                w[0],
+                w[1]
+            );
+        }
+        Self {
+            start: points[0],
+            stop: *points.last().expect("non-empty by assertion"),
+            kind: SweepKind::Points {
+                points: points.len(),
+            },
+            freqs: points,
         }
     }
 
@@ -228,5 +278,40 @@ mod tests {
     #[should_panic(expected = "stop frequency must exceed")]
     fn decade_grid_rejects_inverted_bounds() {
         FrequencyGrid::log_decade(1e6, 1e3, 10);
+    }
+
+    #[test]
+    fn points_grid_preserves_exact_values() {
+        let pts = vec![159.15494309189535, 1.0e3, 1.5915494309189535e5];
+        let grid = FrequencyGrid::from_points(pts.clone());
+        assert_eq!(grid.freqs(), &pts[..]);
+        assert_eq!(grid.start(), pts[0]);
+        assert_eq!(grid.stop(), pts[2]);
+        assert_eq!(grid.kind(), SweepKind::Points { points: 3 });
+    }
+
+    #[test]
+    fn points_grid_allows_single_point() {
+        let grid = FrequencyGrid::from_points(vec![42.0]);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.start(), grid.stop());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn points_grid_rejects_unsorted() {
+        FrequencyGrid::from_points(vec![10.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn points_grid_rejects_nonpositive() {
+        FrequencyGrid::from_points(vec![0.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frequency point")]
+    fn points_grid_rejects_empty() {
+        FrequencyGrid::from_points(Vec::new());
     }
 }

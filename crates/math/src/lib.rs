@@ -44,7 +44,7 @@ pub mod second_order;
 
 pub use complex::Complex64;
 pub use dense::{CMatrix, DMatrix, LuError};
-pub use grid::{linspace, logspace, FrequencyGrid};
+pub use grid::{linspace, logspace, FrequencyGrid, SweepKind};
 pub use second_order::SecondOrder;
 
 /// Convenience alias for angular frequency in radians per second.

@@ -8,8 +8,8 @@
 //! R<name> n+ n- value
 //! C<name> n+ n- value
 //! L<name> n+ n- value
-//! V<name> n+ n- [DC v] [AC mag [phase]]
-//! I<name> n+ n- [DC v] [AC mag [phase]]
+//! V<name> n+ n- [DC v] [AC mag [phase]] [STEP v0 v1 [delay]]
+//! I<name> n+ n- [DC v] [AC mag [phase]] [STEP v0 v1 [delay]]
 //! E<name> out+ out- ctrl+ ctrl- gain
 //! G<name> out+ out- ctrl+ ctrl- gm
 //! F<name> out+ out- vsource gain
@@ -120,6 +120,7 @@ fn parse_source_spec(tokens: &[&str], lineno: usize) -> Result<SourceSpec, Netli
     let mut dc = 0.0;
     let mut ac_mag = 0.0;
     let mut ac_phase = 0.0;
+    let mut step: Option<(f64, f64, f64)> = None;
     let mut i = 0;
     while i < tokens.len() {
         let t = tokens[i].to_ascii_lowercase();
@@ -138,6 +139,22 @@ fn parse_source_spec(tokens: &[&str], lineno: usize) -> Result<SourceSpec, Netli
                 }
                 i += 2;
             }
+            "step" => {
+                // STEP v0 v1 [delay] — the transient stimulus of the
+                // overshoot baseline. The operating point uses v0.
+                let initial = value_at(tokens, i + 1, lineno)?;
+                let final_value = value_at(tokens, i + 2, lineno)?;
+                let mut consumed = 3;
+                let mut delay = 0.0;
+                if let Some(delay_tok) = tokens.get(i + 3) {
+                    if let Ok(d) = parse_value(delay_tok) {
+                        delay = d;
+                        consumed += 1;
+                    }
+                }
+                step = Some((initial, final_value, delay));
+                i += consumed;
+            }
             _ => {
                 // A bare leading number is the DC value.
                 dc = value_at(tokens, i, lineno)?;
@@ -145,7 +162,17 @@ fn parse_source_spec(tokens: &[&str], lineno: usize) -> Result<SourceSpec, Netli
             }
         }
     }
-    Ok(SourceSpec::dc_ac(dc, ac_mag, ac_phase))
+    let mut spec = SourceSpec::dc_ac(dc, ac_mag, ac_phase);
+    if let Some((initial, final_value, delay)) = step {
+        // The step's initial level doubles as the DC value unless an
+        // explicit DC token overrode it.
+        let step_spec = SourceSpec::step(initial, final_value, delay);
+        spec.waveform = step_spec.waveform;
+        if dc == 0.0 {
+            spec.dc = initial;
+        }
+    }
+    Ok(spec)
 }
 
 fn parse_model_card(lineno: usize, line: &str) -> Result<(String, ModelCard), NetlistError> {
@@ -476,6 +503,7 @@ fn parse_element_line(
 mod tests {
     use super::*;
     use crate::element::Element;
+    use crate::source::Waveform;
 
     #[test]
     fn parses_rc_lowpass() {
@@ -519,6 +547,99 @@ mod tests {
                 assert_eq!(i.spec.ac_mag, 1.0);
             }
             _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_step_sources() {
+        let ckt = parse_netlist(
+            "steps\nV1 a 0 STEP 0 1\nV2 b 0 STEP 1 5 2u\nI1 0 c STEP 0 1m\nR1 a 0 1k\nR2 b 0 1k\nR3 c 0 1k\n",
+        )
+        .unwrap();
+        match ckt.element("V1").unwrap() {
+            Element::Vsource(v) => {
+                assert_eq!(v.spec.dc, 0.0);
+                assert_eq!(
+                    v.spec.waveform,
+                    Waveform::Step {
+                        initial: 0.0,
+                        final_value: 1.0,
+                        delay: 0.0
+                    }
+                );
+                // The operating point sees the pre-step level, the
+                // transient stamps the post-delay value.
+                assert_eq!(v.spec.value_at(0.0), 1.0);
+            }
+            _ => panic!(),
+        }
+        match ckt.element("V2").unwrap() {
+            Element::Vsource(v) => {
+                // The step's initial level doubles as the DC value.
+                assert_eq!(v.spec.dc, 1.0);
+                assert_eq!(v.spec.value_at(1e-6), 1.0);
+                assert_eq!(v.spec.value_at(3e-6), 5.0);
+            }
+            _ => panic!(),
+        }
+        match ckt.element("I1").unwrap() {
+            Element::Isource(i) => {
+                assert_eq!(i.spec.dc, 0.0);
+                assert_eq!(i.spec.value_at(1.0), 1e-3);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn step_rejects_missing_levels() {
+        let err = parse_netlist("bad\nV1 a 0 STEP 1\nR1 a 0 1k\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn errors_report_physical_line_numbers() {
+        // Comments and blank lines still count toward the reported position:
+        // the bad resistor value sits on physical line 6.
+        let err = parse_netlist(
+            "title line\n* comment\n\nV1 a 0 DC 1\n; another comment\nR1 a 0 bogus\n",
+        )
+        .unwrap_err();
+        match err {
+            NetlistError::InvalidValue { ref token, line } => {
+                assert_eq!(token, "bogus");
+                assert_eq!(line, 6);
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
+        // Too few tokens on physical line 3.
+        let err = parse_netlist("title line\nV1 a 0 DC 1\nR1 a 0\n").unwrap_err();
+        match err {
+            NetlistError::MalformedLine { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected MalformedLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_model_cards_use_library_defaults() {
+        // A .model line with no parameters must behave exactly like the
+        // models module's Default impls (vto/kp/lambda for NMOS).
+        let ckt = parse_netlist("defaults\n.model mn NMOS\nV1 d 0 DC 2\nM1 d d 0 mn\nR1 d 0 10k\n")
+            .unwrap();
+        match ckt.element("M1").unwrap() {
+            Element::Mosfet(m) => {
+                assert_eq!(m.model, crate::models::MosfetModel::default());
+                assert!(m.width > 0.0 && m.length > 0.0);
+            }
+            _ => panic!("wrong element type"),
+        }
+        // PMOS flips the default threshold sign.
+        let ckt =
+            parse_netlist("defaults\n.model mp PMOS\nV1 d 0 DC -2\nM1 d d 0 mp\nR1 d 0 10k\n")
+                .unwrap();
+        match ckt.element("M1").unwrap() {
+            Element::Mosfet(m) => assert_eq!(m.model.vto, -0.7),
+            _ => panic!("wrong element type"),
         }
     }
 

@@ -121,6 +121,13 @@ mod tests {
         assert!(close(parse_value("1meg").unwrap(), 1.0e6));
         // "mA" is milli-amps, not mega.
         assert!(close(parse_value("1mA").unwrap(), 1.0e-3));
+        // SPICE is case-insensitive: uppercase M is STILL milli, only the
+        // three-letter MEG (any case) means 1e6.
+        assert!(close(parse_value("1M").unwrap(), 1.0e-3));
+        assert!(close(parse_value("1MeG").unwrap(), 1.0e6));
+        assert!(close(parse_value("2.2MegOhm").unwrap(), 2.2e6));
+        // "me" is not "meg": falls back to the single-letter milli rule.
+        assert!(close(parse_value("1me").unwrap(), 1.0e-3));
     }
 
     #[test]

@@ -23,6 +23,17 @@ pub enum Integration {
     BackwardEuler,
     /// Trapezoidal rule: second-order accurate, preserves oscillation
     /// amplitude much better — preferred for ringing/overshoot measurements.
+    ///
+    /// The very first time point integrates with one Backward Euler step:
+    /// the trapezoidal companion models reference the previous capacitor
+    /// current / inductor voltage, and at `t = 0` those come from the DC
+    /// operating point, which is inconsistent with a source that steps at
+    /// `t = 0⁺` (SPICE's classic trapezoidal start-up problem — without the
+    /// BE step the whole waveform lags the analytic response by `dt/2`,
+    /// a first-order error that golden-data validation flags immediately).
+    /// Backward Euler's companions only need the previous *state*, and the
+    /// reactive currents they produce are consistent start-up values for
+    /// the trapezoidal steps that follow, restoring second-order accuracy.
     Trapezoidal,
 }
 
@@ -249,6 +260,15 @@ impl<'c> TransientAnalysis<'c> {
             } else {
                 dt
             };
+            // Backward Euler start-up step for trapezoidal integration (see
+            // [`Integration::Trapezoidal`]): the t = 0 reactive currents from
+            // the DC operating point are not valid trapezoidal history when a
+            // source is discontinuous at t = 0⁺.
+            let method = if step == 1 {
+                Integration::BackwardEuler
+            } else {
+                self.options.method
+            };
             trial.copy_from_slice(&voltages);
             let mut converged = false;
             // Node with the largest voltage update at the most recent Newton
@@ -261,6 +281,7 @@ impl<'c> TransientAnalysis<'c> {
                     analysis: self,
                     t,
                     dt: dt_step,
+                    method,
                     trial: &trial,
                     prev: &voltages,
                     prev_cap_current: &prev_cap_current,
@@ -305,7 +326,7 @@ impl<'c> TransientAnalysis<'c> {
                     Element::Capacitor(c) => {
                         let v_new = trial[c.a.index()] - trial[c.b.index()];
                         let v_old = voltages[c.a.index()] - voltages[c.b.index()];
-                        let i_new = match self.options.method {
+                        let i_new = match method {
                             Integration::BackwardEuler => c.farads / dt_step * (v_new - v_old),
                             Integration::Trapezoidal => {
                                 2.0 * c.farads / dt_step * (v_new - v_old) - prev_cap_current[ei]
@@ -335,13 +356,14 @@ impl<'c> TransientAnalysis<'c> {
         st: &mut Stamper<'_, f64, S>,
         t: f64,
         dt: f64,
+        method: Integration,
         trial: &[f64],
         prev: &[f64],
         prev_cap_current: &[f64],
         prev_ind_voltage: &[f64],
         prev_solution: &[f64],
     ) {
-        let trapezoidal = self.options.method == Integration::Trapezoidal;
+        let trapezoidal = method == Integration::Trapezoidal;
 
         for node in self.circuit.signal_nodes_iter() {
             st.add_node_node(node, node, GMIN);
@@ -445,6 +467,7 @@ struct TimestepSystem<'a, 'c> {
     analysis: &'a TransientAnalysis<'c>,
     t: f64,
     dt: f64,
+    method: Integration,
     trial: &'a [f64],
     prev: &'a [f64],
     prev_cap_current: &'a [f64],
@@ -458,6 +481,7 @@ impl AssembleMna<f64> for TimestepSystem<'_, '_> {
             st,
             self.t,
             self.dt,
+            self.method,
             self.trial,
             self.prev,
             self.prev_cap_current,

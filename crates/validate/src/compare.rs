@@ -1,0 +1,183 @@
+//! Tolerance-band comparison and the structured [`Mismatch`] report.
+//!
+//! Every golden check runs through one comparator so the acceptance rule is
+//! identical everywhere: a measured value passes when
+//! `|got − want| ≤ atol + rtol·|want|` **and** is finite. Non-finite output
+//! always fails — a NaN must never satisfy a golden.
+
+use std::fmt;
+
+/// An absolute + relative tolerance band.
+///
+/// ```
+/// use loopscope_validate::Tolerance;
+/// let tol = Tolerance::new(1.0e-9, 1.0e-6);
+/// assert!(tol.accepts(1.0000005, 1.0));
+/// assert!(!tol.accepts(1.01, 1.0));
+/// assert!(!tol.accepts(f64::NAN, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute tolerance floor.
+    pub atol: f64,
+    /// Relative tolerance, scaled by `|want|`.
+    pub rtol: f64,
+}
+
+impl Tolerance {
+    /// Creates a tolerance band from absolute and relative parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either part is negative or non-finite, or both are zero
+    /// (an empty band can never accept floating-point output).
+    pub fn new(atol: f64, rtol: f64) -> Self {
+        assert!(
+            atol.is_finite() && rtol.is_finite() && atol >= 0.0 && rtol >= 0.0,
+            "tolerances must be finite and non-negative (atol = {atol}, rtol = {rtol})"
+        );
+        assert!(
+            atol > 0.0 || rtol > 0.0,
+            "at least one of atol/rtol must be positive"
+        );
+        Self { atol, rtol }
+    }
+
+    /// A purely absolute band.
+    pub fn absolute(atol: f64) -> Self {
+        Self::new(atol, 0.0)
+    }
+
+    /// A purely relative band.
+    pub fn relative(rtol: f64) -> Self {
+        Self::new(0.0, rtol)
+    }
+
+    /// The effective absolute window around `want`: `atol + rtol·|want|`.
+    pub fn effective(&self, want: f64) -> f64 {
+        self.atol + self.rtol * want.abs()
+    }
+
+    /// Whether `got` lies within the band around `want`. Non-finite `got`
+    /// is always rejected.
+    pub fn accepts(&self, got: f64, want: f64) -> bool {
+        got.is_finite() && (got - want).abs() <= self.effective(want)
+    }
+
+    /// Compares and produces a structured [`Mismatch`] on failure.
+    ///
+    /// `quantity` names what was measured (e.g. `"V(out)"`, `"|V(n2)|"`)
+    /// and `at` names where (e.g. `"dc"`, `"f = 159.2 Hz"`).
+    pub fn check(
+        &self,
+        quantity: impl Into<String>,
+        at: impl Into<String>,
+        got: f64,
+        want: f64,
+    ) -> Result<(), Mismatch> {
+        if self.accepts(got, want) {
+            Ok(())
+        } else {
+            Err(Mismatch {
+                quantity: quantity.into(),
+                at: at.into(),
+                got,
+                want,
+                tol: self.effective(want),
+            })
+        }
+    }
+
+    /// Panicking form of [`Tolerance::check`] for use in test assertions;
+    /// the panic message is the [`Mismatch`] display.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the comparison fails.
+    #[track_caller]
+    pub fn assert_close(&self, quantity: &str, at: &str, got: f64, want: f64) {
+        if let Err(m) = self.check(quantity, at, got, want) {
+            panic!("{m}");
+        }
+    }
+}
+
+/// One failed golden comparison: what was measured, where, and by how much
+/// it missed. Quantities are named through `MnaLayout` conventions
+/// (`V(node)`, `I(element)`) exactly like the solver's structured errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// The measured quantity, e.g. `"V(out)"` or `"arg V(out) [deg]"`.
+    pub quantity: String,
+    /// The evaluation point, e.g. `"dc"`, `"f = 159.2 Hz"`, `"t = 1e-6 s"`.
+    pub at: String,
+    /// The simulator's value.
+    pub got: f64,
+    /// The golden reference value.
+    pub want: f64,
+    /// The effective absolute tolerance that was applied.
+    pub tol: f64,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}: got {:.9e}, want {:.9e} (|Δ| = {:.3e} > tol {:.3e})",
+            self.quantity,
+            self.at,
+            self.got,
+            self.want,
+            (self.got - self.want).abs(),
+            self.tol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_combines_absolute_and_relative() {
+        let tol = Tolerance::new(1.0e-3, 1.0e-2);
+        assert_eq!(tol.effective(100.0), 1.0e-3 + 1.0);
+        assert!(tol.accepts(100.9, 100.0));
+        assert!(!tol.accepts(101.1, 100.0));
+        // Near zero only the absolute floor is active.
+        assert!(tol.accepts(5.0e-4, 0.0));
+        assert!(!tol.accepts(2.0e-3, 0.0));
+    }
+
+    #[test]
+    fn non_finite_always_fails() {
+        let tol = Tolerance::absolute(1.0e30);
+        assert!(!tol.accepts(f64::NAN, 0.0));
+        assert!(!tol.accepts(f64::INFINITY, 0.0));
+        let m = tol.check("V(out)", "dc", f64::NAN, 0.0).unwrap_err();
+        assert_eq!(m.quantity, "V(out)");
+    }
+
+    #[test]
+    fn mismatch_display_names_quantity_and_location() {
+        let m = Tolerance::absolute(1.0e-6)
+            .check("V(out)", "f = 159.2 Hz", 0.8, 0.75)
+            .unwrap_err();
+        let text = m.to_string();
+        assert!(text.contains("V(out)"), "{text}");
+        assert!(text.contains("f = 159.2 Hz"), "{text}");
+        assert!(text.contains("tol"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "V(out) at dc")]
+    fn assert_close_panics_with_report() {
+        Tolerance::absolute(1.0e-9).assert_close("V(out)", "dc", 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one of atol/rtol")]
+    fn empty_band_is_rejected() {
+        Tolerance::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! `loopscope-validate` — run the golden-data corpus and report.
+//!
+//! ```text
+//! loopscope-validate [--data-dir DIR] [--bless] [FILTER]
+//! ```
+//!
+//! * With no arguments: loads `tests/golden_data/`, runs every case, prints
+//!   a pass/fail table, writes `target/VALIDATE_report.json` and exits
+//!   non-zero on any failure (mismatch in a non-`expect_failure` case, an
+//!   `expect_failure` case that passed, or an evaluation error).
+//! * `FILTER` restricts to cases whose name contains the substring.
+//! * `--bless` rewrites the `want` fields of passing-eligible cases from
+//!   current simulator output, printing every changed value. It refuses to
+//!   run unless `LOOPSCOPE_BLESS=1` is set, and never touches
+//!   `expect_failure` cases (their wrong values are the point).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use loopscope_validate::{
+    bless_file, default_data_dir, load_dir, run_case, CaseReport, Counts, GoldenCase, Outcome,
+};
+
+struct Args {
+    data_dir: PathBuf,
+    bless: bool,
+    filter: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        data_dir: default_data_dir(),
+        bless: false,
+        filter: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bless" => args.bless = true,
+            "--data-dir" => {
+                args.data_dir = it
+                    .next()
+                    .ok_or_else(|| "--data-dir needs a path".to_string())?
+                    .into();
+            }
+            "--help" | "-h" => {
+                return Err("usage: loopscope-validate [--data-dir DIR] [--bless] [FILTER]".into())
+            }
+            other if !other.starts_with('-') && args.filter.is_none() => {
+                args.filter = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn outcome_cell(report: &CaseReport) -> String {
+    match report.outcome {
+        Outcome::Pass => "pass".into(),
+        Outcome::Fail => format!("FAIL ({} mismatch(es))", report.mismatches.len()),
+        Outcome::ExpectedFailure => {
+            format!("xfail ({} expected mismatch(es))", report.mismatches.len())
+        }
+        Outcome::UnexpectedPass => "UNEXPECTED PASS (expect_failure case passed)".into(),
+        Outcome::Error => "ERROR".into(),
+    }
+}
+
+fn print_table(reports: &[CaseReport]) {
+    let name_w = reports
+        .iter()
+        .map(|r| r.name.len())
+        .chain(["case".len()])
+        .max()
+        .unwrap_or(4);
+    let kinds_w = reports
+        .iter()
+        .map(|r| r.kinds.len())
+        .chain(["analyses".len()])
+        .max()
+        .unwrap_or(8);
+    println!(
+        "{:<name_w$}  {:<kinds_w$}  {:>6}  result",
+        "case", "analyses", "checks"
+    );
+    for r in reports {
+        println!(
+            "{:<name_w$}  {:<kinds_w$}  {:>6}  {}",
+            r.name,
+            r.kinds,
+            r.checks.len(),
+            outcome_cell(r)
+        );
+    }
+}
+
+fn print_failures(reports: &[CaseReport]) {
+    for r in reports {
+        if r.outcome.is_ok() {
+            continue;
+        }
+        println!("\n--- {} ({}) ---", r.name, outcome_cell(r));
+        if let Some(err) = &r.error {
+            println!("  error: {err}");
+        }
+        for m in &r.mismatches {
+            println!("  {m}");
+        }
+        if let Some(s) = r.structure {
+            if !s.pass {
+                println!(
+                    "  btf structure: found {} diagonal blocks, golden requires >= {}",
+                    s.got_blocks, s.min_blocks
+                );
+            }
+        }
+    }
+}
+
+fn bless(cases: &[GoldenCase], reports: &[CaseReport]) -> Result<usize, String> {
+    if std::env::var("LOOPSCOPE_BLESS").as_deref() != Ok("1") {
+        return Err(
+            "refusing to rewrite goldens: set LOOPSCOPE_BLESS=1 to confirm (bless overwrites \
+             checked-in reference values)"
+                .into(),
+        );
+    }
+    let mut rewritten = 0;
+    for (case, report) in cases.iter().zip(reports) {
+        if case.expect_failure {
+            println!(
+                "bless: skipping '{}' (expect_failure cases keep their intentionally wrong values)",
+                case.name
+            );
+            continue;
+        }
+        if report.error.is_some() {
+            println!(
+                "bless: skipping '{}' (evaluation errored; fix the case first)",
+                case.name
+            );
+            continue;
+        }
+        let changes = bless_file(&case.path, &report.measured())
+            .map_err(|e| format!("bless '{}': {e}", case.name))?;
+        if changes.is_empty() {
+            continue;
+        }
+        rewritten += 1;
+        println!(
+            "blessed {} ({} value(s) changed):",
+            case.path.display(),
+            changes.len()
+        );
+        for ch in &changes {
+            println!("  {}: want {} -> {}", ch.location, ch.old, ch.new);
+        }
+    }
+    Ok(rewritten)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cases = match load_dir(&args.data_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load golden corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(filter) = &args.filter {
+        cases.retain(|c| c.name.contains(filter.as_str()));
+    }
+    if cases.is_empty() {
+        eprintln!(
+            "no golden cases found in {} (filter: {:?})",
+            args.data_dir.display(),
+            args.filter
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "golden validation corpus: {} ({} case(s))\n",
+        args.data_dir.display(),
+        cases.len()
+    );
+    let reports: Vec<CaseReport> = cases.iter().map(run_case).collect();
+    print_table(&reports);
+    print_failures(&reports);
+
+    if args.bless {
+        match bless(&cases, &reports) {
+            Ok(n) => {
+                println!("\nbless complete: {n} file(s) rewritten");
+                // Bless does not write a report or gate on mismatches: the
+                // rewritten values become the new reference.
+                return ExitCode::SUCCESS;
+            }
+            Err(msg) => {
+                eprintln!("\n{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let counts = Counts::from_reports(&reports);
+    println!(
+        "\n{} case(s): {} passed, {} failed, {} expected failure(s), {} unexpected pass(es), {} error(s)",
+        counts.total(),
+        counts.passed,
+        counts.failed,
+        counts.expected_failures,
+        counts.unexpected_passes,
+        counts.errors
+    );
+    match loopscope_validate::write_report(&reports, None) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if counts.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

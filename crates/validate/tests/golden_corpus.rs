@@ -1,0 +1,102 @@
+//! Runs the checked-in golden corpus end to end — the same thing
+//! `cargo run -p loopscope-validate` and CI do, as a plain `cargo test`.
+
+use loopscope_validate::{default_data_dir, load_dir, run_corpus, write_report, Counts, Outcome};
+
+#[test]
+fn golden_corpus_is_green() {
+    let dir = default_data_dir();
+    let cases = load_dir(&dir).expect("load golden corpus");
+    assert!(
+        cases.len() >= 10,
+        "corpus must hold at least 10 scenarios, found {} in {}",
+        cases.len(),
+        dir.display()
+    );
+
+    let reports = run_corpus(&cases);
+    for report in &reports {
+        assert!(
+            report.outcome.is_ok(),
+            "golden case '{}' is {:?}: error={:?} mismatches={:?}",
+            report.name,
+            report.outcome,
+            report.error,
+            report.mismatches
+        );
+    }
+
+    let counts = Counts::from_reports(&reports);
+    assert!(counts.is_ok());
+    assert_eq!(counts.total(), cases.len());
+    assert!(counts.passed >= 9, "expected >= 9 passing cases");
+
+    // The corpus must span every analysis kind the simulator offers.
+    for kind in ["dc", "ac", "driving_point", "tran"] {
+        assert!(
+            reports.iter().any(|r| r.kinds.contains(kind)),
+            "no golden case exercises the '{kind}' analysis"
+        );
+    }
+
+    // At least one case asserts BTF multi-block structure.
+    assert!(
+        reports
+            .iter()
+            .any(|r| r.structure.is_some_and(|s| s.pass && s.got_blocks > 1)),
+        "no golden case asserts a multi-block BTF structure"
+    );
+}
+
+#[test]
+fn near_singular_case_fails_with_structured_mismatch() {
+    let cases = load_dir(&default_data_dir()).expect("load golden corpus");
+    let xfail = cases
+        .iter()
+        .find(|c| c.expect_failure)
+        .expect("corpus must hold an expect_failure scenario");
+
+    let report = loopscope_validate::run_case(xfail);
+    assert_eq!(report.outcome, Outcome::ExpectedFailure);
+    assert!(
+        report.error.is_none(),
+        "xfail must fail by mismatch, not error"
+    );
+
+    // The mismatch is structured and names the offending unknown through
+    // MnaLayout conventions, like the solver's own diagnostics.
+    let m = &report.mismatches[0];
+    assert_eq!(m.quantity, "V(mid)");
+    assert_eq!(m.at, "dc");
+    assert!(
+        m.got.abs() < 1e-3,
+        "GMIN should pin the floating node near 0"
+    );
+    assert_eq!(m.want, 0.5);
+    let text = m.to_string();
+    assert!(text.contains("V(mid)"), "{text}");
+    assert!(text.contains("dc"), "{text}");
+}
+
+#[test]
+fn report_artifact_round_trips() {
+    let cases = load_dir(&default_data_dir()).expect("load golden corpus");
+    let reports = run_corpus(&cases);
+
+    let dir = std::env::temp_dir().join("loopscope_validate_corpus_report");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("VALIDATE_report.json");
+    let written = write_report(&reports, Some(&path)).unwrap();
+    assert_eq!(written, path);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = loopscope_validate::json::parse(&text).unwrap();
+    assert_eq!(doc.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        doc.get("total").and_then(|v| v.as_f64()),
+        Some(cases.len() as f64)
+    );
+    let arr = doc.get("cases").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(arr.len(), cases.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

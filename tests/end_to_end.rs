@@ -5,6 +5,7 @@ use loopscope::prelude::*;
 use loopscope_circuits::blocks::{series_rlc, series_rlc_damping, series_rlc_natural_freq};
 use loopscope_circuits::opamp_with_bias;
 use loopscope_core::baseline::transient_overshoot;
+use loopscope_validate::Tolerance;
 
 fn fast_options(f_start: f64, f_stop: f64) -> StabilityOptions {
     StabilityOptions {
@@ -33,11 +34,12 @@ C1 out 0 1n
     let result = analyzer.single_node(out).unwrap();
     let est = result.estimate.expect("complex pole pair");
     let zeta = series_rlc_damping(500.0, 1.0e-3, 1.0e-9);
-    assert!((est.damping_ratio - zeta).abs() < 0.02);
-    assert!(
-        (est.natural_freq_hz - series_rlc_natural_freq(1.0e-3, 1.0e-9)).abs()
-            / series_rlc_natural_freq(1.0e-3, 1.0e-9)
-            < 0.03
+    Tolerance::absolute(0.02).assert_close("zeta", "V(out) peak", est.damping_ratio, zeta);
+    Tolerance::relative(0.03).assert_close(
+        "natural frequency [Hz]",
+        "V(out) peak",
+        est.natural_freq_hz,
+        series_rlc_natural_freq(1.0e-3, 1.0e-9),
     );
 }
 
@@ -56,17 +58,17 @@ fn stability_plot_agrees_with_transient_baseline() {
 
     let overshoot = transient_overshoot(&circuit, out, 40.0e-9, 80.0e-6).unwrap();
 
-    assert!(
-        (plot_estimate.damping_ratio - overshoot.equivalent_damping).abs() < 0.04,
-        "plot ζ {} vs transient ζ {}",
+    Tolerance::absolute(0.04).assert_close(
+        "zeta",
+        "stability plot vs transient baseline",
         plot_estimate.damping_ratio,
-        overshoot.equivalent_damping
+        overshoot.equivalent_damping,
     );
-    assert!(
-        (plot_estimate.percent_overshoot - overshoot.percent_overshoot).abs() < 8.0,
-        "plot overshoot {} vs measured {}",
+    Tolerance::absolute(8.0).assert_close(
+        "percent overshoot",
+        "stability plot vs transient baseline",
         plot_estimate.percent_overshoot,
-        overshoot.percent_overshoot
+        overshoot.percent_overshoot,
     );
 }
 
@@ -161,6 +163,6 @@ fn analyzer_is_reusable_and_non_invasive() {
     // Both nodes on the same loop agree on the natural frequency within a few
     // per cent (paper Table 2 shows the same behaviour).
     if let (Some(fa), Some(fb)) = (a.natural_freq_hz(), b.natural_freq_hz()) {
-        assert!((fa - fb).abs() / fa < 0.1, "fa {fa} fb {fb}");
+        Tolerance::relative(0.1).assert_close("natural frequency [Hz]", "stage1 vs output", fb, fa);
     }
 }

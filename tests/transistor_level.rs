@@ -5,6 +5,7 @@
 use loopscope::prelude::*;
 use loopscope_circuits::opamp::mos_two_stage_buffer;
 use loopscope_core::sweep::sweep_node;
+use loopscope_validate::Tolerance;
 
 fn options() -> StabilityOptions {
     StabilityOptions {
@@ -72,6 +73,14 @@ fn bias_cell_compensation_increases_damping() {
         after.damping_ratio,
         before.damping_ratio
     );
+    // Compensation damps the loop without relocating it: the natural
+    // frequency stays in the same ballpark (shared comparator, loose band).
+    Tolerance::relative(0.5).assert_close(
+        "natural frequency [Hz]",
+        "bias loop, 1 pF vs uncompensated",
+        after.natural_freq_hz,
+        before.natural_freq_hz,
+    );
 }
 
 /// Corner sweep over the supply voltage of the bias cell: the loop must be
@@ -98,6 +107,19 @@ fn bias_supply_corner_sweep() {
     .unwrap();
     assert_eq!(sweep.points.len(), 3);
     assert!(sweep.points.iter().all(|p| p.estimate.is_some()));
-    assert!(sweep.worst_case().is_some());
+    let worst = sweep.worst_case().expect("worst corner exists");
+    // The reported worst case must be exactly the corner with the lowest
+    // damping ratio among the sweep points.
+    let min_zeta = sweep
+        .points
+        .iter()
+        .filter_map(|p| p.estimate.as_ref().map(|e| e.damping_ratio))
+        .fold(f64::INFINITY, f64::min);
+    let worst_zeta = worst
+        .estimate
+        .as_ref()
+        .expect("worst has estimate")
+        .damping_ratio;
+    Tolerance::absolute(1.0e-12).assert_close("zeta", "worst corner", worst_zeta, min_zeta);
     assert!(sweep.to_text().contains("vdd=3.3V"));
 }
