@@ -33,6 +33,7 @@ use loopscope_sparse::{
     SymbolicLu, TripletMatrix,
 };
 use loopscope_spice::ac::AcAnalysis;
+use loopscope_spice::batch::{driving_point_monte_carlo, ParameterVariation};
 use loopscope_spice::dc::solve_dc;
 use loopscope_spice::par;
 use std::time::Instant;
@@ -836,6 +837,102 @@ fn print_refinement_table(records: &mut Vec<Record>) {
     );
 }
 
+/// Experiment S7 — the batched many-variant corner scan: a 10k-variant
+/// (quick mode: 400) seeded Monte Carlo sweep of the MOS two-stage buffer
+/// through the batched engine ([`loopscope_spice::batch`], **one** symbolic
+/// analysis and **one** shared linearization for the whole batch, variants
+/// packed into SIMD-style value lanes) vs the naive factor-per-variant loop
+/// (a variant circuit plus a fresh `AcAnalysis` — its own layout, its own
+/// device linearizations, its own symbolic analysis — per variant, the
+/// pre-batch `core::sweep` shape). Single worker, so the ratio isolates the
+/// engine; the structural `SolveStats` assertions are hard in every mode.
+fn print_monte_carlo_scan(records: &mut Vec<Record>) {
+    println!(
+        "\n=== S7: batched Monte Carlo corner scan — one symbolic analysis vs one per variant ==="
+    );
+    let saved_threads = std::env::var(par::THREADS_ENV).ok();
+    std::env::set_var(par::THREADS_ENV, "1");
+
+    let count = if quick_mode() { 400 } else { 10_000 };
+    let (circuit, _nodes) = mos_two_stage_buffer(&OpAmpParams::default());
+    let op = solve_dc(&circuit).expect("operating point");
+    let node = circuit.find_node("out").expect("output node");
+    // The production corner-scan shape: a spot check of the impedance peak
+    // at the loop's natural frequency, thousands of parameter sets — the
+    // paper's compensation knobs (Rzero, C1, Cload) under tolerance. One
+    // frequency per variant maximizes the weight of per-variant setup,
+    // which is exactly what the batched engine amortizes away.
+    let grid = FrequencyGrid::from_points(vec![1.0e6]);
+    let variation = ParameterVariation::new(0xC02_5CAB)
+        .gaussian("Rzero", 0.05)
+        .gaussian("Cload", 0.10)
+        .uniform("C1", 0.10);
+
+    // Naive reference: an independent analysis per variant — every variant
+    // pays layout construction, pattern discovery and a symbolic analysis.
+    let mut naive_symbolic = 0usize;
+    let mut naive_sink = Complex64::ZERO;
+    let naive_start = Instant::now();
+    for i in 0..count {
+        let mut vc = circuit.clone();
+        variation.apply(i, &mut vc).expect("variation applies");
+        let ac = AcAnalysis::new(&vc, &op).expect("valid analysis");
+        let resp = ac
+            .driving_point_response(node, &grid)
+            .expect("variant sweep");
+        naive_sink += resp[0];
+        naive_symbolic += ac.solve_stats().symbolic;
+    }
+    let naive_ns = naive_start.elapsed().as_nanos() as f64 / count as f64;
+    std::hint::black_box(naive_sink);
+    assert_eq!(
+        naive_symbolic, count,
+        "the naive loop pays one symbolic analysis per variant"
+    );
+
+    // Batched engine: one symbolic analysis for the entire batch.
+    let batch_start = Instant::now();
+    let sweep = driving_point_monte_carlo(&circuit, &op, node, &grid, &variation, count)
+        .expect("batched sweep");
+    let batched_ns = batch_start.elapsed().as_nanos() as f64 / count as f64;
+    std::hint::black_box(sweep.worst_case_peak());
+    assert_eq!(
+        sweep.solve_stats().symbolic,
+        1,
+        "the batched engine must run exactly one symbolic analysis for the \
+         whole {count}-variant batch: {:?}",
+        sweep.solve_stats()
+    );
+
+    match saved_threads {
+        Some(v) => std::env::set_var(par::THREADS_ENV, v),
+        None => std::env::remove_var(par::THREADS_ENV),
+    }
+
+    let speedup = naive_ns / batched_ns;
+    println!(
+        "opamp corner scan, {count} variants × {} freq points   naive {:>9.2} µs/variant   \
+         batched {:>9.2} µs/variant   speedup {:>5.2}x   yield {}/{} ({:.1}%)",
+        grid.len(),
+        naive_ns / 1.0e3,
+        batched_ns / 1.0e3,
+        speedup,
+        sweep.yield_count(),
+        count,
+        100.0 * sweep.yield_fraction(),
+    );
+    records.push(Record::new("mc_10k_opamp_corner_scan_naive", naive_ns));
+    records.push(Record::new("mc_10k_opamp_corner_scan_batched", batched_ns));
+    assert_timing(
+        speedup >= 5.0,
+        &format!(
+            "the batched corner scan must amortize to ≥ 5x the naive \
+             factor-per-variant loop, measured {speedup:.2}x \
+             (naive {naive_ns:.0} ns/variant, batched {batched_ns:.0} ns/variant)"
+        ),
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let mut records: Vec<Record> = Vec::new();
     if quick_mode() {
@@ -946,6 +1043,8 @@ fn bench(c: &mut Criterion) {
     );
 
     print_refinement_table(&mut records);
+
+    print_monte_carlo_scan(&mut records);
     println!();
 
     let mut group = c.benchmark_group("solver_refactor");

@@ -143,7 +143,7 @@ impl StabilityAnalyzer {
     /// pinned by ideal voltage sources, whose driving-point impedance is zero.
     /// Such samples are clamped to a tiny floor so the plot stays defined and
     /// simply shows no peak there.
-    fn plot_from_response(freqs: &[f64], mags: Vec<f64>) -> StabilityPlot {
+    pub(crate) fn plot_from_response(freqs: &[f64], mags: Vec<f64>) -> StabilityPlot {
         let max = mags.iter().cloned().fold(0.0f64, f64::max);
         let floor = (max * 1.0e-15).max(1.0e-30);
         let clamped: Vec<f64> = mags.into_iter().map(|m| m.max(floor)).collect();

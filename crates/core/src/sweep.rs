@@ -11,8 +11,10 @@
 
 use crate::analysis::{StabilityAnalyzer, StabilityOptions};
 use crate::error::StabilityError;
-use crate::result::LoopEstimate;
-use loopscope_netlist::Circuit;
+use crate::result::{LoopEstimate, NodeStabilityResult};
+use loopscope_netlist::{Circuit, NodeId};
+use loopscope_spice::batch::{driving_point_batch, BatchVariant};
+use loopscope_spice::mna::MnaLayout;
 
 /// The outcome of one sweep/corner point.
 #[derive(Debug, Clone)]
@@ -81,12 +83,21 @@ impl NodeSweep {
 
 /// Runs the single-node stability analysis on every labelled circuit variant.
 ///
-/// Each variant is analysed independently (its own operating point, its own
-/// sweep), exactly as the original tool re-runs the simulation per corner —
-/// which makes corners embarrassingly parallel: the variants are chunked
-/// across worker threads through the same executor the frequency sweeps use
-/// ([`loopscope_spice::par::sweep_chunks`], `LOOPSCOPE_THREADS` knob).
-/// Results come back in input order and are identical at any worker count.
+/// Corner variants share the circuit *topology* — they differ only in
+/// component values — so the frequency sweeps of all variants run through
+/// the batched engine ([`loopscope_spice::batch`]): **one** symbolic
+/// analysis serves the entire sweep, variants are packed
+/// [`LOOPSCOPE_BATCH`](loopscope_spice::batch::BATCH_ENV) lanes wide through
+/// the batched refactor/solve, and variant groups × frequency points are
+/// chunked across worker threads (`LOOPSCOPE_THREADS`). Each variant still
+/// gets its own DC operating point. Results are in input order and bitwise
+/// identical to analysing each variant independently, at any worker count,
+/// panel width, kernel backend and batch lane width.
+///
+/// Variants whose topology differs from the first variant's (different
+/// nodes, different system dimension) are analysed per-variant through
+/// [`StabilityAnalyzer::single_node`] instead — same results, without the
+/// shared-plan amortization.
 ///
 /// # Errors
 ///
@@ -102,22 +113,102 @@ where
     I: IntoIterator<Item = (String, Circuit)>,
 {
     let variants: Vec<(String, Circuit)> = variants.into_iter().collect();
-    let (points, _) = loopscope_spice::par::sweep_chunks_owned(
+    // Per-variant preparation (validation, AC-source zeroing, DC operating
+    // point), chunked across workers; the lowest-index failure aborts.
+    let (prepared, _) = loopscope_spice::par::sweep_chunks_owned(
         variants,
         || (),
-        |(), _idx, (label, circuit)| -> Result<SweepPoint, StabilityError> {
+        |(), _idx, (label, circuit)| -> Result<(String, StabilityAnalyzer), StabilityError> {
             let analyzer = StabilityAnalyzer::new(circuit, options)?;
+            Ok((label, analyzer))
+        },
+    );
+    let prepared = prepared?;
+    if prepared.is_empty() {
+        return Ok(NodeSweep {
+            node_name: node_name.to_string(),
+            points: Vec::new(),
+        });
+    }
+
+    let base = prepared[0].1.circuit();
+    let node = base
+        .find_node(node_name)
+        .ok_or_else(|| StabilityError::UnknownNode(node_name.to_string()))?;
+    let base_dim = MnaLayout::new(base).dim();
+    let homogeneous = prepared.iter().all(|(_, a)| {
+        a.circuit().node_count() == base.node_count()
+            && a.circuit().find_node(node_name) == Some(node)
+            && MnaLayout::new(a.circuit()).dim() == base_dim
+    });
+    let points = if homogeneous {
+        sweep_batched(&prepared, node, options)?
+    } else {
+        sweep_per_variant(&prepared, node_name)?
+    };
+    Ok(NodeSweep {
+        node_name: node_name.to_string(),
+        points,
+    })
+}
+
+/// The batched path: one shared symbolic analysis, variant-lane solves.
+fn sweep_batched(
+    prepared: &[(String, StabilityAnalyzer)],
+    node: NodeId,
+    options: StabilityOptions,
+) -> Result<Vec<SweepPoint>, StabilityError> {
+    let grid = options.grid();
+    let batch: Vec<BatchVariant<'_>> = prepared
+        .iter()
+        .map(|(label, analyzer)| BatchVariant {
+            label,
+            circuit: analyzer.circuit(),
+            op: analyzer.operating_point(),
+        })
+        .collect();
+    let sweep = driving_point_batch(&batch, node, &grid)?;
+    let mut points = Vec::with_capacity(prepared.len());
+    for ((label, analyzer), outcome) in prepared.iter().zip(sweep.outcomes()) {
+        // A per-variant failure aborts the sweep, first input index wins —
+        // the historical contract of the per-variant path.
+        if let Some(e) = &outcome.error {
+            return Err(StabilityError::Spice(e.clone()));
+        }
+        let response = outcome.response.as_ref().expect("converged outcome");
+        let mags: Vec<f64> = response.iter().map(|v| v.abs()).collect();
+        let plot = StabilityAnalyzer::plot_from_response(grid.freqs(), mags);
+        let result = NodeStabilityResult::from_plot(
+            node,
+            analyzer.circuit().node_name(node),
+            plot,
+            options.peak_threshold,
+        );
+        points.push(SweepPoint {
+            label: label.clone(),
+            estimate: result.estimate,
+        });
+    }
+    Ok(points)
+}
+
+/// Fallback for heterogeneous variants: independent per-variant analyses.
+fn sweep_per_variant(
+    prepared: &[(String, StabilityAnalyzer)],
+    node_name: &str,
+) -> Result<Vec<SweepPoint>, StabilityError> {
+    let (points, _) = loopscope_spice::par::sweep_chunks(
+        prepared,
+        || (),
+        |(), _idx, (label, analyzer)| -> Result<SweepPoint, StabilityError> {
             let result = analyzer.single_node_by_name(node_name)?;
             Ok(SweepPoint {
-                label,
+                label: label.clone(),
                 estimate: result.estimate,
             })
         },
     );
-    Ok(NodeSweep {
-        node_name: node_name.to_string(),
-        points: points?,
-    })
+    points
 }
 
 #[cfg(test)]
@@ -171,6 +262,48 @@ mod tests {
         let text = sweep.to_text();
         assert!(text.contains("cload=100pF"));
         assert!(text.contains("out"));
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_variant_reference_bitwise() {
+        // Regression contract of the batched migration: the shared-plan
+        // lane-batched sweep must reproduce the old per-variant path (an
+        // independent analysis per corner) bit for bit.
+        let sweep = sweep_node(variants(), "out", options()).unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        for ((label, circuit), point) in variants().into_iter().zip(&sweep.points) {
+            let analyzer = StabilityAnalyzer::new(circuit, options()).unwrap();
+            let reference = analyzer.single_node_by_name("out").unwrap();
+            assert_eq!(point.label, label);
+            match (reference.estimate, point.estimate) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.natural_freq_hz.to_bits(), b.natural_freq_hz.to_bits());
+                    assert_eq!(a.damping_ratio.to_bits(), b.damping_ratio.to_bits());
+                    assert_eq!(a.performance_index.to_bits(), b.performance_index.to_bits());
+                    assert_eq!(
+                        a.phase_margin_exact_deg.to_bits(),
+                        b.phase_margin_exact_deg.to_bits()
+                    );
+                }
+                (None, None) => {}
+                (a, b) => panic!("estimate presence diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_variants_fall_back_to_per_variant_analyses() {
+        // A topology mismatch (different node sets) cannot share one plan;
+        // the sweep must still succeed via the per-variant fallback.
+        let mut rc = loopscope_netlist::Circuit::new("rc");
+        let out = rc.node("out");
+        rc.add_resistor("R1", out, loopscope_netlist::Circuit::GROUND, 1.0e3);
+        rc.add_capacitor("C1", out, loopscope_netlist::Circuit::GROUND, 1.0e-9);
+        let mut all = variants();
+        all.push(("rc".to_string(), rc));
+        let sweep = sweep_node(all, "out", options()).unwrap();
+        assert_eq!(sweep.points.len(), 4);
+        assert_eq!(sweep.points[3].label, "rc");
     }
 
     #[test]

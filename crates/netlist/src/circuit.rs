@@ -139,6 +139,14 @@ impl Circuit {
         self.element_index.get(name).map(|&i| &self.elements[i])
     }
 
+    /// Position of the named element in [`elements`](Circuit::elements)
+    /// order, letting callers address an element without repeating the name
+    /// lookup (batched sweeps resolve their tolerance rules once and then
+    /// refer to elements by index for every variant).
+    pub fn element_position(&self, name: &str) -> Option<usize> {
+        self.element_index.get(name).copied()
+    }
+
     /// Mutable access to an element by instance name (used, for example, to
     /// zero AC stimuli or retune a compensation component between runs).
     pub fn element_mut(&mut self, name: &str) -> Option<&mut Element> {

@@ -9,7 +9,12 @@
 //!    (`acc -= vals[i] · work[cols[i]]`, strictly in order), and
 //! 3. the **k-wide panel update** of the blocked multi-RHS solve
 //!    (`dst[j] -= v · src[j]` / `dst[j] = dst[j] / diag` over `k` contiguous
-//!    right-hand-side lanes).
+//!    right-hand-side lanes), and
+//! 4. the **w-wide variant-lane update** of the batched many-variant
+//!    refactor/solve (`dst[w] -= a[w] · b[w]` / `dst[w] = dst[w] / den[w]`
+//!    over `w` contiguous variant lanes — unlike the panel forms, every
+//!    lane carries its *own* factor value, because each lane is an
+//!    independent matrix sharing only the fill pattern).
 //!
 //! This module implements each primitive twice — a portable scalar reference
 //! ([`scalar`]) and an AVX2 split-lane `(re, im)` form over
@@ -178,6 +183,25 @@ pub mod scalar {
             *d = *d / diag;
         }
     }
+
+    /// `dst[w] -= a[w] * b[w]` elementwise over the common length — the
+    /// w-lane batched-variant update (lane = independent variant, each with
+    /// its own multiplier `a[w]` and factor value `b[w]`).
+    #[inline]
+    pub fn lane_mul_sub<T: Scalar>(a: &[T], b: &[T], dst: &mut [T]) {
+        for ((d, x), y) in dst.iter_mut().zip(a).zip(b) {
+            *d -= *x * *y;
+        }
+    }
+
+    /// `dst[w] = dst[w] / den[w]` elementwise — the batched
+    /// back-substitution divide, one independent diagonal per variant lane.
+    #[inline]
+    pub fn lane_div<T: Scalar>(den: &[T], dst: &mut [T]) {
+        for (d, e) in dst.iter_mut().zip(den) {
+            *d = *d / *e;
+        }
+    }
 }
 
 /// AVX2 split-lane implementations. Every function performs exactly the
@@ -191,7 +215,7 @@ pub mod scalar {
 #[allow(unsafe_code)]
 mod avx2 {
     use core::arch::x86_64::{
-        __m128d, __m256d, _mm256_addsub_pd, _mm256_castpd256_pd128, _mm256_div_pd,
+        __m128d, __m256d, _mm256_add_pd, _mm256_addsub_pd, _mm256_castpd256_pd128, _mm256_div_pd,
         _mm256_extractf128_pd, _mm256_loadu_pd, _mm256_movedup_pd, _mm256_mul_pd,
         _mm256_permute_pd, _mm256_set1_pd, _mm256_set_m128d, _mm256_storeu_pd, _mm256_sub_pd,
         _mm256_xor_pd, _mm_loadu_pd, _mm_storeu_pd, _mm_sub_pd,
@@ -346,6 +370,72 @@ mod avx2 {
         }
     }
 
+    /// See [`super::scalar::lane_mul_sub`]: two complex variant lanes per
+    /// vector op, each lane multiplying its own `a[w]·b[w]` pair with
+    /// exactly the scalar operation order (multiplies then one `vaddsubpd`,
+    /// then the subtract — never FMA).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lane_mul_sub_c64(a: &[Complex64], b: &[Complex64], dst: &mut [Complex64]) {
+        let n = dst.len().min(a.len()).min(b.len());
+        let mut j = 0;
+        while j + 2 <= n {
+            let va = _mm256_loadu_pd(a[j..j + 2].as_ptr().cast::<f64>());
+            let vb = _mm256_loadu_pd(b[j..j + 2].as_ptr().cast::<f64>());
+            // Pairwise complex products a·b: re = a.re·b.re − a.im·b.im,
+            // im = a.re·b.im + a.im·b.re.
+            let t1 = _mm256_mul_pd(_mm256_movedup_pd(va), vb);
+            let t2 = _mm256_mul_pd(
+                _mm256_permute_pd::<0b1111>(va),
+                _mm256_permute_pd::<0b0101>(vb),
+            );
+            let prod = _mm256_addsub_pd(t1, t2);
+            let dp = dst[j..j + 2].as_mut_ptr().cast::<f64>();
+            let d = _mm256_loadu_pd(dp);
+            _mm256_storeu_pd(dp, _mm256_sub_pd(d, prod));
+            j += 2;
+        }
+        if j < n {
+            dst[j] -= a[j] * b[j];
+        }
+    }
+
+    /// See [`super::scalar::lane_div`]: each variant lane divides by its own
+    /// diagonal. The per-lane `|den|²` denominators are built with one
+    /// multiply and one in-register add in the scalar `re·re + im·im` order
+    /// (the same expression as `Complex64::norm_sqr`), the numerators with
+    /// multiplies and one sign-flipped `vaddsubpd` exactly like
+    /// [`panel_div_c64`], then one `vdivpd`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lane_div_c64(den: &[Complex64], dst: &mut [Complex64]) {
+        let n = dst.len().min(den.len());
+        let sign = _mm256_set1_pd(-0.0);
+        let mut j = 0;
+        while j + 2 <= n {
+            let vd = _mm256_loadu_pd(den[j..j + 2].as_ptr().cast::<f64>());
+            // [re², im²] per lane, then each half-lane summed with its
+            // swapped neighbor: both slots hold re² + im² (IEEE addition is
+            // commutative bitwise, so slot order does not matter).
+            let sq = _mm256_mul_pd(vd, vd);
+            let dsum = _mm256_add_pd(sq, _mm256_permute_pd::<0b0101>(sq));
+            let dp = dst[j..j + 2].as_mut_ptr().cast::<f64>();
+            let a = _mm256_loadu_pd(dp);
+            // num = [a.re·d.re + a.im·d.im, a.im·d.re − a.re·d.im]: addsub
+            // with the second operand negated turns its even-lane subtract
+            // into the required add and vice versa.
+            let t1 = _mm256_mul_pd(a, _mm256_movedup_pd(vd));
+            let t2 = _mm256_mul_pd(
+                _mm256_permute_pd::<0b0101>(a),
+                _mm256_permute_pd::<0b1111>(vd),
+            );
+            let num = _mm256_addsub_pd(t1, _mm256_xor_pd(t2, sign));
+            _mm256_storeu_pd(dp, _mm256_div_pd(num, dsum));
+            j += 2;
+        }
+        if j < n {
+            dst[j] /= den[j];
+        }
+    }
+
     /// Real-lane form of [`axpy_indexed_c64`]: four products per vector op,
     /// scattered sequentially.
     #[target_feature(enable = "avx2")]
@@ -438,6 +528,45 @@ mod avx2 {
         }
         while j < n {
             dst[j] /= diag;
+            j += 1;
+        }
+    }
+
+    /// Real-lane form of [`lane_mul_sub_c64`]: four variant lanes per op.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lane_mul_sub_f64(a: &[f64], b: &[f64], dst: &mut [f64]) {
+        let n = dst.len().min(a.len()).min(b.len());
+        let mut j = 0;
+        while j + 4 <= n {
+            let prod = _mm256_mul_pd(
+                _mm256_loadu_pd(a[j..].as_ptr()),
+                _mm256_loadu_pd(b[j..].as_ptr()),
+            );
+            let dp = dst[j..].as_mut_ptr();
+            _mm256_storeu_pd(dp, _mm256_sub_pd(_mm256_loadu_pd(dp), prod));
+            j += 4;
+        }
+        while j < n {
+            dst[j] -= a[j] * b[j];
+            j += 1;
+        }
+    }
+
+    /// Real-lane form of [`lane_div_c64`]: one `vdivpd` per four lanes.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn lane_div_f64(den: &[f64], dst: &mut [f64]) {
+        let n = dst.len().min(den.len());
+        let mut j = 0;
+        while j + 4 <= n {
+            let dp = dst[j..].as_mut_ptr();
+            _mm256_storeu_pd(
+                dp,
+                _mm256_div_pd(_mm256_loadu_pd(dp), _mm256_loadu_pd(den[j..].as_ptr())),
+            );
+            j += 4;
+        }
+        while j < n {
+            dst[j] /= den[j];
             j += 1;
         }
     }
@@ -601,6 +730,87 @@ dispatchers!(
     panel_div_f64
 );
 
+/// Per-type dispatchers for the batched variant-lane primitives, with the
+/// same structure and soundness discipline as [`dispatchers`]: short slices
+/// take the inlined scalar loop, and the AVX2 arm re-checks
+/// [`simd_available`] before the `unsafe` call.
+macro_rules! lane_dispatchers {
+    ($ty:ty, $lanes:expr, $mulsub:ident, $div:ident, $mulsub_simd:ident, $div_simd:ident) => {
+        /// `dst[w] -= a[w] * b[w]` elementwise on the chosen backend (see
+        /// [`scalar::lane_mul_sub`]) — the batched-variant lane update,
+        /// where every lane is an independent variant with its own
+        /// multiplier/factor pair.
+        #[inline]
+        pub fn $mulsub(backend: KernelBackend, a: &[$ty], b: &[$ty], dst: &mut [$ty]) {
+            if dst.len() < $lanes {
+                return scalar::lane_mul_sub(a, b, dst);
+            }
+            match backend {
+                KernelBackend::Scalar => scalar::lane_mul_sub(a, b, dst),
+                KernelBackend::Avx2 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if simd_available() {
+                        // SAFETY: AVX2 presence was just verified.
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            avx2::$mulsub_simd(a, b, dst)
+                        }
+                    } else {
+                        scalar::lane_mul_sub(a, b, dst)
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    scalar::lane_mul_sub(a, b, dst)
+                }
+            }
+        }
+
+        /// `dst[w] = dst[w] / den[w]` elementwise on the chosen backend
+        /// (see [`scalar::lane_div`]) — one independent diagonal per
+        /// variant lane.
+        #[inline]
+        pub fn $div(backend: KernelBackend, den: &[$ty], dst: &mut [$ty]) {
+            if dst.len() < $lanes {
+                return scalar::lane_div(den, dst);
+            }
+            match backend {
+                KernelBackend::Scalar => scalar::lane_div(den, dst),
+                KernelBackend::Avx2 => {
+                    #[cfg(target_arch = "x86_64")]
+                    if simd_available() {
+                        // SAFETY: AVX2 presence was just verified.
+                        #[allow(unsafe_code)]
+                        unsafe {
+                            avx2::$div_simd(den, dst)
+                        }
+                    } else {
+                        scalar::lane_div(den, dst)
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    scalar::lane_div(den, dst)
+                }
+            }
+        }
+    };
+}
+
+lane_dispatchers!(
+    Complex64,
+    2,
+    lane_mul_sub_c64,
+    lane_div_c64,
+    lane_mul_sub_c64,
+    lane_div_c64
+);
+
+lane_dispatchers!(
+    f64,
+    4,
+    lane_mul_sub_f64,
+    lane_div_f64,
+    lane_mul_sub_f64,
+    lane_div_f64
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,5 +869,69 @@ mod tests {
         assert_eq!(dst, [7.0, 4.0]);
         scalar::panel_div(2.0, &mut dst);
         assert_eq!(dst, [3.5, 2.0]);
+    }
+
+    #[test]
+    fn lane_scalar_reference_semantics() {
+        let a = [2.0f64, -3.0, 0.5, 4.0];
+        let b = [1.5f64, 2.0, -8.0, 0.25];
+        let mut dst = [10.0f64, 10.0, 10.0, 10.0];
+        scalar::lane_mul_sub(&a, &b, &mut dst);
+        assert_eq!(dst, [7.0, 16.0, 14.0, 9.0]);
+        scalar::lane_div(&[2.0, 4.0, -7.0, 3.0], &mut dst);
+        assert_eq!(dst, [3.5, 4.0, -2.0, 3.0]);
+    }
+
+    /// The batched lane primitives must match the scalar reference
+    /// bit-for-bit on the dispatched backend, on awkwardly scaled data and
+    /// at lengths exercising both the vector body and the scalar tail.
+    #[test]
+    fn lane_dispatchers_bitwise_match_scalar() {
+        let backend = selected_backend();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((seed >> 11) as f64) / ((1u64 << 53) as f64);
+            (u - 0.5) * 2.0e3 * (10.0f64).powi(((seed >> 7) % 13) as i32 - 6)
+        };
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 11] {
+            let a: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+            let b: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+            let base: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+            let mut want = base.clone();
+            scalar::lane_mul_sub(&a, &b, &mut want);
+            let mut got = base.clone();
+            lane_mul_sub_c64(backend, &a, &b, &mut got);
+            for (w, g) in want.iter().zip(&got) {
+                assert!(w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits());
+            }
+            let mut want = base.clone();
+            scalar::lane_div(&a, &mut want);
+            let mut got = base.clone();
+            lane_div_c64(backend, &a, &mut got);
+            for (w, g) in want.iter().zip(&got) {
+                assert!(w.re.to_bits() == g.re.to_bits() && w.im.to_bits() == g.im.to_bits());
+            }
+
+            let ra: Vec<f64> = (0..n).map(|_| next()).collect();
+            let rb: Vec<f64> = (0..n).map(|_| next()).collect();
+            let rbase: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut want = rbase.clone();
+            scalar::lane_mul_sub(&ra, &rb, &mut want);
+            let mut got = rbase.clone();
+            lane_mul_sub_f64(backend, &ra, &rb, &mut got);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits());
+            }
+            let mut want = rbase.clone();
+            scalar::lane_div(&ra, &mut want);
+            let mut got = rbase;
+            lane_div_f64(backend, &ra, &mut got);
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.to_bits(), g.to_bits());
+            }
+        }
     }
 }

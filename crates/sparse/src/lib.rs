@@ -100,8 +100,9 @@ mod triplet;
 pub use csr::CsrMatrix;
 pub use kernels::KernelBackend;
 pub use lu::{
-    solve_once, LuWorkspace, RefineWorkspace, SolveError, SolveQuality, SparseLu, SymbolicLu,
-    ORDERED_PIVOT_THRESHOLD, REFINE_BACKWARD_TOLERANCE, REFINE_MAX_STEPS,
+    normwise_backward_error, solve_once, BatchLaneStatus, BatchedLu, LuWorkspace, RefineWorkspace,
+    SolveError, SolveQuality, SparseLu, SymbolicLu, ORDERED_PIVOT_THRESHOLD,
+    REFINE_BACKWARD_TOLERANCE, REFINE_MAX_STEPS,
 };
 pub use scalar::Scalar;
 pub use triplet::TripletMatrix;

@@ -2201,6 +2201,455 @@ pub fn solve_once<T: Scalar>(matrix: &CsrMatrix<T>, b: &[T]) -> Result<Vec<T>, S
     fill_reducing_factor(matrix)?.solve(b)
 }
 
+/// Normwise backward error `‖b − A·x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)` of a candidate
+/// solution `x` — **the exact residual test** [`SparseLu::solve_refined_into`]
+/// runs before its first refinement step (same norms, same non-finite
+/// handling: `0` for an exactly zero residual, `+∞` whenever any ingredient
+/// is non-finite). Exposed so batched drivers can apply the identical
+/// accept/escalate rule to solutions produced outside the refined path: a
+/// value `≤` [`REFINE_BACKWARD_TOLERANCE`] is precisely the condition under
+/// which a refined solve would have returned the candidate unchanged.
+///
+/// `residual` is caller-held scratch of the matrix dimension; on return it
+/// holds `b − A·x`. Performs no heap allocation.
+///
+/// # Panics
+///
+/// Panics when `x`, `b` or `residual` are shorter than the matrix row count.
+pub fn normwise_backward_error<T: Scalar>(
+    matrix: &CsrMatrix<T>,
+    x: &[T],
+    b: &[T],
+    residual: &mut [T],
+) -> f64 {
+    let mut norm_a = 0.0f64;
+    residual_into(matrix, x, b, residual, Some(&mut norm_a));
+    backward_error(inf_norm(residual), norm_a, inf_norm(x), inf_norm(b))
+}
+
+/// Per-lane outcome of a [`BatchedLu::refactor`] call.
+///
+/// Lanes fail **independently**: a degraded pivot or stale pattern in one
+/// variant never aborts the batch, it only marks that lane so the driver can
+/// rerun the variant through a scalar fallback (the same policy
+/// [`SparseLu::refactor_into`] applies by re-pivoting — batched lanes share
+/// one pattern, so re-pivoting is necessarily per-lane and out-of-band).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchLaneStatus {
+    /// The lane refactored cleanly; its solution lanes are valid.
+    Factored,
+    /// A pivot fell below the numeric quality threshold for this lane's
+    /// values (the batched analogue of the soft degradation that makes
+    /// [`SparseLu::refactor_into`] fall back to fresh pivoting).
+    Degraded,
+    /// This lane's matrix has an entry outside the shared fill pattern; the
+    /// symbolic analysis is stale for it.
+    PatternMismatch,
+    /// A hard per-lane error (dimension mismatch or non-finite stamp).
+    Failed(SolveError),
+}
+
+impl BatchLaneStatus {
+    /// `true` for [`BatchLaneStatus::Factored`].
+    pub fn is_factored(self) -> bool {
+        matches!(self, BatchLaneStatus::Factored)
+    }
+}
+
+/// A batched numeric LU over `width` **independent matrices sharing one
+/// symbolic analysis** — the variant axis of Monte Carlo / corner sweeps.
+///
+/// All `width` factorizations are stored structure-of-arrays: the values of
+/// pattern slot `s` for every lane sit contiguously at `s·width..(s+1)·width`.
+/// Because every lane shares the fill pattern, one index stream drives
+/// `width` lanes of arithmetic through the `kernel_lane_*` primitives of
+/// [`crate::kernels`] — and because those primitives perform per-lane exactly
+/// the scalar reference operations in the scalar order (no FMA, no
+/// reassociation, no cross-lane math), **each lane's factors and solutions
+/// are bitwise identical to a scalar [`SparseLu::refactor_into`] /
+/// [`SparseLu::solve_into`] run on that lane's matrix alone**, at any batch
+/// width and on every kernel backend. `width == 1` is therefore not a special
+/// case but the serial reference the determinism suite compares against.
+///
+/// The refactorization mirrors the scalar pass lane-by-lane, including the
+/// pivot-quality rule: a lane whose pivot degrades (or whose matrix has
+/// drifted off the pattern) is marked in [`statuses`](BatchedLu::statuses)
+/// and its remaining values are unspecified, while the other lanes complete
+/// normally. After construction no method performs heap allocation.
+#[derive(Debug, Clone)]
+pub struct BatchedLu<T: Scalar> {
+    pattern: Arc<LuPattern>,
+    width: usize,
+    /// Lane-interleaved factor values: slot `s`, lane `w` at `s·width + w`.
+    l_vals: Vec<T>,
+    u_vals: Vec<T>,
+    f_vals: Vec<T>,
+    /// Lane-interleaved dense scatter row (`n·width`).
+    work: Vec<T>,
+    /// Shared column markers — the fill pattern is lane-invariant, so one
+    /// marker array serves every lane (same scheme as [`LuWorkspace`]).
+    marked: Vec<usize>,
+    stamp: usize,
+    /// Lane-interleaved per-elimination-column scales (`n·width`).
+    col_max: Vec<f64>,
+    /// Per-lane scratch for the column scan (dimension `n` each).
+    col_scratch: Vec<f64>,
+    col_arg: Vec<T>,
+    /// Per-lane outcome of the most recent [`refactor`](BatchedLu::refactor).
+    statuses: Vec<BatchLaneStatus>,
+    /// Per-lane liveness during a refactor pass (scratch).
+    live: Vec<bool>,
+    /// `true` once a refactor call has completed with ≥ 1 factored lane.
+    factored: bool,
+}
+
+impl<T: Scalar> BatchedLu<T> {
+    /// Creates a batched factorization shell over `symbolic` with `width`
+    /// variant lanes. All buffers are allocated here;
+    /// [`refactor`](BatchedLu::refactor) and
+    /// [`solve_into`](BatchedLu::solve_into) are allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is zero.
+    pub fn new(symbolic: &SymbolicLu, width: usize) -> Self {
+        assert!(width > 0, "batch width must be at least 1");
+        let p = Arc::clone(&symbolic.pattern);
+        let n = p.n;
+        Self {
+            l_vals: vec![T::ZERO; p.l_cols.len() * width],
+            u_vals: vec![T::ZERO; p.u_cols.len() * width],
+            f_vals: vec![T::ZERO; p.f_cols.len() * width],
+            work: vec![T::ZERO; n * width],
+            marked: vec![usize::MAX; n],
+            stamp: 0,
+            col_max: vec![0.0; n * width],
+            col_scratch: vec![0.0; n],
+            col_arg: vec![T::ZERO; n],
+            statuses: Vec::with_capacity(width),
+            live: vec![false; width],
+            factored: false,
+            pattern: p,
+            width,
+        }
+    }
+
+    /// Number of variant lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.pattern.n
+    }
+
+    /// Per-lane outcome of the most recent [`refactor`](BatchedLu::refactor)
+    /// call (empty before the first call). One entry per supplied matrix.
+    pub fn statuses(&self) -> &[BatchLaneStatus] {
+        &self.statuses
+    }
+
+    /// Refactors up to `width` matrices over the shared pattern in one
+    /// batched pass, returning the per-lane outcomes. `matrices` may be
+    /// shorter than the width (a ragged final group): the surplus lanes
+    /// simply carry unspecified values.
+    ///
+    /// Per lane, every arithmetic operation — scatter, elimination axpy,
+    /// pivot test — is performed in exactly the order of a scalar
+    /// [`SparseLu::refactor_into`] on that matrix alone, so a
+    /// [`BatchLaneStatus::Factored`] lane holds bitwise-identical factor
+    /// values. Failed lanes (degraded pivot, pattern drift, non-finite
+    /// stamp, dimension mismatch) are reported in their status and never
+    /// disturb the other lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `matrices` is empty or longer than the width.
+    pub fn refactor(&mut self, matrices: &[CsrMatrix<T>]) -> &[BatchLaneStatus] {
+        let p = Arc::clone(&self.pattern);
+        let n = p.n;
+        let wdt = self.width;
+        let m = matrices.len();
+        assert!(
+            m >= 1 && m <= wdt,
+            "batch of {m} matrices does not fit width {wdt}"
+        );
+        self.statuses.clear();
+        self.statuses.resize(m, BatchLaneStatus::Factored);
+        for (w, lane_live) in self.live.iter_mut().enumerate() {
+            *lane_live = w < m;
+        }
+        // Per-lane column scales (the hard up-front checks of the scalar
+        // pass): a bad lane is dead from the start, the rest proceed.
+        for (w, matrix) in matrices.iter().enumerate() {
+            if matrix.rows() != n || matrix.cols() != n {
+                self.statuses[w] = BatchLaneStatus::Failed(SolveError::NotSquare {
+                    rows: matrix.rows(),
+                    cols: matrix.cols(),
+                });
+                self.live[w] = false;
+                continue;
+            }
+            match column_max_moduli_into(matrix, &p.cpos, &mut self.col_scratch, &mut self.col_arg)
+            {
+                Ok(()) => {
+                    for (i, &s) in self.col_scratch.iter().enumerate() {
+                        self.col_max[i * wdt + w] = s;
+                    }
+                }
+                Err(e) => {
+                    self.statuses[w] = BatchLaneStatus::Failed(e);
+                    self.live[w] = false;
+                }
+            }
+        }
+        // Marker reset, same O(1) stamp scheme as `LuWorkspace::reset`.
+        self.stamp += n;
+        let mark = self.stamp;
+        let backend = p.backend;
+
+        for i in 0..n {
+            let l_range = p.l_ptr[i]..p.l_ptr[i + 1];
+            let u_range = p.u_ptr[i]..p.u_ptr[i + 1];
+            let f_range = p.f_ptr[i]..p.f_ptr[i + 1];
+            for &c in p.l_cols[l_range.clone()]
+                .iter()
+                .chain(&p.u_cols[u_range.clone()])
+                .chain(&p.f_cols[f_range.clone()])
+            {
+                self.work[c * wdt..(c + 1) * wdt].fill(T::ZERO);
+                self.marked[c] = mark + i;
+            }
+            // Per-lane scatter of the pivot row. A stray entry means the
+            // pattern is stale *for that lane*; the lane dies, the write is
+            // skipped (lane slots are private, so nothing else is touched).
+            for (w, matrix) in matrices.iter().enumerate() {
+                if !self.live[w] {
+                    continue;
+                }
+                for (c, v) in matrix.row_entries(p.perm[i]) {
+                    let cc = p.cpos[c];
+                    if self.marked[cc] != mark + i {
+                        self.statuses[w] = BatchLaneStatus::PatternMismatch;
+                        self.live[w] = false;
+                        break;
+                    }
+                    self.work[cc * wdt + w] = v;
+                }
+            }
+            // Left-looking elimination, all lanes per pattern entry: the
+            // multiplier divide runs as one lane_div (per-lane scalar Div),
+            // the U-row axpy as one lane_mul_sub per fill slot — unless any
+            // lane's multiplier is exactly zero, in which case the per-lane
+            // loop preserves the scalar path's `is_zero` skip bit-for-bit
+            // (subtracting an exact-zero product can still flip a signed
+            // zero, and 0·∞ would manufacture NaN).
+            for t in l_range.clone() {
+                let k = p.l_cols[t];
+                let u_diag = p.u_ptr[k] * wdt;
+                let lane = t * wdt;
+                self.l_vals[lane..lane + wdt].copy_from_slice(&self.work[k * wdt..(k + 1) * wdt]);
+                T::kernel_lane_div(
+                    backend,
+                    &self.u_vals[u_diag..u_diag + wdt],
+                    &mut self.l_vals[lane..lane + wdt],
+                );
+                let mults = &self.l_vals[lane..lane + wdt];
+                let all_nonzero = mults.iter().all(|mlt| !mlt.is_zero());
+                let row = (p.u_ptr[k] + 1)..p.u_ptr[k + 1];
+                if all_nonzero {
+                    for s in row {
+                        let c = p.u_cols[s] * wdt;
+                        T::kernel_lane_mul_sub(
+                            backend,
+                            &self.l_vals[lane..lane + wdt],
+                            &self.u_vals[s * wdt..(s + 1) * wdt],
+                            &mut self.work[c..c + wdt],
+                        );
+                    }
+                } else {
+                    for s in row {
+                        let c = p.u_cols[s] * wdt;
+                        for w in 0..wdt {
+                            let mult = self.l_vals[lane + w];
+                            if !mult.is_zero() {
+                                self.work[c + w] -= mult * self.u_vals[s * wdt + w];
+                            }
+                        }
+                    }
+                }
+            }
+            // Gather the U and F rows for every lane.
+            for s in u_range.clone() {
+                let c = p.u_cols[s] * wdt;
+                self.u_vals[s * wdt..(s + 1) * wdt].copy_from_slice(&self.work[c..c + wdt]);
+            }
+            for t in f_range {
+                let c = p.f_cols[t] * wdt;
+                self.f_vals[t * wdt..(t + 1) * wdt].copy_from_slice(&self.work[c..c + wdt]);
+            }
+            // Per-lane pivot quality, the exact scalar rule (squared-
+            // magnitude fast path, exact-modulus fallback when any square in
+            // the lane's row degenerated). A lane keeps only its *first*
+            // failure: the scalar pass would have stopped there.
+            let diag_at = p.u_ptr[i] * wdt;
+            for w in 0..wdt {
+                if !self.live[w] {
+                    continue;
+                }
+                let mut row_max_sqr = 0.0f64;
+                let mut row_squares_exact = true;
+                for s in u_range.clone() {
+                    let v = self.u_vals[s * wdt + w];
+                    let m2 = v.modulus_sqr();
+                    if !(m2.is_normal() || v.is_zero()) {
+                        row_squares_exact = false;
+                    }
+                    if m2 > row_max_sqr {
+                        row_max_sqr = m2;
+                    }
+                }
+                let pivot = self.u_vals[diag_at + w];
+                let scale = self.col_max[i * wdt + w] * SINGULARITY_RELATIVE;
+                let scale_sqr = scale * scale;
+                let degraded = if row_squares_exact && (scale_sqr.is_normal() || scale == 0.0) {
+                    let pivot_sqr = pivot.modulus_sqr();
+                    pivot_sqr == 0.0
+                        || pivot_sqr <= scale_sqr
+                        || pivot_sqr
+                            < REFACTOR_PIVOT_RELATIVE * REFACTOR_PIVOT_RELATIVE * row_max_sqr
+                } else if !pivot.is_finite() {
+                    true
+                } else {
+                    let pivot_mod = pivot.modulus();
+                    let row_max = u_range
+                        .clone()
+                        .map(|s| self.u_vals[s * wdt + w].modulus())
+                        .fold(0.0f64, f64::max);
+                    pivot_mod == 0.0
+                        || pivot_mod <= scale
+                        || pivot_mod < REFACTOR_PIVOT_RELATIVE * row_max
+                };
+                if degraded {
+                    self.statuses[w] = BatchLaneStatus::Degraded;
+                    self.live[w] = false;
+                }
+            }
+        }
+        if self.statuses.iter().any(|s| s.is_factored()) {
+            self.factored = true;
+        }
+        &self.statuses
+    }
+
+    /// Solves all lanes **in place** over lane-interleaved right-hand sides:
+    /// `rhs[r·width + w]` is component `r` of lane `w`'s system on entry and
+    /// of its solution on return; `work` is caller-held scratch of the same
+    /// `n·width` length.
+    ///
+    /// One traversal of the shared L/U index structure drives every lane:
+    /// each factor slot loaded once streams over `width` contiguous lanes
+    /// via the `lane` kernels. Per lane the operation sequence — every
+    /// product, subtraction and division, in order — is identical to a
+    /// scalar [`SparseLu::solve_into`] with that lane's factors, so factored
+    /// lanes produce bitwise-identical solutions at any width. Lanes that
+    /// did not factor yield unspecified values (check
+    /// [`statuses`](BatchedLu::statuses)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::RhsLength`] when `rhs.len()` or `work.len()`
+    /// differs from `width` times the matrix dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no [`refactor`](BatchedLu::refactor) call has produced a
+    /// factored lane yet.
+    pub fn solve_into(&self, rhs: &mut [T], work: &mut [T]) -> Result<(), SolveError> {
+        let p = &*self.pattern;
+        assert!(
+            self.factored,
+            "solve on an unfactored BatchedLu: refactor must produce a factored lane first"
+        );
+        let wdt = self.width;
+        let expected = p.n * wdt;
+        if rhs.len() != expected {
+            return Err(SolveError::RhsLength {
+                expected,
+                got: rhs.len(),
+            });
+        }
+        if work.len() != expected {
+            return Err(SolveError::RhsLength {
+                expected,
+                got: work.len(),
+            });
+        }
+        // Identical traversal to `solve_block_into`, with the panel axis
+        // replaced by the variant axis: F and U sources live in later
+        // elimination rows than the destination, L sources in earlier ones,
+        // so the borrow splits are valid — but every lane multiplies its
+        // *own* factor value, hence lane_mul_sub instead of panel_axpy.
+        let backend = p.backend;
+        for b in (0..p.block_ptr.len() - 1).rev() {
+            let (bs, be) = (p.block_ptr[b], p.block_ptr[b + 1]);
+            for i in bs..be {
+                let pr = p.perm[i] * wdt;
+                let row = i * wdt;
+                work[row..row + wdt].copy_from_slice(&rhs[pr..pr + wdt]);
+                {
+                    let (head, tail) = work.split_at_mut(row + wdt);
+                    let dst = &mut head[row..];
+                    for t in p.f_ptr[i]..p.f_ptr[i + 1] {
+                        let src = p.f_cols[t] * wdt - (row + wdt);
+                        T::kernel_lane_mul_sub(
+                            backend,
+                            &self.f_vals[t * wdt..(t + 1) * wdt],
+                            &tail[src..src + wdt],
+                            dst,
+                        );
+                    }
+                }
+                {
+                    let (head, tail) = work.split_at_mut(row);
+                    let dst = &mut tail[..wdt];
+                    for t in p.l_ptr[i]..p.l_ptr[i + 1] {
+                        let src = p.l_cols[t] * wdt;
+                        T::kernel_lane_mul_sub(
+                            backend,
+                            &self.l_vals[t * wdt..(t + 1) * wdt],
+                            &head[src..src + wdt],
+                            dst,
+                        );
+                    }
+                }
+            }
+            for i in (bs..be).rev() {
+                let start = p.u_ptr[i];
+                let row = i * wdt;
+                let (head, tail) = work.split_at_mut(row + wdt);
+                let dst = &mut head[row..];
+                for t in (start + 1)..p.u_ptr[i + 1] {
+                    let src = p.u_cols[t] * wdt - (row + wdt);
+                    T::kernel_lane_mul_sub(
+                        backend,
+                        &self.u_vals[t * wdt..(t + 1) * wdt],
+                        &tail[src..src + wdt],
+                        dst,
+                    );
+                }
+                T::kernel_lane_div(backend, &self.u_vals[start * wdt..(start + 1) * wdt], dst);
+            }
+        }
+        for i in 0..p.n {
+            let c = p.cperm[i] * wdt;
+            rhs[c..c + wdt].copy_from_slice(&work[i * wdt..(i + 1) * wdt]);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -3248,5 +3697,234 @@ mod tests {
         );
         let x = lu.solve(&[3.0e-200, 4.0e-200]).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-10 && (x[1] - 1.0).abs() < 1e-10);
+    }
+
+    /// Lane-interleaves per-variant vectors into the SoA layout
+    /// [`BatchedLu::solve_into`] consumes.
+    fn interleave<T: Scalar>(lanes: &[Vec<T>], width: usize) -> Vec<T> {
+        let n = lanes[0].len();
+        let mut out = vec![T::ZERO; n * width];
+        for (w, lane) in lanes.iter().enumerate() {
+            for (r, &v) in lane.iter().enumerate() {
+                out[r * width + w] = v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batched_refactor_and_solve_bitwise_match_scalar_btf() {
+        // Three value variants over the 3-block cascade pattern: every
+        // factor value and every solution component of every lane must be
+        // bit-identical to a scalar refactor_into + solve_into on that
+        // variant alone (F entries included — the batch crosses BTF blocks).
+        let scales = [1.0, 1.7, 0.4];
+        let (_, symbolic) = SparseLu::factor_with_symbolic_btf(&cascade(scales[0])).unwrap();
+        let matrices: Vec<CsrMatrix<f64>> = scales.iter().map(|&s| cascade(s)).collect();
+        let rhs_of = |s: f64| vec![3.0 * s, -1.0, 0.5 * s, 2.0, 1.0 + s];
+
+        let mut batched = BatchedLu::new(&symbolic, scales.len());
+        assert_eq!(batched.width(), 3);
+        assert_eq!(batched.dim(), 5);
+        let statuses = batched.refactor(&matrices).to_vec();
+        assert!(statuses.iter().all(|s| s.is_factored()), "{statuses:?}");
+        let lanes: Vec<Vec<f64>> = scales.iter().map(|&s| rhs_of(s)).collect();
+        let mut soa = interleave(&lanes, scales.len());
+        let mut soa_work = vec![0.0; soa.len()];
+        batched.solve_into(&mut soa, &mut soa_work).unwrap();
+
+        let mut ws = LuWorkspace::new();
+        for (w, (matrix, &s)) in matrices.iter().zip(&scales).enumerate() {
+            let mut lu = SparseLu::from_symbolic(&symbolic);
+            lu.refactor_into(&symbolic, matrix, &mut ws).unwrap();
+            assert!(lu.refactored());
+            let mut x = rhs_of(s);
+            let mut work = vec![0.0; x.len()];
+            lu.solve_into(&mut x, &mut work).unwrap();
+            for (r, xi) in x.iter().enumerate() {
+                assert_eq!(
+                    xi.to_bits(),
+                    soa[r * scales.len() + w].to_bits(),
+                    "lane {w} row {r}: scalar {xi} vs batched {}",
+                    soa[r * scales.len() + w]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_complex_identical_across_widths() {
+        // The same complex variants solved at widths 1..=4 (width 4 leaves a
+        // surplus lane) must agree bitwise with each other and with the
+        // scalar path — width 1 *is* the serial reference, so this is the
+        // in-crate form of the batch determinism contract.
+        let build = |s: f64| {
+            let n = 9;
+            let mut t = TripletMatrix::<Complex64>::new(n, n);
+            for i in 0..n {
+                t.push(i, i, Complex64::new(3.0 * s, 1.0 + i as f64 * 0.1));
+                if i + 1 < n {
+                    t.push(i, i + 1, Complex64::new(-1.0, 0.3 * s));
+                    t.push(i + 1, i, Complex64::new(0.2 * s, -0.8));
+                }
+            }
+            t.to_csr()
+        };
+        let scales = [1.0, 1.3, 0.6];
+        let (_, symbolic) = SparseLu::factor_with_symbolic_btf(&build(scales[0])).unwrap();
+        let matrices: Vec<CsrMatrix<Complex64>> = scales.iter().map(|&s| build(s)).collect();
+        let rhs: Vec<Vec<Complex64>> = scales
+            .iter()
+            .map(|&s| {
+                (0..9)
+                    .map(|i| Complex64::new((i as f64 * s).cos(), (i as f64 * 0.5).sin()))
+                    .collect()
+            })
+            .collect();
+
+        let mut ws = LuWorkspace::new();
+        let reference: Vec<Vec<Complex64>> = matrices
+            .iter()
+            .zip(&rhs)
+            .map(|(m, b)| {
+                let mut lu = SparseLu::from_symbolic(&symbolic);
+                lu.refactor_into(&symbolic, m, &mut ws).unwrap();
+                let mut x = b.clone();
+                let mut work = vec![Complex64::ZERO; x.len()];
+                lu.solve_into(&mut x, &mut work).unwrap();
+                x
+            })
+            .collect();
+
+        for width in 1..=4usize {
+            let mut batched = BatchedLu::new(&symbolic, width);
+            for group in (0..scales.len()).step_by(width) {
+                let end = (group + width).min(scales.len());
+                let statuses = batched.refactor(&matrices[group..end]).to_vec();
+                assert!(statuses.iter().all(|s| s.is_factored()));
+                let lanes: Vec<Vec<Complex64>> = rhs[group..end].to_vec();
+                let mut soa = interleave(&lanes, width);
+                let mut soa_work = vec![Complex64::ZERO; soa.len()];
+                batched.solve_into(&mut soa, &mut soa_work).unwrap();
+                for (w, want) in reference[group..end].iter().enumerate() {
+                    for (r, xi) in want.iter().enumerate() {
+                        let got = soa[r * width + w];
+                        assert!(
+                            xi.re.to_bits() == got.re.to_bits()
+                                && xi.im.to_bits() == got.im.to_bits(),
+                            "width {width} lane {w} row {r}: {xi:?} vs {got:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lane_failures_are_isolated() {
+        let good = csr_from_dense(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&good).unwrap();
+        // Lane 1: exactly singular within the pattern (u22 eliminates to 0).
+        let degraded = csr_from_dense(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        // Lane 2: an entry the pattern does not know about is impossible for
+        // a 2x2 full pattern, so use a NaN stamp instead (hard error).
+        let mut t = TripletMatrix::<f64>::new(2, 2);
+        t.push(0, 0, 2.0);
+        t.push(0, 1, f64::NAN);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 3.0);
+        let poisoned = t.to_csr();
+        // Lane 3: wrong dimension.
+        let small = csr_from_dense(&[&[1.0]]);
+
+        let mut batched = BatchedLu::new(&symbolic, 4);
+        let statuses = batched
+            .refactor(&[good.clone(), degraded, poisoned, small])
+            .to_vec();
+        assert_eq!(statuses[0], BatchLaneStatus::Factored);
+        assert_eq!(statuses[1], BatchLaneStatus::Degraded);
+        assert!(matches!(
+            statuses[2],
+            BatchLaneStatus::Failed(SolveError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            statuses[3],
+            BatchLaneStatus::Failed(SolveError::NotSquare { .. })
+        ));
+
+        // The healthy lane solves to the scalar result despite its
+        // neighbors' garbage.
+        let mut soa = interleave(
+            &[vec![5.0, 10.0], vec![0.0; 2], vec![0.0; 2], vec![0.0; 2]],
+            4,
+        );
+        let mut soa_work = vec![0.0; soa.len()];
+        batched.solve_into(&mut soa, &mut soa_work).unwrap();
+        let lu = SparseLu::factor(&good).unwrap();
+        let x = lu.solve(&[5.0, 10.0]).unwrap();
+        assert_eq!(x[0].to_bits(), soa[0].to_bits());
+        assert_eq!(x[1].to_bits(), soa[4].to_bits());
+    }
+
+    #[test]
+    fn batched_pattern_mismatch_marks_the_lane() {
+        // Tridiagonal symbolic; the second variant has a corner entry the
+        // pattern never saw.
+        let base = csr_from_dense(&[&[4.0, 1.0, 0.0], &[1.0, 4.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&base).unwrap();
+        let stray = csr_from_dense(&[&[4.0, 1.0, 0.5], &[1.0, 4.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let mut batched = BatchedLu::new(&symbolic, 2);
+        let statuses = batched.refactor(&[base.clone(), stray]).to_vec();
+        assert_eq!(statuses[0], BatchLaneStatus::Factored);
+        assert_eq!(statuses[1], BatchLaneStatus::PatternMismatch);
+    }
+
+    #[test]
+    fn batched_solve_rejects_wrong_lengths() {
+        let a = csr_from_dense(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let (_, symbolic) = SparseLu::factor_with_symbolic(&a).unwrap();
+        let mut batched = BatchedLu::new(&symbolic, 2);
+        batched.refactor(&[a.clone(), a.clone()]);
+        let mut short = vec![0.0; 3];
+        let mut work = vec![0.0; 4];
+        assert!(matches!(
+            batched.solve_into(&mut short, &mut work),
+            Err(SolveError::RhsLength {
+                expected: 4,
+                got: 3
+            })
+        ));
+        let mut rhs = vec![0.0; 4];
+        let mut short_work = vec![0.0; 2];
+        assert!(matches!(
+            batched.solve_into(&mut rhs, &mut short_work),
+            Err(SolveError::RhsLength {
+                expected: 4,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn normwise_backward_error_matches_refined_solve_rule() {
+        // A candidate produced by a verified solve must score below the
+        // refinement tolerance through the public helper, and a perturbed
+        // candidate must score worse — the helper is the accept/escalate
+        // rule batched drivers apply outside the refined path.
+        let a = csr_from_dense(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = lu.solve(&b).unwrap();
+        let mut residual = vec![0.0; 3];
+        let berr = normwise_backward_error(&a, &x, &b, &mut residual);
+        assert!(berr <= REFINE_BACKWARD_TOLERANCE, "berr = {berr}");
+        let worse: Vec<f64> = x.iter().map(|v| v + 1.0e-3).collect();
+        let berr_worse = normwise_backward_error(&a, &worse, &b, &mut residual);
+        assert!(berr_worse > berr && berr_worse > REFINE_BACKWARD_TOLERANCE);
+        // Exact-zero residual reports exactly 0.
+        assert_eq!(
+            normwise_backward_error(&a, &[0.0; 3], &[0.0; 3], &mut residual),
+            0.0
+        );
     }
 }

@@ -114,6 +114,22 @@ pub trait Scalar:
     fn kernel_panel_div(_backend: KernelBackend, diag: Self, dst: &mut [Self]) {
         kernels::scalar::panel_div(diag, dst);
     }
+
+    /// `dst[w] -= a[w] * b[w]` elementwise — the w-wide variant-lane update
+    /// of the batched many-variant refactor/solve, where every lane is an
+    /// independent matrix sharing only the fill pattern (so each lane has
+    /// its own multiplier/factor pair).
+    #[inline]
+    fn kernel_lane_mul_sub(_backend: KernelBackend, a: &[Self], b: &[Self], dst: &mut [Self]) {
+        kernels::scalar::lane_mul_sub(a, b, dst);
+    }
+
+    /// `dst[w] = dst[w] / den[w]` elementwise — the batched
+    /// back-substitution divide, one independent diagonal per variant lane.
+    #[inline]
+    fn kernel_lane_div(_backend: KernelBackend, den: &[Self], dst: &mut [Self]) {
+        kernels::scalar::lane_div(den, dst);
+    }
 }
 
 impl Scalar for f64 {
@@ -181,6 +197,16 @@ impl Scalar for f64 {
     fn kernel_panel_div(backend: KernelBackend, diag: Self, dst: &mut [Self]) {
         kernels::panel_div_f64(backend, diag, dst);
     }
+
+    #[inline]
+    fn kernel_lane_mul_sub(backend: KernelBackend, a: &[Self], b: &[Self], dst: &mut [Self]) {
+        kernels::lane_mul_sub_f64(backend, a, b, dst);
+    }
+
+    #[inline]
+    fn kernel_lane_div(backend: KernelBackend, den: &[Self], dst: &mut [Self]) {
+        kernels::lane_div_f64(backend, den, dst);
+    }
 }
 
 impl Scalar for Complex64 {
@@ -247,6 +273,16 @@ impl Scalar for Complex64 {
     #[inline]
     fn kernel_panel_div(backend: KernelBackend, diag: Self, dst: &mut [Self]) {
         kernels::panel_div_c64(backend, diag, dst);
+    }
+
+    #[inline]
+    fn kernel_lane_mul_sub(backend: KernelBackend, a: &[Self], b: &[Self], dst: &mut [Self]) {
+        kernels::lane_mul_sub_c64(backend, a, b, dst);
+    }
+
+    #[inline]
+    fn kernel_lane_div(backend: KernelBackend, den: &[Self], dst: &mut [Self]) {
+        kernels::lane_div_c64(backend, den, dst);
     }
 }
 

@@ -180,7 +180,6 @@ pub struct SolverStructure {
 pub struct AcAnalysis<'c> {
     circuit: &'c Circuit,
     layout: MnaLayout,
-    op_voltages: Vec<f64>,
     /// The shared sweep plan, built lazily at the first solve: the Y(jω)
     /// sparsity pattern, slot map and LU symbolic analysis are identical at
     /// every frequency (and for both sweep and driving-point excitations,
@@ -192,19 +191,40 @@ pub struct AcAnalysis<'c> {
     /// Sweep-level counter totals: the plan build plus every worker
     /// context's counters, merged after each sweep.
     stats: Mutex<SolveStats>,
+    /// Small-signal linearizations of the nonlinear devices, precomputed at
+    /// construction in element order: they depend only on the element and
+    /// the operating point, never on frequency, so one evaluation serves
+    /// every stamp this analysis ever performs. The values are the exact
+    /// ones `devices::small_signal_*` would produce inside the stamp loop —
+    /// computed once instead of per frequency point — so stamped systems
+    /// are bitwise identical to recomputing on every call.
+    small_signal: Vec<devices::SmallSignal>,
 }
 
 /// Assembly job for the complex admittance system at one frequency.
-struct AcSystem<'a, 'c> {
-    analysis: &'a AcAnalysis<'c>,
-    freq_hz: f64,
-    use_circuit_sources: bool,
+///
+/// Crate-visible so the batched variant driver ([`crate::batch`]) can hand
+/// the exact same assembly job to its escalation [`SolveContext`], keeping
+/// the escalated path bitwise identical to the serial sweep path.
+pub(crate) struct AcSystem<'a, 'c> {
+    pub(crate) analysis: &'a AcAnalysis<'c>,
+    pub(crate) freq_hz: f64,
+    pub(crate) use_circuit_sources: bool,
+    /// Element value overrides `(position, element)` sorted by position —
+    /// the batched Monte Carlo driver stamps one shared analysis with
+    /// per-variant values instead of materializing a circuit per variant.
+    /// Empty on the serial path.
+    pub(crate) overrides: &'a [(usize, Element)],
 }
 
 impl AssembleMna<Complex64> for AcSystem<'_, '_> {
     fn stamp<S: MatrixSink<Complex64>>(&self, st: &mut Stamper<'_, Complex64, S>) {
-        self.analysis
-            .stamp_system(st, self.freq_hz, self.use_circuit_sources);
+        self.analysis.stamp_system_overridden(
+            st,
+            self.freq_hz,
+            self.use_circuit_sources,
+            self.overrides,
+        );
     }
 }
 
@@ -225,12 +245,23 @@ impl<'c> AcAnalysis<'c> {
                 circuit.node_count()
             )));
         }
+        let op_voltages = op.node_voltages();
+        let small_signal = circuit
+            .elements()
+            .iter()
+            .filter_map(|el| match el {
+                Element::Diode(d) => Some(devices::small_signal_diode(d, op_voltages)),
+                Element::Bjt(q) => Some(devices::small_signal_bjt(q, op_voltages)),
+                Element::Mosfet(m) => Some(devices::small_signal_mosfet(m, op_voltages)),
+                _ => None,
+            })
+            .collect();
         Ok(Self {
             circuit,
             layout: MnaLayout::new(circuit),
-            op_voltages: op.node_voltages().to_vec(),
             plan: Mutex::new(None),
             stats: Mutex::new(SolveStats::default()),
+            small_signal,
         })
     }
 
@@ -276,6 +307,7 @@ impl<'c> AcAnalysis<'c> {
             analysis: self,
             freq_hz: representative_freq_hz,
             use_circuit_sources: false,
+            overrides: &[],
         };
         let _ = probe.assemble(&job);
         probe
@@ -296,7 +328,10 @@ impl<'c> AcAnalysis<'c> {
     /// The shared sweep plan, built at the first solve from the system at
     /// `first_freq` (representative values for the threshold-pivoted
     /// ordering) and reused — read-only — for every later solve.
-    fn plan_for(&self, first_freq: f64) -> Result<Arc<SweepPlan<Complex64>>, SpiceError> {
+    pub(crate) fn plan_for(
+        &self,
+        first_freq: f64,
+    ) -> Result<Arc<SweepPlan<Complex64>>, SpiceError> {
         let mut guard = self.plan.lock().expect("plan lock");
         if let Some(plan) = guard.as_ref() {
             return Ok(Arc::clone(plan));
@@ -305,6 +340,7 @@ impl<'c> AcAnalysis<'c> {
             analysis: self,
             freq_hz: first_freq,
             use_circuit_sources: false,
+            overrides: &[],
         };
         let plan = Arc::new(SweepPlan::build(&self.layout, &job).map_err(SpiceError::Linear)?);
         self.stats.lock().expect("stats lock").merge(&plan.stats());
@@ -332,11 +368,28 @@ impl<'c> AcAnalysis<'c> {
 
     /// Stamps the complex admittance system at `freq_hz` along with the RHS
     /// produced by the circuit's own AC sources.
-    fn stamp_system<S: MatrixSink<Complex64>>(
+    pub(crate) fn stamp_system<S: MatrixSink<Complex64>>(
         &self,
         st: &mut Stamper<'_, Complex64, S>,
         freq_hz: f64,
         use_circuit_sources: bool,
+    ) {
+        self.stamp_system_overridden(st, freq_hz, use_circuit_sources, &[]);
+    }
+
+    /// [`stamp_system`](AcAnalysis::stamp_system) with per-variant element
+    /// value overrides, `(position, element)` sorted ascending by position:
+    /// the override element is stamped in place of the circuit's own. The
+    /// batched Monte Carlo driver uses this to stamp thousands of variants
+    /// through one analysis — an override carrying the same values as a
+    /// materialized variant circuit produces a bitwise-identical system,
+    /// since the stamp order and arithmetic are untouched.
+    pub(crate) fn stamp_system_overridden<S: MatrixSink<Complex64>>(
+        &self,
+        st: &mut Stamper<'_, Complex64, S>,
+        freq_hz: f64,
+        use_circuit_sources: bool,
+        overrides: &[(usize, Element)],
     ) {
         let w = TWO_PI * freq_hz;
         let jw = Complex64::new(0.0, w);
@@ -345,7 +398,20 @@ impl<'c> AcAnalysis<'c> {
             st.add_node_node(node, node, Complex64::from_real(GMIN));
         }
 
-        for el in self.circuit.elements() {
+        // Nonlinear devices consume their precomputed linearizations in the
+        // same element order they were cached in. (Overrides never replace a
+        // nonlinear device — they carry scalable value kinds only — so the
+        // cache cursor stays aligned.)
+        let mut small_signal = self.small_signal.iter();
+        let mut pending = overrides.iter().peekable();
+        for (idx, base_el) in self.circuit.elements().iter().enumerate() {
+            let el = match pending.peek() {
+                Some(&&(pos, ref over)) if pos == idx => {
+                    pending.next();
+                    over
+                }
+                _ => base_el,
+            };
             match el {
                 Element::Resistor(r) => {
                     st.stamp_admittance(r.a, r.b, Complex64::from_real(1.0 / r.ohms))
@@ -414,33 +480,23 @@ impl<'c> AcAnalysis<'c> {
                     st.add_node_var(h.out_plus, br, Complex64::ONE);
                     st.add_node_var(h.out_minus, br, -Complex64::ONE);
                 }
-                Element::Diode(d) => self.apply_small_signal(
-                    st,
-                    devices::small_signal_diode(d, &self.op_voltages),
-                    jw,
-                ),
-                Element::Bjt(q) => {
-                    self.apply_small_signal(st, devices::small_signal_bjt(q, &self.op_voltages), jw)
+                Element::Diode(_) | Element::Bjt(_) | Element::Mosfet(_) => {
+                    let ss = small_signal.next().expect("cached linearization");
+                    Self::apply_small_signal(st, ss, jw);
                 }
-                Element::Mosfet(m) => self.apply_small_signal(
-                    st,
-                    devices::small_signal_mosfet(m, &self.op_voltages),
-                    jw,
-                ),
             }
         }
     }
 
     fn apply_small_signal<S: MatrixSink<Complex64>>(
-        &self,
         st: &mut Stamper<'_, Complex64, S>,
-        ss: devices::SmallSignal,
+        ss: &devices::SmallSignal,
         jw: Complex64,
     ) {
-        for (r, c, g) in ss.conductances {
+        for &(r, c, g) in &ss.conductances {
             st.add_node_node(r, c, Complex64::from_real(g));
         }
-        for (a, b, cap) in ss.capacitances {
+        for &(a, b, cap) in &ss.capacitances {
             st.stamp_admittance(a, b, jw * cap);
         }
     }
@@ -483,6 +539,7 @@ impl<'c> AcAnalysis<'c> {
                     analysis: self,
                     freq_hz: f,
                     use_circuit_sources: true,
+                    overrides: &[],
                 };
                 // The assembled RHS becomes the solution in place; the
                 // verified path runs the per-point retry ladder and enriches
@@ -542,6 +599,7 @@ impl<'c> AcAnalysis<'c> {
                     analysis: self,
                     freq_hz: f,
                     use_circuit_sources: false,
+                    overrides: &[],
                 };
                 let _ = ctx.assemble(&job);
                 // Unit current injection at `node`, solved in place through
@@ -610,6 +668,7 @@ impl<'c> AcAnalysis<'c> {
                     analysis: self,
                     freq_hz: f,
                     use_circuit_sources: false,
+                    overrides: &[],
                 };
                 let _ = ctx.assemble(&job);
                 ctx.factor()

@@ -776,6 +776,13 @@ impl<T: Scalar> SweepPlan<T> {
         self.build_stats
     }
 
+    /// The shared zero-valued sparsity pattern. Batched drivers clone it
+    /// once per variant lane and restamp values into each copy, exactly as
+    /// [`context`](SweepPlan::context) does for its single value CSR.
+    pub(crate) fn pattern(&self) -> &CsrMatrix<T> {
+        &self.pattern
+    }
+
     /// Mints a fresh per-worker [`SolveContext`]: its own value CSR (cloned
     /// from the shared pattern), an unfilled L/U shell over the shared
     /// symbolic analysis, a pre-sized workspace and solve scratch. All

@@ -54,6 +54,7 @@
 
 pub mod ac;
 pub mod assembly;
+pub mod batch;
 pub mod dc;
 pub mod devices;
 pub mod error;
@@ -64,6 +65,10 @@ pub mod tran;
 
 pub use ac::{AcAnalysis, AcSweep, SolverStructure};
 pub use assembly::{AssembleMna, CachedMna, SlotSink, SolveContext, SolveStats, SweepPlan};
+pub use batch::{
+    driving_point_batch, driving_point_monte_carlo, BatchVariant, BatchedSweep, ParameterVariation,
+    VariantOutcome,
+};
 pub use dc::{
     solve_dc, solve_dc_with, ConvergenceReport, DcOptions, DcPhase, OperatingPoint, StageReport,
 };

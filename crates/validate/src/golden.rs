@@ -150,6 +150,46 @@ pub struct TranCheck {
     pub tol: Tolerance,
 }
 
+/// One tolerance rule of a Monte Carlo analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McRule {
+    /// The perturbed element, by name.
+    pub element: String,
+    /// `"gaussian"` or `"uniform"`.
+    pub dist: String,
+    /// Relative tolerance (one σ for gaussian, half-span for uniform).
+    pub tolerance: f64,
+}
+
+/// The measured quantity of a Monte Carlo check — statistics of the batch's
+/// per-variant peak driving-point magnitudes, all of which are pinned by the
+/// seed (the variant streams are deterministic, so the references are exact
+/// up to solver rounding).
+#[derive(Debug, Clone, PartialEq)]
+pub enum McQuantity {
+    /// Number of converged variants.
+    Yield,
+    /// Index of the worst-case variant (largest peak magnitude).
+    WorstCaseIndex,
+    /// Peak magnitude of the worst-case variant.
+    WorstCasePeak,
+    /// The `q`-quantile of the converged variants' peak magnitudes.
+    PeakQuantile(f64),
+    /// Peak magnitude of one pinned variant, by batch index.
+    VariantPeak(usize),
+}
+
+/// One pinned Monte Carlo statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McCheck {
+    /// What is measured.
+    pub quantity: McQuantity,
+    /// The reference value.
+    pub want: f64,
+    /// Acceptance band.
+    pub tol: Tolerance,
+}
+
 /// One analysis to run for a scenario, with its pinned checks.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalysisCase {
@@ -181,6 +221,21 @@ pub enum AnalysisCase {
         /// Pinned waveform samples.
         checks: Vec<TranCheck>,
     },
+    /// Seeded Monte Carlo driving-point sweep through the batched engine.
+    MonteCarlo {
+        /// The injection node, by name.
+        node: String,
+        /// Seed of the variation streams — pins every variant's values.
+        seed: u64,
+        /// Number of variants.
+        count: usize,
+        /// The exact sweep frequencies in hertz.
+        freqs: Vec<f64>,
+        /// Per-element tolerance rules, in application order.
+        rules: Vec<McRule>,
+        /// Pinned batch statistics.
+        checks: Vec<McCheck>,
+    },
 }
 
 impl AnalysisCase {
@@ -191,6 +246,7 @@ impl AnalysisCase {
             AnalysisCase::Ac { .. } => "ac",
             AnalysisCase::DrivingPoint { .. } => "driving_point",
             AnalysisCase::Tran { .. } => "tran",
+            AnalysisCase::MonteCarlo { .. } => "monte_carlo",
         }
     }
 
@@ -201,6 +257,7 @@ impl AnalysisCase {
             AnalysisCase::Ac { checks } => checks.len(),
             AnalysisCase::DrivingPoint { checks, .. } => checks.len(),
             AnalysisCase::Tran { checks, .. } => checks.len(),
+            AnalysisCase::MonteCarlo { checks, .. } => checks.len(),
         }
     }
 }
@@ -578,8 +635,88 @@ fn parse_analysis(
                 checks,
             })
         }
+        "monte_carlo" => {
+            let node = req_check_str(v, "node", &ctx, schema)?;
+            let seed = req_num(v, "seed", &ctx, schema)?;
+            if seed < 0.0 || seed.fract() != 0.0 {
+                return Err(schema(format!(
+                    "{ctx}: 'seed' must be a non-negative integer"
+                )));
+            }
+            let count = req_num(v, "count", &ctx, schema)?;
+            if count < 1.0 || count.fract() != 0.0 {
+                return Err(schema(format!("{ctx}: 'count' must be a positive integer")));
+            }
+            let freqs_arr = v
+                .get("freqs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| schema(format!("{ctx}: missing 'freqs' array")))?;
+            let mut freqs = Vec::with_capacity(freqs_arr.len());
+            for (i, f) in freqs_arr.iter().enumerate() {
+                freqs.push(
+                    f.as_f64()
+                        .ok_or_else(|| schema(format!("{ctx}.freqs[{i}] must be a number")))?,
+                );
+            }
+            if freqs.is_empty() {
+                return Err(schema(format!("{ctx}: 'freqs' must not be empty")));
+            }
+            let rules_arr = v
+                .get("rules")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| schema(format!("{ctx}: missing 'rules' array")))?;
+            let mut rules = Vec::with_capacity(rules_arr.len());
+            for (i, r) in rules_arr.iter().enumerate() {
+                let rctx = format!("{ctx}.rules[{i}]");
+                let dist = req_check_str(r, "dist", &rctx, schema)?;
+                if dist != "gaussian" && dist != "uniform" {
+                    return Err(schema(format!(
+                        "{rctx}: unknown dist '{dist}' (expected 'gaussian' or 'uniform')"
+                    )));
+                }
+                rules.push(McRule {
+                    element: req_check_str(r, "element", &rctx, schema)?,
+                    dist,
+                    tolerance: req_num(r, "tolerance", &rctx, schema)?,
+                });
+            }
+            let mut checks = Vec::new();
+            for (i, c) in checks_arr(v, &ctx, schema)?.iter().enumerate() {
+                let cctx = format!("{ctx}.checks[{i}]");
+                let q = req_check_str(c, "quantity", &cctx, schema)?;
+                let quantity = match q.as_str() {
+                    "yield" => McQuantity::Yield,
+                    "worst_case_index" => McQuantity::WorstCaseIndex,
+                    "worst_case_peak" => McQuantity::WorstCasePeak,
+                    "peak_quantile" => McQuantity::PeakQuantile(req_num(c, "q", &cctx, schema)?),
+                    "variant_peak" => {
+                        McQuantity::VariantPeak(req_num(c, "index", &cctx, schema)? as usize)
+                    }
+                    other => {
+                        return Err(schema(format!(
+                            "{cctx}: unknown quantity '{other}' (expected yield, \
+                             worst_case_index, worst_case_peak, peak_quantile or variant_peak)"
+                        )))
+                    }
+                };
+                checks.push(McCheck {
+                    quantity,
+                    want: req_num(c, "want", &cctx, schema)?,
+                    tol: parse_tol(c, &cctx, schema)?,
+                });
+            }
+            Ok(AnalysisCase::MonteCarlo {
+                node,
+                seed: seed as u64,
+                count: count as usize,
+                freqs,
+                rules,
+                checks,
+            })
+        }
         other => Err(schema(format!(
-            "{ctx}: unknown analysis kind '{other}' (expected dc, ac, driving_point or tran)"
+            "{ctx}: unknown analysis kind '{other}' (expected dc, ac, driving_point, tran \
+             or monte_carlo)"
         ))),
     }
 }
@@ -718,6 +855,66 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("analyses[0].checks[0]"), "{msg}");
         assert!(msg.contains("atol"), "{msg}");
+    }
+
+    #[test]
+    fn parses_monte_carlo_case() {
+        let text = r#"{
+          "schema_version": 1, "name": "mc", "description": "d", "provenance": "p",
+          "circuit": {"netlist": ["t", "R1 tank 0 1k", "C1 tank 0 1n", ".end"]},
+          "analyses": [
+            {"kind": "monte_carlo", "node": "tank", "seed": 42, "count": 4,
+             "freqs": [1.0e3, 1.0e4],
+             "rules": [{"element": "R1", "dist": "gaussian", "tolerance": 0.05}],
+             "checks": [
+               {"quantity": "yield", "want": 4.0, "atol": 0.5},
+               {"quantity": "peak_quantile", "q": 0.5, "want": 1.0e3, "rtol": 0.5},
+               {"quantity": "variant_peak", "index": 2, "want": 1.0e3, "rtol": 0.5}
+             ]}
+          ]
+        }"#;
+        let case = GoldenCase::parse(Path::new("mc.json"), text).unwrap();
+        assert_eq!(case.kinds(), "monte_carlo");
+        assert_eq!(case.check_count(), 3);
+        match &case.analyses[0] {
+            AnalysisCase::MonteCarlo {
+                node,
+                seed,
+                count,
+                freqs,
+                rules,
+                checks,
+            } => {
+                assert_eq!(node, "tank");
+                assert_eq!(*seed, 42);
+                assert_eq!(*count, 4);
+                assert_eq!(freqs.len(), 2);
+                assert_eq!(rules[0].element, "R1");
+                assert_eq!(checks[1].quantity, McQuantity::PeakQuantile(0.5));
+                assert_eq!(checks[2].quantity, McQuantity::VariantPeak(2));
+            }
+            other => panic!("wrong analysis: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monte_carlo_rejects_unknown_dist_and_quantity() {
+        let base = r#"{
+          "schema_version": 1, "description": "d", "provenance": "p",
+          "circuit": {"netlist": ["t", "R1 tank 0 1k", "C1 tank 0 1n", ".end"]},
+          "analyses": [
+            {"kind": "monte_carlo", "node": "tank", "seed": 1, "count": 2,
+             "freqs": [1.0e3],
+             "rules": [{"element": "R1", "dist": "gaussian", "tolerance": 0.05}],
+             "checks": [{"quantity": "yield", "want": 2.0, "atol": 0.5}]}
+          ]
+        }"#;
+        let bad_dist = base.replace("\"dist\": \"gaussian\"", "\"dist\": \"cauchy\"");
+        let err = GoldenCase::parse(Path::new("x.json"), &bad_dist).unwrap_err();
+        assert!(err.to_string().contains("unknown dist"), "{err}");
+        let bad_q = base.replace("\"quantity\": \"yield\"", "\"quantity\": \"sigma\"");
+        let err = GoldenCase::parse(Path::new("x.json"), &bad_q).unwrap_err();
+        assert!(err.to_string().contains("unknown quantity"), "{err}");
     }
 
     #[test]

@@ -15,12 +15,13 @@
 use loopscope_math::FrequencyGrid;
 use loopscope_netlist::{Circuit, NodeId};
 use loopscope_spice::ac::AcAnalysis;
+use loopscope_spice::batch::{driving_point_monte_carlo, ParameterVariation};
 use loopscope_spice::dc::solve_dc;
 use loopscope_spice::mna::MnaLayout;
 use loopscope_spice::tran::{Integration, TransientAnalysis, TransientOptions};
 
 use crate::compare::Mismatch;
-use crate::golden::{AcQuantity, AnalysisCase, DcQuantity, GoldenCase};
+use crate::golden::{AcQuantity, AnalysisCase, DcQuantity, GoldenCase, McQuantity};
 use crate::json::format_number;
 
 /// One evaluated check: what was measured and whether it passed.
@@ -315,6 +316,61 @@ fn run_case_inner(case: &GoldenCase, report: &mut CaseReport) -> Result<(), Stri
                     );
                 }
             }
+            AnalysisCase::MonteCarlo {
+                node,
+                seed,
+                count,
+                freqs,
+                rules,
+                checks,
+            } => {
+                let node_id = find_node(&circuit, node)?;
+                // Validate the node has an unknown (same error text as AC).
+                voltage_name(&layout, &circuit, node)?;
+                let grid = pinned_grid(freqs.iter().copied())?;
+                let mut variation = ParameterVariation::new(*seed);
+                for rule in rules {
+                    variation = match rule.dist.as_str() {
+                        "gaussian" => variation.gaussian(&rule.element, rule.tolerance),
+                        _ => variation.uniform(&rule.element, rule.tolerance),
+                    };
+                }
+                let sweep =
+                    driving_point_monte_carlo(&circuit, &op, node_id, &grid, &variation, *count)
+                        .map_err(|e| format!("monte carlo sweep: {e}"))?;
+                let at = format!("{count} variants, seed {seed}");
+                let peaks = sweep.peak_magnitudes();
+                for check in checks {
+                    let (quantity, got) = match &check.quantity {
+                        McQuantity::Yield => ("mc yield".to_string(), sweep.yield_count() as f64),
+                        McQuantity::WorstCaseIndex => {
+                            let (idx, _) = sweep
+                                .worst_case_peak()
+                                .ok_or_else(|| "monte carlo: no variant converged".to_string())?;
+                            ("worst-case variant index".to_string(), idx as f64)
+                        }
+                        McQuantity::WorstCasePeak => {
+                            let (_, peak) = sweep
+                                .worst_case_peak()
+                                .ok_or_else(|| "monte carlo: no variant converged".to_string())?;
+                            (format!("worst-case peak |Z({node})|"), peak)
+                        }
+                        McQuantity::PeakQuantile(q) => {
+                            let value = sweep
+                                .peak_quantile(*q)
+                                .ok_or_else(|| "monte carlo: no variant converged".to_string())?;
+                            (format!("q={q} peak |Z({node})|"), value)
+                        }
+                        McQuantity::VariantPeak(index) => {
+                            let peak = peaks.get(*index).copied().flatten().ok_or_else(|| {
+                                format!("monte carlo: variant {index} has no converged peak")
+                            })?;
+                            (format!("mc#{index} peak |Z({node})|"), peak)
+                        }
+                    };
+                    record(report, &quantity, &at, got, check.want, check.tol);
+                }
+            }
         }
     }
     Ok(())
@@ -425,6 +481,43 @@ mod tests {
         let report = run_case(&case);
         assert_eq!(report.outcome, Outcome::Error);
         assert!(report.error.as_deref().unwrap().contains("'nope'"));
+    }
+
+    #[test]
+    fn monte_carlo_case_runs_the_batched_engine() {
+        // Below the RC corner (fc = 15.9 kHz) the tank's |Z| tracks R, so a
+        // 5% gaussian rule keeps every variant's peak within a loose band of
+        // the nominal 10 kΩ; the seed pins the exact values.
+        let case = case_from(
+            r#"{
+              "schema_version": 1, "name": "mc", "description": "d", "provenance": "p",
+              "circuit": {"netlist": ["tank", "R1 tank 0 10k", "C1 tank 0 1n", ".end"]},
+              "analyses": [
+                {"kind": "monte_carlo", "node": "tank", "seed": 7, "count": 3,
+                 "freqs": [1.0e3],
+                 "rules": [{"element": "R1", "dist": "gaussian", "tolerance": 0.05}],
+                 "checks": [
+                   {"quantity": "yield", "want": 3.0, "atol": 0.5},
+                   {"quantity": "worst_case_peak", "want": 1.0e4, "rtol": 0.25},
+                   {"quantity": "peak_quantile", "q": 1.0, "want": 1.0e4, "rtol": 0.25}
+                 ]}
+              ]
+            }"#,
+        );
+        let report = run_case(&case);
+        assert_eq!(
+            report.outcome,
+            Outcome::Pass,
+            "{:?} {:?}",
+            report.error,
+            report.mismatches
+        );
+        assert_eq!(report.kinds, "monte_carlo");
+        assert_eq!(report.checks[0].quantity, "mc yield");
+        assert_eq!(report.checks[0].got, 3.0);
+        assert_eq!(report.checks[1].quantity, "worst-case peak |Z(tank)|");
+        // Worst case dominates every quantile, including q = 1.
+        assert_eq!(report.checks[1].got, report.checks[2].got);
     }
 
     #[test]
