@@ -14,10 +14,13 @@
 //! sweep executor at 1/2/4 workers, and (S4) measures the KLU-style
 //! block-triangular factorization (fill vs the whole-matrix ordering, with
 //! the block count) and the blocked multi-RHS all-nodes scan against the
-//! per-RHS path.
+//! per-RHS path. (S8) compares the LTE-controlled adaptive transient
+//! stepper against the fixed grid on a stiff two-time-constant RC at
+//! matched accuracy.
 //!
-//! Every scenario's ns/op — plus nnz(L+U) and BTF block count where they
-//! apply — is also written as machine-readable JSON to
+//! Every scenario's ns/op — plus nnz(L+U), BTF block count and
+//! accepted/rejected transient step counts where they apply — is also
+//! written as machine-readable JSON to
 //! `target/BENCH_solver.json`, so the performance trajectory can be tracked
 //! across PRs (CI runs the bench in quick mode — `BENCH_QUICK=1`, fewer
 //! iterations, same assertions — and uploads the JSON as an artifact).
@@ -28,6 +31,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use loopscope_circuits::blocks::{opamp_cascade, rc_ladder};
 use loopscope_circuits::{mos_two_stage_buffer, two_stage_buffer, OpAmpParams};
 use loopscope_math::{Complex64, FrequencyGrid};
+use loopscope_netlist::{Circuit, SourceSpec};
 use loopscope_sparse::{
     kernels, ordering, CsrMatrix, KernelBackend, LuWorkspace, RefineWorkspace, SparseLu,
     SymbolicLu, TripletMatrix,
@@ -36,6 +40,7 @@ use loopscope_spice::ac::AcAnalysis;
 use loopscope_spice::batch::{driving_point_monte_carlo, ParameterVariation};
 use loopscope_spice::dc::solve_dc;
 use loopscope_spice::par;
+use loopscope_spice::tran::{TransientAnalysis, TransientOptions, TransientResult};
 use std::time::Instant;
 
 /// `BENCH_QUICK=1` (any non-empty value but `0`) cuts iteration counts for
@@ -75,6 +80,8 @@ struct Record {
     ns_per_op: f64,
     nnz_lu: Option<usize>,
     blocks: Option<usize>,
+    accepted_steps: Option<usize>,
+    rejected_steps: Option<usize>,
 }
 
 impl Record {
@@ -84,12 +91,20 @@ impl Record {
             ns_per_op,
             nnz_lu: None,
             blocks: None,
+            accepted_steps: None,
+            rejected_steps: None,
         }
     }
 
     fn with_structure(mut self, nnz_lu: usize, blocks: usize) -> Self {
         self.nnz_lu = Some(nnz_lu);
         self.blocks = Some(blocks);
+        self
+    }
+
+    fn with_steps(mut self, accepted: usize, rejected: usize) -> Self {
+        self.accepted_steps = Some(accepted);
+        self.rejected_steps = Some(rejected);
         self
     }
 }
@@ -112,12 +127,21 @@ fn write_bench_json(records: &[Record]) {
         let blocks = r
             .blocks
             .map_or_else(|| "null".to_string(), |v| v.to_string());
+        let accepted = r
+            .accepted_steps
+            .map_or_else(|| "null".to_string(), |v| v.to_string());
+        let rejected = r
+            .rejected_steps
+            .map_or_else(|| "null".to_string(), |v| v.to_string());
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}, \"nnz_lu\": {}, \"blocks\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}, \"nnz_lu\": {}, \"blocks\": {}, \
+             \"accepted_steps\": {}, \"rejected_steps\": {}}}{}\n",
             r.name,
             r.ns_per_op,
             nnz,
             blocks,
+            accepted,
+            rejected,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -933,6 +957,171 @@ fn print_monte_carlo_scan(records: &mut Vec<Record>) {
     );
 }
 
+/// The S8 workload: two independent RC branches off one ideal step source,
+/// with time constants 1 µs and 10 ms (ratio 1e4) — the textbook stiff
+/// case where a fixed grid pays the fast edge's dt over the slow branch's
+/// entire settling time.
+fn stiff_rc_circuit() -> Circuit {
+    let mut c = Circuit::new("stiff two-tau rc");
+    let vin = c.node("in");
+    let fast = c.node("fast");
+    let slow = c.node("slow");
+    c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+    c.add_resistor("R1", vin, fast, 1.0e3);
+    c.add_capacitor("C1", fast, Circuit::GROUND, 1.0e-9); // tau = 1 us
+    c.add_resistor("R2", vin, slow, 1.0e6);
+    c.add_capacitor("C2", slow, Circuit::GROUND, 1.0e-8); // tau = 10 ms
+    c
+}
+
+/// Max |simulated − analytic| for one exponential-charge node, sampled at
+/// `n` points spread over `[0, t_end]` (clustered early by the quadratic
+/// spacing, where the waveform actually moves).
+fn max_charge_error(
+    result: &TransientResult,
+    c: &Circuit,
+    node: &str,
+    tau: f64,
+    t_end: f64,
+    n: usize,
+) -> f64 {
+    let id = c.find_node(node).expect("node exists");
+    let mut worst: f64 = 0.0;
+    for k in 1..=n {
+        let frac = k as f64 / n as f64;
+        let t = t_end * frac * frac;
+        let got = result.value_at(id, t).expect("sample");
+        let want = 1.0 - (-t / tau).exp();
+        worst = worst.max((got - want).abs());
+    }
+    worst
+}
+
+/// Experiment S8 — LTE-controlled adaptive transient vs the fixed grid on
+/// the stiff two-time-constant RC. The fixed run uses the dt the fast edge
+/// needs (40 ns for ~1e-4 accuracy) and then drags it across the slow
+/// branch's full 10 ms settling; the adaptive run resolves the edge at
+/// `dt_min` and grows dt by orders of magnitude once the fast branch
+/// settles. Matched accuracy is asserted, not assumed: the adaptive max
+/// error (against the analytic charge curves, densely sampled on both
+/// nodes) must be no worse than the fixed run's, on ≥ 5x fewer accepted
+/// steps. Quick mode shortens `t_stop` (same stiffness contrast, fewer
+/// solves) and demotes the ratio assertions to warnings like every other
+/// wall-clock-adjacent check.
+fn print_adaptive_transient(records: &mut Vec<Record>) {
+    println!(
+        "\n=== S8: adaptive transient — LTE-controlled steps vs the fixed grid on a stiff RC ==="
+    );
+    let circuit = stiff_rc_circuit();
+    let op = solve_dc(&circuit).expect("operating point");
+    let tau_fast = 1.0e-6;
+    let tau_slow = 1.0e-2;
+    // Quick mode stops at 2 ms (still 2000 fast time constants); full mode
+    // rides out the slow branch to 2 tau.
+    let t_stop = if quick_mode() { 2.0e-3 } else { 2.0e-2 };
+    let fixed_dt = 4.0e-8;
+
+    let fixed_start = Instant::now();
+    let fixed = TransientAnalysis::new(&circuit, TransientOptions::new(fixed_dt, t_stop))
+        .expect("valid options")
+        .run(&op)
+        .expect("fixed-grid run");
+    let fixed_ns = fixed_start.elapsed().as_nanos() as f64;
+
+    let mut options = TransientOptions::adaptive(1.0e-8, t_stop / 40.0, t_stop);
+    options.reltol = 1.0e-3;
+    let adaptive_start = Instant::now();
+    let adaptive = TransientAnalysis::new(&circuit, options)
+        .expect("valid options")
+        .run(&op)
+        .expect("adaptive run");
+    let adaptive_ns = adaptive_start.elapsed().as_nanos() as f64;
+
+    let err_of = |r: &TransientResult| {
+        let fast = max_charge_error(
+            r,
+            &circuit,
+            "fast",
+            tau_fast,
+            (10.0 * tau_fast).min(t_stop),
+            200,
+        );
+        let slow = max_charge_error(r, &circuit, "slow", tau_slow, t_stop, 200);
+        fast.max(slow)
+    };
+    let fixed_err = err_of(&fixed);
+    let adaptive_err = err_of(&adaptive);
+
+    let fs = *fixed.stats();
+    let asts = *adaptive.stats();
+    assert_eq!(
+        fs.rejected_steps, 0,
+        "the fixed grid never rejects a step: {fs:?}"
+    );
+    assert!(
+        asts.max_dt > 100.0 * asts.min_dt,
+        "the controller must grow dt by orders of magnitude on the stiff \
+         circuit, got min {:.3e} max {:.3e}",
+        asts.min_dt,
+        asts.max_dt
+    );
+    for (label, stats, ns, err) in [
+        ("fixed   ", &fs, fixed_ns, fixed_err),
+        ("adaptive", &asts, adaptive_ns, adaptive_err),
+    ] {
+        println!(
+            "{label}  dt_min {:>9.2e}  accepted {:>8}  rejected {:>5}  newton {:>8}  \
+             max |err| {:>9.3e}  wall {:>8.2} ms",
+            stats.min_dt,
+            stats.accepted_steps,
+            stats.rejected_steps,
+            stats.newton_iterations,
+            err,
+            ns / 1.0e6,
+        );
+    }
+    let step_ratio = fs.accepted_steps as f64 / asts.accepted_steps as f64;
+    println!(
+        "step ratio {step_ratio:.1}x fewer accepted steps at {} accuracy",
+        if adaptive_err <= fixed_err {
+            "equal-or-better"
+        } else {
+            "WORSE"
+        }
+    );
+
+    records.push(
+        Record::new(
+            "tran_stiff_rc_fixed_grid",
+            fixed_ns / fs.accepted_steps as f64,
+        )
+        .with_steps(fs.accepted_steps, fs.rejected_steps),
+    );
+    records.push(
+        Record::new(
+            "tran_stiff_rc_adaptive",
+            adaptive_ns / asts.accepted_steps as f64,
+        )
+        .with_steps(asts.accepted_steps, asts.rejected_steps),
+    );
+
+    assert_timing(
+        adaptive_err <= fixed_err,
+        &format!(
+            "matched accuracy: the adaptive run must be no less accurate than \
+             the fixed grid, got adaptive {adaptive_err:.3e} vs fixed {fixed_err:.3e}"
+        ),
+    );
+    assert_timing(
+        fs.accepted_steps >= 5 * asts.accepted_steps,
+        &format!(
+            "the adaptive stepper must take ≥ 5x fewer accepted steps than the \
+             fixed grid at matched accuracy, got {} vs {} ({step_ratio:.1}x)",
+            asts.accepted_steps, fs.accepted_steps
+        ),
+    );
+}
+
 fn bench(c: &mut Criterion) {
     let mut records: Vec<Record> = Vec::new();
     if quick_mode() {
@@ -1045,6 +1234,8 @@ fn bench(c: &mut Criterion) {
     print_refinement_table(&mut records);
 
     print_monte_carlo_scan(&mut records);
+
+    print_adaptive_transient(&mut records);
     println!();
 
     let mut group = c.benchmark_group("solver_refactor");

@@ -110,6 +110,101 @@ impl Waveform {
             }
         }
     }
+
+    /// Evaluates the waveform's **left limit** at time `t`: the value an
+    /// instant *before* `t`. Identical to [`Waveform::value_at`] everywhere
+    /// except exactly on a jump discontinuity (a [`Waveform::Step`] instant,
+    /// or a [`Waveform::Pulse`] edge with zero rise/fall time), where the
+    /// pre-jump value is returned instead of the post-jump one.
+    ///
+    /// The adaptive transient stepper lands a time point exactly on each
+    /// breakpoint (see [`Waveform::breakpoints`]) and evaluates sources there
+    /// by the left limit, so a discontinuity is never integrated *across*:
+    /// the step ending on the breakpoint sees only the pre-jump waveform and
+    /// the step starting there sees only the post-jump one.
+    pub fn value_at_left(&self, t: f64, dc: f64) -> f64 {
+        match *self {
+            Waveform::Constant => dc,
+            Waveform::Step {
+                initial,
+                final_value,
+                delay,
+            } => {
+                if t <= delay {
+                    initial
+                } else {
+                    final_value
+                }
+            }
+            Waveform::Pulse {
+                initial,
+                pulsed,
+                delay,
+                rise,
+                fall,
+                width,
+            } => {
+                if t <= delay {
+                    initial
+                } else if t <= delay + rise {
+                    if rise <= 0.0 {
+                        pulsed
+                    } else {
+                        initial + (pulsed - initial) * (t - delay) / rise
+                    }
+                } else if t <= delay + rise + width {
+                    pulsed
+                } else if t <= delay + rise + width + fall {
+                    if fall <= 0.0 {
+                        initial
+                    } else {
+                        pulsed + (initial - pulsed) * (t - delay - rise - width) / fall
+                    }
+                } else {
+                    initial
+                }
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                freq_hz,
+                delay,
+            } => {
+                if t <= delay {
+                    offset
+                } else {
+                    offset + amplitude * (2.0 * std::f64::consts::PI * freq_hz * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Appends the waveform's **breakpoints** — time points where the value
+    /// or its slope is discontinuous — to `out`, unsorted and unfiltered.
+    /// An adaptive transient stepper must land a time point exactly on each
+    /// of these (integrating across one with a smooth-solution error
+    /// estimator both corrupts the step and confuses the step-size control).
+    pub fn breakpoints(&self, out: &mut Vec<f64>) {
+        match *self {
+            Waveform::Constant => {}
+            Waveform::Step { delay, .. } => out.push(delay),
+            Waveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                ..
+            } => {
+                out.push(delay);
+                out.push(delay + rise);
+                out.push(delay + rise + width);
+                out.push(delay + rise + width + fall);
+            }
+            // The sine itself is smooth; its slope is discontinuous where it
+            // starts.
+            Waveform::Sine { delay, .. } => out.push(delay),
+        }
+    }
 }
 
 /// Complete specification of an independent source.
@@ -188,6 +283,12 @@ impl SourceSpec {
     /// Transient value at time `t`.
     pub fn value_at(&self, t: f64) -> f64 {
         self.waveform.value_at(t, self.dc)
+    }
+
+    /// Transient **left-limit** value at time `t` (the value an instant
+    /// before `t`) — see [`Waveform::value_at_left`].
+    pub fn value_at_left(&self, t: f64) -> f64 {
+        self.waveform.value_at_left(t, self.dc)
     }
 }
 
@@ -286,5 +387,85 @@ mod tests {
     #[test]
     fn default_is_zero_dc() {
         assert_eq!(SourceSpec::default(), SourceSpec::dc(0.0));
+    }
+
+    #[test]
+    fn left_limit_differs_only_on_jumps() {
+        let s = SourceSpec::step(1.0, 2.0, 1e-6);
+        // Exactly on the step instant: right limit is the final value, left
+        // limit is the initial value.
+        assert_eq!(s.value_at(1e-6), 2.0);
+        assert_eq!(s.value_at_left(1e-6), 1.0);
+        // Away from the jump the two agree.
+        assert_eq!(s.value_at_left(0.5e-6), s.value_at(0.5e-6));
+        assert_eq!(s.value_at_left(2e-6), s.value_at(2e-6));
+
+        // A zero-rise pulse jumps at `delay`; a finite-rise one is continuous
+        // there (left limit equals right limit at every edge).
+        let sharp = Waveform::Pulse {
+            initial: 0.0,
+            pulsed: 5.0,
+            delay: 1.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1.0,
+        };
+        assert_eq!(sharp.value_at(1.0, 0.0), 5.0);
+        assert_eq!(sharp.value_at_left(1.0, 0.0), 0.0);
+        assert_eq!(sharp.value_at(2.0, 0.0), 0.0);
+        assert_eq!(sharp.value_at_left(2.0, 0.0), 5.0);
+        let ramped = Waveform::Pulse {
+            initial: 0.0,
+            pulsed: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+        };
+        for t in [1.0, 1.5, 2.0, 4.0, 5.0, 7.0] {
+            assert!((ramped.value_at(t, 0.0) - ramped.value_at_left(t, 0.0)).abs() < 1e-15);
+        }
+        // The sine is continuous at its start.
+        let sine = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 2.0,
+            freq_hz: 1.0,
+            delay: 5.0,
+        };
+        assert_eq!(sine.value_at_left(5.0, 0.0), sine.value_at(5.0, 0.0));
+    }
+
+    #[test]
+    fn breakpoints_cover_every_discontinuity() {
+        let mut bps = Vec::new();
+        Waveform::Constant.breakpoints(&mut bps);
+        assert!(bps.is_empty());
+        Waveform::Step {
+            initial: 0.0,
+            final_value: 1.0,
+            delay: 2e-6,
+        }
+        .breakpoints(&mut bps);
+        assert_eq!(bps, vec![2e-6]);
+        bps.clear();
+        Waveform::Pulse {
+            initial: 0.0,
+            pulsed: 1.0,
+            delay: 1.0,
+            rise: 0.5,
+            fall: 0.25,
+            width: 2.0,
+        }
+        .breakpoints(&mut bps);
+        assert_eq!(bps, vec![1.0, 1.5, 3.5, 3.75]);
+        bps.clear();
+        Waveform::Sine {
+            offset: 0.0,
+            amplitude: 1.0,
+            freq_hz: 1.0,
+            delay: 0.5,
+        }
+        .breakpoints(&mut bps);
+        assert_eq!(bps, vec![0.5]);
     }
 }

@@ -5,6 +5,37 @@ use loopscope_netlist::NetlistError;
 use loopscope_sparse::SolveError;
 use std::fmt;
 
+/// Why the adaptive transient stepper rejected one attempted step.
+///
+/// Mirrors the rungs of the per-step accept-or-escalate ladder (see
+/// [`crate::tran`]): a step is retried with a smaller width after either
+/// failure kind, and only once the ladder is exhausted at `dt_min` does the
+/// run surface [`SpiceError::TransientNoConvergence`] carrying the recorded
+/// [`StepRejection`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepRejectReason {
+    /// The Newton loop did not converge within `max_newton` iterations.
+    NewtonNoConvergence,
+    /// The local-truncation-error estimate exceeded the `reltol`/`abstol`
+    /// tolerance.
+    LteExceeded {
+        /// Worst per-node `error / tolerance` ratio (`> 1` means rejected).
+        ratio: f64,
+    },
+}
+
+/// One rejected transient step attempt: where it was tried, how wide it was,
+/// and which ladder rung rejected it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRejection {
+    /// Attempted end time of the step, in seconds.
+    pub time: f64,
+    /// Attempted step width, in seconds.
+    pub dt: f64,
+    /// Which ladder rung rejected the attempt.
+    pub reason: StepRejectReason,
+}
+
 /// Errors produced by the circuit simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpiceError {
@@ -63,6 +94,10 @@ pub enum SpiceError {
         /// Name of the node with the largest voltage update at the last
         /// Newton iteration — the unknown that refused to settle.
         worst_node: String,
+        /// The rejected attempts at this time point, in ladder order (the
+        /// adaptive stepper's halve-and-retry history; empty on the
+        /// fixed-grid path, which has no retry ladder).
+        rejections: Vec<StepRejection>,
     },
     /// A reference (node or element) passed to an analysis does not belong to
     /// the circuit.
@@ -146,12 +181,22 @@ impl fmt::Display for SpiceError {
                 time,
                 step,
                 worst_node,
+                rejections,
             } => {
                 write!(
                     f,
                     "transient Newton iteration failed to converge at t = {time:.3e} s \
                      (step {step}, worst node {worst_node})"
-                )
+                )?;
+                if !rejections.is_empty() {
+                    let smallest = rejections.iter().map(|r| r.dt).fold(f64::INFINITY, f64::min);
+                    write!(
+                        f,
+                        " after {} rejected attempt(s), smallest dt {smallest:.3e} s",
+                        rejections.len()
+                    )?;
+                }
+                Ok(())
             }
             SpiceError::UnknownReference(name) => {
                 write!(f, "unknown node or element reference `{name}`")
@@ -212,10 +257,32 @@ mod tests {
             time: 1e-6,
             step: 42,
             worst_node: "V(out)".into(),
+            rejections: Vec::new(),
         };
         assert!(t.to_string().contains("transient"));
         assert!(t.to_string().contains("step 42"));
         assert!(t.to_string().contains("V(out)"));
+        assert!(!t.to_string().contains("rejected"));
+        let ladder = SpiceError::TransientNoConvergence {
+            time: 1e-6,
+            step: 42,
+            worst_node: "V(out)".into(),
+            rejections: vec![
+                StepRejection {
+                    time: 1e-6,
+                    dt: 4e-9,
+                    reason: StepRejectReason::LteExceeded { ratio: 3.5 },
+                },
+                StepRejection {
+                    time: 0.998e-6,
+                    dt: 2e-9,
+                    reason: StepRejectReason::NewtonNoConvergence,
+                },
+            ],
+        };
+        let msg = ladder.to_string();
+        assert!(msg.contains("2 rejected attempt(s)"), "{msg}");
+        assert!(msg.contains("2.000e-9"), "{msg}");
         assert!(SpiceError::InvalidOptions("dt".into())
             .to_string()
             .contains("dt"));

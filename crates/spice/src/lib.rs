@@ -72,9 +72,9 @@ pub use batch::{
 pub use dc::{
     solve_dc, solve_dc_with, ConvergenceReport, DcOptions, DcPhase, OperatingPoint, StageReport,
 };
-pub use error::SpiceError;
+pub use error::{SpiceError, StepRejectReason, StepRejection};
 pub use loopscope_sparse::KernelBackend;
-pub use tran::{TransientAnalysis, TransientOptions, TransientResult};
+pub use tran::{Integration, TransientAnalysis, TransientOptions, TransientResult, TransientStats};
 
 /// Thermal voltage kT/q at 300 K, in volts.
 pub const THERMAL_VOLTAGE: f64 = 0.02585;

@@ -2,18 +2,58 @@
 //!
 //! Transient analysis is the substrate for the *traditional* stability check
 //! the paper compares against — "node pulsing": apply a small step to the
-//! closed-loop circuit and read the overshoot of the response. Fixed-step
-//! integration with either backward Euler or trapezoidal companion models is
-//! used; nonlinear devices are resolved with Newton iteration at every step.
+//! closed-loop circuit and read the overshoot of the response. Integration
+//! uses backward Euler or trapezoidal companion models; nonlinear devices
+//! are resolved with Newton iteration at every time point.
+//!
+//! # Fixed grid vs. adaptive stepping
+//!
+//! Two stepping modes share one options struct:
+//!
+//! * **Fixed grid** ([`TransientOptions::new`], `dt_min == dt_max`): the
+//!   legacy uniform-`dt` grid with the final step shortened to land exactly
+//!   on `t_stop`.
+//! * **Adaptive** ([`TransientOptions::adaptive`], `dt_max > dt_min`): each
+//!   step runs a per-step *accept-or-escalate ladder* mirroring the solver's
+//!   verified-solve retry ladder on the time axis. A step is solved, its
+//!   local truncation error (LTE) estimated from a predictor–corrector
+//!   difference against `reltol`/`abstol`, and then either **accepted**
+//!   (growing the next step, capped at `dt_max` and the next breakpoint) or
+//!   **rejected** — halve the width and retry. Newton non-convergence is
+//!   just another rejection rung (halve; at `dt_min` switch the step to
+//!   backward Euler) before the run surfaces
+//!   [`SpiceError::TransientNoConvergence`] enriched with the recorded
+//!   [`rejection history`](crate::error::StepRejection).
+//!
+//! A **breakpoint schedule** harvested from source discontinuities
+//! ([`loopscope_netlist::Waveform::breakpoints`]) forces exact landings:
+//! the step *ending* on a breakpoint evaluates sources by their left limit
+//! and the step *starting* there restarts with one backward-Euler step at
+//! `dt_min` (the same start-up treatment `t = 0` gets), so a discontinuity
+//! is never integrated across.
+//!
+//! The step sequence is a pure deterministic function of (circuit, options):
+//! every accept/reject decision is computed from residual-verified solutions
+//! that are themselves bitwise identical across the `LOOPSCOPE_THREADS`/
+//! `LOOPSCOPE_KERNEL`/`LOOPSCOPE_PANEL` knobs, so the produced grid — and
+//! every counter in [`TransientStats`] — is bit-identical across those
+//! configurations.
 
-use crate::assembly::{AssembleMna, CachedMna};
+use crate::assembly::{AssembleMna, CachedMna, SolveStats};
 use crate::dc::OperatingPoint;
 use crate::devices;
-use crate::error::SpiceError;
+use crate::error::{SpiceError, StepRejectReason, StepRejection};
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
 use crate::GMIN;
 use loopscope_math::interp;
 use loopscope_netlist::{Circuit, Element, NodeId};
+
+/// Step-growth threshold: the next step doubles only when the worst LTE
+/// ratio of the accepted step is at or below this fraction of the tolerance.
+/// With the trapezoidal rule's ~`h³` local error, doubling multiplies the
+/// estimate by ~8x, so growing at ≤ 0.1 keeps the post-growth ratio below 1
+/// and avoids accept/reject limit cycles.
+const LTE_GROW_THRESHOLD: f64 = 0.1;
 
 /// Time-integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +78,19 @@ pub enum Integration {
 }
 
 /// Options controlling a transient run.
+///
+/// `dt_min == dt_max` selects the legacy **fixed grid** (and `reltol`/
+/// `abstol` are unused); `dt_max > dt_min` selects the **adaptive** stepper
+/// described in the [module docs](crate::tran).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransientOptions {
-    /// Fixed time step in seconds.
-    pub dt: f64,
+    /// Smallest step the adaptive ladder may take, in seconds. On the fixed
+    /// grid this *is* the step. (Breakpoint landings may still produce a
+    /// shorter step when two breakpoints lie closer than `dt_min`.)
+    pub dt_min: f64,
+    /// Largest step the adaptive controller may grow to, in seconds. Must
+    /// equal `dt_min` for a fixed-grid run.
+    pub dt_max: f64,
     /// Stop time in seconds (the run covers `0..=t_stop`).
     pub t_stop: f64,
     /// Integration method.
@@ -50,37 +99,134 @@ pub struct TransientOptions {
     pub max_newton: usize,
     /// Newton convergence tolerance on node voltages, volts.
     pub vntol: f64,
+    /// Relative LTE tolerance of the adaptive step control (dimensionless).
+    pub reltol: f64,
+    /// Absolute LTE tolerance of the adaptive step control, volts.
+    pub abstol: f64,
 }
 
 impl TransientOptions {
-    /// Creates options with the given step and stop time, trapezoidal
-    /// integration and default Newton settings.
+    /// Creates **fixed-grid** options with the given step and stop time,
+    /// trapezoidal integration and default Newton settings.
     pub fn new(dt: f64, t_stop: f64) -> Self {
         Self {
-            dt,
+            dt_min: dt,
+            dt_max: dt,
             t_stop,
             method: Integration::Trapezoidal,
             max_newton: 50,
             vntol: 1.0e-9,
+            reltol: 1.0e-3,
+            abstol: 1.0e-6,
+        }
+    }
+
+    /// Creates **adaptive** options stepping between `dt_min` and `dt_max`,
+    /// with trapezoidal integration, default Newton settings and the default
+    /// LTE tolerances (`reltol = 1e-3`, `abstol = 1e-6`).
+    pub fn adaptive(dt_min: f64, dt_max: f64, t_stop: f64) -> Self {
+        Self {
+            dt_min,
+            dt_max,
+            ..Self::new(dt_min, t_stop)
+        }
+    }
+
+    /// Whether these options select the adaptive stepper
+    /// (`dt_max > dt_min`).
+    pub fn is_adaptive(&self) -> bool {
+        self.dt_max > self.dt_min
+    }
+}
+
+/// Counters describing how a transient run stepped — the time-axis analogue
+/// of [`SolveStats`], which makes the adaptive ladder's behaviour assertable
+/// in tests and benchmarks.
+///
+/// Like the step sequence itself, every counter is a pure deterministic
+/// function of (circuit, options) and bit-identical across the
+/// `LOOPSCOPE_THREADS`/`LOOPSCOPE_KERNEL`/`LOOPSCOPE_PANEL` knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientStats {
+    /// Steps accepted into the result (`times().len() - 1`).
+    pub accepted_steps: usize,
+    /// Step attempts rejected by the ladder (LTE over tolerance or Newton
+    /// non-convergence) and retried at a smaller width. Always zero on the
+    /// fixed grid.
+    pub rejected_steps: usize,
+    /// Steps accepted *despite* an LTE estimate over tolerance because the
+    /// width had already reached `dt_min` — graceful degradation instead of
+    /// a hard abort. Always zero on the fixed grid.
+    pub forced_accepts: usize,
+    /// Total Newton iterations across all attempts (accepted and rejected).
+    pub newton_iterations: usize,
+    /// Smallest accepted step width, seconds (`+∞` before any step).
+    pub min_dt: f64,
+    /// Largest accepted step width, seconds (`0` before any step).
+    pub max_dt: f64,
+    /// Breakpoints the stepper landed on exactly (source discontinuities;
+    /// the plain `t_stop` landing is not counted unless a discontinuity
+    /// falls there). Always zero on the fixed grid.
+    pub breakpoints_hit: usize,
+    /// Linear-solver counters accumulated over the whole run.
+    pub solve: SolveStats,
+}
+
+impl Default for TransientStats {
+    fn default() -> Self {
+        Self {
+            accepted_steps: 0,
+            rejected_steps: 0,
+            forced_accepts: 0,
+            newton_iterations: 0,
+            min_dt: f64::INFINITY,
+            max_dt: 0.0,
+            breakpoints_hit: 0,
+            solve: SolveStats::default(),
         }
     }
 }
 
-/// Result of a transient run: node-voltage waveforms on a uniform time grid.
+impl TransientStats {
+    /// Records an accepted step of width `dt`.
+    fn record_accept(&mut self, dt: f64) {
+        self.accepted_steps += 1;
+        self.min_dt = self.min_dt.min(dt);
+        self.max_dt = self.max_dt.max(dt);
+    }
+}
+
+/// Result of a transient run: node-voltage waveforms on a time grid.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,
     /// `data[time_index][node_index]`.
     data: Vec<Vec<f64>>,
+    stats: TransientStats,
 }
 
 impl TransientResult {
-    /// The simulation time points in seconds. The grid is `dt`-spaced with
-    /// the final step shortened so the last point lands **exactly** on the
-    /// requested `t_stop` (never past it — overshoot would corrupt
-    /// overshoot/settling measurements read off the tail).
+    /// The simulation time points in seconds, strictly increasing. The last
+    /// point lands **exactly** on the requested `t_stop` (never past it —
+    /// overshoot would corrupt overshoot/settling measurements read off the
+    /// tail).
+    ///
+    /// The grid is **not uniform in general**: a fixed-grid run is
+    /// `dt`-spaced except for a possibly shortened final step, while an
+    /// adaptive run's spacing varies from `dt_min` to `dt_max` (and below
+    /// `dt_min` only for breakpoint landings). Consumers must pair each
+    /// sample with its entry here rather than assume `i * dt` — or use
+    /// [`value_at`](TransientResult::value_at), which interpolates on the
+    /// actual grid.
     pub fn times(&self) -> &[f64] {
         &self.times
+    }
+
+    /// Step-control counters for the run (accepted/rejected steps, Newton
+    /// iterations, min/max accepted `dt`, breakpoints hit, solver ladder
+    /// counters).
+    pub fn stats(&self) -> &TransientStats {
+        &self.stats
     }
 
     /// Number of stored time points.
@@ -119,8 +265,11 @@ impl TransientResult {
     }
 
     /// The node voltage linearly interpolated at time `t` (clamped to the
-    /// first/last sample outside the simulated range). Interpolates
-    /// directly over the stored rows via
+    /// first/last sample outside the simulated range). Interpolation is over
+    /// the **actual, possibly non-uniform** [`times`](TransientResult::times)
+    /// grid — each bracketing sample pair is looked up by binary search, so
+    /// adaptive runs interpolate correctly across their varying step widths.
+    /// Interpolates directly over the stored rows via
     /// [`interp::lerp_at_by`] — the node's waveform vector is **not**
     /// materialized per call.
     ///
@@ -147,14 +296,20 @@ impl<'c> TransientAnalysis<'c> {
     ///
     /// # Errors
     ///
-    /// Returns [`SpiceError::InvalidOptions`] for non-positive `dt`/`t_stop`,
-    /// a zero `max_newton`, a non-finite or non-positive `vntol`, and
-    /// [`SpiceError::Netlist`] if the circuit fails validation.
+    /// Returns [`SpiceError::InvalidOptions`] for a non-positive `dt_min`, a
+    /// `dt_max` below `dt_min`, a `t_stop` shorter than one minimum step, a
+    /// zero `max_newton`, non-finite or non-positive `vntol`/`reltol`/
+    /// `abstol`, and [`SpiceError::Netlist`] if the circuit fails validation.
     pub fn new(circuit: &'c Circuit, options: TransientOptions) -> Result<Self, SpiceError> {
         circuit.validate().map_err(SpiceError::Netlist)?;
-        if !(options.dt > 0.0 && options.dt.is_finite()) {
+        if !(options.dt_min > 0.0 && options.dt_min.is_finite()) {
             return Err(SpiceError::InvalidOptions(
                 "time step must be positive".to_string(),
+            ));
+        }
+        if !(options.dt_max.is_finite() && options.dt_max >= options.dt_min) {
+            return Err(SpiceError::InvalidOptions(
+                "dt_max must be finite and at least dt_min".to_string(),
             ));
         }
         if options.max_newton == 0 {
@@ -167,9 +322,19 @@ impl<'c> TransientAnalysis<'c> {
                 "vntol must be finite and positive".to_string(),
             ));
         }
-        // `t_stop == dt` is a perfectly valid single-step run; only a stop
-        // time short of one full step is inconsistent.
-        let stop_valid = options.t_stop.is_finite() && options.t_stop >= options.dt;
+        if !(options.reltol > 0.0 && options.reltol.is_finite()) {
+            return Err(SpiceError::InvalidOptions(
+                "reltol must be finite and positive".to_string(),
+            ));
+        }
+        if !(options.abstol > 0.0 && options.abstol.is_finite()) {
+            return Err(SpiceError::InvalidOptions(
+                "abstol must be finite and positive".to_string(),
+            ));
+        }
+        // `t_stop == dt_min` is a perfectly valid single-step run; only a
+        // stop time short of one minimum step is inconsistent.
+        let stop_valid = options.t_stop.is_finite() && options.t_stop >= options.dt_min;
         if !stop_valid {
             return Err(SpiceError::InvalidOptions(
                 "stop time must be at least one time step".to_string(),
@@ -184,16 +349,66 @@ impl<'c> TransientAnalysis<'c> {
 
     /// Runs the transient analysis starting from the given operating point.
     ///
+    /// Dispatches on the options: `dt_max == dt_min` runs the legacy
+    /// fixed-grid loop (bitwise identical to its historical output),
+    /// `dt_max > dt_min` runs the adaptive accept-or-escalate stepper (see
+    /// the [module docs](crate::tran)).
+    ///
     /// # Errors
     ///
     /// Returns a hard solver failure ([`SpiceError::SingularSystem`],
     /// [`SpiceError::NonFiniteStamp`], [`SpiceError::ResidualCheckFailed`] or
-    /// [`SpiceError::Linear`]) if a time-point system cannot be solved, or
+    /// [`SpiceError::Linear`]) if a time-point system cannot be solved even
+    /// through the solver's retry ladder, or
     /// [`SpiceError::TransientNoConvergence`] — naming the time point, step
-    /// index and worst-residual node — if the per-step Newton loop fails.
+    /// index, worst-residual node and (on the adaptive path) the rejected
+    /// step attempts — once the step ladder is exhausted at `dt_min`.
     pub fn run(&self, op: &OperatingPoint) -> Result<TransientResult, SpiceError> {
+        self.run_impl(op, |_, _| {})
+    }
+
+    /// Like [`run`](TransientAnalysis::run), but invoking `hook` with the
+    /// 0-based solve ordinal and the solver between assembly and the
+    /// verified solve of **every** Newton iteration — the seam the
+    /// fault-injection suites use to poison stamped values at a
+    /// deterministic point of the run. Compiled only for tests and under the
+    /// `fault-inject` feature; never part of the production surface.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](TransientAnalysis::run) — including any failure the
+    /// injected perturbation provokes.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn run_with_hook(
+        &self,
+        op: &OperatingPoint,
+        hook: impl FnMut(usize, &mut CachedMna<f64>),
+    ) -> Result<TransientResult, SpiceError> {
+        self.run_impl(op, hook)
+    }
+
+    fn run_impl<F: FnMut(usize, &mut CachedMna<f64>)>(
+        &self,
+        op: &OperatingPoint,
+        hook: F,
+    ) -> Result<TransientResult, SpiceError> {
+        if self.options.is_adaptive() {
+            self.run_adaptive(op, hook)
+        } else {
+            self.run_fixed(op, hook)
+        }
+    }
+
+    /// The legacy fixed-grid loop. Every arithmetic operation on the
+    /// waveform path is unchanged from before the adaptive stepper existed,
+    /// so `dt_max == dt_min` options reproduce historical results bitwise.
+    fn run_fixed<F: FnMut(usize, &mut CachedMna<f64>)>(
+        &self,
+        op: &OperatingPoint,
+        mut hook: F,
+    ) -> Result<TransientResult, SpiceError> {
         let node_count = self.circuit.node_count();
-        let dt = self.options.dt;
+        let dt = self.options.dt_min;
         let t_stop = self.options.t_stop;
         // Step count covering 0..=t_stop. `ceil` alone is not enough: when
         // t_stop is not an exact multiple of dt the final full step would
@@ -248,6 +463,8 @@ impl<'c> TransientAnalysis<'c> {
         let mut trial = voltages.clone();
         let mut next = vec![0.0; node_count];
         let mut solution = vec![0.0; self.layout.dim()];
+        let mut stats = TransientStats::default();
+        let mut solve_ordinal = 0usize;
 
         for step in 1..=steps {
             // The final step ends exactly at t_stop, shortened when t_stop
@@ -282,13 +499,21 @@ impl<'c> TransientAnalysis<'c> {
                     t,
                     dt: dt_step,
                     method,
+                    left_limit: false,
                     trial: &trial,
                     prev: &voltages,
                     prev_cap_current: &prev_cap_current,
                     prev_ind_voltage: &prev_ind_voltage,
                     prev_solution: &branch_currents,
                 };
-                solver.solve_verified_into(&self.layout, &job, &mut solution)?;
+                // `solve_verified_into` is exactly assemble + verify; the
+                // split lets the (production no-op) hook poison the
+                // assembled values in fault-injection runs.
+                solver.assemble_into(&self.layout, &job, &mut solution);
+                hook(solve_ordinal, &mut solver);
+                solve_ordinal += 1;
+                solver.verify_assembled(&self.layout, &mut solution)?;
+                stats.newton_iterations += 1;
 
                 let mut max_delta: f64 = 0.0;
                 for node in self.circuit.signal_nodes_iter() {
@@ -317,6 +542,7 @@ impl<'c> TransientAnalysis<'c> {
                     time: t,
                     step,
                     worst_node: worst,
+                    rejections: Vec::new(),
                 });
             }
 
@@ -344,12 +570,313 @@ impl<'c> TransientAnalysis<'c> {
             std::mem::swap(&mut voltages, &mut trial);
             times.push(t);
             data.push(voltages.clone());
+            stats.record_accept(dt_step);
         }
 
-        Ok(TransientResult { times, data })
+        stats.solve = solver.stats();
+        Ok(TransientResult { times, data, stats })
+    }
+
+    /// The breakpoint schedule for this run: source discontinuities in
+    /// `(0, t_stop]`, sorted and merged. Points within a relative tolerance
+    /// of each other collapse to one landing (two ulp-apart edges must not
+    /// force a degenerate ulp-wide step), and a point within tolerance of
+    /// `t_stop` snaps onto it so the final landing doubles as the breakpoint
+    /// landing.
+    fn breakpoints(&self) -> Vec<f64> {
+        let t_stop = self.options.t_stop;
+        let tol = t_stop * 1.0e-12;
+        let mut bps = Vec::new();
+        for el in self.circuit.elements() {
+            let spec = match el {
+                Element::Vsource(v) => &v.spec,
+                Element::Isource(i) => &i.spec,
+                _ => continue,
+            };
+            spec.waveform.breakpoints(&mut bps);
+        }
+        for b in &mut bps {
+            if (*b - t_stop).abs() <= tol {
+                *b = t_stop;
+            }
+        }
+        // `t = 0` needs no landing — the run starts there (and takes the
+        // same backward-Euler restart step a breakpoint landing triggers).
+        bps.retain(|&b| b > tol && b <= t_stop);
+        bps.sort_by(f64::total_cmp);
+        bps.dedup_by(|next, kept| *next - *kept <= tol);
+        bps
+    }
+
+    /// The adaptive accept-or-escalate stepper (see the
+    /// [module docs](crate::tran) for the ladder).
+    fn run_adaptive<F: FnMut(usize, &mut CachedMna<f64>)>(
+        &self,
+        op: &OperatingPoint,
+        mut hook: F,
+    ) -> Result<TransientResult, SpiceError> {
+        let node_count = self.circuit.node_count();
+        let opts = &self.options;
+        let t_stop = opts.t_stop;
+        let bps = self.breakpoints();
+        let nonlinear = self.circuit.elements().iter().any(Element::is_nonlinear);
+
+        // State carried between time points (identical to the fixed grid).
+        let mut voltages = op.node_voltages().to_vec();
+        let mut prev_cap_current: Vec<f64> = vec![0.0; self.circuit.elements().len()];
+        let mut prev_ind_voltage: Vec<f64> = vec![0.0; self.circuit.elements().len()];
+        let mut branch_currents: Vec<f64> = vec![0.0; self.layout.dim()];
+        for (ei, el) in self.circuit.elements().iter().enumerate() {
+            if let Element::Inductor(l) = el {
+                if let Some(i0) = op.branch_current(&l.name) {
+                    if let Some(var) = self.layout.branch_var(&l.name) {
+                        branch_currents[var] = i0;
+                    }
+                }
+                prev_ind_voltage[ei] = voltages[l.a.index()] - voltages[l.b.index()];
+            }
+        }
+
+        let mut times = vec![0.0];
+        let mut data = vec![voltages.clone()];
+        let mut solver = CachedMna::new();
+        let mut trial = voltages.clone();
+        let mut next = vec![0.0; node_count];
+        let mut solution = vec![0.0; self.layout.dim()];
+        let mut stats = TransientStats::default();
+        let mut solve_ordinal = 0usize;
+
+        // Predictor history: the accepted solution *before* `voltages` and
+        // the step width that led from it to `voltages`. Invalidated across
+        // discontinuities — linear extrapolation through a jump would be
+        // meaningless as an error reference.
+        let mut prev2 = vec![0.0; node_count];
+        let mut hist_valid = false;
+        let mut h_last = 0.0f64;
+
+        let mut t = 0.0f64;
+        // The controller's step. Starts (and restarts after every
+        // breakpoint) at `dt_min`: right after a discontinuity there is no
+        // LTE evidence yet, so the ladder re-earns its width by doubling.
+        let mut h = opts.dt_min;
+        // The step leaving a discontinuity (t = 0 or a breakpoint) runs
+        // backward Euler — the reactive history is not valid trapezoidal
+        // start-up state (see [`Integration::Trapezoidal`]).
+        let mut post_disc = true;
+        let mut bp_idx = 0usize;
+
+        while t < t_stop {
+            // ---- one accepted output sample: the attempt ladder ----
+            let mut h_try = h;
+            let mut force_be = false;
+            let mut rejections: Vec<StepRejection> = Vec::new();
+            // Skip breakpoints at or before the current time (exact landings
+            // make `t` compare equal to a hit breakpoint).
+            while bp_idx < bps.len() && bps[bp_idx] <= t {
+                bp_idx += 1;
+            }
+
+            loop {
+                // Candidate step: the controller's width clamped to land
+                // exactly on t_stop and on the next breakpoint. Exact
+                // targets are assigned (not accumulated) so the grid hits
+                // them bit-exactly.
+                let remaining = t_stop - t;
+                let mut h_c = h_try.min(remaining);
+                let mut target = if h_c >= remaining { t_stop } else { t + h_c };
+                let mut landing = false;
+                if bp_idx < bps.len() {
+                    let b = bps[bp_idx];
+                    if b - t <= h_c {
+                        h_c = b - t;
+                        target = b;
+                        landing = true;
+                    }
+                }
+                let t_new = target;
+                let method = if post_disc || force_be {
+                    Integration::BackwardEuler
+                } else {
+                    opts.method
+                };
+
+                // Newton at (t_new, h_c). A landing step evaluates sources
+                // by their left limit: the discontinuity belongs to the
+                // *next* step, never to the one integrating up to it.
+                trial.copy_from_slice(&voltages);
+                let mut converged = false;
+                let mut worst_node = None;
+                for _ in 0..opts.max_newton {
+                    let job = TimestepSystem {
+                        analysis: self,
+                        t: t_new,
+                        dt: h_c,
+                        method,
+                        left_limit: landing,
+                        trial: &trial,
+                        prev: &voltages,
+                        prev_cap_current: &prev_cap_current,
+                        prev_ind_voltage: &prev_ind_voltage,
+                        prev_solution: &branch_currents,
+                    };
+                    solver.assemble_into(&self.layout, &job, &mut solution);
+                    hook(solve_ordinal, &mut solver);
+                    solve_ordinal += 1;
+                    solver.verify_assembled(&self.layout, &mut solution)?;
+                    stats.newton_iterations += 1;
+
+                    let mut max_delta: f64 = 0.0;
+                    for node in self.circuit.signal_nodes_iter() {
+                        let var = self.layout.node_var(node).expect("signal node");
+                        let v = solution[var];
+                        let delta = (v - trial[node.index()]).abs();
+                        if delta >= max_delta {
+                            max_delta = delta;
+                            worst_node = Some(node);
+                        }
+                        next[node.index()] = v;
+                    }
+                    std::mem::swap(&mut trial, &mut next);
+                    if max_delta < opts.vntol || !nonlinear {
+                        converged = true;
+                        break;
+                    }
+                }
+
+                if !converged {
+                    // Newton non-convergence is a rejection rung: halve
+                    // toward dt_min, then switch the step to backward Euler,
+                    // then surface the whole ladder history.
+                    stats.rejected_steps += 1;
+                    rejections.push(StepRejection {
+                        time: t_new,
+                        dt: h_c,
+                        reason: StepRejectReason::NewtonNoConvergence,
+                    });
+                    if h_c > opts.dt_min {
+                        h_try = (h_c * 0.5).max(opts.dt_min);
+                        continue;
+                    }
+                    if method == Integration::Trapezoidal {
+                        force_be = true;
+                        continue;
+                    }
+                    let worst = worst_node
+                        .map(|n| self.circuit.node_name(n).to_string())
+                        .unwrap_or_else(|| "<none>".to_string());
+                    return Err(SpiceError::TransientNoConvergence {
+                        time: t_new,
+                        step: stats.accepted_steps + 1,
+                        worst_node: worst,
+                        rejections,
+                    });
+                }
+
+                // LTE accept test: predictor–corrector difference. The
+                // predictor extrapolates linearly through the two previous
+                // accepted points; the difference to the corrector (the
+                // solved step) estimates the local truncation error. Skipped
+                // on restart steps (no valid history across a discontinuity)
+                // — those run at dt_min, where the ladder would accept
+                // anyway.
+                let mut grow = false;
+                if hist_valid && !post_disc {
+                    let scale = h_c / h_last;
+                    let mut ratio: f64 = 0.0;
+                    for node in self.circuit.signal_nodes_iter() {
+                        let i = node.index();
+                        let x_new = trial[i];
+                        let x_prev = voltages[i];
+                        let predicted = x_prev + (x_prev - prev2[i]) * scale;
+                        let err = (x_new - predicted).abs();
+                        let tol = opts.reltol * x_new.abs().max(x_prev.abs()) + opts.abstol;
+                        ratio = ratio.max(err / tol);
+                    }
+                    if ratio > 1.0 {
+                        if h_c > opts.dt_min {
+                            stats.rejected_steps += 1;
+                            rejections.push(StepRejection {
+                                time: t_new,
+                                dt: h_c,
+                                reason: StepRejectReason::LteExceeded { ratio },
+                            });
+                            h_try = (h_c * 0.5).max(opts.dt_min);
+                            continue;
+                        }
+                        // Already at the floor: accept anyway (graceful
+                        // degradation — the fixed grid would have silently
+                        // taken this step too) and count it.
+                        stats.forced_accepts += 1;
+                    } else if ratio <= LTE_GROW_THRESHOLD {
+                        grow = true;
+                    }
+                }
+
+                // ---- accept ----
+                for (ei, el) in self.circuit.elements().iter().enumerate() {
+                    match el {
+                        Element::Capacitor(c) => {
+                            let v_new = trial[c.a.index()] - trial[c.b.index()];
+                            let v_old = voltages[c.a.index()] - voltages[c.b.index()];
+                            let i_new = match method {
+                                Integration::BackwardEuler => c.farads / h_c * (v_new - v_old),
+                                Integration::Trapezoidal => {
+                                    2.0 * c.farads / h_c * (v_new - v_old) - prev_cap_current[ei]
+                                }
+                            };
+                            prev_cap_current[ei] = i_new;
+                        }
+                        Element::Inductor(l) => {
+                            prev_ind_voltage[ei] = trial[l.a.index()] - trial[l.b.index()];
+                        }
+                        _ => {}
+                    }
+                }
+                branch_currents.copy_from_slice(&solution);
+                if landing || post_disc {
+                    // The point before this step sits across (or on) a
+                    // discontinuity — no extrapolation through it.
+                    hist_valid = false;
+                } else {
+                    prev2.copy_from_slice(&voltages);
+                    h_last = h_c;
+                    hist_valid = true;
+                }
+                std::mem::swap(&mut voltages, &mut trial);
+                t = t_new;
+                times.push(t);
+                data.push(voltages.clone());
+                stats.record_accept(h_c);
+
+                if landing {
+                    stats.breakpoints_hit += 1;
+                    bp_idx += 1;
+                    post_disc = true;
+                    h = opts.dt_min;
+                } else {
+                    post_disc = false;
+                    // Grow from the post-rejection width (`h_try`), not the
+                    // possibly landing-shortened `h_c`: an exact landing
+                    // must not shrink the controller.
+                    h = if grow {
+                        (h_try * 2.0).min(opts.dt_max)
+                    } else {
+                        h_try
+                    };
+                }
+                break;
+            }
+        }
+
+        stats.solve = solver.stats();
+        Ok(TransientResult { times, data, stats })
     }
 
     /// Stamps the MNA system for one Newton iteration of one time point.
+    ///
+    /// With `left_limit` set (a breakpoint-landing step), independent
+    /// sources are evaluated by their left limit at `t` so the step sees
+    /// only the pre-discontinuity waveform.
     #[allow(clippy::too_many_arguments)]
     fn stamp_timestep<S: MatrixSink<f64>>(
         &self,
@@ -357,6 +884,7 @@ impl<'c> TransientAnalysis<'c> {
         t: f64,
         dt: f64,
         method: Integration,
+        left_limit: bool,
         trial: &[f64],
         prev: &[f64],
         prev_cap_current: &[f64],
@@ -364,6 +892,13 @@ impl<'c> TransientAnalysis<'c> {
         prev_solution: &[f64],
     ) {
         let trapezoidal = method == Integration::Trapezoidal;
+        let source_value = |spec: &loopscope_netlist::SourceSpec| {
+            if left_limit {
+                spec.value_at_left(t)
+            } else {
+                spec.value_at(t)
+            }
+        };
 
         for node in self.circuit.signal_nodes_iter() {
             st.add_node_node(node, node, GMIN);
@@ -411,10 +946,10 @@ impl<'c> TransientAnalysis<'c> {
                     st.add_var_node(br, v.minus, -1.0);
                     st.add_node_var(v.plus, br, 1.0);
                     st.add_node_var(v.minus, br, -1.0);
-                    st.add_rhs_var(br, v.spec.value_at(t));
+                    st.add_rhs_var(br, source_value(&v.spec));
                 }
                 Element::Isource(i) => {
-                    st.stamp_current_injection(i.minus, i.plus, i.spec.value_at(t));
+                    st.stamp_current_injection(i.minus, i.plus, source_value(&i.spec));
                 }
                 Element::Vcvs(e) => {
                     let br = self.layout.branch_var(&e.name).expect("branch");
@@ -468,6 +1003,8 @@ struct TimestepSystem<'a, 'c> {
     t: f64,
     dt: f64,
     method: Integration,
+    /// Evaluate sources by their left limit at `t` (breakpoint landing).
+    left_limit: bool,
     trial: &'a [f64],
     prev: &'a [f64],
     prev_cap_current: &'a [f64],
@@ -482,6 +1019,7 @@ impl AssembleMna<f64> for TimestepSystem<'_, '_> {
             self.t,
             self.dt,
             self.method,
+            self.left_limit,
             self.trial,
             self.prev,
             self.prev_cap_current,
@@ -670,6 +1208,7 @@ mod tests {
                 time,
                 step,
                 worst_node,
+                rejections,
             }) => {
                 assert!(time > 0.0 && time <= 10.0e-6);
                 assert!(step >= 1);
@@ -677,6 +1216,8 @@ mod tests {
                     worst_node == "out" || worst_node == "in",
                     "worst_node = {worst_node}"
                 );
+                // The fixed grid has no retry ladder — no recorded attempts.
+                assert!(rejections.is_empty());
             }
             other => panic!("expected TransientNoConvergence, got {other:?}"),
         }
@@ -788,6 +1329,224 @@ mod tests {
         assert!(matches!(
             r.value_at(foreign, 1.0e-6),
             Err(SpiceError::UnknownReference(_))
+        ));
+    }
+
+    #[test]
+    fn value_at_lerps_on_non_uniform_grid() {
+        // A hand-built result with wildly non-uniform spacing (what an
+        // adaptive run produces): interpolation must bracket by the actual
+        // times, not assume `i * dt`.
+        let (c, a) = dc_circuit();
+        assert_eq!(a.index(), 1);
+        let r = TransientResult {
+            times: vec![0.0, 1.0e-6, 5.0e-6, 6.0e-6],
+            data: vec![
+                vec![0.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.0, 3.0],
+                vec![0.0, 10.0],
+            ],
+            stats: TransientStats::default(),
+        };
+        drop(c);
+        // Exact samples.
+        assert_eq!(r.value_at(a, 1.0e-6).unwrap(), 1.0);
+        assert_eq!(r.value_at(a, 6.0e-6).unwrap(), 10.0);
+        // Midpoints of unequal intervals.
+        assert!((r.value_at(a, 3.0e-6).unwrap() - 2.0).abs() < 1e-12);
+        assert!((r.value_at(a, 5.5e-6).unwrap() - 6.5).abs() < 1e-12);
+        // Clamped outside the range.
+        assert_eq!(r.value_at(a, -1.0).unwrap(), 0.0);
+        assert_eq!(r.value_at(a, 1.0).unwrap(), 10.0);
+    }
+
+    /// Two-time-constant RC: fast branch τ = 1 µs, slow branch τ = 10 ms
+    /// (ratio 1e4) off one stepped source.
+    fn stiff_rc() -> Circuit {
+        let mut c = Circuit::new("stiff rc");
+        let vin = c.node("in");
+        let fast = c.node("fast");
+        let slow = c.node("slow");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 1.0, 0.0));
+        c.add_resistor("R1", vin, fast, 1.0e3);
+        c.add_capacitor("C1", fast, Circuit::GROUND, 1.0e-9);
+        c.add_resistor("R2", vin, slow, 1.0e6);
+        c.add_capacitor("C2", slow, Circuit::GROUND, 10.0e-9);
+        c
+    }
+
+    #[test]
+    fn adaptive_resolves_both_time_constants_with_few_steps() {
+        let c = stiff_rc();
+        let op = solve_dc(&c).unwrap();
+        let t_stop = 20.0e-3;
+        let opts = TransientOptions::adaptive(10.0e-9, 0.5e-3, t_stop);
+        let r = TransientAnalysis::new(&c, opts).unwrap().run(&op).unwrap();
+        let fast = c.find_node("fast").unwrap();
+        let slow = c.find_node("slow").unwrap();
+        // Both exponentials tracked despite the 1e4 τ ratio.
+        for (node, tau) in [(fast, 1.0e-6), (slow, 10.0e-3)] {
+            for mult in [1.0, 2.0, 5.0] {
+                let t = tau * mult;
+                if t > t_stop {
+                    continue;
+                }
+                let want = 1.0 - (-t / tau).exp();
+                let got = r.value_at(node, t).unwrap();
+                assert!(
+                    (got - want).abs() < 5.0e-3,
+                    "node τ={tau}, t={t}: got {got}, want {want}"
+                );
+            }
+        }
+        let stats = r.stats();
+        // A fixed grid resolving τ = 1 µs over 20 ms needs tens of
+        // thousands of steps; the adaptive ladder does it in a few hundred.
+        assert!(
+            stats.accepted_steps < 2_000,
+            "accepted = {}",
+            stats.accepted_steps
+        );
+        assert_eq!(stats.accepted_steps, r.len() - 1);
+        assert!(stats.min_dt <= stats.max_dt);
+        assert!(stats.max_dt <= opts.dt_max);
+        assert!(stats.newton_iterations >= stats.accepted_steps);
+        // The grid actually varied: it grew well beyond dt_min.
+        assert!(
+            stats.max_dt > 100.0 * opts.dt_min,
+            "max_dt = {}",
+            stats.max_dt
+        );
+        assert_eq!(*r.times().last().unwrap(), t_stop);
+        assert!(r.times().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn adaptive_lands_exactly_on_source_breakpoints() {
+        // STEP delayed to 2.5 µs: the stepper must produce a sample at
+        // exactly that time, with the pre-jump (left-limit) value.
+        let mut c = Circuit::new("delayed step");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            SourceSpec::step(0.0, 1.0, 2.5e-6),
+        );
+        c.add_resistor("R1", vin, vout, 1.0e3);
+        c.add_capacitor("C1", vout, Circuit::GROUND, 1.0e-9);
+        let op = solve_dc(&c).unwrap();
+        let opts = TransientOptions::adaptive(5.0e-9, 1.0e-6, 10.0e-6);
+        let r = TransientAnalysis::new(&c, opts).unwrap().run(&op).unwrap();
+        assert_eq!(r.stats().breakpoints_hit, 1);
+        assert!(
+            r.times().contains(&2.5e-6),
+            "no exact landing in {:?}",
+            r.times()
+        );
+        // Left limit at the breakpoint: the jump is not integrated across,
+        // so the waveform is still exactly at its pre-step value there.
+        let at_bp = r.value_at(vout, 2.5e-6).unwrap();
+        assert!(at_bp.abs() < 1e-12, "v(breakpoint) = {at_bp}");
+        // And well settled by the end (τ = 1 µs, 7.5 µs after the step).
+        let at_end = r.value_at(vout, 10.0e-6).unwrap();
+        assert!((at_end - 1.0).abs() < 5e-3, "v(end) = {at_end}");
+    }
+
+    #[test]
+    fn adaptive_error_carries_rejection_history() {
+        use loopscope_netlist::DiodeModel;
+        // Same hard-driven diode as the fixed-grid error test, adaptive:
+        // with one Newton iteration per attempt the ladder must halve down
+        // to dt_min, switch to BE, and then surface every attempt.
+        let mut c = Circuit::new("stiff diode");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, SourceSpec::step(0.0, 5.0, 0.0));
+        c.add_resistor("R1", vin, vout, 1.0e3);
+        c.add_diode("D1", vout, Circuit::GROUND, DiodeModel::default());
+        let op = solve_dc(&c).unwrap();
+        let mut opts = TransientOptions::adaptive(0.25e-6, 2.0e-6, 10.0e-6);
+        opts.max_newton = 1;
+        let tran = TransientAnalysis::new(&c, opts).unwrap();
+        match tran.run(&op) {
+            Err(SpiceError::TransientNoConvergence {
+                time,
+                step,
+                worst_node,
+                rejections,
+            }) => {
+                assert!(time > 0.0 && time <= 10.0e-6);
+                assert!(step >= 1);
+                assert!(
+                    worst_node == "out" || worst_node == "in",
+                    "worst_node = {worst_node}"
+                );
+                assert!(!rejections.is_empty());
+                // The ladder bottomed out at dt_min before giving up.
+                let smallest = rejections
+                    .iter()
+                    .map(|r| r.dt)
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    smallest <= opts.dt_min * (1.0 + 1e-12),
+                    "smallest {smallest}"
+                );
+                assert!(rejections.iter().all(|r| matches!(
+                    r.reason,
+                    crate::error::StepRejectReason::NewtonNoConvergence
+                )));
+            }
+            other => panic!("expected TransientNoConvergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_adaptive_options_take_the_fixed_grid_path() {
+        let (c, a) = dc_circuit();
+        let op = solve_dc(&c).unwrap();
+        let fixed = TransientOptions::new(1.0e-6, 10.0e-6);
+        let degenerate = TransientOptions::adaptive(1.0e-6, 1.0e-6, 10.0e-6);
+        assert!(!degenerate.is_adaptive());
+        let rf = TransientAnalysis::new(&c, fixed).unwrap().run(&op).unwrap();
+        let rd = TransientAnalysis::new(&c, degenerate)
+            .unwrap()
+            .run(&op)
+            .unwrap();
+        // Bitwise identical grids and waveforms.
+        assert_eq!(rf.times(), rd.times());
+        let (wf, wd) = (rf.waveform(a).unwrap(), rd.waveform(a).unwrap());
+        assert!(wf.iter().zip(&wd).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(rd.stats().rejected_steps, 0);
+        assert_eq!(rd.stats().breakpoints_hit, 0);
+        assert_eq!(rd.stats().accepted_steps, 10);
+        // The final fixed step's width is computed as `t_stop - 9·dt`, a few
+        // ulps off dt — the stats record what was actually integrated.
+        assert!((rd.stats().min_dt - 1.0e-6).abs() < 1e-18);
+        assert!((rd.stats().max_dt - 1.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn invalid_adaptive_options_rejected() {
+        let (c, _) = dc_circuit();
+        // dt_max below dt_min.
+        assert!(matches!(
+            TransientAnalysis::new(&c, TransientOptions::adaptive(1.0e-6, 0.5e-6, 1.0e-3)),
+            Err(SpiceError::InvalidOptions(msg)) if msg.contains("dt_max")
+        ));
+        let mut bad_reltol = TransientOptions::adaptive(1.0e-6, 1.0e-4, 1.0e-3);
+        bad_reltol.reltol = 0.0;
+        assert!(matches!(
+            TransientAnalysis::new(&c, bad_reltol),
+            Err(SpiceError::InvalidOptions(msg)) if msg.contains("reltol")
+        ));
+        let mut bad_abstol = TransientOptions::adaptive(1.0e-6, 1.0e-4, 1.0e-3);
+        bad_abstol.abstol = f64::NAN;
+        assert!(matches!(
+            TransientAnalysis::new(&c, bad_abstol),
+            Err(SpiceError::InvalidOptions(msg)) if msg.contains("abstol")
         ));
     }
 

@@ -150,6 +150,20 @@ pub struct TranCheck {
     pub tol: Tolerance,
 }
 
+/// Adaptive-stepping parameters of a transient golden (schema fields
+/// `dt_min`, `dt_max`, `reltol`, `abstol`, active when `"adaptive": true`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranAdaptive {
+    /// Smallest step the ladder may take, seconds.
+    pub dt_min: f64,
+    /// Largest step the controller may grow to, seconds.
+    pub dt_max: f64,
+    /// Relative LTE tolerance (dimensionless).
+    pub reltol: f64,
+    /// Absolute LTE tolerance, volts.
+    pub abstol: f64,
+}
+
 /// One tolerance rule of a Monte Carlo analysis.
 #[derive(Debug, Clone, PartialEq)]
 pub struct McRule {
@@ -210,14 +224,18 @@ pub enum AnalysisCase {
         /// Pinned impedance values.
         checks: Vec<DrivingPointCheck>,
     },
-    /// Transient integration on a fixed grid.
+    /// Transient integration — fixed grid, or adaptive when `adaptive` is
+    /// set.
     Tran {
-        /// Fixed time step in seconds.
+        /// Fixed time step in seconds (equal to `dt_min` for an adaptive
+        /// case, where the grid spacing is controlled by the LTE ladder).
         dt: f64,
         /// Stop time in seconds.
         t_stop: f64,
         /// `"trapezoidal"` (default) or `"backward_euler"`.
         method: String,
+        /// Adaptive stepping parameters; `None` selects the fixed grid.
+        adaptive: Option<TranAdaptive>,
         /// Pinned waveform samples.
         checks: Vec<TranCheck>,
     },
@@ -606,7 +624,6 @@ fn parse_analysis(
             Ok(AnalysisCase::DrivingPoint { node, checks })
         }
         "tran" => {
-            let dt = req_num(v, "dt", &ctx, schema)?;
             let t_stop = req_num(v, "t_stop", &ctx, schema)?;
             let method = v
                 .get("method")
@@ -618,6 +635,40 @@ fn parse_analysis(
                     "{ctx}: unknown method '{method}' (expected 'trapezoidal' or 'backward_euler')"
                 )));
             }
+            // `"adaptive": true` selects the LTE-controlled stepper and
+            // requires `dt_min`/`dt_max` (with optional `reltol`/`abstol`
+            // tolerances); a fixed-grid case requires `dt` as before.
+            let is_adaptive = v.get("adaptive").and_then(Json::as_bool).unwrap_or(false);
+            let (dt, adaptive) = if is_adaptive {
+                let dt_min = req_num(v, "dt_min", &ctx, schema)?;
+                let dt_max = req_num(v, "dt_max", &ctx, schema)?;
+                if dt_max < dt_min {
+                    return Err(schema(format!("{ctx}: dt_max must be at least dt_min")));
+                }
+                let reltol = match v.get("reltol") {
+                    Some(r) => r
+                        .as_f64()
+                        .ok_or_else(|| schema(format!("{ctx}: 'reltol' must be a number")))?,
+                    None => 1.0e-3,
+                };
+                let abstol = match v.get("abstol") {
+                    Some(a) => a
+                        .as_f64()
+                        .ok_or_else(|| schema(format!("{ctx}: 'abstol' must be a number")))?,
+                    None => 1.0e-6,
+                };
+                (
+                    dt_min,
+                    Some(TranAdaptive {
+                        dt_min,
+                        dt_max,
+                        reltol,
+                        abstol,
+                    }),
+                )
+            } else {
+                (req_num(v, "dt", &ctx, schema)?, None)
+            };
             let mut checks = Vec::new();
             for (i, c) in checks_arr(v, &ctx, schema)?.iter().enumerate() {
                 let cctx = format!("{ctx}.checks[{i}]");
@@ -632,6 +683,7 @@ fn parse_analysis(
                 dt,
                 t_stop,
                 method,
+                adaptive,
                 checks,
             })
         }

@@ -290,9 +290,18 @@ fn run_case_inner(case: &GoldenCase, report: &mut CaseReport) -> Result<(), Stri
                 dt,
                 t_stop,
                 method,
+                adaptive,
                 checks,
             } => {
-                let mut options = TransientOptions::new(*dt, *t_stop);
+                let mut options = match adaptive {
+                    Some(a) => {
+                        let mut o = TransientOptions::adaptive(a.dt_min, a.dt_max, *t_stop);
+                        o.reltol = a.reltol;
+                        o.abstol = a.abstol;
+                        o
+                    }
+                    None => TransientOptions::new(*dt, *t_stop),
+                };
                 options.method = match method.as_str() {
                     "backward_euler" => Integration::BackwardEuler,
                     _ => Integration::Trapezoidal,
