@@ -238,6 +238,74 @@ pub fn current_mirror(cload_farads: f64) -> (Circuit, NodeId, NodeId) {
     (c, diode, out)
 }
 
+/// Builds a `rows × cols` on-chip power-distribution grid: a 2-D resistive
+/// mesh (5-point stencil) with a decoupling capacitor from every grid node
+/// to ground, driven by a supply at the `(0, 0)` corner through a small
+/// series resistance.
+///
+/// This is the canonical **fill-heavy** pattern: unlike the block-structured
+/// MNA systems of op-amp circuits, a 2-D mesh has no useful BTF partition
+/// and its LU factors fill in superlinearly, which is exactly the regime the
+/// iterative (`LOOPSCOPE_SOLVER=iterative` / `auto`) solver backend exists
+/// for. Conductances and capacitances carry a small deterministic positional
+/// variation so matrix *values* (not just the pattern) differ across the
+/// grid.
+///
+/// Returns the circuit and the grid nodes in row-major order
+/// (`nodes[i * cols + j]` is grid position `(i, j)`; the far corner — the
+/// natural probe for a driving-point sweep — is `nodes[rows * cols - 1]`).
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn power_grid(rows: usize, cols: usize) -> (Circuit, Vec<NodeId>) {
+    assert!(rows > 0 && cols > 0, "need a non-empty grid");
+    let mut c = Circuit::new(format!("{rows}x{cols} power grid"));
+    // Per-edge conductance and per-node capacitance with deterministic
+    // positional variation (same recipe at any grid size).
+    let r_of = |i: usize, j: usize| 1.0e3 / (1.0 + ((i + j) % 5) as f64 * 0.1);
+    let c_of = |i: usize, j: usize| 1.0e-9 * (1.0 + ((i * j) % 3) as f64 * 0.2);
+
+    let nodes: Vec<NodeId> = (0..rows)
+        .flat_map(|i| (0..cols).map(move |j| (i, j)))
+        .map(|(i, j)| c.node(&format!("g{i}_{j}")))
+        .collect();
+    for i in 0..rows {
+        for j in 0..cols {
+            let u = nodes[i * cols + j];
+            if j + 1 < cols {
+                c.add_resistor(
+                    &format!("Rh{i}_{j}"),
+                    u,
+                    nodes[i * cols + j + 1],
+                    r_of(i, j),
+                );
+            }
+            if i + 1 < rows {
+                c.add_resistor(
+                    &format!("Rv{i}_{j}"),
+                    u,
+                    nodes[(i + 1) * cols + j],
+                    r_of(i, j),
+                );
+            }
+            c.add_capacitor(&format!("C{i}_{j}"), u, Circuit::GROUND, c_of(i, j));
+        }
+    }
+    // Corner drive: the supply enters at (0, 0) through a package/bump
+    // resistance, so every grid node keeps a nonzero driving-point
+    // impedance.
+    let supply = c.node("supply");
+    c.add_vsource(
+        "Vdd",
+        supply,
+        Circuit::GROUND,
+        SourceSpec::dc_ac(1.0, 1.0, 0.0),
+    );
+    c.add_resistor("Rdrive", supply, nodes[0], 10.0);
+    (c, nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +378,34 @@ mod tests {
             "expected more than {stages} BTF blocks, found {}",
             structure.block_count
         );
+    }
+
+    #[test]
+    fn power_grid_counts_and_dc_level() {
+        let (rows, cols) = (4, 6);
+        let (c, nodes) = power_grid(rows, cols);
+        c.validate().unwrap();
+        assert_eq!(nodes.len(), rows * cols);
+        // Grid nodes plus the supply node (ground is not counted as a node
+        // here; node_count includes ground slot 0).
+        assert_eq!(c.node_count(), rows * cols + 2);
+        // Elements: horizontal + vertical mesh resistors, one cap per grid
+        // node, the supply source and its series resistor.
+        let resistors = rows * (cols - 1) + (rows - 1) * cols + 1;
+        let caps = rows * cols;
+        assert_eq!(c.elements().len(), resistors + caps + 1);
+        // At DC the caps are open and the mesh carries no current: every
+        // node floats to the supply.
+        let op = solve_dc(&c).unwrap();
+        for &n in &nodes {
+            assert!((op.voltage(n) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty grid")]
+    fn power_grid_rejects_empty() {
+        power_grid(3, 0);
     }
 
     #[test]

@@ -23,4 +23,5 @@ pub mod blocks;
 pub mod opamp;
 
 pub use bias::{zero_tc_bias, BiasNodes, BiasParams};
+pub use blocks::power_grid;
 pub use opamp::{mos_two_stage_buffer, opamp_with_bias, two_stage_buffer, OpAmpNodes, OpAmpParams};

@@ -1,0 +1,707 @@
+//! Restarted GMRES(m) over a matrix-free operator, preconditioned by a
+//! (possibly **stale**) [`SparseLu`] factorization.
+//!
+//! Direct LU fill grows superlinearly on 2-D mesh patterns, so sweeps over
+//! large power-grid-style systems cannot afford a numeric refactorization at
+//! every point. This module is the escape hatch: a right-preconditioned
+//! GMRES(m) with modified Gram-Schmidt Arnoldi and Givens-rotation least
+//! squares, generic over [`Scalar`] (real DC/transient systems and complex
+//! AC systems alike), whose preconditioner is whatever `SparseLu` the caller
+//! already holds — typically the factorization of a *nearby* sweep point.
+//! Because the preconditioner is applied on the right, the Arnoldi residual
+//! **is** the true residual of `A·x = b`, so the convergence test needs no
+//! un-preconditioning.
+//!
+//! Determinism: every loop in this module runs in a fixed order with no
+//! data races, so for identical operator values, preconditioner values and
+//! right-hand side the iteration count, the residual history and the
+//! returned solution are bitwise reproducible. The chunk-invariance of
+//! sweep-level results is the caller's job (`loopscope-spice` pins the
+//! preconditioner to a deterministic *anchor* point per sweep index).
+
+use crate::csr::CsrMatrix;
+use crate::lu::{backward_error, inf_norm, SolveError, SparseLu};
+use crate::scalar::Scalar;
+
+/// A square linear operator exposing the matrix-vector product `y = A·x` —
+/// the only access GMRES needs, so iterative solves never require the
+/// operator's entries to be materialized beyond what the caller stores.
+pub trait SparseOperator<T: Scalar> {
+    /// Dimension `n` of the square operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A·x`. `x` and `y` have length [`dim`](Self::dim);
+    /// implementations must not read `y`'s prior contents.
+    fn apply(&self, x: &[T], y: &mut [T]);
+
+    /// ∞-norm of the operator (max row sum of [`Scalar::modulus_l1`] entry
+    /// magnitudes) — the same norm the direct refined path uses, so the
+    /// backward errors of the two backends are directly comparable.
+    fn inf_norm(&self) -> f64;
+}
+
+impl<T: Scalar> SparseOperator<T> for CsrMatrix<T> {
+    fn dim(&self) -> usize {
+        self.rows()
+    }
+
+    fn apply(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols(), "operator apply: x length mismatch");
+        assert_eq!(y.len(), self.rows(), "operator apply: y length mismatch");
+        for (row, slot) in y.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for (c, v) in self.row_entries(row) {
+                acc += v * x[c];
+            }
+            *slot = acc;
+        }
+    }
+
+    fn inf_norm(&self) -> f64 {
+        let mut norm = 0.0f64;
+        for row in 0..self.rows() {
+            let srow: f64 = self.row_entries(row).map(|(_, v)| v.modulus_l1()).sum();
+            if srow > norm {
+                norm = srow;
+            }
+        }
+        norm
+    }
+}
+
+/// Which linear-solver backend a solve routes through — the seam every
+/// `loopscope-spice` driver (AC sweeps, DC Newton, transient, batch Monte
+/// Carlo) threads its solves over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolverBackend {
+    /// The direct sparse LU path: numeric refactorization at every point,
+    /// residual-verified with iterative refinement. The default, and the
+    /// fallback whenever the iterative path misses its tolerance.
+    Direct,
+    /// Restarted GMRES(m) preconditioned by a stale LU factorization; the
+    /// factorization is refreshed only every K-th sweep point, so the
+    /// symbolic-reuse machinery doubles as a preconditioner factory.
+    Iterative {
+        /// Krylov basis size per restart cycle.
+        m: usize,
+        /// Maximum number of restart cycles before giving up (the direct
+        /// ladder then takes over).
+        max_restarts: usize,
+        /// Relative 2-norm residual target: converged when
+        /// `‖b − A·x‖₂ ≤ rtol·‖b‖₂`.
+        rtol: f64,
+    },
+}
+
+impl SolverBackend {
+    /// The iterative backend with default parameters: a 32-vector Krylov
+    /// basis, up to 4 restart cycles, and a 1e-10 relative residual target
+    /// (comfortably below the spice layer's backward-error acceptance
+    /// threshold on well-scaled MNA systems).
+    pub fn iterative_default() -> Self {
+        SolverBackend::Iterative {
+            m: 32,
+            max_restarts: 4,
+            rtol: 1.0e-10,
+        }
+    }
+
+    /// `true` for the [`SolverBackend::Iterative`] variant.
+    pub fn is_iterative(&self) -> bool {
+        matches!(self, SolverBackend::Iterative { .. })
+    }
+
+    /// The GMRES options of an iterative backend, `None` for
+    /// [`SolverBackend::Direct`].
+    pub fn gmres_options(&self) -> Option<GmresOptions> {
+        match *self {
+            SolverBackend::Direct => None,
+            SolverBackend::Iterative {
+                m,
+                max_restarts,
+                rtol,
+            } => Some(GmresOptions {
+                m,
+                max_restarts,
+                rtol,
+            }),
+        }
+    }
+}
+
+/// Parameters of a restarted GMRES(m) solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmresOptions {
+    /// Krylov basis size per restart cycle (inner iterations before the
+    /// basis is collapsed into the running solution).
+    pub m: usize,
+    /// Maximum number of restart cycles.
+    pub max_restarts: usize,
+    /// Relative 2-norm residual target.
+    pub rtol: f64,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        SolverBackend::iterative_default()
+            .gmres_options()
+            .expect("iterative_default is iterative")
+    }
+}
+
+/// Outcome of a [`gmres_solve_into`] call: the iteration/restart counts the
+/// sweep statistics aggregate and the final **true-residual** quality of the
+/// returned solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmresOutcome {
+    /// Total Arnoldi iterations across all restart cycles.
+    pub iterations: usize,
+    /// Restart cycles beyond the first (0 when the first cycle converged).
+    pub restarts: usize,
+    /// ∞-norm of the final true residual `b − A·x` (matches the norm
+    /// reported by the direct path's `SolveQuality`).
+    pub residual_norm: f64,
+    /// Normwise backward error `‖r‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)` of the returned
+    /// solution — the same rule as the direct refined path, so the caller
+    /// can apply an identical accept/escalate test.
+    pub backward_error: f64,
+    /// Whether the 2-norm residual reached `rtol·‖b‖₂`.
+    pub converged: bool,
+}
+
+/// Reusable scratch for [`gmres_solve_into`]: the Krylov basis, Hessenberg
+/// column store, rotation coefficients and the various length-`n` work
+/// vectors. Create one next to the solve loop (or use
+/// [`GmresWorkspace::for_dims`] to pre-size); buffers grow on first use and
+/// are reused allocation-free afterwards.
+#[derive(Debug, Clone)]
+pub struct GmresWorkspace<T: Scalar> {
+    /// Flat Krylov basis: column `j` lives at `[j*n .. (j+1)*n]`.
+    basis: Vec<T>,
+    /// Hessenberg columns, `(m+1)`-stride: `H[i][j]` at `h[i + j*(m+1)]`.
+    h: Vec<T>,
+    /// Rotated residual vector `g` of the least-squares problem.
+    g: Vec<T>,
+    /// Givens cosines (real by construction).
+    cs: Vec<f64>,
+    /// Givens sines (complex in the complex field).
+    sn: Vec<T>,
+    /// Triangular-solve solution of the least-squares problem.
+    y: Vec<T>,
+    /// Running solution iterate.
+    x: Vec<T>,
+    /// Saved right-hand side (the caller's `rhs` is overwritten with `x`).
+    b: Vec<T>,
+    /// Residual / Arnoldi candidate vector.
+    r: Vec<T>,
+    /// Preconditioned vector `M⁻¹·v`.
+    z: Vec<T>,
+    /// Substitution scratch for the preconditioner's `solve_into`.
+    lu_work: Vec<T>,
+}
+
+impl<T: Scalar> Default for GmresWorkspace<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> GmresWorkspace<T> {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self {
+            basis: Vec::new(),
+            h: Vec::new(),
+            g: Vec::new(),
+            cs: Vec::new(),
+            sn: Vec::new(),
+            y: Vec::new(),
+            x: Vec::new(),
+            b: Vec::new(),
+            r: Vec::new(),
+            z: Vec::new(),
+            lu_work: Vec::new(),
+        }
+    }
+
+    /// Creates a workspace pre-sized for dimension `n` and basis size `m`,
+    /// so even the first solve over it performs no heap allocation.
+    pub fn for_dims(n: usize, m: usize) -> Self {
+        let mut ws = Self::new();
+        ws.resize(n, m);
+        ws
+    }
+
+    fn resize(&mut self, n: usize, m: usize) {
+        self.basis.resize(n * (m + 1), T::ZERO);
+        self.h.resize((m + 1) * m, T::ZERO);
+        self.g.resize(m + 1, T::ZERO);
+        self.cs.resize(m, 0.0);
+        self.sn.resize(m, T::ZERO);
+        self.y.resize(m, T::ZERO);
+        self.x.resize(n, T::ZERO);
+        self.b.resize(n, T::ZERO);
+        self.r.resize(n, T::ZERO);
+        self.z.resize(n, T::ZERO);
+        self.lu_work.resize(n, T::ZERO);
+    }
+}
+
+/// Euclidean norm with a fixed sequential summation order (deterministic).
+fn norm2<T: Scalar>(v: &[T]) -> f64 {
+    let mut acc = 0.0f64;
+    for &x in v {
+        acc += x.modulus_sqr();
+    }
+    acc.sqrt()
+}
+
+/// Conjugated dot product `⟨u, w⟩ = Σ conj(uₖ)·wₖ` in a fixed order.
+fn dot_conj<T: Scalar>(u: &[T], w: &[T]) -> T {
+    let mut acc = T::ZERO;
+    for (&a, &b) in u.iter().zip(w) {
+        acc += a.conj() * b;
+    }
+    acc
+}
+
+/// Complex-capable Givens rotation annihilating `b` against `a`: returns
+/// `(c, s, r)` with real `c` such that `c·a + s·b = r` and
+/// `−conj(s)·a + c·b = 0`, `|r| = √(|a|² + |b|²)`.
+fn givens<T: Scalar>(a: T, b: T) -> (f64, T, T) {
+    let am = a.modulus();
+    let bm = b.modulus();
+    if bm == 0.0 {
+        return (1.0, T::ZERO, a);
+    }
+    let d = (am * am + bm * bm).sqrt();
+    if am == 0.0 {
+        // Pure swap: r picks up b's magnitude.
+        let s = b.conj() * T::from_f64(1.0 / bm);
+        return (0.0, s, T::from_f64(bm));
+    }
+    let c = am / d;
+    // Phase of a, reused so r = (a/|a|)·d keeps a's phase.
+    let ua = a * T::from_f64(1.0 / am);
+    let s = ua * b.conj() * T::from_f64(1.0 / d);
+    (c, s, ua * T::from_f64(d))
+}
+
+/// Solves `A·x = b` by restarted GMRES(m), right-preconditioned by `precond`
+/// (an existing — possibly stale — LU factorization applied via
+/// [`SparseLu::solve_into`]). `rhs` holds `b` on entry and the best solution
+/// iterate on return, whether or not the solve converged; the caller decides
+/// acceptance from the returned [`GmresOutcome`] (typically by comparing
+/// `backward_error` against its direct-path tolerance).
+///
+/// The initial guess is always `x₀ = 0`, so identical inputs produce an
+/// identical iteration history — determinism the sweep drivers rely on.
+///
+/// # Errors
+///
+/// Returns [`SolveError::RhsLength`] when `rhs` does not match the operator
+/// dimension, and propagates any error from the preconditioner's
+/// `solve_into`.
+///
+/// # Panics
+///
+/// Panics when `precond` is an unfilled
+/// [`from_symbolic`](SparseLu::from_symbolic) shell or its dimension does
+/// not match the operator.
+pub fn gmres_solve_into<T: Scalar>(
+    op: &impl SparseOperator<T>,
+    precond: &SparseLu<T>,
+    rhs: &mut [T],
+    opts: &GmresOptions,
+    ws: &mut GmresWorkspace<T>,
+) -> Result<GmresOutcome, SolveError> {
+    let n = op.dim();
+    let m = opts.m.max(1);
+    if rhs.len() != n {
+        return Err(SolveError::RhsLength {
+            expected: n,
+            got: rhs.len(),
+        });
+    }
+    assert_eq!(precond.dim(), n, "preconditioner dimension mismatch");
+    ws.resize(n, m);
+    ws.b[..n].copy_from_slice(rhs);
+    ws.x[..n].fill(T::ZERO);
+
+    let norm_b = norm2(&ws.b[..n]);
+    let mut iterations = 0usize;
+    let mut cycles = 0usize;
+    let mut converged = false;
+
+    if norm_b == 0.0 {
+        // A zero right-hand side has the exact solution x = 0.
+        rhs.fill(T::ZERO);
+        return Ok(GmresOutcome {
+            iterations: 0,
+            restarts: 0,
+            residual_norm: 0.0,
+            backward_error: 0.0,
+            converged: true,
+        });
+    }
+    let target = opts.rtol * norm_b;
+
+    'outer: loop {
+        // True residual r = b − A·x (the first cycle starts from x = 0, so
+        // r = b without an operator application).
+        if cycles == 0 {
+            ws.r[..n].copy_from_slice(&ws.b[..n]);
+        } else {
+            op.apply(&ws.x[..n], &mut ws.r[..n]);
+            for i in 0..n {
+                ws.r[i] = ws.b[i] - ws.r[i];
+            }
+        }
+        let beta = norm2(&ws.r[..n]);
+        if !beta.is_finite() {
+            break;
+        }
+        if beta <= target {
+            converged = true;
+            break;
+        }
+        if cycles == opts.max_restarts.max(1) {
+            break;
+        }
+        cycles += 1;
+
+        // v₀ = r/β; g = (β, 0, …).
+        let inv_beta = T::from_f64(1.0 / beta);
+        for i in 0..n {
+            ws.basis[i] = ws.r[i] * inv_beta;
+        }
+        ws.g[..m + 1].fill(T::ZERO);
+        ws.g[0] = T::from_f64(beta);
+
+        let mut k = 0usize;
+        for j in 0..m {
+            // z = M⁻¹·v_j, w = A·z.
+            ws.z[..n].copy_from_slice(&ws.basis[j * n..(j + 1) * n]);
+            precond.solve_into(&mut ws.z[..n], &mut ws.lu_work[..n])?;
+            op.apply(&ws.z[..n], &mut ws.r[..n]);
+
+            // Modified Gram-Schmidt against the basis built so far.
+            let col = j * (m + 1);
+            for i in 0..=j {
+                let vi = &ws.basis[i * n..(i + 1) * n];
+                let hij = dot_conj(vi, &ws.r[..n]);
+                ws.h[col + i] = hij;
+                for (slot, &v) in ws.r[..n].iter_mut().zip(vi) {
+                    *slot -= hij * v;
+                }
+            }
+            let hnext = norm2(&ws.r[..n]);
+            if !hnext.is_finite() {
+                // Non-finite data (a NaN stamp reached the operator or the
+                // preconditioner): abandon the cycle; the caller's direct
+                // ladder surfaces the structured error.
+                break 'outer;
+            }
+            ws.h[col + j + 1] = T::from_f64(hnext);
+            if hnext > 0.0 {
+                let inv = T::from_f64(1.0 / hnext);
+                for i in 0..n {
+                    ws.basis[(j + 1) * n + i] = ws.r[i] * inv;
+                }
+            }
+
+            // Fold the previous rotations into the new column, then mint the
+            // rotation that annihilates the subdiagonal.
+            for i in 0..j {
+                let a = ws.h[col + i];
+                let b = ws.h[col + i + 1];
+                let c = T::from_f64(ws.cs[i]);
+                let s = ws.sn[i];
+                ws.h[col + i] = c * a + s * b;
+                ws.h[col + i + 1] = c * b - s.conj() * a;
+            }
+            let (c, s, rdiag) = givens(ws.h[col + j], ws.h[col + j + 1]);
+            ws.cs[j] = c;
+            ws.sn[j] = s;
+            ws.h[col + j] = rdiag;
+            ws.h[col + j + 1] = T::ZERO;
+            let gj = ws.g[j];
+            ws.g[j] = T::from_f64(c) * gj;
+            ws.g[j + 1] = -(s.conj() * gj);
+
+            iterations += 1;
+            k = j + 1;
+            let est = ws.g[j + 1].modulus();
+            if est <= target || hnext == 0.0 {
+                break;
+            }
+        }
+
+        // Back-substitute the k×k triangular least-squares system H·y = g.
+        for i in (0..k).rev() {
+            let mut acc = ws.g[i];
+            for l in i + 1..k {
+                acc -= ws.h[l * (m + 1) + i] * ws.y[l];
+            }
+            let diag = ws.h[i * (m + 1) + i];
+            if diag.is_zero() {
+                // Exactly singular projected system — no update possible.
+                break 'outer;
+            }
+            ws.y[i] = acc / diag;
+        }
+
+        // x += M⁻¹·(V·y): combine the basis, un-precondition, accumulate.
+        ws.z[..n].fill(T::ZERO);
+        for (l, &yl) in ws.y[..k].iter().enumerate() {
+            let vl = &ws.basis[l * n..(l + 1) * n];
+            for (slot, &v) in ws.z[..n].iter_mut().zip(vl) {
+                *slot += yl * v;
+            }
+        }
+        precond.solve_into(&mut ws.z[..n], &mut ws.lu_work[..n])?;
+        for i in 0..n {
+            ws.x[i] += ws.z[i];
+        }
+    }
+
+    // Final true-residual quality of the returned iterate, in the same
+    // norms as the direct refined path.
+    op.apply(&ws.x[..n], &mut ws.r[..n]);
+    for i in 0..n {
+        ws.r[i] = ws.b[i] - ws.r[i];
+    }
+    let residual_norm = inf_norm(&ws.r[..n]);
+    let be = backward_error(
+        residual_norm,
+        op.inf_norm(),
+        inf_norm(&ws.x[..n]),
+        inf_norm(&ws.b[..n]),
+    );
+    rhs.copy_from_slice(&ws.x[..n]);
+    Ok(GmresOutcome {
+        iterations,
+        restarts: cycles.saturating_sub(1),
+        residual_norm,
+        backward_error: be,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+    use loopscope_math::Complex64;
+
+    /// A p×p 2-D resistive mesh with a capacitive diagonal shift — the
+    /// pattern the iterative backend exists for.
+    fn mesh<T: Scalar>(p: usize, diag_scale: f64) -> CsrMatrix<T> {
+        let n = p * p;
+        let mut t = TripletMatrix::<T>::new(n, n);
+        for i in 0..p {
+            for j in 0..p {
+                let u = i * p + j;
+                let mut diag = T::from_f64(diag_scale * (1.0 + 0.01 * ((i + 2 * j) % 5) as f64));
+                let g = T::from_f64(1.0);
+                if i + 1 < p {
+                    t.push(u, u + p, -g);
+                    t.push(u + p, u, -g);
+                    diag += g;
+                }
+                if i > 0 {
+                    diag += g;
+                }
+                if j + 1 < p {
+                    t.push(u, u + 1, -g);
+                    t.push(u + 1, u, -g);
+                    diag += g;
+                }
+                if j > 0 {
+                    diag += g;
+                }
+                t.push(u, u, diag);
+            }
+        }
+        t.to_csr()
+    }
+
+    fn rhs_of<T: Scalar>(n: usize) -> Vec<T> {
+        (0..n)
+            .map(|k| T::from_f64(1.0 + 0.3 * ((k % 7) as f64)))
+            .collect()
+    }
+
+    #[test]
+    fn exact_preconditioner_converges_immediately_real() {
+        let a = mesh::<f64>(8, 0.5);
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = rhs_of::<f64>(a.rows());
+        let mut x = b.clone();
+        let mut ws = GmresWorkspace::new();
+        let out = gmres_solve_into(&a, &lu, &mut x, &GmresOptions::default(), &mut ws).unwrap();
+        assert!(out.converged, "{out:?}");
+        // With the exact LU as right preconditioner A·M⁻¹ = I: one Arnoldi
+        // step (plus rounding) must suffice.
+        assert!(out.iterations <= 2, "{out:?}");
+        assert_eq!(out.restarts, 0);
+        let direct = lu.solve(&b).unwrap();
+        for (g, w) in x.iter().zip(&direct) {
+            assert!((g - w).abs() <= 1e-9 * w.abs().max(1.0), "{g} vs {w}");
+        }
+        assert!(out.backward_error <= 1e-12, "{out:?}");
+    }
+
+    #[test]
+    fn stale_preconditioner_converges_complex() {
+        // Factor the matrix at one "frequency", solve at a nearby one — the
+        // production stale-anchor shape.
+        let a0 = mesh::<Complex64>(8, 0.5);
+        let a1 = {
+            let p = 8;
+            let n = p * p;
+            let mut t = TripletMatrix::<Complex64>::new(n, n);
+            for r in 0..n {
+                for (c, v) in a0.row_entries(r) {
+                    let v = if r == c {
+                        v + Complex64::new(0.0, 0.08)
+                    } else {
+                        v
+                    };
+                    t.push(r, c, v);
+                }
+            }
+            t.to_csr()
+        };
+        let lu = SparseLu::factor(&a0).unwrap();
+        let b = rhs_of::<Complex64>(a1.rows());
+        let mut x = b.clone();
+        let mut ws = GmresWorkspace::new();
+        let out = gmres_solve_into(&a1, &lu, &mut x, &GmresOptions::default(), &mut ws).unwrap();
+        assert!(out.converged, "{out:?}");
+        assert!(out.iterations >= 1 && out.iterations <= 32, "{out:?}");
+        let exact = SparseLu::factor(&a1).unwrap().solve(&b).unwrap();
+        for (g, w) in x.iter().zip(&exact) {
+            assert!((*g - *w).abs() <= 1e-8 * w.abs().max(1.0), "{g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn identical_inputs_give_bitwise_identical_runs() {
+        let a = mesh::<Complex64>(10, 0.25);
+        let shifted = {
+            let n = a.rows();
+            let mut t = TripletMatrix::<Complex64>::new(n, n);
+            for r in 0..n {
+                for (c, v) in a.row_entries(r) {
+                    let v = if r == c {
+                        v + Complex64::new(0.0, 0.15)
+                    } else {
+                        v
+                    };
+                    t.push(r, c, v);
+                }
+            }
+            t.to_csr()
+        };
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = rhs_of::<Complex64>(a.rows());
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut x = b.clone();
+            let mut ws = GmresWorkspace::new();
+            let out =
+                gmres_solve_into(&shifted, &lu, &mut x, &GmresOptions::default(), &mut ws).unwrap();
+            runs.push((x, out));
+        }
+        assert_eq!(runs[0].1.iterations, runs[1].1.iterations);
+        assert_eq!(runs[0].1.restarts, runs[1].1.restarts);
+        assert_eq!(
+            runs[0].1.residual_norm.to_bits(),
+            runs[1].1.residual_norm.to_bits()
+        );
+        for (p, q) in runs[0].0.iter().zip(&runs[1].0) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_without_iterating() {
+        let a = mesh::<f64>(4, 1.0);
+        let lu = SparseLu::factor(&a).unwrap();
+        let mut x = vec![0.0f64; a.rows()];
+        let mut ws = GmresWorkspace::new();
+        let out = gmres_solve_into(&a, &lu, &mut x, &GmresOptions::default(), &mut ws).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert!(x.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn rhs_length_mismatch_is_an_error() {
+        let a = mesh::<f64>(4, 1.0);
+        let lu = SparseLu::factor(&a).unwrap();
+        let mut short = vec![1.0f64; a.rows() - 1];
+        let mut ws = GmresWorkspace::new();
+        let err =
+            gmres_solve_into(&a, &lu, &mut short, &GmresOptions::default(), &mut ws).unwrap_err();
+        assert!(matches!(err, SolveError::RhsLength { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn non_finite_rhs_reports_unconverged() {
+        let a = mesh::<f64>(4, 1.0);
+        let lu = SparseLu::factor(&a).unwrap();
+        let mut x = vec![f64::NAN; a.rows()];
+        let mut ws = GmresWorkspace::new();
+        let out = gmres_solve_into(&a, &lu, &mut x, &GmresOptions::default(), &mut ws).unwrap();
+        assert!(!out.converged, "{out:?}");
+        assert!(out.backward_error.is_infinite(), "{out:?}");
+    }
+
+    #[test]
+    fn hard_iterative_case_uses_restarts_then_succeeds() {
+        // A badly stale preconditioner (large diagonal shift) forces real
+        // Arnoldi work; a tiny basis forces restart cycles.
+        let a = mesh::<f64>(8, 0.5);
+        let shifted = {
+            let n = a.rows();
+            let mut t = TripletMatrix::<f64>::new(n, n);
+            for r in 0..n {
+                for (c, v) in a.row_entries(r) {
+                    t.push(r, c, if r == c { v + 1.5 } else { v });
+                }
+            }
+            t.to_csr()
+        };
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = rhs_of::<f64>(a.rows());
+        let mut x = b.clone();
+        let mut ws = GmresWorkspace::new();
+        let opts = GmresOptions {
+            m: 4,
+            max_restarts: 20,
+            rtol: 1.0e-12,
+        };
+        let out = gmres_solve_into(&shifted, &lu, &mut x, &opts, &mut ws).unwrap();
+        assert!(out.converged, "{out:?}");
+        assert!(out.restarts >= 1, "tiny basis must restart: {out:?}");
+        let exact = SparseLu::factor(&shifted).unwrap().solve(&b).unwrap();
+        for (g, w) in x.iter().zip(&exact) {
+            assert!((g - w).abs() <= 1e-8 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn backend_enum_helpers() {
+        assert!(!SolverBackend::Direct.is_iterative());
+        assert!(SolverBackend::Direct.gmres_options().is_none());
+        let it = SolverBackend::iterative_default();
+        assert!(it.is_iterative());
+        let opts = it.gmres_options().unwrap();
+        assert_eq!(opts.m, 32);
+        assert_eq!(opts.max_restarts, 4);
+        assert_eq!(opts.rtol, 1.0e-10);
+    }
+}

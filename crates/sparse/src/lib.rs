@@ -41,6 +41,14 @@
 //!   skips pivot search and fill discovery entirely and falls back to fresh
 //!   pivoting only when a pivot degrades numerically. Solves are
 //!   allocation-free through [`SparseLu::solve_into`].
+//! * [`gmres`] — the iterative escape hatch behind the [`SolverBackend`]
+//!   seam: restarted GMRES(m) over a matrix-free [`SparseOperator`],
+//!   right-preconditioned by a *stale* [`SparseLu`] (the factorization of a
+//!   nearby matrix, e.g. a sweep group's anchor frequency). When successive
+//!   systems differ by a small perturbation, a handful of preconditioned
+//!   triangular solves replaces the per-system refactorization; callers
+//!   verify the returned backward error and fall back to the direct path
+//!   when the Krylov iteration misses.
 //!
 //! The scalar abstraction [`Scalar`] is implemented for `f64` (DC and
 //! transient analyses) and [`Complex64`] (AC analysis). Its `kernel_*`
@@ -91,6 +99,7 @@ pub mod btf;
 mod csr;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
+pub mod gmres;
 pub mod kernels;
 mod lu;
 pub mod ordering;
@@ -98,6 +107,9 @@ mod scalar;
 mod triplet;
 
 pub use csr::CsrMatrix;
+pub use gmres::{
+    gmres_solve_into, GmresOptions, GmresOutcome, GmresWorkspace, SolverBackend, SparseOperator,
+};
 pub use kernels::KernelBackend;
 pub use lu::{
     normwise_backward_error, solve_once, BatchLaneStatus, BatchedLu, LuWorkspace, RefineWorkspace,

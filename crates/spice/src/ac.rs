@@ -45,10 +45,11 @@ use crate::devices;
 use crate::error::SpiceError;
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
 use crate::par;
+use crate::solver::anchor_index;
 use crate::GMIN;
 use loopscope_math::{interp, Complex64, FrequencyGrid, TWO_PI};
 use loopscope_netlist::{Circuit, Element, NodeId};
-use loopscope_sparse::{CsrMatrix, KernelBackend};
+use loopscope_sparse::{CsrMatrix, KernelBackend, SolverBackend};
 use std::sync::{Arc, Mutex};
 
 /// Results of an AC sweep: complex node voltages over frequency.
@@ -173,6 +174,10 @@ pub struct SolverStructure {
     /// bound on the true condition number — large values warn that sweep
     /// results near that frequency carry amplified rounding error.
     pub condition_estimate: f64,
+    /// The linear-solver backend every sweep over this plan routes through —
+    /// resolved at plan build time from the `LOOPSCOPE_SOLVER` mode and the
+    /// dim/fill structure above (see [`crate::solver::resolve_backend`]).
+    pub solver: SolverBackend,
 }
 
 /// Small-signal AC analysis of a circuit linearized at an operating point.
@@ -188,6 +193,10 @@ pub struct AcAnalysis<'c> {
     /// worker threads of a chunked sweep. The `Mutex` only guards lazy
     /// construction; workers hold `Arc` clones.
     plan: Mutex<Option<Arc<SweepPlan<Complex64>>>>,
+    /// In-process solver-backend pin (see
+    /// [`set_solver_backend`](AcAnalysis::set_solver_backend)); `None`
+    /// resolves from the `LOOPSCOPE_SOLVER` environment at plan build.
+    backend_override: Mutex<Option<SolverBackend>>,
     /// Sweep-level counter totals: the plan build plus every worker
     /// context's counters, merged after each sweep.
     stats: Mutex<SolveStats>,
@@ -260,9 +269,19 @@ impl<'c> AcAnalysis<'c> {
             circuit,
             layout: MnaLayout::new(circuit),
             plan: Mutex::new(None),
+            backend_override: Mutex::new(None),
             stats: Mutex::new(SolveStats::default()),
             small_signal,
         })
+    }
+
+    /// Pins the solver backend for every sweep of this analysis — the
+    /// in-process alternative to the `LOOPSCOPE_SOLVER` environment knob,
+    /// used by test matrices that must never mutate global state. Must be
+    /// called **before the first solve**: once the shared sweep plan is
+    /// built its backend is fixed, and later pins have no effect.
+    pub fn set_solver_backend(&self, backend: SolverBackend) {
+        *self.backend_override.lock().expect("override lock") = Some(backend);
     }
 
     /// The MNA layout used by this analysis.
@@ -322,6 +341,7 @@ impl<'c> AcAnalysis<'c> {
             fill_nnz: symbolic.fill_nnz(),
             kernel: symbolic.kernel_backend(),
             condition_estimate,
+            solver: plan.backend(),
         })
     }
 
@@ -342,7 +362,14 @@ impl<'c> AcAnalysis<'c> {
             use_circuit_sources: false,
             overrides: &[],
         };
-        let plan = Arc::new(SweepPlan::build(&self.layout, &job).map_err(SpiceError::Linear)?);
+        let pinned = *self.backend_override.lock().expect("override lock");
+        let plan = Arc::new(
+            match pinned {
+                Some(backend) => SweepPlan::build_with_backend(&self.layout, &job, backend),
+                None => SweepPlan::build(&self.layout, &job),
+            }
+            .map_err(SpiceError::Linear)?,
+        );
         self.stats.lock().expect("stats lock").merge(&plan.stats());
         *guard = Some(Arc::clone(&plan));
         Ok(plan)
@@ -532,9 +559,20 @@ impl<'c> AcAnalysis<'c> {
             freqs,
             || plan.context(),
             |ctx: &mut SolveContext<'_, Complex64>,
-             _idx,
+             idx,
              &f|
              -> Result<Vec<Complex64>, SpiceError> {
+                // Iterative backend: precondition this point with the LU of
+                // its group's anchor frequency — the same anchor whatever
+                // worker runs the point, so results stay chunking-invariant.
+                let anchor = anchor_index(idx);
+                let anchor_job = AcSystem {
+                    analysis: self,
+                    freq_hz: freqs[anchor],
+                    use_circuit_sources: true,
+                    overrides: &[],
+                };
+                ctx.ensure_preconditioner(anchor, idx == anchor, &anchor_job);
                 let job = AcSystem {
                     analysis: self,
                     freq_hz: f,
@@ -542,10 +580,11 @@ impl<'c> AcAnalysis<'c> {
                     overrides: &[],
                 };
                 // The assembled RHS becomes the solution in place; the
-                // verified path runs the per-point retry ladder and enriches
-                // failures with circuit names.
+                // backend seam runs GMRES off the stale factor or the
+                // per-point verified retry ladder, and enriches failures
+                // with circuit names either way.
                 let mut solution = ctx.assemble(&job);
-                ctx.solve_verified_in_place(&mut solution)?;
+                ctx.solve_backend_in_place(&mut solution)?;
                 Ok(self.solve_into_node_row(&solution))
             },
         );
@@ -592,9 +631,17 @@ impl<'c> AcAnalysis<'c> {
             // Per-worker state: a solve context plus the injection vector.
             || (plan.context(), vec![Complex64::ZERO; dim]),
             |(ctx, x): &mut (SolveContext<'_, Complex64>, Vec<Complex64>),
-             _idx,
+             idx,
              &f|
              -> Result<Complex64, SpiceError> {
+                let anchor = anchor_index(idx);
+                let anchor_job = AcSystem {
+                    analysis: self,
+                    freq_hz: freqs[anchor],
+                    use_circuit_sources: false,
+                    overrides: &[],
+                };
+                ctx.ensure_preconditioner(anchor, idx == anchor, &anchor_job);
                 let job = AcSystem {
                     analysis: self,
                     freq_hz: f,
@@ -603,10 +650,11 @@ impl<'c> AcAnalysis<'c> {
                 };
                 let _ = ctx.assemble(&job);
                 // Unit current injection at `node`, solved in place through
-                // the verified retry ladder (which factors first).
+                // the backend seam (stale-preconditioned GMRES or the
+                // verified retry ladder, which factors first).
                 x.fill(Complex64::ZERO);
                 x[var] = Complex64::ONE;
-                ctx.solve_verified_in_place(x)?;
+                ctx.solve_backend_in_place(x)?;
                 Ok(x[var])
             },
         );
@@ -661,9 +709,17 @@ impl<'c> AcAnalysis<'c> {
                 )
             },
             |(ctx, panel): &mut (SolveContext<'_, Complex64>, Vec<Complex64>),
-             _idx,
+             idx,
              &f|
              -> Result<Vec<Complex64>, SpiceError> {
+                let anchor = anchor_index(idx);
+                let anchor_job = AcSystem {
+                    analysis: self,
+                    freq_hz: freqs[anchor],
+                    use_circuit_sources: false,
+                    overrides: &[],
+                };
+                ctx.ensure_preconditioner(anchor, idx == anchor, &anchor_job);
                 let job = AcSystem {
                     analysis: self,
                     freq_hz: f,
@@ -671,9 +727,22 @@ impl<'c> AcAnalysis<'c> {
                     overrides: &[],
                 };
                 let _ = ctx.assemble(&job);
+                let mut row = Vec::with_capacity(vars.len());
+                if ctx.backend().is_iterative() {
+                    // GMRES has no blocked multi-RHS form: one iterative
+                    // solve per injection, in fixed node order — trivially
+                    // identical at any `LOOPSCOPE_PANEL` width.
+                    for &var in &vars {
+                        let x = &mut panel[..dim];
+                        x.fill(Complex64::ZERO);
+                        x[var] = Complex64::ONE;
+                        ctx.solve_backend_in_place(x)?;
+                        row.push(x[var]);
+                    }
+                    return Ok(row);
+                }
                 ctx.factor()
                     .map_err(|e| SpiceError::from_solve(e, &self.layout))?;
-                let mut row = Vec::with_capacity(vars.len());
                 if panel_width == 1 {
                     // Per-RHS reference path (`LOOPSCOPE_PANEL=1`): one
                     // solve per node, the pre-batching inner loop.

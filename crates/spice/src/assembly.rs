@@ -47,8 +47,13 @@
 
 use crate::error::SpiceError;
 use crate::mna::{MatrixSink, MnaLayout, Stamper};
+use crate::solver::{
+    configured_solver_mode, resolve_backend, GMRES_ACCEPT_BACKWARD_TOLERANCE,
+    PRECOND_REFRESH_INTERVAL,
+};
 use loopscope_sparse::{
-    CsrMatrix, LuWorkspace, RefineWorkspace, Scalar, SolveError, SolveQuality, SparseLu, SymbolicLu,
+    gmres_solve_into, CsrMatrix, GmresWorkspace, LuWorkspace, RefineWorkspace, Scalar, SolveError,
+    SolveQuality, SolverBackend, SparseLu, SymbolicLu,
 };
 use std::sync::Arc;
 
@@ -142,6 +147,23 @@ pub struct SolveStats {
     /// count means some solutions were computed on a deliberately
     /// regularized system.
     pub gmin_bumps: usize,
+    /// Solves attempted on the iterative (GMRES) backend — whether the
+    /// attempt was accepted or fell back. Zero under the direct backend.
+    pub iterative_solves: usize,
+    /// Total GMRES Arnoldi iterations across all iterative solves. A pure
+    /// function of the per-point inputs, so chunking/thread-invariant.
+    pub gmres_iterations: usize,
+    /// Scheduled stale-preconditioner refreshes: one per
+    /// [`crate::solver::PRECOND_REFRESH_INTERVAL`]-sized group of sweep
+    /// points (plus one per direct-path refresh of the adaptive cache).
+    /// Warm-up refactorizations a worker performs to reconstruct the anchor
+    /// of a mid-group chunk start are deliberately **not** counted, keeping
+    /// the total chunking-invariant.
+    pub preconditioner_refreshes: usize,
+    /// Iterative solves whose GMRES verdict missed the acceptance tolerance
+    /// and were re-solved on the exact verified-direct ladder. Healthy
+    /// sweeps keep this at zero.
+    pub iterative_fallbacks: usize,
 }
 
 impl SolveStats {
@@ -166,6 +188,10 @@ impl SolveStats {
         self.cached_assemblies += other.cached_assemblies;
         self.residual_retries += other.residual_retries;
         self.gmin_bumps += other.gmin_bumps;
+        self.iterative_solves += other.iterative_solves;
+        self.gmres_iterations += other.gmres_iterations;
+        self.preconditioner_refreshes += other.preconditioner_refreshes;
+        self.iterative_fallbacks += other.iterative_fallbacks;
     }
 }
 
@@ -234,6 +260,24 @@ pub struct CachedMna<T: Scalar> {
     /// Pristine copy of the right-hand side, so retry-ladder escalations can
     /// restart the solve from `b` after a failed attempt overwrote it.
     rhs_backup: Vec<T>,
+    /// The solver mode this cache resolves its backend from; captured from
+    /// the `LOOPSCOPE_SOLVER` environment at construction, overridable with
+    /// [`set_solver_mode`](CachedMna::set_solver_mode).
+    solver_mode: crate::solver::SolverMode,
+    /// The backend resolved against the current pattern's structure; cleared
+    /// on pattern rebuilds (the structure — and with it the auto decision —
+    /// may have changed).
+    backend: Option<SolverBackend>,
+    /// Verified solves served off the current factors since they were last
+    /// refreshed; at [`PRECOND_REFRESH_INTERVAL`] the next solve refactors
+    /// directly instead of iterating off the stale factors.
+    solves_since_refresh: usize,
+    /// Scratch of the GMRES path; empty until the first iterative solve.
+    gmres_ws: GmresWorkspace<T>,
+    /// Pristine RHS copy of the iterative attempt — separate from
+    /// `rhs_backup`, which the direct ladder overwrites internally when a
+    /// GMRES miss falls back to it.
+    backend_rhs: Vec<T>,
     stats: SolveStats,
 }
 
@@ -254,6 +298,11 @@ impl<T: Scalar> CachedMna<T> {
             solve_work: Vec::new(),
             refine_ws: RefineWorkspace::new(),
             rhs_backup: Vec::new(),
+            solver_mode: configured_solver_mode(),
+            backend: None,
+            solves_since_refresh: 0,
+            gmres_ws: GmresWorkspace::new(),
+            backend_rhs: Vec::new(),
             stats: SolveStats::default(),
         }
     }
@@ -261,6 +310,22 @@ impl<T: Scalar> CachedMna<T> {
     /// Counters accumulated since construction.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// Overrides the solver mode (normally captured from `LOOPSCOPE_SOLVER`
+    /// at construction) — the in-process pin the test matrices use instead
+    /// of mutating the environment. Resets the backend resolution, so the
+    /// next verified solve re-resolves against the current structure.
+    pub fn set_solver_mode(&mut self, mode: crate::solver::SolverMode) {
+        self.solver_mode = mode;
+        self.backend = None;
+        self.solves_since_refresh = 0;
+    }
+
+    /// The backend the cache resolved for the current pattern, if the first
+    /// symbolic analysis has run ([`resolve_backend`] needs the structure).
+    pub fn backend(&self) -> Option<SolverBackend> {
+        self.backend
     }
 
     /// Assembles the MNA system for `job`, reusing the cached pattern when
@@ -305,6 +370,9 @@ impl<T: Scalar> CachedMna<T> {
             self.csr = None;
             self.symbolic = None;
             self.lu = None;
+            // The structure (and with it the auto backend decision) changed.
+            self.backend = None;
+            self.solves_since_refresh = 0;
         }
 
         let mut stamper = Stamper::new(layout);
@@ -513,6 +581,72 @@ impl<T: Scalar> CachedMna<T> {
                 got: rhs.len(),
             }));
         }
+        if let Some(quality) = self.iterative_attempt(rhs) {
+            return Ok(quality);
+        }
+        let result = self.verify_assembled_direct(layout, rhs);
+        // The direct rungs factored the current system: under the iterative
+        // backend those factors are the freshly refreshed preconditioner for
+        // the next solves.
+        if result.is_ok() && self.backend.is_some_and(|b| b.is_iterative()) {
+            self.solves_since_refresh = 0;
+        }
+        result
+    }
+
+    /// The GMRES leg of a verified solve: `Some(quality)` when the iterative
+    /// backend is active, stale factors are available and the solve passed
+    /// the acceptance tolerance; `None` routes to the direct ladder (first
+    /// solve, scheduled refresh, pattern rebuild or GMRES miss — with the
+    /// RHS restored and `iterative_fallbacks` counted for a miss).
+    fn iterative_attempt(&mut self, rhs: &mut [T]) -> Option<SolveQuality> {
+        if self.backend.is_none() {
+            let symbolic = self.symbolic.as_ref()?;
+            self.backend = Some(resolve_backend(
+                self.solver_mode,
+                symbolic.dim(),
+                symbolic.fill_nnz(),
+            ));
+        }
+        let opts = self.backend?.gmres_options()?;
+        if self.lu.is_none() || self.solves_since_refresh >= PRECOND_REFRESH_INTERVAL {
+            // Scheduled refresh: let the direct path factor this system; its
+            // factors then serve the next group of solves.
+            self.stats.preconditioner_refreshes += 1;
+            return None;
+        }
+        let csr = self.csr.as_ref().expect("assemble must run first");
+        let lu = self.lu.as_ref().expect("checked above");
+        self.backend_rhs.clear();
+        self.backend_rhs.extend_from_slice(rhs);
+        self.stats.iterative_solves += 1;
+        if let Ok(out) = gmres_solve_into(csr, lu, rhs, &opts, &mut self.gmres_ws) {
+            self.stats.gmres_iterations += out.iterations;
+            if out.converged && out.backward_error <= GMRES_ACCEPT_BACKWARD_TOLERANCE {
+                self.solves_since_refresh += 1;
+                return Some(SolveQuality {
+                    residual_norm: out.residual_norm,
+                    backward_error: out.backward_error,
+                    refinement_steps: 0,
+                    pivot_growth: lu.pivot_growth(),
+                    converged: true,
+                });
+            }
+        }
+        self.stats.iterative_fallbacks += 1;
+        rhs.copy_from_slice(&self.backend_rhs);
+        None
+    }
+
+    /// The direct verified-solve rungs of
+    /// [`verify_assembled`](CachedMna::verify_assembled) — the exact ladder
+    /// of PR 6, unchanged; the iterative backend falls back here whenever
+    /// GMRES misses its tolerance.
+    fn verify_assembled_direct(
+        &mut self,
+        layout: &MnaLayout,
+        rhs: &mut [T],
+    ) -> Result<SolveQuality, SpiceError> {
         self.rhs_backup.clear();
         self.rhs_backup.extend_from_slice(rhs);
         let mut pending_singular = None;
@@ -719,6 +853,11 @@ pub struct SweepPlan<T: Scalar> {
     /// itself `Arc`-backed, so the extra `Arc` keeps the plan cheaply
     /// clonable as a whole).
     symbolic: Arc<SymbolicLu>,
+    /// The solver backend every context minted from this plan routes its
+    /// verified solves through — resolved once at build time from the
+    /// `LOOPSCOPE_SOLVER` mode and the system structure, so all workers of a
+    /// sweep agree on it.
+    backend: SolverBackend,
     /// Counters of the build itself (exactly one symbolic analysis).
     build_stats: SolveStats,
 }
@@ -737,6 +876,29 @@ impl<T: Scalar> SweepPlan<T> {
     /// Returns the underlying [`SolveError`] when the representative system
     /// is singular.
     pub fn build(layout: &MnaLayout, job: &impl AssembleMna<T>) -> Result<Self, SolveError> {
+        let mut plan = Self::build_with_backend(layout, job, SolverBackend::Direct)?;
+        plan.backend = resolve_backend(
+            configured_solver_mode(),
+            plan.symbolic.dim(),
+            plan.symbolic.fill_nnz(),
+        );
+        Ok(plan)
+    }
+
+    /// Like [`build`](SweepPlan::build), but pinning the solver backend
+    /// instead of resolving it from the `LOOPSCOPE_SOLVER` environment —
+    /// the in-process override the determinism and fault-injection test
+    /// matrices use, so they never mutate global state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SolveError`] when the representative system
+    /// is singular.
+    pub fn build_with_backend(
+        layout: &MnaLayout,
+        job: &impl AssembleMna<T>,
+        backend: SolverBackend,
+    ) -> Result<Self, SolveError> {
         let mut stamper = Stamper::new(layout);
         job.stamp(&mut stamper);
         let (triplets, _rhs) = stamper.finish();
@@ -747,11 +909,17 @@ impl<T: Scalar> SweepPlan<T> {
             layout: layout.clone(),
             pattern,
             symbolic: Arc::new(symbolic),
+            backend,
             build_stats: SolveStats {
                 symbolic: 1,
                 ..SolveStats::default()
             },
         })
+    }
+
+    /// The solver backend every context of this plan routes through.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
     }
 
     /// The MNA layout whose slot assignment the plan's pattern was built for.
@@ -801,6 +969,10 @@ impl<T: Scalar> SweepPlan<T> {
             rhs_backup: Vec::with_capacity(n),
             off_pattern: None,
             factored: false,
+            precond: SparseLu::from_symbolic(&self.symbolic),
+            precond_anchor: None,
+            gmres_ws: GmresWorkspace::new(),
+            backend_rhs: Vec::new(),
             stats: SolveStats::default(),
         }
     }
@@ -858,6 +1030,21 @@ pub struct SolveContext<'p, T: Scalar> {
     /// and the context's slot map stay untouched).
     off_pattern: Option<CsrMatrix<T>>,
     factored: bool,
+    /// The stale preconditioner of the iterative backend: the LU of the
+    /// sweep group's **anchor** matrix, kept separate from `lu` so a
+    /// direct-ladder fallback at one point can never corrupt the
+    /// preconditioner other points of the group rely on.
+    precond: SparseLu<T>,
+    /// The sweep index whose matrix `precond` currently factors; `None`
+    /// until the first refresh, or after an anchor whose refactorization
+    /// failed (every point of that group then takes the direct fallback).
+    precond_anchor: Option<usize>,
+    /// Scratch of the GMRES path; empty until the first iterative solve.
+    gmres_ws: GmresWorkspace<T>,
+    /// Pristine RHS copy of the iterative attempt — separate from
+    /// `rhs_backup`, which the direct ladder overwrites internally when a
+    /// GMRES miss falls back to it.
+    backend_rhs: Vec<T>,
     stats: SolveStats,
 }
 
@@ -870,6 +1057,120 @@ impl<'p, T: Scalar> SolveContext<'p, T> {
     /// Counters accumulated by this context since it was minted.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// The solver backend this context routes
+    /// [`solve_backend_in_place`](SolveContext::solve_backend_in_place)
+    /// through (fixed at plan build time).
+    pub fn backend(&self) -> SolverBackend {
+        self.plan.backend
+    }
+
+    /// Ensures the stale preconditioner of the iterative backend factors the
+    /// matrix of sweep index `anchor_idx`, assembling `anchor_job` (the job
+    /// of that index) and refactoring when it does not. A no-op under the
+    /// direct backend and when the preconditioner is already current.
+    ///
+    /// Call **before** [`assemble`](SolveContext::assemble) for the point —
+    /// the anchor assembly borrows the context's value buffer, which the
+    /// point's own assembly then restamps.
+    ///
+    /// `scheduled` marks the refresh the sweep schedule mandates (the point
+    /// **is** its own anchor): only those are counted in
+    /// `preconditioner_refreshes`. The uncounted warm-up refresh a worker
+    /// performs when its chunk starts mid-group reconstructs the identical
+    /// anchor factorization, which is what keeps every point's GMRES inputs
+    /// — and so its iteration count and solution — bitwise invariant under
+    /// any chunking. An anchor that cannot be refactored (singular or
+    /// off-pattern) clears the preconditioner; every point of its group then
+    /// takes the counted direct fallback, identically in any chunking.
+    pub fn ensure_preconditioner(
+        &mut self,
+        anchor_idx: usize,
+        scheduled: bool,
+        anchor_job: &impl AssembleMna<T>,
+    ) {
+        if !self.plan.backend.is_iterative() {
+            return;
+        }
+        if scheduled {
+            self.stats.preconditioner_refreshes += 1;
+        } else if self.precond_anchor == Some(anchor_idx) {
+            return;
+        }
+        // Assemble the anchor system, uncounted: warm-up work must not
+        // perturb the chunking-invariant per-point assembly counters.
+        self.factored = false;
+        self.csr.zero_values();
+        let mut stamper = Stamper::with_sink(self.plan.layout(), SlotSink::new(&mut self.csr));
+        anchor_job.stamp(&mut stamper);
+        let (sink, _rhs) = stamper.into_parts();
+        if sink.missed() {
+            self.precond_anchor = None;
+            return;
+        }
+        match self
+            .precond
+            .refactor_into(&self.plan.symbolic, &self.csr, &mut self.workspace)
+        {
+            Ok(()) => self.precond_anchor = Some(anchor_idx),
+            Err(_) => self.precond_anchor = None,
+        }
+    }
+
+    /// Solves the most recently assembled system through the plan's solver
+    /// backend: under [`SolverBackend::Direct`] this **is**
+    /// [`solve_verified_in_place`](SolveContext::solve_verified_in_place);
+    /// under the iterative backend it runs GMRES off the stale
+    /// preconditioner installed by
+    /// [`ensure_preconditioner`](SolveContext::ensure_preconditioner) and
+    /// accepts the result only when its true-residual backward error passes
+    /// [`GMRES_ACCEPT_BACKWARD_TOLERANCE`] — anything else (missed
+    /// tolerance, missing/failed preconditioner, off-pattern point) restores
+    /// the right-hand side and re-solves on the exact verified-direct
+    /// ladder, counted in `iterative_fallbacks`. Failure semantics and
+    /// structured errors are therefore identical across backends.
+    ///
+    /// `rhs` holds `b` on entry and the verified solution on success.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of
+    /// [`solve_verified_in_place`](SolveContext::solve_verified_in_place).
+    pub fn solve_backend_in_place(&mut self, rhs: &mut [T]) -> Result<SolveQuality, SpiceError> {
+        let Some(opts) = self.plan.backend.gmres_options() else {
+            return self.solve_verified_in_place(rhs);
+        };
+        let n = self.plan.dim();
+        if rhs.len() != n {
+            return Err(SpiceError::Linear(SolveError::RhsLength {
+                expected: n,
+                got: rhs.len(),
+            }));
+        }
+        if self.precond_anchor.is_none() || self.off_pattern.is_some() {
+            self.stats.iterative_fallbacks += 1;
+            return self.solve_verified_in_place(rhs);
+        }
+        self.backend_rhs.clear();
+        self.backend_rhs.extend_from_slice(rhs);
+        self.stats.iterative_solves += 1;
+        if let Ok(out) = gmres_solve_into(&self.csr, &self.precond, rhs, &opts, &mut self.gmres_ws)
+        {
+            self.stats.gmres_iterations += out.iterations;
+            if out.converged && out.backward_error <= GMRES_ACCEPT_BACKWARD_TOLERANCE {
+                return Ok(SolveQuality {
+                    residual_norm: out.residual_norm,
+                    backward_error: out.backward_error,
+                    refinement_steps: 0,
+                    pivot_growth: self.precond.pivot_growth(),
+                    converged: true,
+                });
+            }
+        }
+        self.stats.iterative_fallbacks += 1;
+        rhs.copy_from_slice(&self.backend_rhs);
+        self.solve_verified_in_place(rhs)
     }
 
     /// Assembles the MNA system for `job` into the context's value buffer
@@ -1399,6 +1700,10 @@ mod tests {
             cached_assemblies: 4,
             residual_retries: 1,
             gmin_bumps: 0,
+            iterative_solves: 7,
+            gmres_iterations: 21,
+            preconditioner_refreshes: 1,
+            iterative_fallbacks: 0,
         };
         let b = SolveStats {
             symbolic: 0,
@@ -1408,6 +1713,10 @@ mod tests {
             cached_assemblies: 6,
             residual_retries: 2,
             gmin_bumps: 3,
+            iterative_solves: 2,
+            gmres_iterations: 9,
+            preconditioner_refreshes: 1,
+            iterative_fallbacks: 1,
         };
         a.merge(&b);
         assert_eq!(a.symbolic, 1);
@@ -1417,6 +1726,10 @@ mod tests {
         assert_eq!(a.cached_assemblies, 10);
         assert_eq!(a.residual_retries, 3);
         assert_eq!(a.gmin_bumps, 3);
+        assert_eq!(a.iterative_solves, 9);
+        assert_eq!(a.gmres_iterations, 30);
+        assert_eq!(a.preconditioner_refreshes, 2);
+        assert_eq!(a.iterative_fallbacks, 1);
         assert_eq!(a.factorizations(), 10);
     }
 

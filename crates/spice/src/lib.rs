@@ -61,6 +61,7 @@ pub mod error;
 pub mod measure;
 pub mod mna;
 pub mod par;
+pub mod solver;
 pub mod tran;
 
 pub use ac::{AcAnalysis, AcSweep, SolverStructure};
@@ -73,7 +74,8 @@ pub use dc::{
     solve_dc, solve_dc_with, ConvergenceReport, DcOptions, DcPhase, OperatingPoint, StageReport,
 };
 pub use error::{SpiceError, StepRejectReason, StepRejection};
-pub use loopscope_sparse::KernelBackend;
+pub use loopscope_sparse::{KernelBackend, SolverBackend};
+pub use solver::{configured_solver_mode, resolve_backend, SolverMode};
 pub use tran::{Integration, TransientAnalysis, TransientOptions, TransientResult, TransientStats};
 
 /// Thermal voltage kT/q at 300 K, in volts.

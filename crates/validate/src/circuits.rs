@@ -71,9 +71,14 @@ fn build_builtin(id: &str, params: &[(String, f64)]) -> Result<Circuit, String> 
             let cload = param(params, "cload_farads", id)?;
             Ok(blocks::current_mirror(cload).0)
         }
+        "power_grid" => {
+            let rows = count_param(params, "rows", id)?;
+            let cols = count_param(params, "cols", id)?;
+            Ok(blocks::power_grid(rows, cols).0)
+        }
         other => Err(format!(
             "unknown builtin '{other}' (known: rc_ladder, opamp_cascade, series_rlc, \
-             source_follower, current_mirror)"
+             source_follower, current_mirror, power_grid)"
         )),
     }
 }
@@ -101,6 +106,17 @@ mod tests {
         };
         let c = build_circuit(&spec).unwrap();
         assert_eq!(c.elements().len(), 1 + 2 * 3);
+    }
+
+    #[test]
+    fn builds_power_grid_builtin() {
+        let spec = CircuitSpec::Builtin {
+            id: "power_grid".into(),
+            params: vec![("rows".into(), 4.0), ("cols".into(), 3.0)],
+        };
+        let c = build_circuit(&spec).unwrap();
+        // 4x3 mesh: (4*2 + 3*3) resistors + 12 caps + Rdrive + Vdd.
+        assert_eq!(c.elements().len(), 17 + 12 + 2);
     }
 
     #[test]
